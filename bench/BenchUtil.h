@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the benchmark harnesses: suite iteration, geometric
+/// mean, table formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_BENCH_BENCHUTIL_H
+#define HELIX_BENCH_BENCHUTIL_H
+
+#include "driver/HelixDriver.h"
+#include "workloads/WorkloadBuilder.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace helix {
+namespace bench {
+
+inline double geoMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(std::max(1e-9, V));
+  return std::exp(LogSum / double(Values.size()));
+}
+
+/// Runs the pipeline over the whole suite with one configuration,
+/// invoking \p PerBench for every (spec, report).
+template <typename FnT>
+void forEachBenchmark(const DriverConfig &Config, FnT PerBench) {
+  for (const WorkloadSpec &Spec : spec2000Suite()) {
+    std::unique_ptr<Module> M = buildWorkload(Spec);
+    PipelineReport Report = runHelixPipeline(*M, Config);
+    PerBench(Spec, Report);
+  }
+}
+
+inline void printHeader(const char *Title, const char *Reference) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", Title);
+  std::printf("(reproduces %s of Campanoni et al., CGO 2012)\n", Reference);
+  std::printf("==========================================================\n");
+}
+
+} // namespace bench
+} // namespace helix
+
+#endif // HELIX_BENCH_BENCHUTIL_H

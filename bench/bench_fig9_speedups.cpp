@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 9: whole-program speedups of the 13 benchmarks on 2, 4 and 6
+/// simulated cores, sequential execution = 1. The paper reports a
+/// geometric mean of 2.25x and a maximum of 4.12x on six cores.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace helix;
+using namespace helix::bench;
+
+int main() {
+  printHeader("Figure 9: speedups achieved by HELIX", "Figure 9");
+  std::printf("%-10s %10s %10s %10s   %s\n", "benchmark", "2 cores",
+              "4 cores", "6 cores", "checks");
+
+  const unsigned CoreCounts[3] = {2, 4, 6};
+  std::vector<std::vector<double>> Speedups(3);
+
+  for (const WorkloadSpec &Spec : spec2000Suite()) {
+    std::unique_ptr<Module> M = buildWorkload(Spec);
+    double S[3] = {0, 0, 0};
+    bool Match = true, Ok = true;
+    for (unsigned K = 0; K != 3; ++K) {
+      DriverConfig Config;
+      Config.NumCores = CoreCounts[K];
+      PipelineReport R = runHelixPipeline(*M, Config);
+      Ok &= R.Ok;
+      Match &= R.OutputsMatch;
+      S[K] = R.Speedup;
+      if (R.Ok)
+        Speedups[K].push_back(R.Speedup);
+    }
+    std::printf("%-10s %9.2fx %9.2fx %9.2fx   %s%s\n", Spec.Name.c_str(),
+                S[0], S[1], S[2], Ok ? "ok" : "FAILED",
+                Match ? "" : " OUTPUT-MISMATCH");
+  }
+
+  std::printf("%-10s %9.2fx %9.2fx %9.2fx\n", "geoMean",
+              geoMean(Speedups[0]), geoMean(Speedups[1]),
+              geoMean(Speedups[2]));
+  double Max = 0;
+  for (double V : Speedups[2])
+    Max = std::max(Max, V);
+  std::printf("\npaper: geoMean 2.25x, max 4.12x on 6 cores\n");
+  std::printf("here : geoMean %.2fx, max %.2fx on 6 cores\n",
+              geoMean(Speedups[2]), Max);
+  return 0;
+}

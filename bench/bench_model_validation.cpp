@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.4, model validation: the Equation-1 speedup predicted from
+/// profile data vs the speedup measured by the cycle-level simulation.
+/// The paper reports an error below 4% for every benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace helix;
+using namespace helix::bench;
+
+int main() {
+  printHeader("Speedup model validation (Section 3.4)", "Section 3.4");
+  std::printf("%-10s %10s %10s %8s\n", "benchmark", "model", "measured",
+              "error");
+
+  DriverConfig Config;
+  double WorstError = 0;
+  forEachBenchmark(Config, [&](const WorkloadSpec &Spec,
+                               const PipelineReport &R) {
+    double Err = R.Speedup > 0
+                     ? 100.0 * std::fabs(R.ModelSpeedup - R.Speedup) /
+                           R.Speedup
+                     : 0.0;
+    WorstError = std::max(WorstError, Err);
+    std::printf("%-10s %9.2fx %9.2fx %7.1f%%\n", Spec.Name.c_str(),
+                R.ModelSpeedup, R.Speedup, Err);
+  });
+  std::printf("\npaper: error below 4%% on every benchmark\n");
+  std::printf("here : worst-case error %.1f%%\n", WorstError);
+  return 0;
+}

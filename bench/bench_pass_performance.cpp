@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the compiler itself: analysis and
+/// transformation throughput on suite-sized programs. Not a paper figure —
+/// this guards the compile-time cost of the HELIX passes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+#include "analysis/DataDependence.h"
+#include "analysis/LoopNestGraph.h"
+#include "helix/HelixTransform.h"
+#include "ir/Clone.h"
+#include "workloads/WorkloadBuilder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace helix;
+
+namespace {
+
+std::unique_ptr<Module> suiteModule() { return buildSpecWorkload("vpr"); }
+
+void BM_CloneModule(benchmark::State &State) {
+  auto M = suiteModule();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(cloneModule(*M));
+}
+BENCHMARK(BM_CloneModule);
+
+void BM_FunctionAnalyses(benchmark::State &State) {
+  auto M = suiteModule();
+  for (auto _ : State) {
+    ModuleAnalyses AM(*M);
+    for (Function *F : *M)
+      benchmark::DoNotOptimize(&AM.on(F));
+  }
+}
+BENCHMARK(BM_FunctionAnalyses);
+
+void BM_PointsTo(benchmark::State &State) {
+  auto M = suiteModule();
+  for (auto _ : State) {
+    ModuleAnalyses AM(*M);
+    benchmark::DoNotOptimize(&AM.pointsTo());
+  }
+}
+BENCHMARK(BM_PointsTo);
+
+void BM_LoopNestGraph(benchmark::State &State) {
+  auto M = suiteModule();
+  for (auto _ : State) {
+    ModuleAnalyses AM(*M);
+    LoopNestGraph LNG(*M, AM);
+    benchmark::DoNotOptimize(LNG.numNodes());
+  }
+}
+BENCHMARK(BM_LoopNestGraph);
+
+void BM_DependenceAnalysis(benchmark::State &State) {
+  auto M = suiteModule();
+  ModuleAnalyses AM(*M);
+  Function *F = nullptr;
+  Loop *L = nullptr;
+  for (Function *Cand : *M) {
+    LoopInfo &LI = AM.on(Cand).LI;
+    if (LI.numLoops() > 0) {
+      F = Cand;
+      L = LI.loop(0);
+    }
+  }
+  for (auto _ : State) {
+    FunctionAnalyses &FA = AM.on(F);
+    LoopVarAnalysis Vars(F, L, FA.DT);
+    LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
+                               AM.pointsTo(), AM.memEffects());
+    benchmark::DoNotOptimize(DDA.toSynchronize().size());
+  }
+}
+BENCHMARK(BM_DependenceAnalysis);
+
+void BM_ParallelizeLoop(benchmark::State &State) {
+  auto M = suiteModule();
+  // Find a loop header in a kernel function.
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto Clone = cloneModule(*M);
+    ModuleAnalyses AM(*Clone);
+    Function *F = nullptr;
+    BasicBlock *Header = nullptr;
+    for (Function *Cand : *Clone) {
+      LoopInfo &LI = AM.on(Cand).LI;
+      if (LI.numLoops() > 0) {
+        F = Cand;
+        Header = LI.loop(0)->header();
+        break;
+      }
+    }
+    State.ResumeTiming();
+    HelixOptions Opts;
+    benchmark::DoNotOptimize(parallelizeLoop(AM, F, Header, Opts));
+  }
+}
+BENCHMARK(BM_ParallelizeLoop);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.3's signal prefetching limit study: HELIX (balanced helper
+/// prefetching) vs matched prefetching (helper threads without the
+/// balancing scheduler) vs ideal prefetching (every signal already in L1)
+/// vs no prefetching. The paper reports geomean gaps of ~0.1x between
+/// HELIX and matched, and ~0.4x between matched and ideal.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace helix;
+using namespace helix::bench;
+
+int main() {
+  printHeader("Signal prefetching limit study (Section 3.3)",
+              "Section 3.3");
+  std::printf("%-10s %10s %10s %10s %10s\n", "benchmark", "none",
+              "matched", "HELIX", "ideal");
+
+  std::vector<std::vector<double>> All(4);
+  for (const WorkloadSpec &Spec : spec2000Suite()) {
+    std::unique_ptr<Module> M = buildWorkload(Spec);
+    double S[4];
+    for (unsigned K = 0; K != 4; ++K) {
+      DriverConfig Config;
+      switch (K) {
+      case 0: // no prefetching at all
+        Config.Helix.EnableHelperThreads = false;
+        break;
+      case 1: // matched: helper threads, no Figure-6 balancing
+        Config.Helix.EnableBalancing = false;
+        break;
+      case 2: // full HELIX
+        break;
+      case 3: // ideal: all signals fully prefetched
+        Config.Prefetch = PrefetchMode::Ideal;
+        break;
+      }
+      PipelineReport R = runHelixPipeline(*M, Config);
+      S[K] = R.Speedup;
+      if (R.Ok)
+        All[K].push_back(R.Speedup);
+    }
+    std::printf("%-10s %9.2fx %9.2fx %9.2fx %9.2fx\n", Spec.Name.c_str(),
+                S[0], S[1], S[2], S[3]);
+  }
+  std::printf("%-10s %9.2fx %9.2fx %9.2fx %9.2fx\n", "geoMean",
+              geoMean(All[0]), geoMean(All[1]), geoMean(All[2]),
+              geoMean(All[3]));
+  std::printf("\npaper: |HELIX - matched| ~ 0.1, |ideal - matched| ~ 0.4 "
+              "(geomean)\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.3's microbenchmark methodology: measure the latency of one
+/// signal between cores inside the machine model, in three situations:
+///
+///   - unprefetched: the receiver queries the flag location itself; the
+///     cost is two last-level-cache accesses (paper: 110 = 2 x 55 cycles);
+///   - helper-prefetched with enough independent code in front of the Wait
+///     for the pull to finish: the receiver hits its L1 (paper: 4 cycles);
+///   - helper-prefetched but back-to-back: the transfer stays on the
+///     critical path and nothing can be hidden (the Figure 7 "prefetching
+///     without balancing" situation).
+///
+//===----------------------------------------------------------------------===//
+
+#include "helix/ParallelLoopInfo.h"
+#include "sim/ParallelSim.h"
+
+#include <cstdio>
+
+using namespace helix;
+
+namespace {
+
+/// Two iterations on two cores. Iteration 0 computes for 1000 cycles and
+/// signals; iteration 1 runs \p BusyCycles of independent work, waits,
+/// then runs one final cycle. Returns the observed signal latency: how
+/// long after max(signal sent, receiver arrival) the receiver resumed.
+double measureOnce(PrefetchMode Mode, uint64_t BusyCycles) {
+  ParallelLoopInfo PLI;
+  PLI.Segments.push_back(SequentialSegment());
+  PLI.SelfStartingPrologue = true; // isolate the *data* signal latency
+
+  InvocationTrace Inv;
+  {
+    IterationTrace It0;
+    It0.Events.push_back({IterEvent::Kind::IterStart, 0, 0});
+    It0.Events.push_back({IterEvent::Kind::Cycles, 0, 1000});
+    It0.Events.push_back({IterEvent::Kind::Signal, 0, 0});
+    It0.TotalCycles = 1000;
+    Inv.Iterations.push_back(It0);
+    IterationTrace It1;
+    It1.Events.push_back({IterEvent::Kind::IterStart, 0, 0});
+    if (BusyCycles)
+      It1.Events.push_back({IterEvent::Kind::Cycles, 0, BusyCycles});
+    It1.Events.push_back({IterEvent::Kind::Wait, 0, 0});
+    It1.Events.push_back({IterEvent::Kind::Cycles, 0, 1});
+    It1.TotalCycles = BusyCycles + 1;
+    Inv.Iterations.push_back(It1);
+    Inv.SeqCycles = 1001 + BusyCycles;
+  }
+
+  SimConfig Config;
+  Config.NumCores = 2;
+  Config.Prefetch = Mode;
+  SimStats Stats;
+  uint64_t Span = simulateInvocation(Inv, PLI, Config, Stats);
+
+  // Reconstruct the timeline: both iterations start at T0.
+  double T0 = Config.Machine.LoopConfigCycles +
+              (Config.NumCores - 1) * Config.Machine.UnprefetchedSignalCycles;
+  double SignalAt = T0 + 1000;
+  double Arrival = T0 + double(BusyCycles);
+  double Resumed = double(Span) -
+                   Config.Machine.UnprefetchedSignalCycles /*wind-down*/ - 1;
+  return Resumed - std::max(SignalAt, Arrival);
+}
+
+} // namespace
+
+int main() {
+  std::printf("=========================================================\n");
+  std::printf("Signal-latency microbenchmark (Section 3.3 methodology)\n");
+  std::printf("=========================================================\n");
+
+  double NoPrefetch = measureOnce(PrefetchMode::None, 0);
+  double Ideal = measureOnce(PrefetchMode::Ideal, 0);
+  double HelperSpaced = measureOnce(PrefetchMode::Helper, 1300);
+  double HelperTight = measureOnce(PrefetchMode::Helper, 0);
+
+  std::printf("unprefetched signal              : %6.0f cycles "
+              "(paper: 110 = 2 x 55-cycle L3 accesses)\n",
+              NoPrefetch);
+  std::printf("ideal (always in L1)             : %6.0f cycles "
+              "(paper: 4 = L1 hit)\n",
+              Ideal);
+  std::printf("helper thread, spaced segments   : %6.0f cycles "
+              "(pull completed before the Wait)\n",
+              HelperSpaced);
+  std::printf("helper thread, back-to-back      : %6.0f cycles "
+              "(transfer stays on the critical path)\n",
+              HelperTight);
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Caches per-function analyses (CFG, dominators, loops, liveness) and
+/// module-wide analyses (call graph, points-to, memory effects) so clients
+/// do not recompute them. Invalidate per function after transforming it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_ANALYSIS_ANALYSISMANAGER_H
+#define HELIX_ANALYSIS_ANALYSISMANAGER_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/PointsTo.h"
+
+#include <map>
+#include <memory>
+
+namespace helix {
+
+/// All per-function structural analyses, built together.
+struct FunctionAnalyses {
+  explicit FunctionAnalyses(Function *F)
+      : CFG(F), DT(F, CFG), LI(F, CFG, DT), LV(F, CFG) {}
+
+  CFGInfo CFG;
+  DominatorTree DT;
+  LoopInfo LI;
+  Liveness LV;
+};
+
+/// Lazy per-module analysis cache.
+class ModuleAnalyses {
+public:
+  explicit ModuleAnalyses(Module &M) : M(M) {}
+
+  Module &module() { return M; }
+
+  FunctionAnalyses &on(Function *F) {
+    auto It = PerFunction.find(F);
+    if (It == PerFunction.end())
+      It = PerFunction.emplace(F, std::make_unique<FunctionAnalyses>(F)).first;
+    return *It->second;
+  }
+
+  /// Drops the cached analyses of \p F after a transformation.
+  void invalidate(Function *F) { PerFunction.erase(F); }
+
+  /// Drops everything, including module-level analyses.
+  void invalidateAll() {
+    PerFunction.clear();
+    CG.reset();
+    PT.reset();
+    ME.reset();
+  }
+
+  CallGraph &callGraph() {
+    if (!CG)
+      CG = std::make_unique<CallGraph>(M);
+    return *CG;
+  }
+
+  PointsToAnalysis &pointsTo() {
+    if (!PT)
+      PT = std::make_unique<PointsToAnalysis>(M, callGraph());
+    return *PT;
+  }
+
+  MemEffects &memEffects() {
+    if (!ME)
+      ME = std::make_unique<MemEffects>(M, callGraph(), pointsTo());
+    return *ME;
+  }
+
+private:
+  Module &M;
+  std::map<Function *, std::unique_ptr<FunctionAnalyses>> PerFunction;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<PointsToAnalysis> PT;
+  std::unique_ptr<MemEffects> ME;
+};
+
+} // namespace helix
+
+#endif // HELIX_ANALYSIS_ANALYSISMANAGER_H

@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-carried data-dependence analysis (the DDG of HELIX Step 2).
+///
+/// For a chosen loop this computes D_data: the set of loop-carried data
+/// dependences that must be synchronized. Excluded, per the paper:
+///   - false (WAW/WAR) dependences through registers or the call stack,
+///     because every iteration runs on its own core with private registers
+///     and a private stack;
+///   - dependences on loop-invariant reads and on induction variables
+///     (locally computable from the iteration number).
+/// Memory dependences are derived from the interprocedural points-to
+/// analysis, refined by strided-access (ZIV/SIV) independence tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_ANALYSIS_DATADEPENDENCE_H
+#define HELIX_ANALYSIS_DATADEPENDENCE_H
+
+#include "analysis/Liveness.h"
+#include "analysis/LoopVars.h"
+#include "analysis/PointsTo.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace helix {
+
+enum class DepKind { RAW, WAR, WAW };
+
+/// One data dependence d = (a, b) between (sets of) instructions of a loop.
+/// Both endpoints lie inside the loop; the dependence crosses iterations
+/// when LoopCarried is true.
+struct DataDependence {
+  unsigned Id = 0; ///< dense id within this loop's dependence set
+  DepKind Kind = DepKind::RAW;
+  bool ViaMemory = true;
+  bool LoopCarried = false;
+  /// For register dependences: the register carrying the value.
+  unsigned Reg = NoReg;
+  /// Producing side (writes).
+  std::vector<Instruction *> Srcs;
+  /// Consuming side (reads for RAW, writes for WAW/WAR).
+  std::vector<Instruction *> Dsts;
+
+  /// Every instruction that is an endpoint of this dependence.
+  std::vector<Instruction *> allEndpoints() const {
+    std::vector<Instruction *> All = Srcs;
+    for (Instruction *I : Dsts)
+      if (std::find(All.begin(), All.end(), I) == All.end())
+        All.push_back(I);
+    return All;
+  }
+};
+
+/// Summary counters reported by Table 1.
+struct DependenceStats {
+  unsigned NumAliasPairs = 0;   ///< all aliasing memory pairs (any distance)
+  unsigned NumLoopCarried = 0;  ///< pairs classified loop-carried
+  unsigned NumRegCarried = 0;   ///< register RAW dependences kept
+  unsigned NumExcludedFalse = 0;    ///< register WAW/WAR discarded
+  unsigned NumExcludedInduction = 0;
+};
+
+/// Computes the dependences of one loop.
+class LoopDependenceAnalysis {
+public:
+  LoopDependenceAnalysis(Function *F, Loop *L, const CFGInfo &CFG,
+                         const DominatorTree &DT, const Liveness &LV,
+                         const LoopVarAnalysis &Vars,
+                         const PointsToAnalysis &PT, const MemEffects &ME);
+
+  /// The dependences HELIX must synchronize (the paper's D_data).
+  const std::vector<DataDependence> &toSynchronize() const { return DData; }
+
+  const DependenceStats &stats() const { return Stats; }
+
+private:
+  void collectMemoryDeps(Function *F, Loop *L, const LoopVarAnalysis &Vars,
+                         const PointsToAnalysis &PT, const MemEffects &ME);
+  void collectRegisterDeps(Function *F, Loop *L, const CFGInfo &CFG,
+                           const Liveness &LV, const LoopVarAnalysis &Vars);
+
+  std::vector<DataDependence> DData;
+  DependenceStats Stats;
+};
+
+} // namespace helix
+
+#endif // HELIX_ANALYSIS_DATADEPENDENCE_H

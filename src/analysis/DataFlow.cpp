@@ -1,0 +1,88 @@
+#include "analysis/DataFlow.h"
+
+using namespace helix;
+
+DataFlowResult helix::solveDataFlow(Function *F, const CFGInfo &CFG,
+                                    DataFlowDir Dir, DataFlowMeet Meet,
+                                    unsigned NumBits,
+                                    const std::vector<BitSet> &Gen,
+                                    const std::vector<BitSet> &Kill,
+                                    const BitSet &Boundary) {
+  unsigned NumIds = F->numBlockIds();
+  DataFlowResult R;
+  R.In.assign(NumIds, BitSet(NumBits));
+  R.Out.assign(NumIds, BitSet(NumBits));
+
+  // Initialize interior values: bottom is empty for union, full for
+  // intersection.
+  if (Meet == DataFlowMeet::Intersection) {
+    for (unsigned I = 0; I != NumIds; ++I) {
+      R.In[I].setAll();
+      R.Out[I].setAll();
+    }
+  }
+
+  const std::vector<BasicBlock *> &RPO = CFG.reversePostOrder();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    if (Dir == DataFlowDir::Forward) {
+      for (BasicBlock *BB : RPO) {
+        unsigned Id = BB->id();
+        // Meet over predecessors.
+        BitSet NewIn(NumBits);
+        const auto &Preds = CFG.predecessors(BB);
+        bool IsEntry = BB == F->entry();
+        if (IsEntry) {
+          NewIn = Boundary;
+        } else if (Preds.empty()) {
+          if (Meet == DataFlowMeet::Intersection)
+            NewIn.setAll();
+        } else {
+          NewIn = R.Out[Preds.front()->id()];
+          for (size_t K = 1; K < Preds.size(); ++K) {
+            if (Meet == DataFlowMeet::Union)
+              NewIn.unionWith(R.Out[Preds[K]->id()]);
+            else
+              NewIn.intersectWith(R.Out[Preds[K]->id()]);
+          }
+        }
+        BitSet NewOut = NewIn;
+        NewOut.subtract(Kill[Id]);
+        NewOut.unionWith(Gen[Id]);
+        if (NewIn != R.In[Id] || NewOut != R.Out[Id]) {
+          R.In[Id] = std::move(NewIn);
+          R.Out[Id] = std::move(NewOut);
+          Changed = true;
+        }
+      }
+    } else {
+      for (auto It = RPO.rbegin(); It != RPO.rend(); ++It) {
+        BasicBlock *BB = *It;
+        unsigned Id = BB->id();
+        BitSet NewOut(NumBits);
+        std::vector<BasicBlock *> Succs = BB->successors();
+        if (Succs.empty()) {
+          NewOut = Boundary;
+        } else {
+          NewOut = R.In[Succs.front()->id()];
+          for (size_t K = 1; K < Succs.size(); ++K) {
+            if (Meet == DataFlowMeet::Union)
+              NewOut.unionWith(R.In[Succs[K]->id()]);
+            else
+              NewOut.intersectWith(R.In[Succs[K]->id()]);
+          }
+        }
+        BitSet NewIn = NewOut;
+        NewIn.subtract(Kill[Id]);
+        NewIn.unionWith(Gen[Id]);
+        if (NewIn != R.In[Id] || NewOut != R.Out[Id]) {
+          R.In[Id] = std::move(NewIn);
+          R.Out[Id] = std::move(NewOut);
+          Changed = true;
+        }
+      }
+    }
+  }
+  return R;
+}

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small iterative bitvector dataflow framework over basic blocks.
+/// Liveness, reaching definitions, Wait-availability (Step 6) and the
+/// Signal-placement reachability analysis (Step 4) are all instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_ANALYSIS_DATAFLOW_H
+#define HELIX_ANALYSIS_DATAFLOW_H
+
+#include "ir/CFG.h"
+#include "support/BitSet.h"
+
+#include <vector>
+
+namespace helix {
+
+/// Per-block In/Out sets of a solved dataflow problem, indexed by block id.
+struct DataFlowResult {
+  std::vector<BitSet> In;
+  std::vector<BitSet> Out;
+};
+
+enum class DataFlowDir { Forward, Backward };
+enum class DataFlowMeet { Union, Intersection };
+
+/// Solves an iterative gen/kill bitvector problem.
+///
+/// Transfer function per block B:
+///   Forward:  Out[B] = Gen[B] | (In[B] & ~Kill[B]),  In[B] = meet of preds
+///   Backward: In[B]  = Gen[B] | (Out[B] & ~Kill[B]), Out[B] = meet of succs
+///
+/// \p Boundary is the value at the entry (forward) or at every exit
+/// (backward). With Intersection meet, interior blocks start from the full
+/// set so the fixpoint is the greatest solution.
+DataFlowResult solveDataFlow(Function *F, const CFGInfo &CFG,
+                             DataFlowDir Dir, DataFlowMeet Meet,
+                             unsigned NumBits,
+                             const std::vector<BitSet> &Gen,
+                             const std::vector<BitSet> &Kill,
+                             const BitSet &Boundary);
+
+} // namespace helix
+
+#endif // HELIX_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,64 @@
+#include "analysis/Dominators.h"
+
+#include "support/Compiler.h"
+
+using namespace helix;
+
+DominatorTree::DominatorTree(Function *F, const CFGInfo &CFG) : F(F) {
+  IDom.assign(F->numBlockIds(), nullptr);
+  Depth.assign(F->numBlockIds(), 0);
+
+  const std::vector<BasicBlock *> &RPO = CFG.reversePostOrder();
+  if (RPO.empty())
+    return;
+  BasicBlock *Entry = RPO.front();
+  IDom[Entry->id()] = Entry;
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (CFG.rpoIndex(A) > CFG.rpoIndex(B))
+        A = IDom[A->id()];
+      while (CFG.rpoIndex(B) > CFG.rpoIndex(A))
+        B = IDom[B->id()];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *Pred : CFG.predecessors(BB)) {
+        if (!CFG.isReachable(Pred) || !IDom[Pred->id()])
+          continue;
+        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
+      }
+      assert(NewIDom && "reachable block with no processed predecessor");
+      if (IDom[BB->id()] != NewIDom) {
+        IDom[BB->id()] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  // The entry's idom is conventionally null for clients.
+  IDom[Entry->id()] = nullptr;
+
+  // Compute depths for O(depth) dominance queries.
+  for (BasicBlock *BB : RPO) {
+    BasicBlock *D = IDom[BB->id()];
+    Depth[BB->id()] = D ? Depth[D->id()] + 1 : 0;
+  }
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (A == B)
+    return true;
+  const BasicBlock *Cur = B;
+  while (Cur && Depth[Cur->id()] > Depth[A->id()])
+    Cur = IDom[Cur->id()];
+  return Cur == A;
+}

@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+/// Used for natural-loop detection and by the HELIX normalization step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_ANALYSIS_DOMINATORS_H
+#define HELIX_ANALYSIS_DOMINATORS_H
+
+#include "ir/CFG.h"
+
+#include <vector>
+
+namespace helix {
+
+/// Dominator tree over the reachable blocks of a function.
+class DominatorTree {
+public:
+  DominatorTree(Function *F, const CFGInfo &CFG);
+
+  /// Immediate dominator; null for the entry block and unreachable blocks.
+  BasicBlock *idom(const BasicBlock *BB) const { return IDom[BB->id()]; }
+
+  /// \returns true if \p A dominates \p B (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+private:
+  Function *F;
+  std::vector<BasicBlock *> IDom; // indexed by block id
+  std::vector<unsigned> Depth;    // depth in the dominator tree
+};
+
+} // namespace helix
+
+#endif // HELIX_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,44 @@
+#include "analysis/Liveness.h"
+
+#include "analysis/RegUse.h"
+
+using namespace helix;
+
+Liveness::Liveness(Function *F, const CFGInfo &CFG) {
+  unsigned NumRegs = F->numRegs();
+  std::vector<BitSet> Gen(F->numBlockIds(), BitSet(NumRegs));
+  std::vector<BitSet> Kill(F->numBlockIds(), BitSet(NumRegs));
+
+  for (BasicBlock *BB : *F) {
+    BitSet &G = Gen[BB->id()];
+    BitSet &K = Kill[BB->id()];
+    for (Instruction *I : *BB) {
+      // Upward-exposed uses first, then the definition.
+      for (unsigned Reg : usedRegs(*I))
+        if (!K.test(Reg))
+          G.set(Reg);
+      if (I->hasDest())
+        K.set(I->dest());
+    }
+  }
+
+  Result = solveDataFlow(F, CFG, DataFlowDir::Backward, DataFlowMeet::Union,
+                         NumRegs, Gen, Kill, BitSet(NumRegs));
+}
+
+bool Liveness::isLiveBefore(unsigned Reg, const Instruction *At) const {
+  const BasicBlock *BB = At->parent();
+  bool Seen = false;
+  for (Instruction *I : *BB) {
+    if (I == At)
+      Seen = true;
+    if (!Seen)
+      continue;
+    for (unsigned Used : usedRegs(*I))
+      if (Used == Reg)
+        return true;
+    if (I->hasDest() && I->dest() == Reg)
+      return false;
+  }
+  return liveOut(BB).test(Reg);
+}

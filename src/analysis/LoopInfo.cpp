@@ -1,0 +1,91 @@
+#include "analysis/LoopInfo.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace helix;
+
+std::vector<std::pair<BasicBlock *, BasicBlock *>> Loop::exitEdges() const {
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> Exits;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      if (!contains(Succ))
+        Exits.push_back({BB, Succ});
+  return Exits;
+}
+
+LoopInfo::LoopInfo(Function *F, const CFGInfo &CFG, const DominatorTree &DT) {
+  InnermostFor.assign(F->numBlockIds(), nullptr);
+
+  // Find back edges: u -> h where h dominates u. Group by header.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> LatchesByHeader;
+  for (BasicBlock *BB : CFG.reversePostOrder())
+    for (BasicBlock *Succ : BB->successors())
+      if (DT.dominates(Succ, BB))
+        LatchesByHeader[Succ].push_back(BB);
+
+  // Build each loop body by backwards reachability from its latches.
+  for (auto &[Header, Latches] : LatchesByHeader) {
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Latches = Latches;
+    L->BlockSet.resize(F->numBlockIds());
+    L->BlockSet.set(Header->id());
+    std::vector<BasicBlock *> Work;
+    for (BasicBlock *Latch : Latches)
+      if (!L->BlockSet.test(Latch->id())) {
+        L->BlockSet.set(Latch->id());
+        Work.push_back(Latch);
+      }
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      for (BasicBlock *Pred : CFG.predecessors(BB)) {
+        if (!CFG.isReachable(Pred) || L->BlockSet.test(Pred->id()))
+          continue;
+        L->BlockSet.set(Pred->id());
+        Work.push_back(Pred);
+      }
+    }
+    // Collect member blocks in RPO for deterministic iteration.
+    for (BasicBlock *BB : CFG.reversePostOrder())
+      if (L->BlockSet.test(BB->id()))
+        L->Blocks.push_back(BB);
+    Loops.push_back(std::move(L));
+  }
+
+  // Establish nesting: L1 is an ancestor of L2 if L1 contains L2's header
+  // and L1 != L2. Sort by block count so the innermost parent is found by
+  // scanning smaller loops first.
+  std::sort(Loops.begin(), Loops.end(), [](const auto &A, const auto &B) {
+    return A->Blocks.size() < B->Blocks.size();
+  });
+  for (unsigned I = 0; I != Loops.size(); ++I) {
+    Loops[I]->Index = I;
+    for (unsigned J = I + 1; J != Loops.size(); ++J) {
+      if (Loops[J]->contains(Loops[I]->Header) &&
+          Loops[J].get() != Loops[I].get()) {
+        Loops[I]->Parent = Loops[J].get();
+        Loops[J]->SubLoops.push_back(Loops[I].get());
+        break;
+      }
+    }
+  }
+  for (auto &L : Loops) {
+    if (!L->Parent)
+      TopLevel.push_back(L.get());
+    unsigned D = 1;
+    for (Loop *P = L->Parent; P; P = P->Parent)
+      ++D;
+    L->Depth = D;
+  }
+
+  // Innermost loop per block: smaller loops were assigned smaller indices,
+  // so the first loop (in size order) containing a block is innermost.
+  for (auto &L : Loops)
+    for (BasicBlock *BB : L->Blocks)
+      if (!InnermostFor[BB->id()])
+        InnermostFor[BB->id()] = L.get();
+}

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection and the loop nesting forest of one function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_ANALYSIS_LOOPINFO_H
+#define HELIX_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+#include "support/BitSet.h"
+
+#include <memory>
+#include <vector>
+
+namespace helix {
+
+/// One natural loop: a header plus the blocks that can reach a back edge
+/// to it without leaving the region it dominates. Back edges with the same
+/// header are merged into a single loop, as is conventional.
+class Loop {
+public:
+  BasicBlock *header() const { return Header; }
+  const std::vector<BasicBlock *> &latches() const { return Latches; }
+  const std::vector<BasicBlock *> &blocks() const { return Blocks; }
+
+  bool contains(const BasicBlock *BB) const {
+    return BB->id() < BlockSet.size() && BlockSet.test(BB->id());
+  }
+
+  Loop *parent() const { return Parent; }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+  /// Nesting depth; top-level loops have depth 1.
+  unsigned depth() const { return Depth; }
+  /// Function-local loop index (dense, stable for this LoopInfo).
+  unsigned index() const { return Index; }
+
+  /// CFG edges leaving the loop, as (inside, outside) block pairs.
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> exitEdges() const;
+
+private:
+  friend class LoopInfo;
+  BasicBlock *Header = nullptr;
+  std::vector<BasicBlock *> Latches;
+  std::vector<BasicBlock *> Blocks;
+  BitSet BlockSet;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+  unsigned Depth = 1;
+  unsigned Index = 0;
+};
+
+/// All natural loops of a function, with their nesting relation.
+class LoopInfo {
+public:
+  LoopInfo(Function *F, const CFGInfo &CFG, const DominatorTree &DT);
+
+  unsigned numLoops() const { return unsigned(Loops.size()); }
+  Loop *loop(unsigned Idx) const { return Loops[Idx].get(); }
+  const std::vector<Loop *> &topLevelLoops() const { return TopLevel; }
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *loopFor(const BasicBlock *BB) const {
+    return BB->id() < InnermostFor.size() ? InnermostFor[BB->id()] : nullptr;
+  }
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::vector<Loop *> TopLevel;
+  std::vector<Loop *> InnermostFor; // indexed by block id
+};
+
+} // namespace helix
+
+#endif // HELIX_ANALYSIS_LOOPINFO_H

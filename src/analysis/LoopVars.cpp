@@ -1,0 +1,201 @@
+#include "analysis/LoopVars.h"
+
+#include "support/Compiler.h"
+
+using namespace helix;
+
+LoopVarAnalysis::LoopVarAnalysis(Function *F, Loop *L, const DominatorTree &DT)
+    : F(F), L(L) {
+  // Collect in-loop definitions per register.
+  for (BasicBlock *BB : L->blocks())
+    for (Instruction *I : *BB)
+      if (I->hasDest())
+        Defs[I->dest()].push_back(I);
+
+  // Basic induction variables: single update Reg = Reg +/- C whose block
+  // dominates every latch (so it executes exactly once per iteration) and
+  // which is not buried in a subloop.
+  for (auto &[Reg, DefList] : Defs) {
+    if (DefList.size() != 1)
+      continue;
+    Instruction *I = DefList.front();
+    if (I->opcode() != Opcode::Add && I->opcode() != Opcode::Sub)
+      continue;
+    if (I->numOperands() != 2)
+      continue;
+    const Operand &A = I->operand(0);
+    const Operand &B = I->operand(1);
+    if (!(A.isReg() && A.regId() == Reg && B.isImmInt()))
+      continue;
+    bool DominatesLatches = true;
+    for (BasicBlock *Latch : L->latches())
+      DominatesLatches &= DT.dominates(I->parent(), Latch);
+    if (!DominatesLatches)
+      continue;
+    // Must not execute multiple times per iteration of L.
+    bool InSubLoop = false;
+    for (Loop *Sub : L->subLoops())
+      InSubLoop |= Sub->contains(I->parent());
+    if (InSubLoop)
+      continue;
+    int64_t Stride = B.intValue();
+    if (I->opcode() == Opcode::Sub)
+      Stride = -Stride;
+    IVs.push_back({Reg, I, Stride});
+  }
+}
+
+bool LoopVarAnalysis::isInvariant(unsigned Reg) const {
+  return Defs.find(Reg) == Defs.end();
+}
+
+const InductionVar *LoopVarAnalysis::inductionVar(unsigned Reg) const {
+  for (const InductionVar &IV : IVs)
+    if (IV.Reg == Reg)
+      return &IV;
+  return nullptr;
+}
+
+const std::vector<Instruction *> &LoopVarAnalysis::defsOf(unsigned Reg) const {
+  auto It = Defs.find(Reg);
+  return It == Defs.end() ? NoDefs : It->second;
+}
+
+AffineAddr LoopVarAnalysis::combine(const AffineAddr &A, const AffineAddr &B,
+                                    bool Negate) {
+  AffineAddr R;
+  if (!A.Valid || !B.Valid)
+    return R;
+  // At most one base symbol may survive, and a negated base is not
+  // representable.
+  if (A.Base != AffineAddr::BaseKind::None &&
+      B.Base != AffineAddr::BaseKind::None)
+    return R;
+  if (Negate && B.Base != AffineAddr::BaseKind::None)
+    return R;
+  // At most one induction variable.
+  if (A.IVReg != NoReg && B.IVReg != NoReg && A.IVReg != B.IVReg)
+    return R;
+  R.Valid = true;
+  if (A.Base != AffineAddr::BaseKind::None) {
+    R.Base = A.Base;
+    R.BaseId = A.BaseId;
+  } else {
+    R.Base = B.Base;
+    R.BaseId = B.BaseId;
+  }
+  R.IVReg = A.IVReg != NoReg ? A.IVReg : B.IVReg;
+  int64_t ScaleB = Negate ? -B.Scale : B.Scale;
+  int64_t OffB = Negate ? -B.Offset : B.Offset;
+  R.Scale = (A.IVReg != NoReg ? A.Scale : 0) +
+            (B.IVReg != NoReg ? ScaleB : 0);
+  R.Offset = A.Offset + OffB;
+  return R;
+}
+
+AffineAddr LoopVarAnalysis::affineOfReg(unsigned Reg, unsigned Depth) const {
+  AffineAddr R;
+  if (Depth > 16)
+    return R;
+
+  if (const InductionVar *IV = inductionVar(Reg)) {
+    R.Valid = true;
+    R.IVReg = Reg;
+    R.Scale = IV->Stride;
+    // Offset relative position to the update is irrelevant for the
+    // divisibility-based independence test (shifts by multiples of Scale).
+    R.Offset = 0;
+    (void)IV;
+    return R;
+  }
+  if (isInvariant(Reg)) {
+    R.Valid = true;
+    R.Base = AffineAddr::BaseKind::Reg;
+    R.BaseId = Reg;
+    return R;
+  }
+
+  const std::vector<Instruction *> &DefList = defsOf(Reg);
+  if (DefList.size() != 1)
+    return R;
+  const Instruction *I = DefList.front();
+
+  auto OfOperand = [&](const Operand &O) -> AffineAddr {
+    AffineAddr A;
+    switch (O.kind()) {
+    case Operand::Kind::ImmInt:
+      A.Valid = true;
+      A.Offset = O.intValue();
+      return A;
+    case Operand::Kind::Global:
+      A.Valid = true;
+      A.Base = AffineAddr::BaseKind::Global;
+      A.BaseId = O.globalIndex();
+      return A;
+    case Operand::Kind::Reg:
+      return affineOfReg(O.regId(), Depth + 1);
+    case Operand::Kind::ImmFloat:
+      return A;
+    }
+    return A;
+  };
+
+  switch (I->opcode()) {
+  case Opcode::Mov:
+    return OfOperand(I->operand(0));
+  case Opcode::Add:
+    return combine(OfOperand(I->operand(0)), OfOperand(I->operand(1)),
+                   /*Negate=*/false);
+  case Opcode::Sub:
+    return combine(OfOperand(I->operand(0)), OfOperand(I->operand(1)),
+                   /*Negate=*/true);
+  case Opcode::Mul: {
+    AffineAddr A = OfOperand(I->operand(0));
+    AffineAddr B = OfOperand(I->operand(1));
+    // Only Term * constant is representable, and scaled bases are not.
+    const AffineAddr *Term = nullptr;
+    int64_t K = 0;
+    if (A.Valid && B.Valid && B.IVReg == NoReg &&
+        B.Base == AffineAddr::BaseKind::None) {
+      Term = &A;
+      K = B.Offset;
+    } else if (A.Valid && B.Valid && A.IVReg == NoReg &&
+               A.Base == AffineAddr::BaseKind::None) {
+      Term = &B;
+      K = A.Offset;
+    }
+    if (!Term || Term->Base != AffineAddr::BaseKind::None)
+      return R;
+    R.Valid = true;
+    R.IVReg = Term->IVReg;
+    R.Scale = Term->Scale * K;
+    R.Offset = Term->Offset * K;
+    return R;
+  }
+  default:
+    return R;
+  }
+}
+
+AffineAddr LoopVarAnalysis::affineAddr(const Operand &O) const {
+  switch (O.kind()) {
+  case Operand::Kind::Reg:
+    return affineOfReg(O.regId(), 0);
+  case Operand::Kind::Global: {
+    AffineAddr A;
+    A.Valid = true;
+    A.Base = AffineAddr::BaseKind::Global;
+    A.BaseId = O.globalIndex();
+    return A;
+  }
+  case Operand::Kind::ImmInt: {
+    AffineAddr A;
+    A.Valid = true;
+    A.Offset = O.intValue();
+    return A;
+  }
+  case Operand::Kind::ImmFloat:
+    return {};
+  }
+  HELIX_UNREACHABLE("unknown operand kind");
+}

@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-loop scalar analyses: loop-invariant registers, basic induction
+/// variables, and affine address expressions over a single induction
+/// variable. HELIX Step 2 uses these to exclude invariant and induction
+/// accesses from synchronization, and the dependence analysis uses the
+/// affine forms for strided-access independence (ZIV/SIV) tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_ANALYSIS_LOOPVARS_H
+#define HELIX_ANALYSIS_LOOPVARS_H
+
+#include "analysis/LoopInfo.h"
+
+#include <map>
+#include <vector>
+
+namespace helix {
+
+/// A basic induction variable: exactly one in-loop update of the form
+/// Reg = Reg +/- constant, executed once per iteration.
+struct InductionVar {
+  unsigned Reg = NoReg;
+  Instruction *Update = nullptr;
+  int64_t Stride = 0;
+};
+
+/// Affine decomposition of an address value within one loop:
+///   address = Base + Scale * IV + Offset
+/// where Base is a loop-invariant symbol (an invariant register or a global)
+/// or absent.
+struct AffineAddr {
+  bool Valid = false;
+  enum class BaseKind { None, Reg, Global } Base = BaseKind::None;
+  unsigned BaseId = 0;  ///< register id or global index
+  unsigned IVReg = NoReg;
+  int64_t Scale = 0;
+  int64_t Offset = 0;
+};
+
+/// Scalar classification of the registers of one loop.
+class LoopVarAnalysis {
+public:
+  LoopVarAnalysis(Function *F, Loop *L, const DominatorTree &DT);
+
+  /// True if \p Reg has no definition inside the loop.
+  bool isInvariant(unsigned Reg) const;
+
+  /// Non-null if \p Reg is a basic induction variable of this loop.
+  const InductionVar *inductionVar(unsigned Reg) const;
+
+  const std::vector<InductionVar> &inductionVars() const { return IVs; }
+
+  /// All in-loop definitions of \p Reg.
+  const std::vector<Instruction *> &defsOf(unsigned Reg) const;
+
+  /// Attempts to express the address \p O as an affine function of a single
+  /// induction variable. Returns an invalid AffineAddr when the pattern does
+  /// not apply.
+  AffineAddr affineAddr(const Operand &O) const;
+
+private:
+  AffineAddr affineOfReg(unsigned Reg, unsigned Depth) const;
+  static AffineAddr combine(const AffineAddr &A, const AffineAddr &B,
+                            bool Negate);
+
+  Function *F;
+  Loop *L;
+  std::map<unsigned, std::vector<Instruction *>> Defs;
+  std::vector<InductionVar> IVs;
+  std::vector<Instruction *> NoDefs;
+};
+
+} // namespace helix
+
+#endif // HELIX_ANALYSIS_LOOPVARS_H

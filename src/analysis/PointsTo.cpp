@@ -1,0 +1,241 @@
+#include "analysis/PointsTo.h"
+
+#include "support/Compiler.h"
+
+using namespace helix;
+
+//===----------------------------------------------------------------------===//
+// PointsToAnalysis
+//===----------------------------------------------------------------------===//
+
+PointsToAnalysis::PointsToAnalysis(Module &M, const CallGraph &CG) : CG(CG) {
+  // Enumerate abstract locations: globals first, then allocation sites.
+  for (unsigned I = 0, E = M.numGlobals(); I != E; ++I)
+    Locations.push_back({AbstractLocation::Kind::Global, I, nullptr});
+  for (Function *F : M)
+    for (BasicBlock *BB : *F)
+      for (Instruction *Ins : *BB) {
+        if (Ins->opcode() == Opcode::Alloca)
+          Locations.push_back({AbstractLocation::Kind::Stack, ~0u, Ins});
+        else if (Ins->opcode() == Opcode::HeapAlloc)
+          Locations.push_back({AbstractLocation::Kind::Heap, ~0u, Ins});
+      }
+
+  unsigned NumLocs = numLocations();
+  Empty = BitSet(NumLocs);
+  RegSets.resize(M.numFunctions());
+  ReturnSets.assign(M.numFunctions(), BitSet(NumLocs));
+  for (unsigned I = 0, E = M.numFunctions(); I != E; ++I)
+    RegSets[I].assign(M.function(I)->numRegs(), BitSet(NumLocs));
+  Contents.assign(NumLocs, BitSet(NumLocs));
+
+  addConstraintsAndSolve(M, CG);
+}
+
+const BitSet &PointsToAnalysis::regPointsTo(const Function *F,
+                                            unsigned Reg) const {
+  const std::vector<BitSet> &Sets = RegSets[CG.indexOf(F)];
+  // Registers allocated after the analysis ran have no pointer info.
+  if (Reg >= Sets.size())
+    return Empty;
+  return Sets[Reg];
+}
+
+BitSet PointsToAnalysis::operandPointsTo(const Function *F,
+                                         const Operand &O) const {
+  switch (O.kind()) {
+  case Operand::Kind::Reg:
+    return regPointsTo(F, O.regId());
+  case Operand::Kind::Global: {
+    BitSet S(numLocations());
+    S.set(O.globalIndex()); // globals occupy the first location indices
+    return S;
+  }
+  case Operand::Kind::ImmInt:
+  case Operand::Kind::ImmFloat:
+    return Empty;
+  }
+  HELIX_UNREACHABLE("unknown operand kind");
+}
+
+bool PointsToAnalysis::mayAlias(const Function *FA, const Operand &A,
+                                const Function *FB, const Operand &B) const {
+  BitSet SA = operandPointsTo(FA, A);
+  BitSet SB = operandPointsTo(FB, B);
+  // No pointer information on either side: be conservative.
+  if (SA.empty() || SB.empty())
+    return true;
+  return SA.intersects(SB);
+}
+
+void PointsToAnalysis::addConstraintsAndSolve(Module &M, const CallGraph &CG) {
+  unsigned NumLocs = numLocations();
+
+  // Map allocation sites to their location index.
+  auto LocOfSite = [&](const Instruction *Site) -> unsigned {
+    for (unsigned I = 0, E = NumLocs; I != E; ++I)
+      if (Locations[I].Site == Site)
+        return I;
+    HELIX_UNREACHABLE("allocation site has no abstract location");
+  };
+
+  // Points-to set of an operand as currently known.
+  auto PtsOf = [&](unsigned FIdx, const Operand &O) -> BitSet {
+    switch (O.kind()) {
+    case Operand::Kind::Reg:
+      if (O.regId() < RegSets[FIdx].size())
+        return RegSets[FIdx][O.regId()];
+      return Empty;
+    case Operand::Kind::Global: {
+      BitSet S(NumLocs);
+      S.set(O.globalIndex());
+      return S;
+    }
+    default:
+      return Empty;
+    }
+  };
+
+  // Iterate all constraints to a fixpoint. The rule set is the classic
+  // Andersen system; the module sizes here make a worklist unnecessary.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned FIdx = 0, FE = M.numFunctions(); FIdx != FE; ++FIdx) {
+      Function *F = M.function(FIdx);
+      for (BasicBlock *BB : *F) {
+        for (Instruction *Ins : *BB) {
+          switch (Ins->opcode()) {
+          case Opcode::Alloca:
+          case Opcode::HeapAlloc: {
+            unsigned Loc = LocOfSite(Ins);
+            BitSet &D = RegSets[FIdx][Ins->dest()];
+            if (!D.test(Loc)) {
+              D.set(Loc);
+              Changed = true;
+            }
+            break;
+          }
+          case Opcode::Mov:
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Mul: {
+            // Copies and pointer arithmetic propagate pointerhood from all
+            // register/global operands (field-insensitive).
+            if (!Ins->hasDest())
+              break;
+            BitSet Acc(NumLocs);
+            for (unsigned K = 0, E = Ins->numOperands(); K != E; ++K)
+              Acc.unionWith(PtsOf(FIdx, Ins->operand(K)));
+            Changed |= RegSets[FIdx][Ins->dest()].unionWith(Acc);
+            break;
+          }
+          case Opcode::Load: {
+            BitSet Addr = PtsOf(FIdx, Ins->operand(0));
+            BitSet Acc(NumLocs);
+            Addr.forEach([&](unsigned L) { Acc.unionWith(Contents[L]); });
+            Changed |= RegSets[FIdx][Ins->dest()].unionWith(Acc);
+            break;
+          }
+          case Opcode::Store: {
+            BitSet Val = PtsOf(FIdx, Ins->operand(0));
+            if (Val.empty())
+              break;
+            BitSet Addr = PtsOf(FIdx, Ins->operand(1));
+            bool LocalChanged = false;
+            Addr.forEach(
+                [&](unsigned L) { LocalChanged |= Contents[L].unionWith(Val); });
+            Changed |= LocalChanged;
+            break;
+          }
+          case Opcode::Call: {
+            Function *Callee = Ins->callee();
+            unsigned CIdx = CG.indexOf(Callee);
+            for (unsigned K = 0, E = Ins->numOperands(); K != E; ++K) {
+              BitSet ArgPts = PtsOf(FIdx, Ins->operand(K));
+              if (K < RegSets[CIdx].size())
+                Changed |= RegSets[CIdx][K].unionWith(ArgPts);
+            }
+            if (Ins->hasDest())
+              Changed |=
+                  RegSets[FIdx][Ins->dest()].unionWith(ReturnSets[CIdx]);
+            break;
+          }
+          case Opcode::Ret: {
+            if (Ins->numOperands() == 1)
+              Changed |= ReturnSets[FIdx].unionWith(
+                  PtsOf(FIdx, Ins->operand(0)));
+            break;
+          }
+          default:
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MemEffects
+//===----------------------------------------------------------------------===//
+
+MemEffects::MemEffects(Module &M, const CallGraph &CG,
+                       const PointsToAnalysis &PT)
+    : CG(CG) {
+  unsigned N = M.numFunctions();
+  unsigned NumLocs = PT.numLocations();
+  Reads.assign(N, BitSet(NumLocs));
+  Writes.assign(N, BitSet(NumLocs));
+  RUnknown.assign(N, false);
+  WUnknown.assign(N, false);
+
+  // Local effects, then transitive closure over the call graph. Recursion is
+  // handled by iterating to a fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned FIdx = 0; FIdx != N; ++FIdx) {
+      Function *F = M.function(FIdx);
+      for (BasicBlock *BB : *F)
+        for (Instruction *Ins : *BB) {
+          if (Ins->opcode() == Opcode::Load) {
+            BitSet Pts = PT.operandPointsTo(F, Ins->operand(0));
+            if (Pts.empty()) {
+              if (!RUnknown[FIdx]) {
+                RUnknown[FIdx] = true;
+                Changed = true;
+              }
+            } else {
+              Changed |= Reads[FIdx].unionWith(Pts);
+            }
+          } else if (Ins->opcode() == Opcode::Store) {
+            BitSet Pts = PT.operandPointsTo(F, Ins->operand(1));
+            if (Pts.empty()) {
+              if (!WUnknown[FIdx]) {
+                WUnknown[FIdx] = true;
+                Changed = true;
+              }
+            } else {
+              Changed |= Writes[FIdx].unionWith(Pts);
+            }
+          } else if (Ins->isCall()) {
+            unsigned CIdx = CG.indexOf(Ins->callee());
+            Changed |= Reads[FIdx].unionWith(Reads[CIdx]);
+            Changed |= Writes[FIdx].unionWith(Writes[CIdx]);
+            if (RUnknown[CIdx] && !RUnknown[FIdx]) {
+              RUnknown[FIdx] = true;
+              Changed = true;
+            }
+            if (WUnknown[CIdx] && !WUnknown[FIdx]) {
+              WUnknown[FIdx] = true;
+              Changed = true;
+            }
+          }
+        }
+    }
+  }
+}

@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural, inclusion-based (Andersen-style) points-to analysis and
+/// the per-function memory-effect summaries built on top of it.
+///
+/// This plays the role of the "practical and accurate low-level pointer
+/// analysis" (Guo et al.) that HELIX applies to the whole program in Step 2:
+/// it provides the conservative may-alias answers from which loop-carried
+/// data dependences are derived.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_ANALYSIS_POINTSTO_H
+#define HELIX_ANALYSIS_POINTSTO_H
+
+#include "analysis/CallGraph.h"
+#include "ir/Module.h"
+#include "support/BitSet.h"
+
+#include <vector>
+
+namespace helix {
+
+/// An abstract memory location: a global variable, a stack allocation site,
+/// or a heap allocation site (field-insensitive: one location per object).
+struct AbstractLocation {
+  enum class Kind { Global, Stack, Heap };
+  Kind K;
+  unsigned GlobalIdx = ~0u;    ///< for Kind::Global
+  Instruction *Site = nullptr; ///< for Stack/Heap
+};
+
+/// Flow-insensitive, field-insensitive, inclusion-based points-to analysis
+/// over the whole module.
+class PointsToAnalysis {
+public:
+  explicit PointsToAnalysis(Module &M, const CallGraph &CG);
+
+  unsigned numLocations() const { return unsigned(Locations.size()); }
+  const AbstractLocation &location(unsigned Idx) const {
+    return Locations[Idx];
+  }
+
+  /// Points-to set of a register. An empty set means "no pointer
+  /// information": callers must treat such a value used as an address as
+  /// potentially aliasing everything.
+  const BitSet &regPointsTo(const Function *F, unsigned Reg) const;
+
+  /// Points-to set of the values stored in location \p Loc.
+  const BitSet &contents(unsigned Loc) const { return Contents[Loc]; }
+
+  /// Points-to set of an address operand (Reg, Global or immediate).
+  /// Immediate addresses yield the empty ("unknown") set.
+  BitSet operandPointsTo(const Function *F, const Operand &O) const;
+
+  /// Conservative may-alias query between two address operands.
+  bool mayAlias(const Function *FA, const Operand &A, const Function *FB,
+                const Operand &B) const;
+
+private:
+  void addConstraintsAndSolve(Module &M, const CallGraph &CG);
+
+  std::vector<AbstractLocation> Locations;
+  // Per function (by module index), per register.
+  std::vector<std::vector<BitSet>> RegSets;
+  std::vector<BitSet> Contents;
+  // Per function: points-to of its return value.
+  std::vector<BitSet> ReturnSets;
+  const CallGraph &CG;
+  BitSet Empty;
+};
+
+/// Which abstract locations each function may read or write, transitively
+/// through calls. Used to model calls as memory accesses in the dependence
+/// analysis (calls that are not inlined by Step 5 remain opaque accesses).
+class MemEffects {
+public:
+  MemEffects(Module &M, const CallGraph &CG, const PointsToAnalysis &PT);
+
+  const BitSet &mayRead(const Function *F) const { return Reads[Index(F)]; }
+  const BitSet &mayWrite(const Function *F) const { return Writes[Index(F)]; }
+  /// True if the function may access an address the analysis cannot map to
+  /// any abstract location (e.g. a computed immediate address).
+  bool readsUnknown(const Function *F) const { return RUnknown[Index(F)]; }
+  bool writesUnknown(const Function *F) const { return WUnknown[Index(F)]; }
+
+private:
+  unsigned Index(const Function *F) const { return CG.indexOf(F); }
+
+  const CallGraph &CG;
+  std::vector<BitSet> Reads, Writes;
+  std::vector<bool> RUnknown, WUnknown;
+};
+
+} // namespace helix
+
+#endif // HELIX_ANALYSIS_POINTSTO_H

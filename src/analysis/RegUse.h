@@ -1,0 +1,34 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers enumerating the register uses and definitions of an instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_ANALYSIS_REGUSE_H
+#define HELIX_ANALYSIS_REGUSE_H
+
+#include "ir/Instruction.h"
+
+#include <vector>
+
+namespace helix {
+
+/// Registers read by \p I (data operands only; branch targets and callees
+/// are not registers).
+inline std::vector<unsigned> usedRegs(const Instruction &I) {
+  std::vector<unsigned> Regs;
+  for (unsigned K = 0, E = I.numOperands(); K != E; ++K)
+    if (I.operand(K).isReg())
+      Regs.push_back(I.operand(K).regId());
+  return Regs;
+}
+
+/// The register defined by \p I, or NoReg.
+inline unsigned definedReg(const Instruction &I) {
+  return I.hasDest() ? I.dest() : NoReg;
+}
+
+} // namespace helix
+
+#endif // HELIX_ANALYSIS_REGUSE_H

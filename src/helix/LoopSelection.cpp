@@ -1,0 +1,80 @@
+#include "helix/LoopSelection.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace helix;
+
+SelectionResult helix::selectLoops(
+    const LoopNestGraph &LNG, const ProgramProfile &Profile,
+    const std::vector<std::optional<LoopModelInputs>> &Inputs,
+    const ModelParams &Params) {
+  unsigned N = LNG.numNodes();
+  SelectionResult R;
+  R.T.assign(N, 0.0);
+  R.MaxT.assign(N, 0.0);
+
+  // Dynamic children / parents from the profiled edge set.
+  std::vector<std::vector<unsigned>> Children(N);
+  std::vector<unsigned> NumDynParents(N, 0);
+  for (auto &[From, To] : Profile.DynamicEdges) {
+    Children[From].push_back(To);
+    ++NumDynParents[To];
+  }
+
+  // Attributes.
+  for (unsigned I = 0; I != N; ++I)
+    if (Inputs[I])
+      R.T[I] = modelLoopSavedCycles(*Inputs[I], Params);
+  R.MaxT = R.T;
+
+  // Phase 1: propagate maxT inner -> outer until a fixed point (the graph
+  // can contain cycles through recursion; iteration count is bounded).
+  for (unsigned Round = 0; Round != N + 2; ++Round) {
+    bool Changed = false;
+    for (unsigned I = 0; I != N; ++I) {
+      double Sum = 0.0;
+      for (unsigned C : Children[I])
+        Sum += R.MaxT[C];
+      double New = std::max(R.T[I], Sum);
+      if (New > R.MaxT[I] + 1e-9) {
+        R.MaxT[I] = New;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  // Phase 2: top-down search. Dynamic roots are executed nodes without
+  // dynamic parents.
+  std::set<unsigned> Visited;
+  std::vector<unsigned> Work;
+  for (unsigned I = 0; I != N; ++I)
+    if (Profile.executed(I) && NumDynParents[I] == 0)
+      Work.push_back(I);
+
+  std::set<unsigned> ChosenSet;
+  while (!Work.empty()) {
+    unsigned Node = Work.back();
+    Work.pop_back();
+    if (!Visited.insert(Node).second)
+      continue;
+    if (R.MaxT[Node] <= 0.0)
+      continue; // nothing to gain below here
+    if (R.T[Node] + 1e-9 >= R.MaxT[Node]) {
+      // No combination of subloops beats this loop: select it and stop
+      // descending on this path.
+      ChosenSet.insert(Node);
+      continue;
+    }
+    for (unsigned C : Children[Node])
+      Work.push_back(C);
+  }
+
+  R.Chosen.assign(ChosenSet.begin(), ChosenSet.end());
+  std::sort(R.Chosen.begin(), R.Chosen.end());
+  return R;
+}

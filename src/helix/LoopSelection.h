@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The feedback-directed loop selection algorithm of Section 2.2.
+///
+/// Each node of the *dynamic* loop nesting graph carries two attributes:
+///   T    — time saved by parallelizing this loop alone (from the speedup
+///          model applied to its HELIX-optimized profile), and
+///   maxT — the best saving achievable by this loop *or* the best
+///          combination of its subloops.
+/// Phase 1 propagates maxT from inner to outer loops to a fixed point.
+/// Phase 2 searches top-down from the outermost loops and selects the
+/// shallowest nodes whose own T matches maxT: below such a node no subloop
+/// combination can save more time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_HELIX_LOOPSELECTION_H
+#define HELIX_HELIX_LOOPSELECTION_H
+
+#include "analysis/LoopNestGraph.h"
+#include "helix/SpeedupModel.h"
+#include "profile/Profiler.h"
+
+#include <optional>
+#include <vector>
+
+namespace helix {
+
+struct SelectionResult {
+  /// Chosen loop-nest node ids, in deterministic order.
+  std::vector<unsigned> Chosen;
+  /// Per node: T and maxT attributes (0 for unprofiled/unmodeled nodes).
+  std::vector<double> T;
+  std::vector<double> MaxT;
+};
+
+/// Runs the two-phase selection over the dynamic loop nesting graph.
+/// \p Inputs[node] is the model input of the candidate (nullopt for loops
+/// not considered, e.g. never executed or too cold).
+SelectionResult
+selectLoops(const LoopNestGraph &LNG, const ProgramProfile &Profile,
+            const std::vector<std::optional<LoopModelInputs>> &Inputs,
+            const ModelParams &Params);
+
+} // namespace helix
+
+#endif // HELIX_HELIX_LOOPSELECTION_H

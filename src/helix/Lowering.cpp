@@ -1,0 +1,164 @@
+#include "helix/Lowering.h"
+
+#include "ir/CFG.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace helix;
+
+LoweringResult helix::lowerParallelLoop(Function *F, NormalizedLoop &NL,
+                                        const std::vector<DataDependence> &Deps,
+                                        const SignalOptResult &Segments,
+                                        const std::vector<MaterializedIV> &IVs) {
+  (void)IVs;
+  LoweringResult R;
+  Module *M = F->parent();
+
+  // ----- Step 3: IterStart at the beginning of the body. ----------------
+  // A body block whose intra-loop predecessors include a prologue block is
+  // a body entry; the marker is idempotent per iteration, so bodies with
+  // multiple entry blocks are handled too.
+  {
+    CFGInfo CFG(F);
+    for (BasicBlock *BB : NL.Body) {
+      bool IsEntry = false;
+      for (BasicBlock *Pred : CFG.predecessors(BB))
+        if (NL.contains(Pred) && NL.inPrologue(Pred))
+          IsEntry = true;
+      if (!IsEntry)
+        continue;
+      Instruction *Marker = BB->insertAt(0, Opcode::IterStart);
+      R.IterStarts.push_back(Marker);
+    }
+  }
+
+  // ----- Step 7: boundary live variables. --------------------------------
+  // One slot per register carried across iterations by a register
+  // dependence. Memory dependences need no forwarding (memory is shared).
+  std::vector<unsigned> BoundaryRegs;
+  for (const DataDependence &D : Deps) {
+    if (D.ViaMemory)
+      continue;
+    if (std::find(BoundaryRegs.begin(), BoundaryRegs.end(), D.Reg) ==
+        BoundaryRegs.end())
+      BoundaryRegs.push_back(D.Reg);
+  }
+
+  if (!BoundaryRegs.empty()) {
+    std::string Name = F->name() + "." + NL.Header->name() + ".storage";
+    // Make the name unique if the loop is transformed more than once.
+    while (M->findGlobal(Name) != ~0u)
+      Name += "x";
+    R.StorageGlobal = M->createGlobal(Name, BoundaryRegs.size());
+    for (unsigned K = 0; K != BoundaryRegs.size(); ++K)
+      R.SlotOfReg[BoundaryRegs[K]] = K;
+  }
+
+  auto SlotAddr = [&](BasicBlock *BB, unsigned InsertIdx,
+                      unsigned Slot) -> unsigned {
+    Instruction *Addr = BB->insertAt(InsertIdx, Opcode::Add);
+    Addr->addOperand(Operand::global(R.StorageGlobal));
+    Addr->addOperand(Operand::immInt(Slot));
+    Addr->setDest(F->allocReg());
+    return Addr->dest();
+  };
+
+  auto InsertStoreAfter = [&](Instruction *Def, unsigned Reg, unsigned Slot) {
+    BasicBlock *BB = Def->parent();
+    unsigned Idx = BB->indexOf(Def) + 1;
+    unsigned AddrReg = SlotAddr(BB, Idx, Slot);
+    Instruction *St = BB->insertAt(Idx + 1, Opcode::Store);
+    St->addOperand(Operand::reg(Reg));
+    St->addOperand(Operand::reg(AddrReg));
+  };
+
+  auto InsertLoadAt = [&](BasicBlock *BB, unsigned Idx, unsigned Reg,
+                          unsigned Slot) {
+    unsigned AddrReg = SlotAddr(BB, Idx, Slot);
+    Instruction *Ld = BB->insertAt(Idx + 1, Opcode::Load);
+    Ld->addOperand(Operand::reg(AddrReg));
+    Ld->setDest(Reg);
+  };
+
+  // Stores after every in-loop definition of a boundary register.
+  for (const DataDependence &D : Deps) {
+    if (D.ViaMemory)
+      continue;
+    unsigned Slot = R.SlotOfReg.at(D.Reg);
+    for (Instruction *Def : D.Srcs)
+      InsertStoreAfter(Def, D.Reg, Slot);
+  }
+
+  // Loads immediately before every consuming use. This is what makes the
+  // actual data transfer *conditional* (Figure 2): the synchronization
+  // always runs, but the value only moves between cores when the consumer
+  // is reached — and the Wait inserted in front of every endpoint
+  // guarantees the producer's store is visible by then. A use preceded by
+  // a local redefinition is also safe: the store after that definition
+  // keeps the slot equal to the register.
+  for (const DataDependence &D : Deps) {
+    if (D.ViaMemory)
+      continue;
+    unsigned Slot = R.SlotOfReg.at(D.Reg);
+    for (Instruction *Use : D.Dsts) {
+      BasicBlock *BB = Use->parent();
+      InsertLoadAt(BB, BB->indexOf(Use), D.Reg, Slot);
+    }
+    auto SegIt = Segments.SegmentOfDep.find(D.Id);
+    if (SegIt != Segments.SegmentOfDep.end())
+      R.SlotsReadOfSegment[Segments.Segments[SegIt->second].Id].push_back(
+          Slot);
+  }
+
+  // ----- Preheader: initialize slots with the pre-loop register values. --
+  if (!BoundaryRegs.empty() || true) {
+    CFGInfo CFG(F);
+    // Collect outside-loop predecessors of the header.
+    std::vector<BasicBlock *> OutsidePreds;
+    for (BasicBlock *Pred : CFG.predecessors(NL.Header))
+      if (!NL.contains(Pred))
+        OutsidePreds.push_back(Pred);
+    BasicBlock *Pre = nullptr;
+    if (OutsidePreds.size() == 1 &&
+        OutsidePreds.front()->successors().size() == 1) {
+      Pre = OutsidePreds.front();
+    } else {
+      Pre = F->createBlock(NL.Header->name() + ".pre");
+      Instruction *Br = Pre->append(Opcode::Br);
+      Br->setTarget1(NL.Header);
+      for (BasicBlock *Pred : OutsidePreds)
+        Pred->terminator()->replaceTarget(NL.Header, Pre);
+    }
+    R.Preheader = Pre;
+    unsigned InsertIdx = Pre->indexOf(Pre->terminator());
+    for (unsigned Reg : BoundaryRegs) {
+      unsigned Slot = R.SlotOfReg.at(Reg);
+      unsigned AddrReg = SlotAddr(Pre, InsertIdx, Slot);
+      Instruction *St = Pre->insertAt(InsertIdx + 1, Opcode::Store);
+      St->addOperand(Operand::reg(Reg));
+      St->addOperand(Operand::reg(AddrReg));
+      InsertIdx += 2;
+    }
+  }
+
+  // ----- Exit edges: reload final boundary values for the code after the
+  // ----- loop (the main thread continues from the storage area). --------
+  if (!BoundaryRegs.empty()) {
+    std::vector<std::pair<BasicBlock *, BasicBlock *>> ExitEdges;
+    for (BasicBlock *BB : NL.LoopBlocks)
+      for (BasicBlock *Succ : BB->successors())
+        if (!NL.contains(Succ))
+          ExitEdges.push_back({BB, Succ});
+    for (auto &[From, To] : ExitEdges) {
+      BasicBlock *Mid = splitEdge(F, From, To);
+      unsigned Idx = 0;
+      for (unsigned Reg : BoundaryRegs) {
+        InsertLoadAt(Mid, Idx, Reg, R.SlotOfReg.at(Reg));
+        Idx += 2;
+      }
+    }
+  }
+
+  return R;
+}

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HELIX Steps 3 and 7: starting next iterations and inserting inter-thread
+/// communication.
+///
+/// Step 3 places an IterStart marker at the beginning of the loop body (the
+/// point at which it is certain the next iteration's prologue executes);
+/// the engines start iteration i+1's thread when iteration i passes it.
+///
+/// Step 7 allocates the loop-boundary live variables in a storage area
+/// owned by the main thread (a module global standing in for the paper's
+/// "allocation frame of the main thread"), inserts stores after every
+/// in-loop definition of a boundary register, loads under the Wait of the
+/// segment that synchronizes each register dependence (or at iteration
+/// entry for dependences ordered by the sequential prologue), initializes
+/// the slots in a preheader, and reloads final values on the exit edges.
+/// Wait/Signal themselves lower to plain loads/stores of per-thread memory
+/// buffers inside the runtime (Section 2.3: TSO makes fences unnecessary;
+/// the threaded runtime uses acquire/release atomics).
+///
+/// The lowered loop remains sequentially executable (sync operations are
+/// no-ops in a single-threaded interpretation and the slot traffic is then
+/// identity), which the differential tests exploit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_HELIX_LOWERING_H
+#define HELIX_HELIX_LOWERING_H
+
+#include "helix/Normalize.h"
+#include "helix/ParallelLoopInfo.h"
+#include "helix/SignalOpt.h"
+
+namespace helix {
+
+struct LoweringResult {
+  std::vector<Instruction *> IterStarts;
+  unsigned StorageGlobal = ~0u;
+  std::map<unsigned, unsigned> SlotOfReg;
+  /// Slots read under each segment id.
+  std::map<unsigned, std::vector<unsigned>> SlotsReadOfSegment;
+  /// The preheader created (or reused) in front of the loop.
+  BasicBlock *Preheader = nullptr;
+};
+
+/// Performs Steps 3 and 7 on a transformed loop. \p IVs lists induction
+/// variables materialized per iteration by the engines (they need no slot).
+LoweringResult lowerParallelLoop(Function *F, NormalizedLoop &NL,
+                                 const std::vector<DataDependence> &Deps,
+                                 const SignalOptResult &Segments,
+                                 const std::vector<MaterializedIV> &IVs);
+
+} // namespace helix
+
+#endif // HELIX_HELIX_LOWERING_H

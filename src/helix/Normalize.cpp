@@ -1,0 +1,85 @@
+#include "helix/Normalize.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace helix;
+
+namespace {
+
+Loop *findLoopWithHeader(LoopInfo &LI, BasicBlock *Header) {
+  for (unsigned I = 0, E = LI.numLoops(); I != E; ++I)
+    if (LI.loop(I)->header() == Header)
+      return LI.loop(I);
+  return nullptr;
+}
+
+} // namespace
+
+NormalizedLoop helix::normalizeLoop(ModuleAnalyses &AM, Function *F,
+                                    BasicBlock *Header) {
+  NormalizedLoop N;
+
+  Loop *L = findLoopWithHeader(AM.on(F).LI, Header);
+  if (!L)
+    return N;
+
+  // Merge multiple latches into a unique one so the loop has exactly one
+  // back edge (the Figure-3(a) shape).
+  if (L->latches().size() > 1) {
+    BasicBlock *Merged = F->createBlock(Header->name() + ".latch");
+    Instruction *Br = Merged->append(Opcode::Br);
+    Br->setTarget1(Header);
+    for (BasicBlock *Latch : L->latches())
+      Latch->terminator()->replaceTarget(Header, Merged);
+    AM.invalidate(F);
+    L = findLoopWithHeader(AM.on(F).LI, Header);
+    assert(L && L->latches().size() == 1 && "latch merge failed");
+  }
+
+  N.Header = Header;
+  N.Latch = L->latches().front();
+  N.LoopBlocks = L->blocks();
+
+  // Prologue = blocks that can reach a loop exit without traversing the
+  // back edge; equivalently, not post-dominated by the back edge. Computed
+  // by reverse reachability from the exiting blocks inside the loop
+  // subgraph with the back edge removed.
+  std::vector<bool> CanExit(F->numBlockIds(), false);
+  std::vector<BasicBlock *> Work;
+  for (auto &[From, To] : L->exitEdges()) {
+    (void)To;
+    if (!CanExit[From->id()]) {
+      CanExit[From->id()] = true;
+      Work.push_back(From);
+    }
+  }
+  const CFGInfo &CFG = AM.on(F).CFG;
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    for (BasicBlock *Pred : CFG.predecessors(BB)) {
+      if (!L->contains(Pred) || CanExit[Pred->id()])
+        continue;
+      // Skip the (unique) back edge Latch -> Header.
+      if (Pred == N.Latch && BB == Header)
+        continue;
+      CanExit[Pred->id()] = true;
+      Work.push_back(Pred);
+    }
+  }
+
+  for (BasicBlock *BB : N.LoopBlocks) {
+    if (CanExit[BB->id()])
+      N.Prologue.push_back(BB);
+    else
+      N.Body.push_back(BB);
+  }
+
+  // An endless loop (no exits) has an empty prologue; a bottom-test loop
+  // degenerates to an empty body. Both are valid normal forms; the latter
+  // simply offers no parallel code and is rejected by loop selection.
+  N.Valid = true;
+  return N;
+}

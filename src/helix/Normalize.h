@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HELIX Step 1: loop normalization. Puts a loop into the Figure-3(a)
+/// normal form: a unique latch (single back edge), a prologue (the
+/// instructions *not* post-dominated by the back edge, i.e. the blocks that
+/// can reach a loop exit without traversing the back edge) and a body (the
+/// rest). All loop exits originate in the prologue by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_HELIX_NORMALIZE_H
+#define HELIX_HELIX_NORMALIZE_H
+
+#include "analysis/AnalysisManager.h"
+
+#include <vector>
+
+namespace helix {
+
+/// Result of normalizing one loop. Block pointers remain valid for the
+/// lifetime of the function.
+struct NormalizedLoop {
+  bool Valid = false;
+  BasicBlock *Header = nullptr;
+  BasicBlock *Latch = nullptr;
+  std::vector<BasicBlock *> LoopBlocks; ///< in RPO
+  std::vector<BasicBlock *> Prologue;   ///< subset of LoopBlocks
+  std::vector<BasicBlock *> Body;       ///< LoopBlocks minus Prologue
+
+  bool contains(const BasicBlock *BB) const {
+    for (const BasicBlock *B : LoopBlocks)
+      if (B == BB)
+        return true;
+    return false;
+  }
+  bool inPrologue(const BasicBlock *BB) const {
+    for (const BasicBlock *B : Prologue)
+      if (B == BB)
+        return true;
+    return false;
+  }
+};
+
+/// Normalizes the loop with header \p Header in \p F.
+///
+/// Merges multiple latches into one (adding a block), then classifies
+/// blocks into prologue and body. Invalidates and recomputes the cached
+/// analyses of \p F when the CFG changes.
+NormalizedLoop normalizeLoop(ModuleAnalyses &AM, Function *F,
+                             BasicBlock *Header);
+
+} // namespace helix
+
+#endif // HELIX_HELIX_NORMALIZE_H

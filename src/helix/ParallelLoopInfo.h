@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metadata describing a HELIX-parallelized loop. Produced by
+/// HelixTransform; consumed by the timing simulator (src/sim), the threaded
+/// runtime (src/runtime) and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_HELIX_PARALLELLOOPINFO_H
+#define HELIX_HELIX_PARALLELLOOPINFO_H
+
+#include "analysis/DataDependence.h"
+
+#include <map>
+#include <vector>
+
+namespace helix {
+
+/// One sequential segment after Step 6: a set of dependences synchronized
+/// together through a single Wait/Signal pair per iteration.
+struct SequentialSegment {
+  unsigned Id = 0;
+  /// Dependence ids (into ParallelLoopInfo::Deps) covered by this segment.
+  std::vector<unsigned> DepIds;
+  std::vector<Instruction *> Waits;
+  std::vector<Instruction *> Signals;
+  /// Boundary-variable slots loaded under this segment's Wait (data is
+  /// actually transferred only when the producing store ran in an earlier
+  /// iteration; see Figure 2's 6.25% discussion).
+  std::vector<unsigned> SlotsRead;
+};
+
+/// An induction variable materialized per iteration (Reg = Base + i*Stride,
+/// where Base is the register's value when the loop is entered).
+struct MaterializedIV {
+  unsigned Reg = NoReg;
+  int64_t Stride = 0;
+};
+
+/// Everything the execution engines need to run one parallelized loop.
+struct ParallelLoopInfo {
+  Function *F = nullptr;
+  /// Loop structure (block lists are stable after the transform).
+  BasicBlock *Header = nullptr;
+  BasicBlock *Latch = nullptr; ///< unique latch after normalization
+  std::vector<BasicBlock *> LoopBlocks;
+  std::vector<BasicBlock *> PrologueBlocks; ///< not post-dominated by the
+                                            ///< back edge (Step 1)
+  std::vector<BasicBlock *> BodyBlocks;
+  /// IterStart markers (Step 3), one per prologue->body boundary.
+  std::vector<Instruction *> IterStarts;
+  /// Step 3's counted-loop special case: the prologue consumes only
+  /// loop-invariant values and induction variables and contains no
+  /// dependence endpoint, so every iteration can start without waiting for
+  /// its predecessor's control signal (no C-Sig cost at all).
+  bool SelfStartingPrologue = false;
+
+  /// D_data (Step 2) as finally synchronized.
+  std::vector<DataDependence> Deps;
+  std::vector<SequentialSegment> Segments;
+  std::vector<MaterializedIV> IVs;
+
+  /// Module global holding the loop-boundary live variables (Step 7's
+  /// "allocation frame of the main thread"); slot index per register.
+  unsigned StorageGlobal = ~0u;
+  std::map<unsigned, unsigned> SlotOfReg;
+
+  /// Statistics for Table 1.
+  unsigned NumWaitsInserted = 0;   ///< after naive Step 4 insertion
+  unsigned NumWaitsKept = 0;       ///< after Step 6
+  unsigned NumSignalsInserted = 0; ///< after naive Step 4 insertion
+  unsigned NumSignalsKept = 0;     ///< after Step 6
+  unsigned NumDepsTotal = 0;       ///< aliasing pairs (any distance)
+  unsigned NumDepsCarried = 0;     ///< loop-carried subset
+  unsigned CodeSizeInstrs = 0;     ///< static size of the loop
+  unsigned InlinedCalls = 0;
+
+  bool contains(const BasicBlock *BB) const {
+    for (const BasicBlock *B : LoopBlocks)
+      if (B == BB)
+        return true;
+    return false;
+  }
+
+  bool inPrologue(const BasicBlock *BB) const {
+    for (const BasicBlock *B : PrologueBlocks)
+      if (B == BB)
+        return true;
+    return false;
+  }
+
+  const SequentialSegment *segmentOf(int64_t SegId) const {
+    for (const SequentialSegment &S : Segments)
+      if (S.Id == uint64_t(SegId))
+        return &S;
+    return nullptr;
+  }
+};
+
+} // namespace helix
+
+#endif // HELIX_HELIX_PARALLELLOOPINFO_H

@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intra-block code scheduling for HELIX.
+///
+/// Step 5 ("Minimizing sequential segments"): inside each loop block,
+/// instructions that are not needed by a sequential segment are moved below
+/// its Signal, and segment code is percolated upwards, shrinking the
+/// region executed in iteration order (Figure 5).
+///
+/// Step 8 ("balancing", Figure 6): parallel code is redistributed between
+/// consecutive sequential segments so each signal has at least
+/// delta = unprefetched - prefetched latency of parallel cycles in front of
+/// its Wait, giving the helper thread time to prefetch every signal
+/// (Figure 7).
+///
+/// Both passes reorder instructions only within a basic block and only in
+/// ways permitted by a conservative local dependence DAG, so they are
+/// semantics-preserving by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_HELIX_SCHEDULER_H
+#define HELIX_HELIX_SCHEDULER_H
+
+#include "helix/Normalize.h"
+#include "helix/ParallelLoopInfo.h"
+
+namespace helix {
+
+/// Step 5: percolate sequential segments upward and sink independent code
+/// below their Signals, in every loop block. \p Deps provides the segment
+/// endpoint instructions.
+void compactSegments(const NormalizedLoop &NL,
+                     const std::vector<DataDependence> &Deps);
+
+/// Step 8 (Figure 6): space the sequential segments of each loop block so
+/// every inter-segment gap reaches \p DeltaCycles of parallel code where
+/// possible.
+void balanceSegmentSpacing(const NormalizedLoop &NL,
+                           const std::vector<DataDependence> &Deps,
+                           unsigned DeltaCycles);
+
+} // namespace helix
+
+#endif // HELIX_HELIX_SCHEDULER_H

@@ -1,0 +1,199 @@
+#include "helix/SequentialSegments.h"
+
+#include "ir/CFG.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace helix;
+
+bool DepReachability::reachableAfter(
+    const BasicBlock *BB, unsigned Idx, unsigned Dep,
+    const std::vector<DataDependence> &Deps) const {
+  // Any endpoint later in this block?
+  const std::vector<Instruction *> Endpoints = Deps[Dep].allEndpoints();
+  for (unsigned K = Idx + 1, E = BB->size(); K != E; ++K)
+    if (std::find(Endpoints.begin(), Endpoints.end(), BB->instr(K)) !=
+        Endpoints.end())
+      return true;
+  return Out[BB->id()].test(Dep);
+}
+
+DepReachability helix::computeDepReachability(
+    const std::vector<BasicBlock *> &LoopBlocks, BasicBlock *Header,
+    BasicBlock *Latch, const std::vector<DataDependence> &Deps,
+    unsigned NumBlockIds) {
+  unsigned NumDeps = unsigned(Deps.size());
+  DepReachability R;
+  R.In.assign(NumBlockIds, BitSet(NumDeps));
+  R.Out.assign(NumBlockIds, BitSet(NumDeps));
+  R.HasEndpoint.assign(NumBlockIds, BitSet(NumDeps));
+
+  auto InLoop = [&](const BasicBlock *BB) {
+    return std::find(LoopBlocks.begin(), LoopBlocks.end(), BB) !=
+           LoopBlocks.end();
+  };
+
+  for (unsigned D = 0; D != NumDeps; ++D)
+    for (Instruction *I : Deps[D].allEndpoints()) {
+      assert(InLoop(I->parent()) && "dependence endpoint outside loop");
+      R.HasEndpoint[I->parent()->id()].set(D);
+    }
+
+  // Backward union dataflow over the loop subgraph, back edge cut.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : LoopBlocks) {
+      BitSet NewOut(NumDeps);
+      for (BasicBlock *Succ : BB->successors()) {
+        if (!InLoop(Succ))
+          continue;
+        if (BB == Latch && Succ == Header)
+          continue; // the back edge ends the iteration
+        NewOut.unionWith(R.In[Succ->id()]);
+      }
+      BitSet NewIn = NewOut;
+      NewIn.unionWith(R.HasEndpoint[BB->id()]);
+      if (NewOut != R.Out[BB->id()] || NewIn != R.In[BB->id()]) {
+        R.Out[BB->id()] = std::move(NewOut);
+        R.In[BB->id()] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+  return R;
+}
+
+WaitSignalInsertion
+helix::insertWaitSignals(Function *F, NormalizedLoop &NL,
+                         const std::vector<DataDependence> &Deps) {
+  unsigned NumDeps = unsigned(Deps.size());
+  WaitSignalInsertion WS;
+  WS.WaitsOf.resize(NumDeps);
+  WS.SignalsOf.resize(NumDeps);
+
+  DepReachability R = computeDepReachability(NL.LoopBlocks, NL.Header,
+                                             NL.Latch, Deps, F->numBlockIds());
+
+  auto InLoop = [&](const BasicBlock *BB) { return NL.contains(BB); };
+
+  // ----- Collect placement decisions first (CFG edits come after). -----
+  // Waits go immediately before each endpoint occurrence.
+  // In-block signals go after the last endpoint in a block whose Out bit is
+  // clear (or just before the endpoint when the endpoint is the block
+  // terminator; consumers have already copied their inputs at Wait time, so
+  // signalling before a consuming terminator is safe).
+  struct InBlockSignal {
+    Instruction *Anchor;
+    unsigned Dep;
+    bool Before; // insert before (terminator case) instead of after
+  };
+  std::vector<InBlockSignal> BlockSignals;
+  struct EdgeSignal {
+    BasicBlock *From;
+    BasicBlock *To;
+    unsigned Dep;
+  };
+  std::vector<EdgeSignal> EdgeSignals;
+  std::vector<unsigned> HeaderSignals; // dep ids signalled at header entry
+
+  for (unsigned D = 0; D != NumDeps; ++D) {
+    std::vector<Instruction *> Endpoints = Deps[D].allEndpoints();
+
+    for (BasicBlock *BB : NL.LoopBlocks) {
+      if (!R.HasEndpoint[BB->id()].test(D))
+        continue;
+      if (R.Out[BB->id()].test(D))
+        continue;
+      // Find the last endpoint occurrence in this block.
+      Instruction *Last = nullptr;
+      for (Instruction *I : *BB)
+        if (std::find(Endpoints.begin(), Endpoints.end(), I) !=
+            Endpoints.end())
+          Last = I;
+      assert(Last && "endpoint bit set but no endpoint found");
+      BlockSignals.push_back({Last, D, Last->isTerminator()});
+    }
+
+    for (BasicBlock *BB : NL.LoopBlocks)
+      for (BasicBlock *Succ : BB->successors()) {
+        if (!InLoop(Succ) || (BB == NL.Latch && Succ == NL.Header))
+          continue;
+        if (R.Out[BB->id()].test(D) && !R.In[Succ->id()].test(D))
+          EdgeSignals.push_back({BB, Succ, D});
+      }
+
+    if (!R.In[NL.Header->id()].test(D))
+      HeaderSignals.push_back(D);
+  }
+
+  // ----- Apply: Waits before endpoints. -----
+  for (unsigned D = 0; D != NumDeps; ++D)
+    for (Instruction *Endpoint : Deps[D].allEndpoints()) {
+      Instruction *W =
+          Endpoint->parent()->insertBefore(Endpoint, Opcode::Wait);
+      W->setImm(D);
+      WS.WaitsOf[D].push_back(W);
+      ++WS.NumWaits;
+    }
+
+  // ----- Apply: in-block signals (with a guarding Wait just before). -----
+  for (const InBlockSignal &S : BlockSignals) {
+    BasicBlock *BB = S.Anchor->parent();
+    Instruction *Sig = S.Before ? BB->insertBefore(S.Anchor, Opcode::SignalOp)
+                                : BB->insertAfter(S.Anchor, Opcode::SignalOp);
+    Sig->setImm(S.Dep);
+    Instruction *W = BB->insertBefore(Sig, Opcode::Wait);
+    W->setImm(S.Dep);
+    WS.SignalsOf[S.Dep].push_back(Sig);
+    WS.WaitsOf[S.Dep].push_back(W);
+    ++WS.NumSignals;
+    ++WS.NumWaits;
+  }
+
+  // ----- Apply: edge signals (splitting each edge once). -----
+  std::map<std::pair<BasicBlock *, BasicBlock *>, BasicBlock *> SplitOf;
+  for (const EdgeSignal &S : EdgeSignals) {
+    auto Key = std::make_pair(S.From, S.To);
+    auto It = SplitOf.find(Key);
+    if (It == SplitOf.end()) {
+      BasicBlock *Mid = splitEdge(F, S.From, S.To);
+      It = SplitOf.emplace(Key, Mid).first;
+      WS.NewBlocks.push_back(Mid);
+      NL.LoopBlocks.push_back(Mid);
+      // The split block inherits the prologue/body classification of the
+      // edge target (it executes strictly before it).
+      if (NL.inPrologue(S.To))
+        NL.Prologue.push_back(Mid);
+      else
+        NL.Body.push_back(Mid);
+    }
+    BasicBlock *Mid = It->second;
+    Instruction *Term = Mid->terminator();
+    Instruction *Sig = Mid->insertBefore(Term, Opcode::SignalOp);
+    Sig->setImm(S.Dep);
+    Instruction *W = Mid->insertBefore(Sig, Opcode::Wait);
+    W->setImm(S.Dep);
+    WS.SignalsOf[S.Dep].push_back(Sig);
+    WS.WaitsOf[S.Dep].push_back(W);
+    ++WS.NumSignals;
+    ++WS.NumWaits;
+  }
+
+  // ----- Apply: header-entry signals for never-reachable dependences. -----
+  for (unsigned D : HeaderSignals) {
+    Instruction *First = NL.Header->front();
+    Instruction *W = NL.Header->insertBefore(First, Opcode::Wait);
+    W->setImm(D);
+    Instruction *Sig = NL.Header->insertAfter(W, Opcode::SignalOp);
+    Sig->setImm(D);
+    WS.WaitsOf[D].push_back(W);
+    WS.SignalsOf[D].push_back(Sig);
+    ++WS.NumSignals;
+    ++WS.NumWaits;
+  }
+
+  return WS;
+}

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HELIX Step 4: computing sequential segments. For every data dependence
+/// d = (a, b) in D_data this inserts:
+///   - Wait(d) immediately before every occurrence of an endpoint of d,
+///   - Signal(d) at the earliest points along every path through the
+///     iteration at which neither endpoint can execute any more (found by
+///     dataflow on "can-reach-endpoint" facts),
+///   - Wait(d) immediately before every Signal(d), so the next iteration is
+///     unblocked only when no previous iteration can still execute a or b.
+/// The result is one Wait/Signal region per dependence per iteration; Step 6
+/// (SignalOpt) later removes the redundancy this naive insertion creates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_HELIX_SEQUENTIALSEGMENTS_H
+#define HELIX_HELIX_SEQUENTIALSEGMENTS_H
+
+#include "helix/Normalize.h"
+#include "helix/ParallelLoopInfo.h"
+
+namespace helix {
+
+/// "Can an endpoint of dependence d still execute from this point within
+/// the current iteration?" — block-level In/Out bitsets over the loop
+/// subgraph with the back edge removed. Reused by Step 6's safety check.
+struct DepReachability {
+  /// In[block id], Out[block id]; bit d set = some endpoint of dependence d
+  /// is reachable from that program point without crossing the back edge.
+  std::vector<BitSet> In, Out;
+  /// HasEndpoint[block id]: endpoints of d inside the block.
+  std::vector<BitSet> HasEndpoint;
+
+  /// CR just after instruction \p Idx of \p BB for dependence \p Dep:
+  /// true if an endpoint can still execute later in the iteration.
+  bool reachableAfter(const BasicBlock *BB, unsigned Idx, unsigned Dep,
+                      const std::vector<DataDependence> &Deps) const;
+};
+
+/// Computes endpoint reachability for \p Deps over the normalized loop.
+/// \p LoopBlocks may include blocks added after normalization (edge splits).
+DepReachability computeDepReachability(
+    const std::vector<BasicBlock *> &LoopBlocks, BasicBlock *Header,
+    BasicBlock *Latch, const std::vector<DataDependence> &Deps,
+    unsigned NumBlockIds);
+
+/// Results of the naive Wait/Signal insertion.
+struct WaitSignalInsertion {
+  /// Per dependence id: the inserted operations (Imm = dependence id).
+  std::vector<std::vector<Instruction *>> WaitsOf;
+  std::vector<std::vector<Instruction *>> SignalsOf;
+  /// Blocks created by splitting edges for Signal placement; these belong
+  /// to the loop.
+  std::vector<BasicBlock *> NewBlocks;
+  unsigned NumWaits = 0;
+  unsigned NumSignals = 0;
+};
+
+/// Performs Step 4 on a normalized loop, mutating \p F.
+WaitSignalInsertion insertWaitSignals(Function *F, NormalizedLoop &NL,
+                                      const std::vector<DataDependence> &Deps);
+
+} // namespace helix
+
+#endif // HELIX_HELIX_SEQUENTIALSEGMENTS_H

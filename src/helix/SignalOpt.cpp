@@ -1,0 +1,345 @@
+#include "helix/SignalOpt.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace helix;
+
+namespace {
+
+/// Forward intersection dataflow: which dependences' Waits have certainly
+/// executed at each block entry, within one iteration (back edge cut).
+/// \p Owned filters out Wait/Signal operations belonging to a different
+/// (e.g. nested) parallelized loop in the same function.
+std::vector<BitSet> computeWaitAvailability(const NormalizedLoop &NL,
+                                            unsigned NumDeps,
+                                            unsigned NumBlockIds,
+                                            const std::set<Instruction *> &Owned) {
+  std::vector<BitSet> GenOf(NumBlockIds, BitSet(NumDeps));
+  for (BasicBlock *BB : NL.LoopBlocks)
+    for (Instruction *I : *BB)
+      if (I->opcode() == Opcode::Wait && Owned.count(I))
+        GenOf[BB->id()].set(unsigned(I->imm()));
+
+  std::vector<BitSet> In(NumBlockIds, BitSet(NumDeps));
+  std::vector<bool> Initialized(NumBlockIds, false);
+  // Header starts with nothing available; interior blocks start at top
+  // (full set) and are lowered by the meet.
+  Initialized[NL.Header->id()] = true;
+
+  auto InLoop = [&](const BasicBlock *BB) { return NL.contains(BB); };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : NL.LoopBlocks) {
+      if (BB == NL.Header)
+        continue;
+      BitSet NewIn(NumDeps);
+      bool First = true;
+      for (BasicBlock *Pred : NL.LoopBlocks) {
+        bool IsPred = false;
+        for (BasicBlock *Succ : Pred->successors())
+          if (Succ == BB && !(Pred == NL.Latch && BB == NL.Header))
+            IsPred = true;
+        if (!IsPred || !InLoop(Pred))
+          continue;
+        if (!Initialized[Pred->id()])
+          continue; // treat uninitialized as top
+        BitSet PredOut = In[Pred->id()];
+        PredOut.unionWith(GenOf[Pred->id()]);
+        if (First) {
+          NewIn = PredOut;
+          First = false;
+        } else {
+          NewIn.intersectWith(PredOut);
+        }
+      }
+      if (First) {
+        // No initialized intra-loop predecessor yet: leave at top.
+        continue;
+      }
+      if (!Initialized[BB->id()] || NewIn != In[BB->id()]) {
+        In[BB->id()] = std::move(NewIn);
+        Initialized[BB->id()] = true;
+        Changed = true;
+      }
+    }
+  }
+  return In;
+}
+
+} // namespace
+
+SignalOptResult helix::optimizeSignals(Function *F, NormalizedLoop &NL,
+                                       const std::vector<DataDependence> &Deps,
+                                       WaitSignalInsertion &WS, bool Enabled) {
+  unsigned NumDeps = unsigned(Deps.size());
+  SignalOptResult R;
+
+  std::vector<bool> Dropped(NumDeps, false);
+  std::vector<unsigned> CoveredBy(NumDeps, ~0u);
+
+  // Sync operations this transform inserted; anything else (nested
+  // parallelized loops) is opaque code to Step 6.
+  std::set<Instruction *> Owned;
+  for (auto &List : WS.WaitsOf)
+    Owned.insert(List.begin(), List.end());
+  for (auto &List : WS.SignalsOf)
+    Owned.insert(List.begin(), List.end());
+
+  if (Enabled && NumDeps > 0) {
+    // --- 1. Redundant Wait elimination. ---------------------------------
+    std::vector<BitSet> AvailIn =
+        computeWaitAvailability(NL, NumDeps, F->numBlockIds(), Owned);
+    std::vector<Instruction *> ToErase;
+    for (BasicBlock *BB : NL.LoopBlocks) {
+      BitSet Avail = AvailIn[BB->id()];
+      for (Instruction *I : *BB) {
+        if (I->opcode() != Opcode::Wait || !Owned.count(I))
+          continue;
+        unsigned D = unsigned(I->imm());
+        if (Avail.test(D))
+          ToErase.push_back(I);
+        else
+          Avail.set(D);
+      }
+    }
+    for (Instruction *I : ToErase) {
+      unsigned D = unsigned(I->imm());
+      auto &List = WS.WaitsOf[D];
+      auto It = std::find(List.begin(), List.end(), I);
+      assert(It != List.end() && "erasing a Wait we do not own");
+      List.erase(It);
+      Owned.erase(I);
+      I->parent()->erase(I);
+    }
+
+    // --- 3. Cross-dependence redundancy (Theorem 1). --------------------
+    // (Run before merging: merged groups inherit the surviving ops.)
+    AvailIn = computeWaitAvailability(NL, NumDeps, F->numBlockIds(), Owned);
+    DepReachability CR = computeDepReachability(
+        NL.LoopBlocks, NL.Header, NL.Latch, Deps, F->numBlockIds());
+
+    // AvailAtWait[i] = set of deps whose Wait is available at *every*
+    // remaining Wait(d_i).
+    std::vector<BitSet> AvailAtWait(NumDeps, BitSet(NumDeps));
+    for (unsigned D = 0; D != NumDeps; ++D)
+      AvailAtWait[D].setAll();
+    std::vector<bool> HasWait(NumDeps, false);
+    for (BasicBlock *BB : NL.LoopBlocks) {
+      BitSet Avail = AvailIn[BB->id()];
+      for (Instruction *I : *BB) {
+        if (I->opcode() != Opcode::Wait || !Owned.count(I))
+          continue;
+        unsigned D = unsigned(I->imm());
+        AvailAtWait[D].intersectWith(Avail);
+        HasWait[D] = true;
+        Avail.set(D);
+      }
+    }
+
+    // SafeSignals[j][i]: no endpoint of i reachable after any Signal(j).
+    auto SignalsSafeFor = [&](unsigned J, unsigned I) {
+      for (Instruction *Sig : WS.SignalsOf[J]) {
+        BasicBlock *BB = Sig->parent();
+        if (CR.reachableAfter(BB, BB->indexOf(Sig), I, Deps))
+          return false;
+      }
+      return true;
+    };
+
+    // Greedy cover in code order: drop d when a kept dependence directly
+    // covers it. A dependence that already covers others must stay kept,
+    // or the cover chain would dangle.
+    std::vector<bool> IsCoverer(NumDeps, false);
+    for (unsigned DI = 0; DI != NumDeps; ++DI) {
+      if (!HasWait[DI] || IsCoverer[DI])
+        continue;
+      for (unsigned DJ = 0; DJ != NumDeps; ++DJ) {
+        if (DJ == DI || Dropped[DJ] || !HasWait[DJ])
+          continue;
+        if (!AvailAtWait[DI].test(DJ))
+          continue;
+        if (!SignalsSafeFor(DJ, DI))
+          continue;
+        Dropped[DI] = true;
+        CoveredBy[DI] = DJ;
+        IsCoverer[DJ] = true;
+        break;
+      }
+    }
+
+    // Delete the synchronization of dropped dependences.
+    for (unsigned D = 0; D != NumDeps; ++D) {
+      if (!Dropped[D])
+        continue;
+      for (Instruction *I : WS.WaitsOf[D]) {
+        Owned.erase(I);
+        I->parent()->erase(I);
+      }
+      for (Instruction *I : WS.SignalsOf[D]) {
+        Owned.erase(I);
+        I->parent()->erase(I);
+      }
+      WS.WaitsOf[D].clear();
+      WS.SignalsOf[D].clear();
+    }
+  }
+
+  // --- 2. Segment formation & adjacency merging. ------------------------
+  // Union-find over kept dependences.
+  std::vector<unsigned> Rep(NumDeps);
+  for (unsigned D = 0; D != NumDeps; ++D)
+    Rep[D] = D;
+  std::function<unsigned(unsigned)> Find = [&](unsigned X) {
+    while (Rep[X] != X)
+      X = Rep[X] = Rep[Rep[X]];
+    return X;
+  };
+
+  if (Enabled) {
+    // Two kept dependences merge when, in every maximal run of consecutive
+    // sync operations, ops of one appear iff ops of the other do (no
+    // parallel code can separate them anywhere).
+    std::vector<std::vector<BitSet>> Runs; // one BitSet of dep ids per run
+    for (BasicBlock *BB : NL.LoopBlocks) {
+      BitSet Current(NumDeps);
+      bool InRun = false;
+      for (Instruction *I : *BB) {
+        if (I->isSync() && Owned.count(I)) {
+          if (!InRun) {
+            Current = BitSet(NumDeps);
+            InRun = true;
+          }
+          Current.set(unsigned(I->imm()));
+        } else if (InRun) {
+          Runs.emplace_back().push_back(Current);
+          InRun = false;
+        }
+      }
+      if (InRun)
+        Runs.emplace_back().push_back(Current);
+    }
+    // Deps D1, D2 mergeable iff they always co-occur across runs.
+    for (unsigned D1 = 0; D1 != NumDeps; ++D1) {
+      if (Dropped[D1] || WS.WaitsOf[D1].empty())
+        continue;
+      for (unsigned D2 = D1 + 1; D2 != NumDeps; ++D2) {
+        if (Dropped[D2] || WS.WaitsOf[D2].empty())
+          continue;
+        bool CoOccur = true;
+        for (auto &Run : Runs)
+          for (BitSet &S : Run)
+            if (S.test(D1) != S.test(D2))
+              CoOccur = false;
+        if (CoOccur)
+          Rep[Find(D2)] = Find(D1);
+      }
+    }
+  }
+
+  // --- Assign final segment ids in code order of the first Wait. --------
+  CFGInfo CFG(F);
+  auto PositionKey = [&](Instruction *I) {
+    return std::make_pair(CFG.rpoIndex(I->parent()),
+                          I->parent()->indexOf(I));
+  };
+
+  std::map<unsigned, unsigned> SegIdOfGroup; // group rep -> segment id
+  std::vector<std::pair<std::pair<unsigned, unsigned>, unsigned>> GroupOrder;
+  for (unsigned D = 0; D != NumDeps; ++D) {
+    if (Dropped[D] || WS.WaitsOf[D].empty())
+      continue;
+    unsigned G = Find(D);
+    std::pair<unsigned, unsigned> Best{~0u, ~0u};
+    for (Instruction *W : WS.WaitsOf[D])
+      Best = std::min(Best, PositionKey(W));
+    bool Seen = false;
+    for (auto &[Key, Group] : GroupOrder)
+      if (Group == G) {
+        Key = std::min(Key, Best);
+        Seen = true;
+      }
+    if (!Seen)
+      GroupOrder.push_back({Best, G});
+  }
+  std::sort(GroupOrder.begin(), GroupOrder.end());
+  for (auto &[Key, Group] : GroupOrder) {
+    (void)Key;
+    if (!SegIdOfGroup.count(Group)) {
+      unsigned Id = unsigned(SegIdOfGroup.size());
+      SegIdOfGroup[Group] = Id;
+      R.Segments.push_back(SequentialSegment());
+      R.Segments.back().Id = Id;
+    }
+  }
+
+  // Fill segments; rewrite sync Imms from dep ids to segment ids.
+  for (unsigned D = 0; D != NumDeps; ++D) {
+    unsigned SegId;
+    if (Dropped[D]) {
+      unsigned Coverer = CoveredBy[D];
+      // Follow the cover chain in case the coverer itself merged.
+      SegId = SegIdOfGroup.at(Find(Coverer));
+    } else if (WS.WaitsOf[D].empty()) {
+      continue; // dependence with no synchronization (should not happen)
+    } else {
+      SegId = SegIdOfGroup.at(Find(D));
+    }
+    R.SegmentOfDep[D] = SegId;
+    R.Segments[SegId].DepIds.push_back(D);
+    for (Instruction *I : WS.WaitsOf[D]) {
+      I->setImm(SegId);
+      R.Segments[SegId].Waits.push_back(I);
+      ++R.NumWaitsKept;
+    }
+    for (Instruction *I : WS.SignalsOf[D]) {
+      I->setImm(SegId);
+      R.Segments[SegId].Signals.push_back(I);
+      ++R.NumSignalsKept;
+    }
+  }
+
+  // Cleanup: delete immediately-adjacent duplicate syncs of one segment
+  // (artifacts of merging), keeping the first Wait and the last Signal.
+  if (Enabled) {
+    for (BasicBlock *BB : NL.LoopBlocks) {
+      std::vector<Instruction *> ToErase;
+      for (unsigned Idx = 0; Idx + 1 < BB->size(); ++Idx) {
+        Instruction *A = BB->instr(Idx);
+        Instruction *B = BB->instr(Idx + 1);
+        if (!Owned.count(A) || !Owned.count(B))
+          continue;
+        if (A->opcode() == Opcode::Wait && B->opcode() == Opcode::Wait &&
+            A->imm() == B->imm())
+          ToErase.push_back(B);
+        if (A->opcode() == Opcode::SignalOp &&
+            B->opcode() == Opcode::SignalOp && A->imm() == B->imm())
+          ToErase.push_back(A);
+      }
+      for (Instruction *I : ToErase) {
+        for (SequentialSegment &S : R.Segments) {
+          auto EraseFrom = [&](std::vector<Instruction *> &V) {
+            auto It = std::find(V.begin(), V.end(), I);
+            if (It != V.end()) {
+              V.erase(It);
+              if (I->opcode() == Opcode::Wait)
+                --R.NumWaitsKept;
+              else
+                --R.NumSignalsKept;
+            }
+          };
+          EraseFrom(S.Waits);
+          EraseFrom(S.Signals);
+        }
+        I->parent()->erase(I);
+      }
+    }
+  }
+
+  return R;
+}

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HELIX Step 6: minimizing signals.
+///
+/// Three optimizations, per Section 2.1:
+///   1. Redundant Wait elimination: a Wait(d) is removed when every control
+///      path leading to it already contains another Wait(d) (forward
+///      intersection "availability" dataflow).
+///   2. Segment merging: dependences whose Wait/Signal operations are
+///      adjacent everywhere (no parallel code between them) share one
+///      sequential segment, i.e. one wait stall and one signal send per
+///      iteration.
+///   3. Cross-dependence redundancy (Theorem 1): d_i is redundant due to
+///      d_j when Wait(d_j) is available at every Wait(d_i) *and* — our
+///      runtime-safety strengthening — no endpoint of d_i is reachable
+///      after any Signal(d_j), so releasing d_i's consumers on d_j's signal
+///      is correct. The dependence redundance graph is condensed and only a
+///      covering subset (sources plus one node per cycle) keeps its
+///      synchronization; the rest is deleted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_HELIX_SIGNALOPT_H
+#define HELIX_HELIX_SIGNALOPT_H
+
+#include "helix/SequentialSegments.h"
+
+#include <map>
+
+namespace helix {
+
+struct SignalOptResult {
+  /// Final segments, ordered by position of their first Wait (this is also
+  /// the helper-thread prefetch order of Step 8).
+  std::vector<SequentialSegment> Segments;
+  /// Which segment synchronizes each dependence.
+  std::map<unsigned, unsigned> SegmentOfDep;
+  unsigned NumWaitsKept = 0;
+  unsigned NumSignalsKept = 0;
+};
+
+/// Runs Step 6 and assigns final segment ids (rewriting the Imm field of
+/// every surviving Wait/Signal from dependence id to segment id). With
+/// \p Enabled false (Figure 10 ablation) no optimization is applied: every
+/// dependence becomes its own segment.
+SignalOptResult optimizeSignals(Function *F, NormalizedLoop &NL,
+                                const std::vector<DataDependence> &Deps,
+                                WaitSignalInsertion &WS, bool Enabled);
+
+} // namespace helix
+
+#endif // HELIX_HELIX_SIGNALOPT_H

@@ -1,0 +1,71 @@
+#include "helix/SpeedupModel.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace helix;
+
+double helix::modelLoopOverheadCycles(const LoopModelInputs &In,
+                                      const ModelParams &Params) {
+  double S = In.EffSignalCycles >= 0 ? In.EffSignalCycles
+                                     : Params.SignalCycles;
+  uint64_t CSig = In.SelfStarting ? 0 : In.Iterations;
+  double Sig = double(CSig + In.DataSignals) * S;
+  double StartStop = 2.0 * double(Params.NumCores - 1) *
+                     double(In.Invocations) * Params.StartStopSignalCycles;
+  double Conf = double(In.Invocations) * Params.ConfCycles;
+  double Data = double(In.WordsForwarded) * Params.WordTransferCycles;
+  return Conf + Sig + StartStop + Data;
+}
+
+double helix::modelLoopChainCycles(const LoopModelInputs &In,
+                                   const ModelParams &Params) {
+  double Chain = double(In.SegmentCycles) +
+                 double(In.DataSignals) * Params.ChainSignalCycles +
+                 double(In.WordsForwarded) * Params.WordTransferCycles;
+  if (!In.SelfStarting)
+    Chain += double(In.PrologueCycles) +
+             double(In.Iterations) * Params.ChainSignalCycles;
+  return Chain;
+}
+
+double helix::modelLoopParallelCycles(const LoopModelInputs &In,
+                                      const ModelParams &Params) {
+  double Seq = double(In.SeqCycles);
+  // A self-starting prologue (counted loop) executes concurrently on all
+  // cores like the rest of the body; otherwise it is serialized by the
+  // control-signal chain.
+  uint64_t ParCycles = In.ParallelCycles;
+  if (In.SelfStarting)
+    ParCycles += In.PrologueCycles;
+  double Par = double(std::min(ParCycles, In.SeqCycles));
+  double Serial = Seq - Par;
+  double Amdahl = Serial + Par / double(Params.NumCores) +
+                  modelLoopOverheadCycles(In, Params);
+  return std::max(Amdahl, modelLoopChainCycles(In, Params));
+}
+
+double helix::modelLoopSavedCycles(const LoopModelInputs &In,
+                                   const ModelParams &Params) {
+  double Saved = double(In.SeqCycles) - modelLoopParallelCycles(In, Params);
+  return std::max(0.0, Saved);
+}
+
+double helix::modelProgramSpeedup(uint64_t TotalCycles,
+                                  const std::vector<LoopModelInputs> &Loops,
+                                  const ModelParams &Params) {
+  if (TotalCycles == 0)
+    return 1.0;
+  double T = double(TotalCycles);
+  double P = 0.0, O = 0.0;
+  for (const LoopModelInputs &In : Loops) {
+    uint64_t ParCycles = In.ParallelCycles;
+    if (In.SelfStarting)
+      ParCycles += In.PrologueCycles;
+    P += double(std::min(ParCycles, In.SeqCycles)) / T;
+    O += modelLoopOverheadCycles(In, Params) / T;
+  }
+  P = std::min(P, 1.0);
+  double Denominator = (1.0 - P) + P / double(Params.NumCores) + O;
+  return 1.0 / std::max(1e-9, Denominator);
+}

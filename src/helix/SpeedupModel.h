@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HELIX analytical speedup model (Section 2.2).
+///
+/// Amdahl's law with parallelization overhead:
+///   Speedup(P, N, O) = 1 / (1 - P + P/N + O)
+/// where P is the fraction of program time in parallel code of the chosen
+/// loops, N the core count, and O the normalized overhead
+///   O_i = Conf_i + Sig_i * S + ceil(Bytes_i / CPUword) * M       (Eq. 1)
+/// with Sig_i = C-Sig_i + D-Sig_i + 2*(N-1)*Invoc_i. Start/stop signals
+/// cannot be prefetched, so they are charged at the unprefetched latency
+/// (the simulator does the same, keeping model validation apples-to-apples).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_HELIX_SPEEDUPMODEL_H
+#define HELIX_HELIX_SPEEDUPMODEL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace helix {
+
+/// Profile inputs of one candidate loop, in absolute cycles of the
+/// HELIX-transformed program's sequential interpretation.
+struct LoopModelInputs {
+  uint64_t SeqCycles = 0;      ///< total time inside the loop
+  uint64_t ParallelCycles = 0; ///< body time outside sequential segments (P_i)
+  uint64_t PrologueCycles = 0; ///< Sequential-Control (Figure 11)
+  uint64_t SegmentCycles = 0;  ///< Sequential-Data (Figure 11)
+  uint64_t Invocations = 0;
+  uint64_t Iterations = 0;   ///< C-Sig: one control signal per iteration
+  uint64_t DataSignals = 0;  ///< D-Sig: dynamic Signal executions
+  uint64_t WordsForwarded = 0; ///< boundary words moved between cores
+  /// Per-loop effective signal latency (Section 3.3's gap-based estimate:
+  /// how much of the unprefetched latency the helper thread can hide given
+  /// the code between consecutive segments). Negative = use the global
+  /// ModelParams::SignalCycles.
+  double EffSignalCycles = -1.0;
+  /// Counted loop whose prologue needs no control signals (Step 3):
+  /// drops the C-Sig term of Equation 1.
+  bool SelfStarting = false;
+};
+
+struct ModelParams {
+  unsigned NumCores = 6;
+  double SignalCycles = 4.0;        ///< S (per data/control signal)
+  double StartStopSignalCycles = 110.0; ///< latency of start/stop signals
+  double WordTransferCycles = 110.0;    ///< M
+  double ConfCycles = 250.0;            ///< Conf_i per invocation
+  /// Latency a signal costs when the sequential-segment chain itself is
+  /// the critical path: prefetching cannot help a consumer that is already
+  /// blocked when the signal is sent, so the full unprefetched latency
+  /// applies (the chain lower bound below Equation 1).
+  double ChainSignalCycles = 110.0;
+};
+
+/// Lower bound on a loop's parallel execution time: the cross-iteration
+/// chain of sequential segments, each link paying its segment code, an
+/// unprefetched signal, and any forwarded words. Equation 1's Amdahl form
+/// cannot see this; taking the max keeps selection away from chain-bound
+/// loops (the failure mode Figure 12's S=0 bars demonstrate).
+double modelLoopChainCycles(const LoopModelInputs &In,
+                            const ModelParams &Params);
+
+/// Absolute overhead O_i of loop i, in cycles.
+double modelLoopOverheadCycles(const LoopModelInputs &In,
+                               const ModelParams &Params);
+
+/// Estimated parallel execution time of the loop alone, in cycles.
+double modelLoopParallelCycles(const LoopModelInputs &In,
+                               const ModelParams &Params);
+
+/// Estimated saved time T_i = max(0, SeqCycles - parallel estimate).
+double modelLoopSavedCycles(const LoopModelInputs &In,
+                            const ModelParams &Params);
+
+/// Whole-program speedup for a chosen set of loops, Equation 1 composed
+/// over \p Loops with total sequential program time \p TotalCycles.
+double modelProgramSpeedup(uint64_t TotalCycles,
+                           const std::vector<LoopModelInputs> &Loops,
+                           const ModelParams &Params);
+
+} // namespace helix
+
+#endif // HELIX_HELIX_SPEEDUPMODEL_H

@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks of the HELIX IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_IR_BASICBLOCK_H
+#define HELIX_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace helix {
+
+class Function;
+
+/// A maximal straight-line sequence of instructions ending in a terminator.
+///
+/// Blocks own their instructions; Instruction pointers stay stable across
+/// insertions and removals elsewhere in the block.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, uint32_t Id, std::string Name)
+      : Parent(Parent), Id(Id), Name(std::move(Name)) {}
+
+  Function *parent() const { return Parent; }
+  uint32_t id() const { return Id; }
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  bool empty() const { return Instrs.empty(); }
+  unsigned size() const { return unsigned(Instrs.size()); }
+  Instruction *instr(unsigned Idx) const { return Instrs[Idx].get(); }
+  Instruction *front() const { return Instrs.front().get(); }
+  Instruction *back() const { return Instrs.back().get(); }
+
+  /// \returns the terminator, or null if the block is not yet terminated.
+  Instruction *terminator() const {
+    if (Instrs.empty() || !Instrs.back()->isTerminator())
+      return nullptr;
+    return Instrs.back().get();
+  }
+
+  /// Creates an instruction and appends it.
+  Instruction *append(Opcode Op);
+  /// Creates an instruction and inserts it at position \p Idx.
+  Instruction *insertAt(unsigned Idx, Opcode Op);
+  /// Creates an instruction and inserts it immediately before \p Before,
+  /// which must live in this block.
+  Instruction *insertBefore(Instruction *Before, Opcode Op);
+  /// Creates an instruction and inserts it immediately after \p After,
+  /// which must live in this block.
+  Instruction *insertAfter(Instruction *After, Opcode Op);
+
+  /// Removes and destroys \p I, which must live in this block.
+  void erase(Instruction *I);
+  /// Removes \p I without destroying it and returns ownership.
+  std::unique_ptr<Instruction> take(Instruction *I);
+  /// Inserts an owned instruction at position \p Idx (used by schedulers and
+  /// by inlining when splicing instructions between blocks).
+  Instruction *insertOwned(unsigned Idx, std::unique_ptr<Instruction> I);
+
+  /// \returns the position of \p I in this block (linear scan).
+  unsigned indexOf(const Instruction *I) const;
+
+  /// Range-style access over raw pointers.
+  class iterator {
+  public:
+    iterator(const std::vector<std::unique_ptr<Instruction>> *V, size_t Pos)
+        : V(V), Pos(Pos) {}
+    Instruction *operator*() const { return (*V)[Pos].get(); }
+    iterator &operator++() {
+      ++Pos;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return Pos != O.Pos; }
+
+  private:
+    const std::vector<std::unique_ptr<Instruction>> *V;
+    size_t Pos;
+  };
+  iterator begin() const { return iterator(&Instrs, 0); }
+  iterator end() const { return iterator(&Instrs, Instrs.size()); }
+
+  /// Successor blocks from the terminator (0, 1 or 2 of them).
+  std::vector<BasicBlock *> successors() const;
+
+private:
+  Instruction *createInstr(Opcode Op);
+
+  Function *Parent;
+  uint32_t Id;
+  std::string Name;
+  std::vector<std::unique_ptr<Instruction>> Instrs;
+};
+
+} // namespace helix
+
+#endif // HELIX_IR_BASICBLOCK_H

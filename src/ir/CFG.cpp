@@ -1,0 +1,55 @@
+#include "ir/CFG.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace helix;
+
+CFGInfo::CFGInfo(Function *F) : F(F) {
+  Preds.assign(F->numBlockIds(), {});
+  RPOIndex.assign(F->numBlockIds(), ~0u);
+
+  for (BasicBlock *BB : *F)
+    for (BasicBlock *Succ : BB->successors())
+      Preds[Succ->id()].push_back(BB);
+
+  // Iterative post-order DFS from the entry block.
+  std::vector<BasicBlock *> PostOrder;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  std::vector<bool> Visited(F->numBlockIds(), false);
+  Stack.push_back({F->entry(), 0});
+  Visited[F->entry()->id()] = true;
+  while (!Stack.empty()) {
+    auto &[BB, Pos] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (Pos < Succs.size()) {
+      BasicBlock *S = Succs[Pos++];
+      if (!Visited[S->id()]) {
+        Visited[S->id()] = true;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(BB);
+    Stack.pop_back();
+  }
+
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0, E = unsigned(RPO.size()); I != E; ++I)
+    RPOIndex[RPO[I]->id()] = I;
+}
+
+BasicBlock *helix::splitEdge(Function *F, BasicBlock *From, BasicBlock *To) {
+  Instruction *Term = From->terminator();
+  assert(Term && "edge source has no terminator");
+  assert((Term->target1() == To || Term->target2() == To) &&
+         "no such CFG edge");
+  BasicBlock *Mid = F->createBlock(From->name() + "." + To->name());
+  Instruction *Br = Mid->append(Opcode::Br);
+  Br->setTarget1(To);
+  // Redirect only the matching target(s); a CondBr with both targets equal
+  // to To is redirected on both arms, which is still correct.
+  Term->replaceTarget(To, Mid);
+  return Mid;
+}

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG utilities: predecessor maps, reverse post order, edge splitting and
+/// reachability, shared by the analyses and the HELIX transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_IR_CFG_H
+#define HELIX_IR_CFG_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace helix {
+
+/// Precomputed CFG shape of one function. Invalidated by any CFG edit.
+class CFGInfo {
+public:
+  explicit CFGInfo(Function *F);
+
+  Function *function() const { return F; }
+
+  const std::vector<BasicBlock *> &predecessors(const BasicBlock *BB) const {
+    return Preds[BB->id()];
+  }
+
+  /// Blocks in reverse post order from the entry. Unreachable blocks are
+  /// excluded.
+  const std::vector<BasicBlock *> &reversePostOrder() const { return RPO; }
+
+  /// Position of \p BB in the RPO sequence; ~0u for unreachable blocks.
+  unsigned rpoIndex(const BasicBlock *BB) const { return RPOIndex[BB->id()]; }
+
+  bool isReachable(const BasicBlock *BB) const {
+    return RPOIndex[BB->id()] != ~0u;
+  }
+
+private:
+  Function *F;
+  std::vector<std::vector<BasicBlock *>> Preds; // indexed by block id
+  std::vector<BasicBlock *> RPO;
+  std::vector<unsigned> RPOIndex; // indexed by block id
+};
+
+/// Splits the CFG edge \p From -> \p To by inserting a fresh block containing
+/// a single unconditional branch to \p To. \returns the new block.
+BasicBlock *splitEdge(Function *F, BasicBlock *From, BasicBlock *To);
+
+} // namespace helix
+
+#endif // HELIX_IR_CFG_H

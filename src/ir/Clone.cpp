@@ -1,0 +1,51 @@
+#include "ir/Clone.h"
+
+#include "support/Compiler.h"
+
+using namespace helix;
+
+std::unique_ptr<Module> helix::cloneModule(const Module &M,
+                                           CloneMap *MapOut) {
+  auto NewM = std::make_unique<Module>();
+  CloneMap Map;
+
+  for (unsigned I = 0, E = M.numGlobals(); I != E; ++I) {
+    const GlobalVariable &G = M.global(I);
+    unsigned Idx = NewM->createGlobal(G.Name, G.Size);
+    NewM->global(Idx).Init = G.Init;
+  }
+
+  // Create functions and blocks first so calls and branches can resolve.
+  for (const Function *F :
+       const_cast<Module &>(M)) { // iteration is non-mutating
+    Function *NF = NewM->createFunction(F->name(), F->numParams());
+    NF->ensureRegCount(F->numRegs());
+    Map.Functions[F] = NF;
+    for (const BasicBlock *BB : *F)
+      Map.Blocks[BB] = NF->createBlock(BB->name());
+  }
+
+  for (const Function *F : const_cast<Module &>(M)) {
+    for (const BasicBlock *BB : *F) {
+      BasicBlock *NBB = Map.Blocks.at(BB);
+      for (const Instruction *I : *BB) {
+        Instruction *NI = NBB->append(I->opcode());
+        NI->setImm(I->imm());
+        if (I->hasDest())
+          NI->setDest(I->dest());
+        for (unsigned K = 0, E = I->numOperands(); K != E; ++K)
+          NI->addOperand(I->operand(K));
+        if (I->callee())
+          NI->setCallee(Map.Functions.at(I->callee()));
+        if (I->target1())
+          NI->setTarget1(Map.Blocks.at(I->target1()));
+        if (I->target2())
+          NI->setTarget2(Map.Blocks.at(I->target2()));
+      }
+    }
+  }
+
+  if (MapOut)
+    *MapOut = std::move(Map);
+  return NewM;
+}

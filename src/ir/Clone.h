@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-module cloning. The driver keeps a pristine copy of each workload
+/// for sequential baselines and per-candidate profiling clones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_IR_CLONE_H
+#define HELIX_IR_CLONE_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <memory>
+
+namespace helix {
+
+/// Correspondence between original and cloned IR objects.
+struct CloneMap {
+  std::map<const Function *, Function *> Functions;
+  std::map<const BasicBlock *, BasicBlock *> Blocks;
+};
+
+/// Deep-copies \p M. Register numbers, block names, global indices and
+/// instruction order are preserved exactly (instruction ids are re-assigned
+/// densely in program order).
+std::unique_ptr<Module> cloneModule(const Module &M, CloneMap *MapOut = nullptr);
+
+} // namespace helix
+
+#endif // HELIX_IR_CLONE_H

@@ -1,0 +1,132 @@
+#include "ir/IRBuilder.h"
+
+#include "support/Compiler.h"
+
+using namespace helix;
+
+Instruction *IRBuilder::appendChecked(Opcode Op) {
+  assert(BB && "no insertion point set");
+  assert(!BB->terminator() && "appending after a terminator");
+  return BB->append(Op);
+}
+
+unsigned IRBuilder::binary(Opcode Op, Operand A, Operand B) {
+  assert(isBinaryOpcode(Op) && "not a binary opcode");
+  Instruction *I = appendChecked(Op);
+  I->addOperand(A);
+  I->addOperand(B);
+  unsigned Dest = F->allocReg();
+  I->setDest(Dest);
+  return Dest;
+}
+
+void IRBuilder::binaryTo(unsigned Dest, Opcode Op, Operand A, Operand B) {
+  assert(isBinaryOpcode(Op) && "not a binary opcode");
+  Instruction *I = appendChecked(Op);
+  I->addOperand(A);
+  I->addOperand(B);
+  I->setDest(Dest);
+}
+
+void IRBuilder::movTo(unsigned Dest, Operand V) {
+  Instruction *I = appendChecked(Opcode::Mov);
+  I->addOperand(V);
+  I->setDest(Dest);
+}
+
+void IRBuilder::loadTo(unsigned Dest, Operand Addr) {
+  Instruction *I = appendChecked(Opcode::Load);
+  I->addOperand(Addr);
+  I->setDest(Dest);
+}
+
+unsigned IRBuilder::mov(Operand V) {
+  Instruction *I = appendChecked(Opcode::Mov);
+  I->addOperand(V);
+  unsigned Dest = F->allocReg();
+  I->setDest(Dest);
+  return Dest;
+}
+
+unsigned IRBuilder::conv(Opcode Op, Operand V) {
+  assert((Op == Opcode::IntToFP || Op == Opcode::FPToInt) &&
+         "not a conversion opcode");
+  Instruction *I = appendChecked(Op);
+  I->addOperand(V);
+  unsigned Dest = F->allocReg();
+  I->setDest(Dest);
+  return Dest;
+}
+
+unsigned IRBuilder::load(Operand Addr) {
+  Instruction *I = appendChecked(Opcode::Load);
+  I->addOperand(Addr);
+  unsigned Dest = F->allocReg();
+  I->setDest(Dest);
+  return Dest;
+}
+
+void IRBuilder::store(Operand Value, Operand Addr) {
+  Instruction *I = appendChecked(Opcode::Store);
+  I->addOperand(Value);
+  I->addOperand(Addr);
+}
+
+unsigned IRBuilder::allocaSlots(int64_t NumSlots) {
+  assert(NumSlots > 0 && "alloca of zero slots");
+  Instruction *I = appendChecked(Opcode::Alloca);
+  I->setImm(NumSlots);
+  unsigned Dest = F->allocReg();
+  I->setDest(Dest);
+  return Dest;
+}
+
+unsigned IRBuilder::heapAlloc(Operand NumSlots) {
+  Instruction *I = appendChecked(Opcode::HeapAlloc);
+  I->addOperand(NumSlots);
+  unsigned Dest = F->allocReg();
+  I->setDest(Dest);
+  return Dest;
+}
+
+void IRBuilder::br(BasicBlock *Target) {
+  Instruction *I = appendChecked(Opcode::Br);
+  I->setTarget1(Target);
+}
+
+void IRBuilder::condBr(Operand Cond, BasicBlock *Then, BasicBlock *Else) {
+  Instruction *I = appendChecked(Opcode::CondBr);
+  I->addOperand(Cond);
+  I->setTarget1(Then);
+  I->setTarget2(Else);
+}
+
+unsigned IRBuilder::call(Function *Callee,
+                         const std::vector<Operand> &Args) {
+  assert(Callee && "null callee");
+  assert(Args.size() == Callee->numParams() && "call arity mismatch");
+  Instruction *I = appendChecked(Opcode::Call);
+  I->setCallee(Callee);
+  for (const Operand &A : Args)
+    I->addOperand(A);
+  unsigned Dest = F->allocReg();
+  I->setDest(Dest);
+  return Dest;
+}
+
+void IRBuilder::callVoid(Function *Callee,
+                         const std::vector<Operand> &Args) {
+  assert(Callee && "null callee");
+  assert(Args.size() == Callee->numParams() && "call arity mismatch");
+  Instruction *I = appendChecked(Opcode::Call);
+  I->setCallee(Callee);
+  for (const Operand &A : Args)
+    I->addOperand(A);
+}
+
+void IRBuilder::ret() { appendChecked(Opcode::Ret); }
+
+void IRBuilder::ret(Operand V) {
+  Instruction *I = appendChecked(Opcode::Ret);
+  I->addOperand(V);
+}

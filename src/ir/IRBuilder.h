@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A convenience builder for constructing IR, used by workload generators,
+/// the HELIX lowering steps, tests and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_IR_IRBUILDER_H
+#define HELIX_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace helix {
+
+/// Appends instructions at the end of the current insertion block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function *F) : F(F) {}
+
+  Function *function() const { return F; }
+  BasicBlock *insertBlock() const { return BB; }
+  void setInsertPoint(BasicBlock *NewBB) { BB = NewBB; }
+
+  // --- Operand shorthands ---------------------------------------------------
+  static Operand imm(int64_t V) { return Operand::immInt(V); }
+  static Operand fimm(double V) { return Operand::immFloat(V); }
+  static Operand reg(unsigned R) { return Operand::reg(R); }
+
+  // --- Instruction creation (each returns the destination register when the
+  // --- instruction produces a value) ----------------------------------------
+  unsigned binary(Opcode Op, Operand A, Operand B);
+  unsigned add(Operand A, Operand B) { return binary(Opcode::Add, A, B); }
+  unsigned sub(Operand A, Operand B) { return binary(Opcode::Sub, A, B); }
+  unsigned mul(Operand A, Operand B) { return binary(Opcode::Mul, A, B); }
+  unsigned cmpLT(Operand A, Operand B) { return binary(Opcode::CmpLT, A, B); }
+  unsigned cmpEQ(Operand A, Operand B) { return binary(Opcode::CmpEQ, A, B); }
+
+  unsigned mov(Operand V);
+  unsigned conv(Opcode Op, Operand V);
+  unsigned load(Operand Addr);
+
+  // --- Variants writing a caller-chosen register (loop variables,
+  // --- accumulators and other mutable state) -------------------------------
+  void binaryTo(unsigned Dest, Opcode Op, Operand A, Operand B);
+  void movTo(unsigned Dest, Operand V);
+  void loadTo(unsigned Dest, Operand Addr);
+  void store(Operand Value, Operand Addr);
+  unsigned allocaSlots(int64_t NumSlots);
+  unsigned heapAlloc(Operand NumSlots);
+
+  void br(BasicBlock *Target);
+  void condBr(Operand Cond, BasicBlock *Then, BasicBlock *Else);
+  /// Call producing a value.
+  unsigned call(Function *Callee, const std::vector<Operand> &Args);
+  /// Call whose result (if any) is discarded.
+  void callVoid(Function *Callee, const std::vector<Operand> &Args);
+  void ret();
+  void ret(Operand V);
+
+private:
+  Instruction *appendChecked(Opcode Op);
+
+  Function *F;
+  BasicBlock *BB = nullptr;
+};
+
+} // namespace helix
+
+#endif // HELIX_IR_IRBUILDER_H

@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual IR syntax produced by Module::print().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_IR_IRPARSER_H
+#define HELIX_IR_IRPARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace helix {
+
+/// Outcome of a parse: either a module, or a diagnostic naming the first
+/// offending line.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::string Error; // empty on success
+
+  bool succeeded() const { return M != nullptr; }
+};
+
+/// Parses a whole module from \p Text.
+///
+/// Grammar (one construct per line; '#' starts a comment):
+///   global @name SIZE [= {v0, v1, ...}]
+///   func @name(NPARAMS) {
+///   label:
+///     rN = add rA, 5
+///     store r1, @g
+///     br label
+///     condbr r1, thenLabel, elseLabel
+///     r2 = call @f(r1, 2)
+///     ret [operand]
+///   }
+ParseResult parseModule(const std::string &Text);
+
+} // namespace helix
+
+#endif // HELIX_IR_IRPARSER_H

@@ -1,0 +1,125 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual printer for the IR. The output is accepted by IRParser, so
+/// modules round-trip through text (tested in tests/IRParserTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/Compiler.h"
+#include "support/Format.h"
+
+#include <sstream>
+
+using namespace helix;
+
+namespace {
+
+std::string floatToText(double V) {
+  std::string S = formatStr("%.17g", V);
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+void printOperand(std::ostream &OS, const Operand &O, const Module &M) {
+  switch (O.kind()) {
+  case Operand::Kind::Reg:
+    OS << 'r' << O.regId();
+    return;
+  case Operand::Kind::ImmInt:
+    OS << O.intValue();
+    return;
+  case Operand::Kind::ImmFloat:
+    OS << floatToText(O.floatValue());
+    return;
+  case Operand::Kind::Global:
+    OS << '@' << M.global(O.globalIndex()).Name;
+    return;
+  }
+  HELIX_UNREACHABLE("unknown operand kind");
+}
+
+void printInstruction(std::ostream &OS, const Instruction *I,
+                      const Module &M) {
+  OS << "  ";
+  if (I->hasDest())
+    OS << 'r' << I->dest() << " = ";
+  OS << opcodeName(I->opcode());
+
+  switch (I->opcode()) {
+  case Opcode::Alloca:
+    OS << ' ' << I->imm();
+    break;
+  case Opcode::Wait:
+  case Opcode::SignalOp:
+    OS << ' ' << I->imm();
+    break;
+  case Opcode::Br:
+    OS << ' ' << I->target1()->name();
+    break;
+  case Opcode::CondBr:
+    OS << ' ';
+    printOperand(OS, I->operand(0), M);
+    OS << ", " << I->target1()->name() << ", " << I->target2()->name();
+    break;
+  case Opcode::Call: {
+    OS << " @" << I->callee()->name() << '(';
+    for (unsigned Idx = 0, E = I->numOperands(); Idx != E; ++Idx) {
+      if (Idx)
+        OS << ", ";
+      printOperand(OS, I->operand(Idx), M);
+    }
+    OS << ')';
+    break;
+  }
+  default: {
+    for (unsigned Idx = 0, E = I->numOperands(); Idx != E; ++Idx) {
+      OS << (Idx ? ", " : " ");
+      printOperand(OS, I->operand(Idx), M);
+    }
+    break;
+  }
+  }
+  OS << '\n';
+}
+
+} // namespace
+
+void Module::print(std::ostream &OS) const {
+  for (unsigned I = 0, E = numGlobals(); I != E; ++I) {
+    const GlobalVariable &G = global(I);
+    OS << "global @" << G.Name << ' ' << G.Size;
+    if (!G.Init.empty()) {
+      OS << " = {";
+      for (size_t J = 0; J != G.Init.size(); ++J) {
+        if (J)
+          OS << ", ";
+        OS << G.Init[J];
+      }
+      OS << '}';
+    }
+    OS << '\n';
+  }
+  if (numGlobals())
+    OS << '\n';
+
+  for (Function *F : *this) {
+    OS << "func @" << F->name() << '(' << F->numParams() << ") {\n";
+    for (BasicBlock *BB : *F) {
+      OS << BB->name() << ":\n";
+      for (Instruction *I : *BB)
+        printInstruction(OS, I, *this);
+    }
+    OS << "}\n\n";
+  }
+}
+
+std::string Module::toString() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}

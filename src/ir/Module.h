@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Modules of the HELIX IR: the unit of whole-program analysis and
+/// transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_IR_MODULE_H
+#define HELIX_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace helix {
+
+/// A named module-level memory region of \p Size 8-byte slots. The
+/// interpreter assigns each global a base address at load time.
+struct GlobalVariable {
+  std::string Name;
+  uint64_t Size = 1;
+  /// Optional initial integer values (shorter than Size => rest is zero).
+  std::vector<int64_t> Init;
+};
+
+/// A whole program: functions plus global variables.
+class Module {
+public:
+  /// Creates a function. Names must be unique within the module.
+  Function *createFunction(std::string Name, unsigned NumParams);
+  Function *findFunction(const std::string &Name) const;
+
+  unsigned numFunctions() const { return unsigned(Funcs.size()); }
+  Function *function(unsigned Idx) const { return Funcs[Idx].get(); }
+
+  /// Creates a global of \p Size slots; returns its index.
+  unsigned createGlobal(std::string Name, uint64_t Size);
+  unsigned numGlobals() const { return unsigned(Globals.size()); }
+  GlobalVariable &global(unsigned Idx) { return Globals[Idx]; }
+  const GlobalVariable &global(unsigned Idx) const { return Globals[Idx]; }
+  /// Finds a global index by name; returns ~0u if absent.
+  unsigned findGlobal(const std::string &Name) const;
+
+  class function_iterator {
+  public:
+    function_iterator(const std::vector<std::unique_ptr<Function>> *V,
+                      size_t Pos)
+        : V(V), Pos(Pos) {}
+    Function *operator*() const { return (*V)[Pos].get(); }
+    function_iterator &operator++() {
+      ++Pos;
+      return *this;
+    }
+    bool operator!=(const function_iterator &O) const { return Pos != O.Pos; }
+
+  private:
+    const std::vector<std::unique_ptr<Function>> *V;
+    size_t Pos;
+  };
+  function_iterator begin() const { return function_iterator(&Funcs, 0); }
+  function_iterator end() const {
+    return function_iterator(&Funcs, Funcs.size());
+  }
+
+  /// Prints the module in the textual syntax accepted by the parser.
+  void print(std::ostream &OS) const;
+  /// Convenience: returns print() output as a string.
+  std::string toString() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Funcs;
+  std::vector<GlobalVariable> Globals;
+};
+
+} // namespace helix
+
+#endif // HELIX_IR_MODULE_H

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data operands of IR instructions: virtual registers, integer/float
+/// immediates, and global addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_IR_OPERAND_H
+#define HELIX_IR_OPERAND_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace helix {
+
+/// Sentinel for "no destination register".
+inline constexpr unsigned NoReg = ~0u;
+
+/// A data operand. Branch targets and callees are stored on the instruction
+/// itself, not as Operands, so CFG edits never have to scan operand lists.
+class Operand {
+public:
+  enum class Kind : uint8_t { Reg, ImmInt, ImmFloat, Global };
+
+  static Operand reg(unsigned RegId) {
+    Operand O;
+    O.K = Kind::Reg;
+    O.RegId = RegId;
+    return O;
+  }
+  static Operand immInt(int64_t Value) {
+    Operand O;
+    O.K = Kind::ImmInt;
+    O.IntValue = Value;
+    return O;
+  }
+  static Operand immFloat(double Value) {
+    Operand O;
+    O.K = Kind::ImmFloat;
+    O.FloatValue = Value;
+    return O;
+  }
+  /// \p GlobalIdx indexes Module::globals(); the interpreter resolves it to
+  /// the global's base address.
+  static Operand global(unsigned GlobalIdx) {
+    Operand O;
+    O.K = Kind::Global;
+    O.RegId = GlobalIdx;
+    return O;
+  }
+
+  Kind kind() const { return K; }
+  bool isReg() const { return K == Kind::Reg; }
+  bool isImmInt() const { return K == Kind::ImmInt; }
+  bool isImmFloat() const { return K == Kind::ImmFloat; }
+  bool isGlobal() const { return K == Kind::Global; }
+
+  unsigned regId() const {
+    assert(isReg() && "not a register operand");
+    return RegId;
+  }
+  int64_t intValue() const {
+    assert(isImmInt() && "not an integer immediate");
+    return IntValue;
+  }
+  double floatValue() const {
+    assert(isImmFloat() && "not a float immediate");
+    return FloatValue;
+  }
+  unsigned globalIndex() const {
+    assert(isGlobal() && "not a global operand");
+    return RegId;
+  }
+
+  /// Rewrites a register operand in place (used by inlining and cloning).
+  void setReg(unsigned NewRegId) {
+    assert(isReg() && "not a register operand");
+    RegId = NewRegId;
+  }
+
+  bool operator==(const Operand &Other) const {
+    if (K != Other.K)
+      return false;
+    switch (K) {
+    case Kind::Reg:
+    case Kind::Global:
+      return RegId == Other.RegId;
+    case Kind::ImmInt:
+      return IntValue == Other.IntValue;
+    case Kind::ImmFloat:
+      return FloatValue == Other.FloatValue;
+    }
+    return false;
+  }
+
+private:
+  Kind K = Kind::ImmInt;
+  union {
+    unsigned RegId;
+    int64_t IntValue;
+    double FloatValue;
+  };
+};
+
+} // namespace helix
+
+#endif // HELIX_IR_OPERAND_H

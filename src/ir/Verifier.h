@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for IR modules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_IR_VERIFIER_H
+#define HELIX_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace helix {
+
+/// Checks module invariants: every block terminated exactly once, branch
+/// targets in-function, operand arities, register ids in range, call arity
+/// matching the callee, globals in range.
+///
+/// \returns an empty string if the module is well formed, otherwise a
+/// diagnostic describing the first violation found.
+std::string verifyModule(const Module &M);
+
+/// Like verifyModule but for a single function.
+std::string verifyFunction(const Function &F);
+
+} // namespace helix
+
+#endif // HELIX_IR_VERIFIER_H

@@ -1,0 +1,101 @@
+#include "profile/Profiler.h"
+
+#include "support/Compiler.h"
+
+using namespace helix;
+
+namespace {
+
+/// Observer maintaining the dynamic loop stack.
+class LoopProfiler : public ExecObserver {
+public:
+  LoopProfiler(const LoopNestGraph &LNG, ModuleAnalyses &AM,
+               ProgramProfile &Out)
+      : LNG(LNG), AM(AM), Out(Out) {}
+
+  void onInstruction(const Instruction *I, unsigned Cycles,
+                     Interpreter &Interp) override {
+    Out.TotalCycles += Cycles;
+    for (const StackEntry &E : Stack)
+      Out.Loops[E.Node].Cycles += Cycles;
+    if (I->opcode() == Opcode::Ret) {
+      unsigned Depth = Interp.callDepth();
+      while (!Stack.empty() && Stack.back().Depth == Depth)
+        Stack.pop_back();
+    }
+  }
+
+  void onEdge(const BasicBlock *From, const BasicBlock *To,
+              Interpreter &Interp) override {
+    const Function *F = Interp.currentFunction();
+    LoopInfo &LI = AM.on(const_cast<Function *>(F)).LI;
+    unsigned Depth = Interp.callDepth();
+
+    // Pop loops of this frame that the edge leaves.
+    while (!Stack.empty() && Stack.back().Depth == Depth) {
+      Loop *L = LNG.node(Stack.back().Node).L;
+      if (L->contains(To))
+        break;
+      Stack.pop_back();
+    }
+
+    // Back edge of the innermost active loop?
+    if (!Stack.empty() && Stack.back().Depth == Depth) {
+      Loop *L = LNG.node(Stack.back().Node).L;
+      if (To == L->header() && L->contains(From)) {
+        ++Out.Loops[Stack.back().Node].Iterations;
+        return;
+      }
+    }
+
+    // Entering loops: walk from the outermost newly-entered loop inward.
+    // (A single edge can enter at most the chain of loops sharing To as
+    // header; entering a header enters exactly the loops headed there.)
+    Loop *Inner = LI.loopFor(To);
+    std::vector<Loop *> Entered;
+    for (Loop *L = Inner; L; L = L->parent()) {
+      if (L->header() != To)
+        continue;
+      if (L->contains(From))
+        continue; // not an entry for this loop
+      Entered.push_back(L);
+    }
+    for (auto It = Entered.rbegin(); It != Entered.rend(); ++It) {
+      unsigned Node = LNG.nodeFor(*It);
+      if (Node == ~0u)
+        continue;
+      if (!Stack.empty())
+        Out.DynamicEdges.insert({Stack.back().Node, Node});
+      Stack.push_back({Node, Depth});
+      ++Out.Loops[Node].Invocations;
+      ++Out.Loops[Node].Iterations; // the entering edge begins iteration 0
+    }
+  }
+
+private:
+  struct StackEntry {
+    unsigned Node;
+    unsigned Depth;
+  };
+  const LoopNestGraph &LNG;
+  ModuleAnalyses &AM;
+  ProgramProfile &Out;
+  std::vector<StackEntry> Stack;
+};
+
+} // namespace
+
+ProgramProfile helix::profileProgram(Module &M, const LoopNestGraph &LNG,
+                                     ModuleAnalyses &AM,
+                                     ExecResult *ResultOut) {
+  ProgramProfile P;
+  P.Loops.assign(LNG.numNodes(), LoopProfile());
+
+  LoopProfiler Obs(LNG, AM, P);
+  Interpreter Interp(M);
+  Interp.setObserver(&Obs);
+  ExecResult R = Interp.run("main");
+  if (ResultOut)
+    *ResultOut = R;
+  return P;
+}

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop profiler (Section 2.2): runs the program once under the interpreter
+/// and collects, per loop of the program-wide loop nesting graph,
+///   - invocation and iteration counts (Invoc_i and the C-Sig count),
+///   - cycles spent inside the loop (including nested code),
+/// plus the set of nesting-graph edges actually traversed — the *dynamic*
+/// loop nesting graph used by loop selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_PROFILE_PROFILER_H
+#define HELIX_PROFILE_PROFILER_H
+
+#include "analysis/LoopNestGraph.h"
+#include "sim/Interpreter.h"
+
+#include <set>
+#include <vector>
+
+namespace helix {
+
+/// Dynamic statistics of one loop-nest node.
+struct LoopProfile {
+  uint64_t Invocations = 0;
+  uint64_t Iterations = 0;
+  /// Cycles spent while this loop was on the dynamic loop stack (includes
+  /// nested loops and called functions).
+  uint64_t Cycles = 0;
+};
+
+/// Result of a profiling run.
+struct ProgramProfile {
+  uint64_t TotalCycles = 0;
+  std::vector<LoopProfile> Loops; ///< indexed by LoopNestGraph node id
+  /// Nesting-graph edges (parent node, child node) observed at run time.
+  std::set<std::pair<unsigned, unsigned>> DynamicEdges;
+
+  /// True if the node was ever executed.
+  bool executed(unsigned Node) const {
+    return Loops[Node].Invocations > 0;
+  }
+};
+
+/// Interprets @main and profiles every loop of \p LNG.
+/// \returns the profile; Ok is false in \p ResultOut on interpreter error.
+ProgramProfile profileProgram(Module &M, const LoopNestGraph &LNG,
+                              ModuleAnalyses &AM, ExecResult *ResultOut);
+
+} // namespace helix
+
+#endif // HELIX_PROFILE_PROFILER_H

@@ -1,0 +1,573 @@
+#include "runtime/ThreadedRuntime.h"
+
+#include "support/Compiler.h"
+#include "support/Format.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <thread>
+
+using namespace helix;
+
+namespace {
+
+constexpr uint64_t StackBase = uint64_t(1) << 40;
+
+/// Shared program memory: globals + heap in one pre-sized arena (so worker
+/// threads never race a reallocation), per-context stacks elsewhere.
+struct SharedMemory {
+  std::vector<Value> Low;
+  std::atomic<uint64_t> HeapPtr{0};
+  std::vector<uint64_t> GlobalBase;
+
+  explicit SharedMemory(Module &M) {
+    uint64_t Next = 1;
+    for (unsigned I = 0, E = M.numGlobals(); I != E; ++I) {
+      GlobalBase.push_back(Next);
+      Next += M.global(I).Size;
+    }
+    HeapPtr = Next;
+    Low.assign(Next + (1u << 22), Value()); // 4M heap slots headroom
+    for (unsigned I = 0, E = M.numGlobals(); I != E; ++I) {
+      const GlobalVariable &G = M.global(I);
+      for (size_t K = 0; K != G.Init.size(); ++K)
+        Low[GlobalBase[I] + K] = Value::ofInt(G.Init[K]);
+    }
+  }
+
+  uint64_t heapAlloc(uint64_t N) {
+    uint64_t Base = HeapPtr.fetch_add(N);
+    if (Base + N > Low.size())
+      reportFatalError("threaded runtime heap exhausted");
+    return Base;
+  }
+};
+
+/// Per-iteration synchronization row (the thread memory buffer).
+struct IterRow {
+  std::atomic<uint64_t> SegMask{0};
+  std::atomic<uint32_t> IterStartDone{0};
+};
+
+/// Book-keeping of one parallel-loop invocation.
+struct Invocation {
+  const ParallelLoopInfo *PLI = nullptr;
+  /// Sync/IterStart instructions belonging to this loop (a nested
+  /// parallelized loop's operations are sequential no-ops here).
+  std::set<const Instruction *> OwnedSync;
+  std::deque<IterRow> Rows; // deque: growth never moves existing rows
+  std::mutex RowsMutex;
+  std::atomic<int64_t> ExitIter{-1};
+  // Exit continuation (filled by the exiting iteration's worker).
+  const BasicBlock *ExitBlock = nullptr;
+  unsigned ExitPos = 0;
+  std::vector<Value> ExitRegs;
+  std::atomic<uint64_t> Signals{0};
+
+  IterRow &row(uint64_t I) {
+    std::lock_guard<std::mutex> Lock(RowsMutex);
+    while (Rows.size() <= I)
+      Rows.emplace_back();
+    return Rows[I];
+  }
+};
+
+/// One execution context (main thread, or one loop iteration).
+struct Context {
+  SharedMemory *Mem = nullptr;
+  std::vector<Value> Stack;
+  uint64_t StackPtr = 0;
+
+  struct Frame {
+    const Function *F;
+    std::vector<Value> Regs;
+    const BasicBlock *BB;
+    unsigned Pos;
+    uint64_t SavedSP;
+    unsigned DestRegInCaller;
+    bool WantsResult;
+  };
+  std::vector<Frame> Frames;
+  Value Returned;
+  std::string Error;
+  uint64_t Steps = 0, MaxSteps = 400ull * 1000 * 1000;
+
+  Value load(uint64_t Addr) {
+    if (Addr >= StackBase) {
+      uint64_t Idx = Addr - StackBase;
+      return Idx < Stack.size() ? Stack[Idx] : Value();
+    }
+    return Addr < Mem->Low.size() ? Mem->Low[Addr] : Value();
+  }
+  void store(uint64_t Addr, Value V) {
+    if (Addr >= StackBase) {
+      uint64_t Idx = Addr - StackBase;
+      if (Idx >= Stack.size())
+        Stack.resize(Idx + 1);
+      Stack[Idx] = V;
+      return;
+    }
+    if (Addr >= Mem->Low.size())
+      reportFatalError("threaded runtime store out of arena");
+    Mem->Low[Addr] = V;
+  }
+};
+
+/// What stopped a stepInstruction/runContext call.
+enum class StopReason {
+  Running,      ///< keep going
+  Returned,     ///< base frame returned
+  EdgeTaken,    ///< control moved along an edge the caller watches
+  Failed,
+};
+
+/// The worker/main instruction engine. Edge watching: before following a
+/// branch in the *base frame*, the supplied callback may redirect or stop
+/// execution (used to detect loop entry, back edges and exits).
+class Engine {
+public:
+  Engine(Module &M, SharedMemory &Mem) : M(M), Mem(Mem) {}
+
+  /// Runs \p Ctx until the base frame returns or EdgeWatch stops it.
+  /// EdgeWatch(from, to) is consulted for every same-frame control edge;
+  /// returning false stops execution *before* the edge is taken (the
+  /// frame's position stays on the terminator).
+  template <typename EdgeWatchT>
+  StopReason run(Context &Ctx, EdgeWatchT EdgeWatch,
+                 Invocation *Inv = nullptr, uint64_t IterIdx = 0) {
+    while (true) {
+      if (Ctx.Frames.empty())
+        return StopReason::Returned;
+      if (++Ctx.Steps > Ctx.MaxSteps) {
+        Ctx.Error = "threaded runtime step budget exhausted";
+        return StopReason::Failed;
+      }
+      Context::Frame &Fr = Ctx.Frames.back();
+      assert(Fr.Pos < Fr.BB->size() && "fell off block end");
+      Instruction *I =
+          const_cast<BasicBlock *>(Fr.BB)->instr(Fr.Pos);
+      StopReason R = step(Ctx, Fr, I, EdgeWatch, Inv, IterIdx);
+      if (R != StopReason::Running)
+        return R;
+    }
+  }
+
+private:
+  template <typename EdgeWatchT>
+  StopReason step(Context &Ctx, Context::Frame &Fr, Instruction *I,
+                  EdgeWatchT &EdgeWatch, Invocation *Inv, uint64_t IterIdx) {
+    auto Val = [&](unsigned K) -> Value {
+      const Operand &O = I->operand(K);
+      switch (O.kind()) {
+      case Operand::Kind::Reg:
+        return Fr.Regs[O.regId()];
+      case Operand::Kind::ImmInt:
+        return Value::ofInt(O.intValue());
+      case Operand::Kind::ImmFloat:
+        return Value::ofFloat(O.floatValue());
+      case Operand::Kind::Global:
+        return Value::ofInt(int64_t(Mem.GlobalBase[O.globalIndex()]));
+      }
+      HELIX_UNREACHABLE("unknown operand");
+    };
+    auto SetDest = [&](Value V) { Fr.Regs[I->dest()] = V; };
+    auto TakeEdge = [&](const BasicBlock *To) -> StopReason {
+      if (!EdgeWatch(Fr.BB, To))
+        return StopReason::EdgeTaken;
+      Fr.BB = To;
+      Fr.Pos = 0;
+      return StopReason::Running;
+    };
+
+    switch (I->opcode()) {
+    case Opcode::Add:
+      SetDest(Value::ofInt(int64_t(uint64_t(Val(0).asInt()) +
+                                   uint64_t(Val(1).asInt()))));
+      break;
+    case Opcode::Sub:
+      SetDest(Value::ofInt(int64_t(uint64_t(Val(0).asInt()) -
+                                   uint64_t(Val(1).asInt()))));
+      break;
+    case Opcode::Mul:
+      SetDest(Value::ofInt(int64_t(uint64_t(Val(0).asInt()) *
+                                   uint64_t(Val(1).asInt()))));
+      break;
+    case Opcode::Div: {
+      int64_t B = Val(1).asInt();
+      if (B == 0) {
+        Ctx.Error = "division by zero";
+        return StopReason::Failed;
+      }
+      SetDest(Value::ofInt(Val(0).asInt() / B));
+      break;
+    }
+    case Opcode::Rem: {
+      int64_t B = Val(1).asInt();
+      if (B == 0) {
+        Ctx.Error = "remainder by zero";
+        return StopReason::Failed;
+      }
+      SetDest(Value::ofInt(Val(0).asInt() % B));
+      break;
+    }
+    case Opcode::And:
+      SetDest(Value::ofInt(Val(0).asInt() & Val(1).asInt()));
+      break;
+    case Opcode::Or:
+      SetDest(Value::ofInt(Val(0).asInt() | Val(1).asInt()));
+      break;
+    case Opcode::Xor:
+      SetDest(Value::ofInt(Val(0).asInt() ^ Val(1).asInt()));
+      break;
+    case Opcode::Shl:
+      SetDest(Value::ofInt(
+          int64_t(uint64_t(Val(0).asInt()) << (Val(1).asInt() & 63))));
+      break;
+    case Opcode::Shr:
+      SetDest(Value::ofInt(
+          int64_t(uint64_t(Val(0).asInt()) >> (Val(1).asInt() & 63))));
+      break;
+    case Opcode::FAdd:
+      SetDest(Value::ofFloat(Val(0).asFloat() + Val(1).asFloat()));
+      break;
+    case Opcode::FSub:
+      SetDest(Value::ofFloat(Val(0).asFloat() - Val(1).asFloat()));
+      break;
+    case Opcode::FMul:
+      SetDest(Value::ofFloat(Val(0).asFloat() * Val(1).asFloat()));
+      break;
+    case Opcode::FDiv:
+      SetDest(Value::ofFloat(Val(0).asFloat() / Val(1).asFloat()));
+      break;
+    case Opcode::IntToFP:
+      SetDest(Value::ofFloat(Val(0).asFloat()));
+      break;
+    case Opcode::FPToInt:
+      SetDest(Value::ofInt(Val(0).asInt()));
+      break;
+    case Opcode::CmpEQ:
+      SetDest(Value::ofInt(Val(0).asInt() == Val(1).asInt()));
+      break;
+    case Opcode::CmpNE:
+      SetDest(Value::ofInt(Val(0).asInt() != Val(1).asInt()));
+      break;
+    case Opcode::CmpLT:
+      SetDest(Value::ofInt(Val(0).asInt() < Val(1).asInt()));
+      break;
+    case Opcode::CmpLE:
+      SetDest(Value::ofInt(Val(0).asInt() <= Val(1).asInt()));
+      break;
+    case Opcode::CmpGT:
+      SetDest(Value::ofInt(Val(0).asInt() > Val(1).asInt()));
+      break;
+    case Opcode::CmpGE:
+      SetDest(Value::ofInt(Val(0).asInt() >= Val(1).asInt()));
+      break;
+    case Opcode::FCmpEQ:
+      SetDest(Value::ofInt(Val(0).asFloat() == Val(1).asFloat()));
+      break;
+    case Opcode::FCmpNE:
+      SetDest(Value::ofInt(Val(0).asFloat() != Val(1).asFloat()));
+      break;
+    case Opcode::FCmpLT:
+      SetDest(Value::ofInt(Val(0).asFloat() < Val(1).asFloat()));
+      break;
+    case Opcode::FCmpLE:
+      SetDest(Value::ofInt(Val(0).asFloat() <= Val(1).asFloat()));
+      break;
+    case Opcode::FCmpGT:
+      SetDest(Value::ofInt(Val(0).asFloat() > Val(1).asFloat()));
+      break;
+    case Opcode::FCmpGE:
+      SetDest(Value::ofInt(Val(0).asFloat() >= Val(1).asFloat()));
+      break;
+    case Opcode::Mov:
+      SetDest(Val(0));
+      break;
+    case Opcode::Load: {
+      int64_t Addr = Val(0).asInt();
+      if (Addr <= 0) {
+        Ctx.Error = "load from null address";
+        return StopReason::Failed;
+      }
+      SetDest(Ctx.load(uint64_t(Addr)));
+      break;
+    }
+    case Opcode::Store: {
+      int64_t Addr = Val(1).asInt();
+      if (Addr <= 0) {
+        Ctx.Error = "store to null address";
+        return StopReason::Failed;
+      }
+      Ctx.store(uint64_t(Addr), Val(0));
+      break;
+    }
+    case Opcode::Alloca: {
+      uint64_t Base = StackBase + Ctx.StackPtr;
+      Ctx.StackPtr += uint64_t(I->imm());
+      if (Ctx.Stack.size() < Ctx.StackPtr)
+        Ctx.Stack.resize(Ctx.StackPtr);
+      SetDest(Value::ofInt(int64_t(Base)));
+      break;
+    }
+    case Opcode::HeapAlloc: {
+      int64_t N = Val(0).asInt();
+      if (N <= 0) {
+        Ctx.Error = "bad heap allocation size";
+        return StopReason::Failed;
+      }
+      SetDest(Value::ofInt(int64_t(Mem.heapAlloc(uint64_t(N)))));
+      break;
+    }
+    case Opcode::Br:
+      return TakeEdge(I->target1());
+    case Opcode::CondBr:
+      return TakeEdge(Val(0).asInt() != 0 ? I->target1() : I->target2());
+    case Opcode::Call: {
+      Context::Frame NewFr;
+      NewFr.F = I->callee();
+      NewFr.Regs.assign(I->callee()->numRegs(), Value());
+      for (unsigned K = 0, E = I->numOperands(); K != E; ++K)
+        NewFr.Regs[K] = Val(K);
+      NewFr.BB = I->callee()->entry();
+      NewFr.Pos = 0;
+      NewFr.SavedSP = Ctx.StackPtr;
+      NewFr.DestRegInCaller = I->hasDest() ? I->dest() : NoReg;
+      NewFr.WantsResult = I->hasDest();
+      ++Fr.Pos;
+      Ctx.Frames.push_back(std::move(NewFr));
+      return StopReason::Running;
+    }
+    case Opcode::Ret: {
+      Value RV = I->numOperands() == 1 ? Val(0) : Value();
+      Ctx.StackPtr = Fr.SavedSP;
+      unsigned DestReg = Fr.DestRegInCaller;
+      bool Wants = Fr.WantsResult;
+      Ctx.Frames.pop_back();
+      if (Ctx.Frames.empty()) {
+        Ctx.Returned = RV;
+        return StopReason::Returned;
+      }
+      if (Wants && DestReg != NoReg)
+        Ctx.Frames.back().Regs[DestReg] = RV;
+      return StopReason::Running;
+    }
+    case Opcode::Wait: {
+      // Only meaningful inside a parallel iteration in the base frame.
+      if (Inv && Ctx.Frames.size() == 1 && Inv->OwnedSync.count(I) &&
+          IterIdx > 0) {
+        uint64_t Bit = uint64_t(1) << (I->imm() & 63);
+        IterRow &Prev = Inv->row(IterIdx - 1);
+        while (!(Prev.SegMask.load(std::memory_order_acquire) & Bit))
+          std::this_thread::yield();
+      }
+      break;
+    }
+    case Opcode::SignalOp: {
+      if (Inv && Ctx.Frames.size() == 1 && Inv->OwnedSync.count(I)) {
+        uint64_t Bit = uint64_t(1) << (I->imm() & 63);
+        Inv->row(IterIdx).SegMask.fetch_or(Bit, std::memory_order_release);
+        Inv->Signals.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    case Opcode::IterStart: {
+      if (Inv && Ctx.Frames.size() == 1 && Inv->OwnedSync.count(I))
+        Inv->row(IterIdx).IterStartDone.store(1, std::memory_order_release);
+      break;
+    }
+    case Opcode::MemFence:
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      break;
+    case Opcode::Nop:
+      break;
+    }
+    ++Fr.Pos;
+    return StopReason::Running;
+  }
+
+  Module &M;
+  SharedMemory &Mem;
+};
+
+/// Runs iterations Worker, Worker+N, ... of one invocation.
+void workerMain(Module &M, SharedMemory &Mem, Invocation &Inv,
+                const std::vector<Value> &Snapshot, unsigned Worker,
+                unsigned NumThreads, std::atomic<bool> &Failed) {
+  const ParallelLoopInfo *PLI = Inv.PLI;
+  Engine Eng(M, Mem);
+
+  for (uint64_t Iter = Worker;; Iter += NumThreads) {
+    // Control chain: iteration Iter may start once its predecessor passed
+    // IterStart (or finished). The exiting iteration never sets its flag,
+    // which is how later iterations learn to stop.
+    if (Iter > 0) {
+      IterRow &Prev = Inv.row(Iter - 1);
+      while (!Prev.IterStartDone.load(std::memory_order_acquire)) {
+        int64_t Exit = Inv.ExitIter.load(std::memory_order_acquire);
+        if ((Exit >= 0 && int64_t(Iter) > Exit) ||
+            Failed.load(std::memory_order_relaxed))
+          return;
+        std::this_thread::yield();
+      }
+    }
+
+    Context Ctx;
+    Ctx.Mem = &Mem;
+    Context::Frame Fr;
+    Fr.F = PLI->F;
+    Fr.Regs = Snapshot;
+    Fr.BB = PLI->Header;
+    Fr.Pos = 0;
+    Fr.SavedSP = 0;
+    Fr.DestRegInCaller = NoReg;
+    Fr.WantsResult = false;
+    Ctx.Frames.push_back(std::move(Fr));
+    // Materialize induction variables: Reg = snapshot + Iter * stride.
+    for (const MaterializedIV &IV : PLI->IVs)
+      Ctx.Frames[0].Regs[IV.Reg] = Value::ofInt(
+          Snapshot[IV.Reg].asInt() + int64_t(Iter) * IV.Stride);
+
+    bool IterationEnded = false;
+    bool TookExit = false;
+    const BasicBlock *ExitTo = nullptr;
+    StopReason R = Eng.run(
+        Ctx,
+        [&](const BasicBlock *From, const BasicBlock *To) {
+          if (Ctx.Frames.size() != 1)
+            return true; // edges inside called functions are opaque
+          if (From == PLI->Latch && To == PLI->Header) {
+            IterationEnded = true;
+            return false; // back edge: this iteration is done
+          }
+          if (PLI->contains(From) && !PLI->contains(To)) {
+            TookExit = true;
+            ExitTo = To;
+            return false;
+          }
+          return true;
+        },
+        &Inv, Iter);
+
+    if (R == StopReason::Failed || R == StopReason::Returned) {
+      // Returning out of the loop's function mid-iteration would be a
+      // malformed loop; treat as failure.
+      Failed.store(true, std::memory_order_relaxed);
+      Inv.ExitIter.store(int64_t(Iter), std::memory_order_release);
+      return;
+    }
+    (void)IterationEnded;
+
+    if (TookExit) {
+      // First (and only) exit: Step 9's exit bookkeeping.
+      Inv.ExitBlock = ExitTo;
+      Inv.ExitPos = 0;
+      Inv.ExitRegs = Ctx.Frames[0].Regs;
+      Inv.ExitIter.store(int64_t(Iter), std::memory_order_release);
+      return;
+    }
+
+    // Completed an iteration; defensively publish all segment flags (every
+    // path signalled every segment already, by construction).
+    Inv.row(Iter).SegMask.store(~uint64_t(0), std::memory_order_release);
+    if (Failed.load(std::memory_order_relaxed))
+      return;
+  }
+}
+
+} // namespace
+
+ExecResult helix::runThreaded(
+    Module &M, const std::vector<const ParallelLoopInfo *> &Loops,
+    unsigned NumThreads, RuntimeStats *Stats) {
+  ExecResult Result;
+  SharedMemory Mem(M);
+  Engine Eng(M, Mem);
+  RuntimeStats LocalStats;
+
+  Function *Main = M.findFunction("main");
+  if (!Main) {
+    Result.Error = "no @main";
+    return Result;
+  }
+
+  Context Ctx;
+  Ctx.Mem = &Mem;
+  Context::Frame Fr;
+  Fr.F = Main;
+  Fr.Regs.assign(Main->numRegs(), Value());
+  Fr.BB = Main->entry();
+  Fr.Pos = 0;
+  Fr.SavedSP = 0;
+  Fr.DestRegInCaller = NoReg;
+  Fr.WantsResult = false;
+  Ctx.Frames.push_back(std::move(Fr));
+
+  while (true) {
+    const ParallelLoopInfo *Entered = nullptr;
+    StopReason R = Eng.run(Ctx, [&](const BasicBlock *From,
+                                    const BasicBlock *To) {
+      for (const ParallelLoopInfo *PLI : Loops) {
+        if (PLI->F == Ctx.Frames.back().F && To == PLI->Header &&
+            !PLI->contains(From)) {
+          Entered = PLI;
+          return false;
+        }
+      }
+      return true;
+    });
+
+    if (R == StopReason::Returned) {
+      Result.Ok = true;
+      Result.ReturnValue = Ctx.Returned;
+      break;
+    }
+    if (R == StopReason::Failed) {
+      Result.Error = Ctx.Error;
+      break;
+    }
+    assert(Entered && "engine stopped without reason");
+
+    // ----- Parallel invocation (Figure 3(b)). ---------------------------
+    Invocation Inv;
+    Inv.PLI = Entered;
+    for (const SequentialSegment &Seg : Entered->Segments) {
+      Inv.OwnedSync.insert(Seg.Waits.begin(), Seg.Waits.end());
+      Inv.OwnedSync.insert(Seg.Signals.begin(), Seg.Signals.end());
+    }
+    Inv.OwnedSync.insert(Entered->IterStarts.begin(),
+                         Entered->IterStarts.end());
+    std::vector<Value> Snapshot = Ctx.Frames.back().Regs;
+    std::atomic<bool> Failed{false};
+
+    {
+      std::vector<std::thread> Workers;
+      for (unsigned W = 0; W != NumThreads; ++W)
+        Workers.emplace_back(workerMain, std::ref(M), std::ref(Mem),
+                             std::ref(Inv), std::cref(Snapshot), W,
+                             NumThreads, std::ref(Failed));
+      for (std::thread &T : Workers)
+        T.join();
+    }
+
+    if (Failed.load() || Inv.ExitIter.load() < 0) {
+      Result.Error = "parallel invocation failed or never exited";
+      break;
+    }
+    ++LocalStats.ParallelInvocations;
+    LocalStats.ParallelIterations += uint64_t(Inv.ExitIter.load()) + 1;
+    LocalStats.SignalsSent += Inv.Signals.load();
+
+    // Continue after the loop with the exiting iteration's registers
+    // (boundary values are re-loaded from storage by the exit-edge blocks).
+    Ctx.Frames.back().Regs = Inv.ExitRegs;
+    Ctx.Frames.back().BB = Inv.ExitBlock;
+    Ctx.Frames.back().Pos = 0;
+  }
+
+  if (Stats)
+    *Stats = LocalStats;
+  return Result;
+}

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A real multi-threaded runtime for HELIX-parallelized loops.
+///
+/// Where the timing simulator (src/sim) predicts performance, this runtime
+/// validates *correctness under true concurrency*: iterations of a
+/// parallelized loop execute in actual std::thread workers, round-robin as
+/// in the paper (Figure 3(b)), communicating through
+///   - per-iteration segment flags (the thread memory buffers): Signal is
+///     a release store, Wait an acquire spin — the load/store
+///     implementation Section 2.3 describes for a TSO machine, expressed
+///     with C++ atomics;
+///   - the boundary-variable storage global in shared memory (Step 7);
+///   - the IterationFlag control chain: iteration i+1 starts only after
+///     iteration i executes IterStart (or finishes, if the body is empty).
+///
+/// Induction variables are materialized per iteration from the loop-entry
+/// snapshot (Reg = snapshot + i * stride), which is what makes private
+/// per-thread register files sufficient: everything else that crosses
+/// iterations travels through the storage slots under synchronization.
+///
+/// The runtime executes one parallelized loop at a time; parallel loops
+/// reached from inside an iteration run sequentially (Step 9's dynamic
+/// check). Results must match the sequential interpreter exactly — the
+/// differential tests run every workload through both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_RUNTIME_THREADEDRUNTIME_H
+#define HELIX_RUNTIME_THREADEDRUNTIME_H
+
+#include "helix/ParallelLoopInfo.h"
+#include "sim/Interpreter.h"
+
+#include <vector>
+
+namespace helix {
+
+/// Statistics of one threaded execution.
+struct RuntimeStats {
+  uint64_t ParallelInvocations = 0;
+  uint64_t ParallelIterations = 0;
+  uint64_t SignalsSent = 0;
+};
+
+/// Executes @main of \p M with the loops in \p Loops running on
+/// \p NumThreads worker threads. \returns the result (return value must
+/// equal the sequential interpretation of the same module).
+ExecResult runThreaded(Module &M,
+                       const std::vector<const ParallelLoopInfo *> &Loops,
+                       unsigned NumThreads, RuntimeStats *Stats = nullptr);
+
+} // namespace helix
+
+#endif // HELIX_RUNTIME_THREADEDRUNTIME_H

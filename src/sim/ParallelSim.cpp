@@ -1,0 +1,201 @@
+#include "sim/ParallelSim.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace helix;
+
+uint64_t helix::simulateInvocation(const InvocationTrace &Inv,
+                                   const ParallelLoopInfo &PLI,
+                                   const SimConfig &Config, SimStats &Stats) {
+  const unsigned N = std::max(1u, Config.NumCores);
+  const unsigned NumSegs = unsigned(PLI.Segments.size());
+  const double Unpref = Config.Machine.UnprefetchedSignalCycles;
+  const double Pref = Config.Machine.PrefetchedSignalCycles;
+  const double PullTime = std::max(0.0, Unpref - Pref);
+  const uint64_t M = uint64_t(Config.Machine.WordTransferCycles);
+
+  // Thread start/stop control signals: (N-1) to start the pool, (N-1) to
+  // stop it, at unprefetched latency each (Equation 1's 2*(N-1) term),
+  // plus the per-invocation configuration cost Conf.
+  uint64_t T0 = uint64_t(Config.Machine.LoopConfigCycles) +
+                uint64_t((N - 1) * Unpref);
+  Stats.SignalsSent += 2 * (N - 1);
+
+  std::vector<uint64_t> CoreFree(N, T0);
+  std::vector<double> PrevSignal(NumSegs, 0.0); // predecessor's signal times
+  bool HavePred = false;
+  uint64_t StartGate = T0; // when the next iteration's prologue may begin
+  std::map<uint32_t, uint64_t> SlotWriter; // slot -> writing iteration
+  uint64_t LastEnd = T0;
+
+  for (uint64_t I = 0, K = Inv.Iterations.size(); I != K; ++I) {
+    const IterationTrace &It = Inv.Iterations[I];
+    unsigned Core = unsigned(I % N);
+    // The control signal (the predecessor's store to IterationFlag) must
+    // reach this core before the iteration can start. Helper threads
+    // prefetch it like any other signal, so its latency hides behind the
+    // core draining its previous iteration.
+    double Free = double(CoreFree[Core]);
+    double T;
+    if (PLI.SelfStartingPrologue) {
+      // Counted loop (Step 3): iterations start as soon as their core is
+      // free; the prologue is locally computable.
+      T = std::max(Free, double(T0));
+    } else if (I == 0) {
+      T = std::max(Free, double(StartGate));
+    } else {
+      double Gate = double(StartGate);
+      double CtrlArrival;
+      switch (Config.Prefetch) {
+      case PrefetchMode::None:
+        CtrlArrival = std::max(Free, Gate) + Unpref;
+        break;
+      case PrefetchMode::Ideal:
+        CtrlArrival = std::max(Free, Gate) + Pref;
+        break;
+      case PrefetchMode::Helper: {
+        double NoHelp = std::max(Free, Gate) + Unpref;
+        double WithHelp = std::max(Free, Gate + PullTime) + Pref;
+        CtrlArrival = std::min(NoHelp, WithHelp);
+        break;
+      }
+      }
+      if (Config.DoAcross)
+        CtrlArrival = std::max(Free, Gate) + Unpref;
+      T = std::max(Free, CtrlArrival);
+    }
+
+    // Helper-thread prefetch completion times for this iteration: the
+    // helper pulls signals one at a time, in segment order, starting as
+    // soon as the predecessor sent each signal (Figure 7).
+    std::vector<double> PrefetchDone(NumSegs, 0.0);
+    if (Config.Prefetch == PrefetchMode::Helper && HavePred) {
+      double HelperClock = T;
+      for (unsigned S = 0; S != NumSegs; ++S) {
+        double Begin = std::max(HelperClock, PrevSignal[S]);
+        PrefetchDone[S] = Begin + PullTime;
+        HelperClock = PrefetchDone[S];
+      }
+    }
+
+    std::vector<double> CurSignal(NumSegs, -1.0);
+    bool SawIterStart = false;
+    uint64_t NextGate = 0;
+    double PrevLast = 0.0;
+    for (unsigned S = 0; S != NumSegs; ++S)
+      PrevLast = std::max(PrevLast, PrevSignal[S]);
+
+    for (const IterEvent &E : It.Events) {
+      switch (E.K) {
+      case IterEvent::Kind::Cycles:
+        T += double(E.C);
+        break;
+      case IterEvent::Kind::IterStart:
+        if (!SawIterStart) {
+          SawIterStart = true;
+          NextGate = uint64_t(T);
+        }
+        break;
+      case IterEvent::Kind::Wait: {
+        if (!HavePred)
+          break; // first iteration: buffers were initialized at config time
+        unsigned S = E.A;
+        if (S >= NumSegs)
+          break;
+        double Ts = Config.DoAcross ? PrevLast : PrevSignal[S];
+        double Resume;
+        switch (Config.Prefetch) {
+        case PrefetchMode::None:
+          Resume = std::max(T, Ts) + Unpref;
+          break;
+        case PrefetchMode::Ideal:
+          Resume = std::max(T, Ts) + Pref;
+          break;
+        case PrefetchMode::Helper: {
+          double NoHelp = std::max(T, Ts) + Unpref;
+          double WithHelp = std::max(T, PrefetchDone[S]) + Pref;
+          Resume = std::min(NoHelp, WithHelp);
+          break;
+        }
+        }
+        if (Config.DoAcross)
+          Resume = std::max(T, Ts) + Unpref; // no prefetch overlap either
+        if (Resume > T) {
+          Stats.WaitStallCycles += uint64_t(Resume - T);
+          T = Resume;
+        }
+        break;
+      }
+      case IterEvent::Kind::Signal: {
+        unsigned S = E.A;
+        if (S < NumSegs && CurSignal[S] < 0.0) {
+          CurSignal[S] = T;
+          ++Stats.SignalsSent;
+        }
+        break;
+      }
+      case IterEvent::Kind::SlotWrite:
+        SlotWriter[E.A] = I;
+        break;
+      case IterEvent::Kind::SlotRead: {
+        ++Stats.SlotReads;
+        auto W = SlotWriter.find(E.A);
+        if (W != SlotWriter.end() && W->second != I &&
+            (I - W->second) % N != 0) {
+          ++Stats.DataTransfers;
+          T += double(M);
+        }
+        break;
+      }
+      }
+    }
+    Stats.ProgramLoads += It.NumLoads;
+
+    // Segments the iteration never signalled (it took the exit, or the
+    // path had no occurrence): successors may proceed at iteration end.
+    for (unsigned S = 0; S != NumSegs; ++S)
+      PrevSignal[S] = CurSignal[S] < 0.0 ? T : CurSignal[S];
+    HavePred = true;
+
+    if (!SawIterStart)
+      NextGate = uint64_t(T);
+    StartGate = NextGate;
+    CoreFree[Core] = uint64_t(T);
+    LastEnd = std::max(LastEnd, uint64_t(T));
+  }
+
+  ++Stats.Invocations;
+  Stats.Iterations += Inv.Iterations.size();
+  Stats.SeqCycles += Inv.SeqCycles;
+  // Wind-down: the main thread collects the exit value after the last
+  // iteration; one more control signal round.
+  uint64_t Span = LastEnd + uint64_t(Unpref);
+  Stats.ParallelCycles += Span;
+  return Span;
+}
+
+SimStats helix::simulateLoop(const LoopTraces &Traces,
+                             const SimConfig &Config) {
+  SimStats Stats;
+  for (const InvocationTrace &Inv : Traces.Invocations)
+    simulateInvocation(Inv, *Traces.PLI, Config, Stats);
+  return Stats;
+}
+
+uint64_t helix::simulateProgram(const TraceCollector &TC,
+                                const SimConfig &Config,
+                                std::vector<SimStats> *PerLoop) {
+  uint64_t Total = TC.outsideCycles();
+  if (PerLoop)
+    PerLoop->clear();
+  for (const LoopTraces &T : TC.traces()) {
+    SimStats S = simulateLoop(T, Config);
+    Total += S.ParallelCycles;
+    if (PerLoop)
+      PerLoop->push_back(S);
+  }
+  return Total;
+}

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chip-multiprocessor timing simulator: replays loop-invocation traces
+/// on N simulated cores executing iterations round-robin, resolving Wait
+/// stalls against predecessor Signal times under one of four signal-latency
+/// models:
+///
+///   - None:   no helper threads; every signal costs the full unprefetched
+///             latency (110 cycles on the modeled i7-980X).
+///   - Helper: an SMT helper thread per core prefetches signals one at a
+///             time in segment order (HELIX Step 8); the observed latency
+///             depends on how much parallel code separates the segments
+///             (Figure 7).
+///   - Ideal:  every signal is already in the L1 (limit study, §3.3).
+///
+/// A DoAcross flag models the classic DOACROSS baseline in which distinct
+/// sequential segments do not overlap: every Wait of an iteration waits for
+/// the predecessor's *last* signal (Section 4's comparison, Figure 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SIM_PARALLELSIM_H
+#define HELIX_SIM_PARALLELSIM_H
+
+#include "helix/HelixOptions.h"
+#include "helix/ParallelLoopInfo.h"
+#include "sim/TraceCollector.h"
+
+namespace helix {
+
+enum class PrefetchMode { None, Helper, Ideal };
+
+struct SimConfig {
+  unsigned NumCores = 6;
+  MachineModel Machine;
+  PrefetchMode Prefetch = PrefetchMode::Helper;
+  bool DoAcross = false;
+};
+
+/// Timing and traffic statistics of the simulated parallel execution.
+struct SimStats {
+  uint64_t ParallelCycles = 0;  ///< simulated wall-clock of the invocations
+  uint64_t SeqCycles = 0;       ///< same work executed sequentially
+  uint64_t WaitStallCycles = 0; ///< cycles lost blocking in Wait
+  uint64_t SignalsSent = 0;     ///< dynamic signal count (D-Sig + C-Sig)
+  uint64_t DataTransfers = 0;   ///< cross-core boundary-slot transfers
+  uint64_t SlotReads = 0;       ///< all boundary-slot reads
+  uint64_t ProgramLoads = 0;    ///< program loads inside the loop
+  uint64_t Invocations = 0;
+  uint64_t Iterations = 0;
+};
+
+/// Simulates one invocation; returns its wall-clock cycles and accumulates
+/// statistics into \p Stats.
+uint64_t simulateInvocation(const InvocationTrace &Inv,
+                            const ParallelLoopInfo &PLI,
+                            const SimConfig &Config, SimStats &Stats);
+
+/// Simulates every invocation of \p Traces, returning aggregated stats.
+SimStats simulateLoop(const LoopTraces &Traces, const SimConfig &Config);
+
+/// Whole-program simulated time: outside cycles plus the simulated parallel
+/// time of every invocation of every parallelized loop.
+uint64_t simulateProgram(const TraceCollector &TC, const SimConfig &Config,
+                         std::vector<SimStats> *PerLoop = nullptr);
+
+} // namespace helix
+
+#endif // HELIX_SIM_PARALLELSIM_H

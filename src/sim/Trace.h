@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution traces of parallelized loops. The sequential interpreter
+/// produces one trace per loop invocation; the CMP timing simulator replays
+/// it on N cores, resolving Wait/Signal times and signal-prefetch latencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SIM_TRACE_H
+#define HELIX_SIM_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace helix {
+
+/// One event inside an iteration, in program order.
+struct IterEvent {
+  enum class Kind : uint8_t {
+    Cycles,    ///< C cycles of straight-line work
+    Wait,      ///< enter sequential segment A
+    Signal,    ///< leave sequential segment A (signal successor)
+    IterStart, ///< next iteration may begin (Step 3 control signal)
+    SlotWrite, ///< boundary-variable slot A written
+    SlotRead,  ///< boundary-variable slot A read (possible data transfer)
+  };
+  Kind K = Kind::Cycles;
+  uint32_t A = 0;
+  uint64_t C = 0;
+};
+
+/// One loop iteration as the sequential interpreter saw it.
+struct IterationTrace {
+  std::vector<IterEvent> Events;
+  uint64_t TotalCycles = 0;    ///< local work (excludes cross-core stalls)
+  uint64_t PrologueCycles = 0; ///< cycles before the IterStart marker
+  uint64_t SegmentCycles = 0;  ///< cycles spent inside Wait..Signal regions
+  uint64_t NumLoads = 0;       ///< program loads (excluding slot traffic)
+};
+
+/// One dynamic invocation of a parallelized loop.
+struct InvocationTrace {
+  std::vector<IterationTrace> Iterations;
+  uint64_t SeqCycles = 0; ///< sum of iteration TotalCycles
+};
+
+} // namespace helix
+
+#endif // HELIX_SIM_TRACE_H

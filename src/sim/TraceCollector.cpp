@@ -1,0 +1,164 @@
+#include "sim/TraceCollector.h"
+
+#include "support/Compiler.h"
+
+using namespace helix;
+
+TraceCollector::TraceCollector(
+    const std::vector<const ParallelLoopInfo *> &Loops) {
+  for (const ParallelLoopInfo *PLI : Loops) {
+    LoopTraces T;
+    T.PLI = PLI;
+    Traces.push_back(std::move(T));
+  }
+}
+
+uint64_t TraceCollector::totalCycles() const {
+  uint64_t Sum = OutsideCycles;
+  for (const LoopTraces &T : Traces)
+    Sum += T.totalSeqCycles();
+  return Sum;
+}
+
+IterationTrace &TraceCollector::iter() {
+  assert(Active >= 0 && "no active invocation");
+  return Traces[Active].Invocations.back().Iterations.back();
+}
+
+void TraceCollector::flushCycles() {
+  if (PendingCycles == 0)
+    return;
+  IterationTrace &It = iter();
+  It.Events.push_back({IterEvent::Kind::Cycles, 0, PendingCycles});
+  It.TotalCycles += PendingCycles;
+  // Prologue time is Sequential-Control even when a segment is open there;
+  // the two categories partition the iteration (Figure 11).
+  if (InPrologue)
+    It.PrologueCycles += PendingCycles;
+  else if (OpenSegments > 0)
+    It.SegmentCycles += PendingCycles;
+  PendingCycles = 0;
+}
+
+void TraceCollector::endIteration() {
+  flushCycles();
+  InPrologue = true;
+  OpenSegments = 0;
+  Traces[Active].Invocations.back().SeqCycles += iter().TotalCycles;
+}
+
+void TraceCollector::endInvocation() {
+  endIteration();
+  Active = -1;
+}
+
+void TraceCollector::onInstruction(const Instruction *I, unsigned Cycles,
+                                   Interpreter &Interp) {
+  if (Active < 0) {
+    OutsideCycles += Cycles;
+    return;
+  }
+  PendingCycles += Cycles;
+
+  // Structured events only fire in the loop's own frame.
+  const ParallelLoopInfo *PLI = Traces[Active].PLI;
+  if (Interp.callDepth() != ActiveDepth ||
+      Interp.currentFunction() != PLI->F)
+    return;
+
+  switch (I->opcode()) {
+  case Opcode::Wait: {
+    flushCycles();
+    iter().Events.push_back(
+        {IterEvent::Kind::Wait, uint32_t(I->imm()), 0});
+    ++OpenSegments;
+    break;
+  }
+  case Opcode::SignalOp: {
+    flushCycles();
+    iter().Events.push_back(
+        {IterEvent::Kind::Signal, uint32_t(I->imm()), 0});
+    if (OpenSegments > 0)
+      --OpenSegments;
+    break;
+  }
+  case Opcode::IterStart: {
+    flushCycles();
+    iter().Events.push_back({IterEvent::Kind::IterStart, 0, 0});
+    InPrologue = false;
+    break;
+  }
+  case Opcode::Load: {
+    uint64_t Addr = uint64_t(Interp.operandValue(I->operand(0)).asInt());
+    if (StorageBase && Addr >= StorageBase && Addr < StorageEnd) {
+      flushCycles();
+      iter().Events.push_back(
+          {IterEvent::Kind::SlotRead, uint32_t(Addr - StorageBase), 0});
+    } else {
+      ++iter().NumLoads;
+    }
+    break;
+  }
+  case Opcode::Store: {
+    uint64_t Addr = uint64_t(Interp.operandValue(I->operand(1)).asInt());
+    if (StorageBase && Addr >= StorageBase && Addr < StorageEnd) {
+      flushCycles();
+      iter().Events.push_back(
+          {IterEvent::Kind::SlotWrite, uint32_t(Addr - StorageBase), 0});
+    }
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+void TraceCollector::onEdge(const BasicBlock *From, const BasicBlock *To,
+                            Interpreter &Interp) {
+  if (Active >= 0) {
+    const ParallelLoopInfo *PLI = Traces[Active].PLI;
+    if (Interp.callDepth() != ActiveDepth ||
+        Interp.currentFunction() != PLI->F)
+      return;
+    if (From == PLI->Latch && To == PLI->Header) {
+      // Back edge: next iteration of the active invocation.
+      endIteration();
+      Traces[Active].Invocations.back().Iterations.emplace_back();
+      return;
+    }
+    if (PLI->contains(From) && !PLI->contains(To)) {
+      endInvocation();
+      return;
+    }
+    return;
+  }
+
+  // No active invocation: does this edge enter a parallelized loop?
+  for (unsigned K = 0, E = unsigned(Traces.size()); K != E; ++K) {
+    const ParallelLoopInfo *PLI = Traces[K].PLI;
+    if (Interp.currentFunction() != PLI->F)
+      continue;
+    if (To != PLI->Header || PLI->contains(From))
+      continue;
+    Active = int(K);
+    ActiveDepth = Interp.callDepth();
+    Traces[K].Invocations.emplace_back();
+    Traces[K].Invocations.back().Iterations.emplace_back();
+    PendingCycles = 0;
+    InPrologue = true;
+    OpenSegments = 0;
+    if (PLI->StorageGlobal != ~0u) {
+      StorageBase = Interp.globalBase(PLI->StorageGlobal);
+      StorageEnd =
+          StorageBase +
+          PLI->F->parent()->global(PLI->StorageGlobal).Size;
+    } else {
+      StorageBase = StorageEnd = 0;
+    }
+    return;
+  }
+}
+
+// PendingCycles that were attributed to an invocation but never flushed
+// (e.g. the program ends inside a loop) are dropped; parallelizable
+// workloads always leave their loops, so this does not occur in practice.

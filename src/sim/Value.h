@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of the IR interpreter: tagged 64-bit integer or double.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SIM_VALUE_H
+#define HELIX_SIM_VALUE_H
+
+#include <cstdint>
+
+namespace helix {
+
+/// A dynamically-typed machine word.
+struct Value {
+  bool IsFloat = false;
+  union {
+    int64_t I;
+    double F;
+  };
+
+  Value() : I(0) {}
+  static Value ofInt(int64_t V) {
+    Value X;
+    X.IsFloat = false;
+    X.I = V;
+    return X;
+  }
+  static Value ofFloat(double V) {
+    Value X;
+    X.IsFloat = true;
+    X.F = V;
+    return X;
+  }
+
+  int64_t asInt() const { return IsFloat ? int64_t(F) : I; }
+  double asFloat() const { return IsFloat ? F : double(I); }
+
+  bool operator==(const Value &O) const {
+    if (IsFloat != O.IsFloat)
+      return false;
+    return IsFloat ? F == O.F : I == O.I;
+  }
+};
+
+} // namespace helix
+
+#endif // HELIX_SIM_VALUE_H

@@ -1,0 +1,157 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, resizable bitset used as the transfer domain of the dataflow
+/// framework and throughout the analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SUPPORT_BITSET_H
+#define HELIX_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace helix {
+
+/// Fixed-universe bitset with the set-algebra operations needed by
+/// iterative dataflow (union, intersection, difference, equality).
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(unsigned NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  unsigned size() const { return NumBits; }
+
+  void resize(unsigned NewNumBits) {
+    NumBits = NewNumBits;
+    Words.resize((NumBits + 63) / 64, 0);
+    clearPadding();
+  }
+
+  bool test(unsigned Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / 64] >> (Idx % 64)) & 1;
+  }
+
+  void set(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] |= uint64_t(1) << (Idx % 64);
+  }
+
+  void reset(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] &= ~(uint64_t(1) << (Idx % 64));
+  }
+
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~uint64_t(0);
+    clearPadding();
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += __builtin_popcountll(W);
+    return N;
+  }
+
+  /// Set union; returns true if this set changed.
+  bool unionWith(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    bool Changed = false;
+    for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Set intersection; returns true if this set changed.
+  bool intersectWith(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    bool Changed = false;
+    for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// Set difference (this \ Other); returns true if this set changed.
+  bool subtract(const BitSet &Other) {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    bool Changed = false;
+    for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] &= ~Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  bool intersects(const BitSet &Other) const {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    for (std::size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & Other.Words[I])
+        return true;
+    return false;
+  }
+
+  /// \returns true if this set contains every element of \p Other.
+  bool contains(const BitSet &Other) const {
+    assert(NumBits == Other.NumBits && "universe mismatch");
+    for (std::size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Other.Words[I] & ~Words[I])
+        return false;
+    return true;
+  }
+
+  bool operator==(const BitSet &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+  bool operator!=(const BitSet &Other) const { return !(*this == Other); }
+
+  /// Invokes \p Fn for every set bit, in increasing index order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t W = Words[I];
+      while (W) {
+        unsigned Bit = __builtin_ctzll(W);
+        Fn(unsigned(I * 64 + Bit));
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  void clearPadding() {
+    if (NumBits % 64 != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  unsigned NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace helix
+
+#endif // HELIX_SUPPORT_BITSET_H

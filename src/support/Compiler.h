@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler-portability helpers used across the HELIX libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SUPPORT_COMPILER_H
+#define HELIX_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace helix {
+
+/// Aborts with a diagnostic. Used to mark points in the code that must never
+/// be reached if the program invariants hold.
+[[noreturn]] inline void unreachableInternal(const char *Msg, const char *File,
+                                             unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+/// Reports a fatal internal error even in builds without assertions.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace helix
+
+#define HELIX_UNREACHABLE(MSG)                                                 \
+  ::helix::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // HELIX_SUPPORT_COMPILER_H

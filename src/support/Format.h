@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string, used by printers and the
+/// benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SUPPORT_FORMAT_H
+#define HELIX_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace helix {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string formatStr(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(size_t(Len));
+    std::vsnprintf(Out.data(), size_t(Len) + 1, Fmt, ArgsCopy);
+  }
+  va_end(ArgsCopy);
+  return Out;
+}
+
+} // namespace helix
+
+#endif // HELIX_SUPPORT_FORMAT_H

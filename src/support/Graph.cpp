@@ -1,0 +1,99 @@
+#include "support/Graph.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace helix;
+
+SCCResult helix::computeSCCs(const DenseGraph &G) {
+  unsigned N = G.numNodes();
+  SCCResult Result;
+  Result.ComponentOf.assign(N, ~0u);
+
+  std::vector<unsigned> Index(N, ~0u), LowLink(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<unsigned> Stack;
+  unsigned NextIndex = 0;
+
+  // Explicit DFS stack: (node, next successor position).
+  struct Frame {
+    unsigned Node;
+    unsigned SuccPos;
+  };
+  std::vector<Frame> DFS;
+
+  for (unsigned Root = 0; Root != N; ++Root) {
+    if (Index[Root] != ~0u)
+      continue;
+    DFS.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!DFS.empty()) {
+      Frame &F = DFS.back();
+      const auto &Succs = G.successors(F.Node);
+      if (F.SuccPos < Succs.size()) {
+        unsigned S = Succs[F.SuccPos++];
+        if (Index[S] == ~0u) {
+          Index[S] = LowLink[S] = NextIndex++;
+          Stack.push_back(S);
+          OnStack[S] = true;
+          DFS.push_back({S, 0});
+        } else if (OnStack[S]) {
+          LowLink[F.Node] = std::min(LowLink[F.Node], Index[S]);
+        }
+        continue;
+      }
+
+      unsigned Node = F.Node;
+      DFS.pop_back();
+      if (!DFS.empty())
+        LowLink[DFS.back().Node] = std::min(LowLink[DFS.back().Node],
+                                            LowLink[Node]);
+      if (LowLink[Node] != Index[Node])
+        continue;
+
+      // Node is the root of an SCC; pop the component off the stack.
+      unsigned CompId = Result.numComponents();
+      Result.Components.emplace_back();
+      while (true) {
+        unsigned Member = Stack.back();
+        Stack.pop_back();
+        OnStack[Member] = false;
+        Result.ComponentOf[Member] = CompId;
+        Result.Components[CompId].push_back(Member);
+        if (Member == Node)
+          break;
+      }
+    }
+  }
+  return Result;
+}
+
+std::vector<unsigned> helix::topologicalOrder(const DenseGraph &G) {
+  unsigned N = G.numNodes();
+  std::vector<unsigned> InDegree(N, 0);
+  for (unsigned U = 0; U != N; ++U)
+    for (unsigned V : G.successors(U))
+      ++InDegree[V];
+
+  std::vector<unsigned> Order;
+  Order.reserve(N);
+  std::vector<unsigned> Ready;
+  for (unsigned U = 0; U != N; ++U)
+    if (InDegree[U] == 0)
+      Ready.push_back(U);
+
+  while (!Ready.empty()) {
+    unsigned U = Ready.back();
+    Ready.pop_back();
+    Order.push_back(U);
+    for (unsigned V : G.successors(U))
+      if (--InDegree[V] == 0)
+        Ready.push_back(V);
+  }
+  assert(Order.size() == N && "topologicalOrder called on a cyclic graph");
+  return Order;
+}

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic directed-graph algorithms over adjacency-list graphs with dense
+/// integer node ids: Tarjan strongly-connected components and topological
+/// ordering of the SCC condensation. Used by the Step-6 dependence-redundance
+/// graph (Theorem 1), the call graph, and the points-to solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SUPPORT_GRAPH_H
+#define HELIX_SUPPORT_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace helix {
+
+/// A directed graph over nodes 0..N-1 stored as adjacency lists.
+class DenseGraph {
+public:
+  explicit DenseGraph(unsigned NumNodes) : Succs(NumNodes) {}
+
+  unsigned numNodes() const { return unsigned(Succs.size()); }
+
+  void addEdge(unsigned From, unsigned To) { Succs[From].push_back(To); }
+
+  const std::vector<unsigned> &successors(unsigned Node) const {
+    return Succs[Node];
+  }
+
+private:
+  std::vector<std::vector<unsigned>> Succs;
+};
+
+/// Result of a strongly-connected-component decomposition.
+///
+/// Components are numbered in reverse topological order of the condensation
+/// (Tarjan's property): if there is an edge from component A to component B
+/// with A != B, then the id of A is greater than the id of B.
+struct SCCResult {
+  /// Component id for each node.
+  std::vector<unsigned> ComponentOf;
+  /// Members of each component.
+  std::vector<std::vector<unsigned>> Components;
+
+  unsigned numComponents() const { return unsigned(Components.size()); }
+
+  /// \returns true if \p Node belongs to a component that is a genuine cycle
+  /// (more than one member, or a self loop recorded by the caller).
+  bool isInCycle(unsigned Node) const {
+    return Components[ComponentOf[Node]].size() > 1;
+  }
+};
+
+/// Computes strongly connected components with Tarjan's algorithm
+/// (iterative, so deep graphs do not overflow the stack).
+SCCResult computeSCCs(const DenseGraph &G);
+
+/// \returns the node ids of \p G in some topological order. The graph must be
+/// acyclic; cycles trigger an assertion in debug builds and an arbitrary
+/// order otherwise.
+std::vector<unsigned> topologicalOrder(const DenseGraph &G);
+
+} // namespace helix
+
+#endif // HELIX_SUPPORT_GRAPH_H

@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation (SplitMix64). All workload
+/// generation and property-based testing is seeded so every run of every
+/// experiment is exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SUPPORT_RANDOM_H
+#define HELIX_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace helix {
+
+/// A small, fast, deterministic RNG (SplitMix64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + int64_t(nextBelow(uint64_t(Hi - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return double(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace helix
+
+#endif // HELIX_SUPPORT_RANDOM_H

@@ -1,0 +1,602 @@
+#include "workloads/WorkloadBuilder.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/Compiler.h"
+#include "support/Format.h"
+
+using namespace helix;
+
+namespace {
+
+using Op = Operand;
+
+/// Emits `Dest (+)= chain of Work cheap ALU ops over Seed operands`,
+/// returning the final value register. Pure parallel work.
+unsigned emitAluChain(IRBuilder &B, unsigned Start, unsigned Work,
+                      unsigned Salt) {
+  unsigned T = Start;
+  for (unsigned K = 0; K != Work; ++K) {
+    unsigned Next;
+    switch (K % 3) {
+    case 0:
+      Next = B.binary(Opcode::Xor, Op::reg(T), Op::immInt(Salt + K));
+      break;
+    case 1:
+      Next = B.binary(Opcode::Add, Op::reg(T), Op::immInt(K * 7 + 1));
+      break;
+    default:
+      Next = B.binary(Opcode::And, Op::reg(T),
+                      Op::immInt(0x7FFFFFFFFFFFll));
+      break;
+    }
+    T = Next;
+  }
+  return T;
+}
+
+/// Emits \p Cycles worth of parallel per-iteration work. Small amounts
+/// become a straight-line ALU chain; larger amounts become a nested inner
+/// loop (as in SPEC's heavyweight loop bodies), keeping static code size
+/// bounded. Returns the result register. May create blocks; the builder is
+/// left positioned in the block where straight-line emission can continue.
+unsigned emitWork(Function *F, IRBuilder &B, unsigned Seed, unsigned Cycles,
+                  unsigned Salt, unsigned &WorkLoopCounter) {
+  if (Cycles <= 48)
+    return emitAluChain(B, Seed, Cycles, Salt);
+  // t = seed; for (j = 0; j < K; ++j) t = (t ^ (salt+j)) + (t >> 7)
+  unsigned K = Cycles / 5;
+  std::string Tag = "w" + std::to_string(WorkLoopCounter++);
+  BasicBlock *Hdr = F->createBlock(Tag + ".hdr");
+  BasicBlock *Body = F->createBlock(Tag + ".body");
+  BasicBlock *Done = F->createBlock(Tag + ".done");
+  unsigned T = B.mov(Op::reg(Seed));
+  unsigned J = B.mov(Op::immInt(0));
+  B.br(Hdr);
+  B.setInsertPoint(Hdr);
+  unsigned C = B.cmpLT(Op::reg(J), Op::immInt(K));
+  B.condBr(Op::reg(C), Body, Done);
+  B.setInsertPoint(Body);
+  unsigned SJ = B.add(Op::reg(J), Op::immInt(Salt));
+  unsigned X = B.binary(Opcode::Xor, Op::reg(T), Op::reg(SJ));
+  unsigned Sh = B.binary(Opcode::Shr, Op::reg(T), Op::immInt(7));
+  B.binaryTo(T, Opcode::Add, Op::reg(X), Op::reg(Sh));
+  B.binaryTo(J, Opcode::Add, Op::reg(J), Op::immInt(1));
+  B.br(Hdr);
+  B.setInsertPoint(Done);
+  return T;
+}
+
+/// Builds one kernel as a function `@<name>(1)` whose parameter perturbs
+/// the computation; returns an int checksum.
+class KernelBuilder {
+public:
+  KernelBuilder(Module &M, std::string Name, const KernelSpec &Spec,
+                unsigned Salt)
+      : M(M), Name(std::move(Name)), Spec(Spec), Salt(Salt) {}
+
+  Function *build() {
+    switch (Spec.Idiom) {
+    case KernelIdiom::DoAll:
+      return buildDoAll(/*FP=*/false);
+    case KernelIdiom::DoAllFP:
+      return buildDoAll(/*FP=*/true);
+    case KernelIdiom::Reduction:
+      return buildReduction();
+    case KernelIdiom::PointerChase:
+      return buildPointerChase();
+    case KernelIdiom::Histogram:
+      return buildHistogram();
+    case KernelIdiom::Stencil:
+      return buildStencil();
+    case KernelIdiom::Branchy:
+      return buildBranchy();
+    case KernelIdiom::Nested2D:
+      return buildNested2D();
+    case KernelIdiom::TwoAccum:
+      return buildTwoAccum();
+    }
+    HELIX_UNREACHABLE("unknown kernel idiom");
+  }
+
+  /// Globals this kernel needs initialized: (global index, size, list?).
+  struct ArrayReq {
+    unsigned Global;
+    uint64_t Size;
+    bool IsList; ///< initialize as a linked list of [next, value] nodes
+  };
+  const std::vector<ArrayReq> &arrays() const { return Arrays; }
+
+private:
+  unsigned newArray(const char *Suffix, uint64_t Size, bool IsList = false) {
+    unsigned G = M.createGlobal(Name + "." + Suffix, Size);
+    Arrays.push_back({G, Size, IsList});
+    return G;
+  }
+
+  /// Creates func/entry/header/body/exit skeleton for `for i in [0, N)`.
+  /// Leaves the builder positioned in the body; the caller finishes the
+  /// body, then calls finishCountedLoop to close it.
+  struct CountedLoop {
+    Function *F;
+    IRBuilder B;
+    BasicBlock *Header, *Body, *Exit;
+    unsigned I; ///< induction register
+  };
+  CountedLoop startCountedLoop(unsigned N) {
+    Function *F = M.createFunction(Name, 1);
+    IRBuilder B(F);
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Header = F->createBlock("header");
+    BasicBlock *Body = F->createBlock("body");
+    BasicBlock *Exit = F->createBlock("exit");
+    B.setInsertPoint(Entry);
+    unsigned I = B.mov(Op::immInt(0));
+    B.br(Header);
+    B.setInsertPoint(Header);
+    unsigned C = B.cmpLT(Op::reg(I), Op::immInt(N));
+    B.condBr(Op::reg(C), Body, Exit);
+    B.setInsertPoint(Body);
+    return {F, B, Header, Body, Exit, I};
+  }
+  void finishCountedLoop(CountedLoop &L) {
+    L.B.binaryTo(L.I, Opcode::Add, Op::reg(L.I), Op::immInt(1));
+    L.B.br(L.Header);
+  }
+
+  Function *buildDoAll(bool FP) {
+    unsigned A = newArray("A", Spec.N);
+    unsigned Bv = newArray("B", Spec.N);
+    CountedLoop L = startCountedLoop(Spec.N);
+    IRBuilder &B = L.B;
+    // One address register per array, reused by load and store so the
+    // strided-independence test applies.
+    unsigned AddrA = B.add(Op::global(A), Op::reg(L.I));
+    unsigned AddrB = B.add(Op::global(Bv), Op::reg(L.I));
+    unsigned V = B.load(Op::reg(AddrA));
+    unsigned W = B.load(Op::reg(AddrB));
+    unsigned T;
+    if (FP) {
+      unsigned FV = B.conv(Opcode::IntToFP, Op::reg(V));
+      unsigned FW = B.conv(Opcode::IntToFP, Op::reg(W));
+      unsigned FM = B.binary(Opcode::FMul, Op::reg(FV), Op::immFloat(1.0009765625));
+      unsigned FA = B.binary(Opcode::FAdd, Op::reg(FM), Op::reg(FW));
+      unsigned IT = B.conv(Opcode::FPToInt, Op::reg(FA));
+      T = emitAluChain(B, IT, Spec.Work, Salt);
+    } else {
+      unsigned S = B.add(Op::reg(V), Op::reg(W));
+      T = emitAluChain(B, S, Spec.Work, Salt);
+    }
+    // Mix in the invocation parameter so repeats differ.
+    unsigned T2 = B.binary(Opcode::Xor, Op::reg(T), Op::reg(0));
+    B.store(Op::reg(T2), Op::reg(AddrA));
+    finishCountedLoop(L);
+    B.setInsertPoint(L.Exit);
+    unsigned Addr = B.add(Op::global(A), Op::immInt(int64_t(Spec.N) - 1));
+    unsigned Sum = B.load(Op::reg(Addr));
+    B.ret(Op::reg(Sum));
+    return L.F;
+  }
+
+  Function *buildReduction() {
+    unsigned A = newArray("A", Spec.N);
+    Function *F = M.createFunction(Name, 1);
+    IRBuilder B(F);
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Header = F->createBlock("header");
+    BasicBlock *Body = F->createBlock("body");
+    BasicBlock *Exit = F->createBlock("exit");
+    B.setInsertPoint(Entry);
+    unsigned I = B.mov(Op::immInt(0));
+    unsigned Acc = B.mov(Op::reg(0)); // start from the parameter
+    B.br(Header);
+    B.setInsertPoint(Header);
+    unsigned C = B.cmpLT(Op::reg(I), Op::immInt(Spec.N));
+    B.condBr(Op::reg(C), Body, Exit);
+    B.setInsertPoint(Body);
+    unsigned Addr = B.add(Op::global(A), Op::reg(I));
+    unsigned V = B.load(Op::reg(Addr));
+    unsigned T = emitWork(F, B, V, Spec.Work, Salt, WorkLoops);
+    B.binaryTo(Acc, Opcode::Add, Op::reg(Acc), Op::reg(T));
+    B.binaryTo(I, Opcode::Add, Op::reg(I), Op::immInt(1));
+    B.br(Header);
+    B.setInsertPoint(Exit);
+    B.ret(Op::reg(Acc));
+    return F;
+  }
+
+  Function *buildPointerChase() {
+    // Node layout: [next, value]; the list occupies 2*N+2 slots.
+    unsigned A = newArray("list", 2 * uint64_t(Spec.N) + 2, /*IsList=*/true);
+    Function *F = M.createFunction(Name, 1);
+    IRBuilder B(F);
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Header = F->createBlock("header");
+    BasicBlock *Body = F->createBlock("body");
+    BasicBlock *Exit = F->createBlock("exit");
+    B.setInsertPoint(Entry);
+    unsigned Node = B.load(Op::global(A)); // head pointer in slot 0
+    unsigned Acc = B.mov(Op::reg(0));
+    B.br(Header);
+    B.setInsertPoint(Header);
+    unsigned C = B.binary(Opcode::CmpNE, Op::reg(Node), Op::immInt(0));
+    B.condBr(Op::reg(C), Body, Exit);
+    B.setInsertPoint(Body);
+    unsigned VAddr = B.add(Op::reg(Node), Op::immInt(1));
+    unsigned V = B.load(Op::reg(VAddr));
+    unsigned T = emitAluChain(B, V, Spec.Work, Salt);
+    B.binaryTo(Acc, Opcode::Add, Op::reg(Acc), Op::reg(T));
+    B.loadTo(Node, Op::reg(Node)); // node = node->next (slot 0)
+    B.br(Header);
+    B.setInsertPoint(Exit);
+    B.ret(Op::reg(Acc));
+    return F;
+  }
+
+  Function *buildHistogram() {
+    unsigned A = newArray("A", Spec.N);
+    unsigned H = newArray("H", 64);
+    CountedLoop L = startCountedLoop(Spec.N);
+    IRBuilder &B = L.B;
+    unsigned Addr = B.add(Op::global(A), Op::reg(L.I));
+    unsigned V = B.load(Op::reg(Addr));
+    unsigned T = emitAluChain(B, V, Spec.Work, Salt);
+    unsigned Hash = B.binary(Opcode::And, Op::reg(T), Op::immInt(63));
+    unsigned HAddr = B.add(Op::global(H), Op::reg(Hash));
+    unsigned Old = B.load(Op::reg(HAddr));
+    unsigned New = B.add(Op::reg(Old), Op::immInt(1));
+    B.store(Op::reg(New), Op::reg(HAddr));
+    finishCountedLoop(L);
+    B.setInsertPoint(L.Exit);
+    unsigned H0 = B.load(Op::global(H));
+    unsigned H1Addr = B.add(Op::global(H), Op::immInt(17));
+    unsigned H1 = B.load(Op::reg(H1Addr));
+    unsigned Sum = B.add(Op::reg(H0), Op::reg(H1));
+    B.ret(Op::reg(Sum));
+    return L.F;
+  }
+
+  Function *buildStencil() {
+    unsigned A = newArray("A", Spec.N + 1);
+    unsigned Bv = newArray("B", Spec.N + 1);
+    CountedLoop L = startCountedLoop(Spec.N);
+    IRBuilder &B = L.B;
+    unsigned I1 = B.add(Op::reg(L.I), Op::immInt(1));
+    unsigned PrevAddr = B.add(Op::global(A), Op::reg(L.I));
+    unsigned CurAddr = B.add(Op::global(A), Op::reg(I1));
+    unsigned BAddr = B.add(Op::global(Bv), Op::reg(I1));
+    unsigned W = B.load(Op::reg(BAddr));
+    unsigned T = emitAluChain(B, W, Spec.Work, Salt); // parallel part
+    unsigned Prev = B.load(Op::reg(PrevAddr));
+    unsigned Mixed = B.binary(Opcode::Xor, Op::reg(Prev), Op::reg(T));
+    unsigned Scaled = B.binary(Opcode::Shr, Op::reg(Mixed), Op::immInt(1));
+    B.store(Op::reg(Scaled), Op::reg(CurAddr));
+    finishCountedLoop(L);
+    B.setInsertPoint(L.Exit);
+    unsigned Addr = B.add(Op::global(A), Op::immInt(int64_t(Spec.N)));
+    unsigned Sum = B.load(Op::reg(Addr));
+    B.ret(Op::reg(Sum));
+    return L.F;
+  }
+
+  Function *buildBranchy() {
+    unsigned A = newArray("A", Spec.N);
+    Function *F = M.createFunction(Name, 1);
+    IRBuilder B(F);
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Header = F->createBlock("header");
+    BasicBlock *Body = F->createBlock("body");
+    BasicBlock *Then = F->createBlock("then");
+    BasicBlock *Cont = F->createBlock("cont");
+    BasicBlock *Exit = F->createBlock("exit");
+    B.setInsertPoint(Entry);
+    unsigned I = B.mov(Op::immInt(0));
+    unsigned X = B.mov(Op::reg(0)); // conditionally-updated carried state
+    B.br(Header);
+    B.setInsertPoint(Header);
+    unsigned C = B.cmpLT(Op::reg(I), Op::immInt(Spec.N));
+    B.condBr(Op::reg(C), Body, Exit);
+    B.setInsertPoint(Body);
+    unsigned Addr = B.add(Op::global(A), Op::reg(I));
+    unsigned V = B.load(Op::reg(Addr));
+    unsigned T = emitAluChain(B, V, Spec.Work, Salt);
+    unsigned Low = B.binary(Opcode::And, Op::reg(V), Op::immInt(3));
+    unsigned Bit = B.cmpEQ(Op::reg(Low), Op::immInt(0));
+    B.condBr(Op::reg(Bit), Then, Cont);
+    B.setInsertPoint(Then);
+    B.binaryTo(X, Opcode::Add, Op::reg(X), Op::reg(T));
+    B.br(Cont);
+    B.setInsertPoint(Cont);
+    B.binaryTo(I, Opcode::Add, Op::reg(I), Op::immInt(1));
+    B.br(Header);
+    B.setInsertPoint(Exit);
+    B.ret(Op::reg(X));
+    return F;
+  }
+
+  Function *buildTwoAccum() {
+    unsigned A = newArray("A", Spec.N);
+    Function *F = M.createFunction(Name, 1);
+    IRBuilder B(F);
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Header = F->createBlock("header");
+    BasicBlock *Body = F->createBlock("body");
+    BasicBlock *Exit = F->createBlock("exit");
+    B.setInsertPoint(Entry);
+    unsigned I = B.mov(Op::immInt(0));
+    unsigned X = B.mov(Op::reg(0));
+    unsigned Y = B.mov(Op::immInt(0x9E3779B9));
+    B.br(Header);
+    B.setInsertPoint(Header);
+    unsigned C = B.cmpLT(Op::reg(I), Op::immInt(Spec.N));
+    B.condBr(Op::reg(C), Body, Exit);
+    B.setInsertPoint(Body);
+    unsigned Addr = B.add(Op::global(A), Op::reg(I));
+    unsigned V = B.load(Op::reg(Addr));
+    // First parallel region, then accumulator X (segment 1), then a second
+    // parallel region, then accumulator Y (segment 2). The two segments are
+    // independent, so successive iterations overlap them (Figure 1).
+    unsigned T1 = emitWork(F, B, V, Spec.Work / 2, Salt, WorkLoops);
+    B.binaryTo(X, Opcode::Add, Op::reg(X), Op::reg(T1));
+    unsigned V2 = B.binary(Opcode::Xor, Op::reg(V), Op::immInt(Salt));
+    unsigned T2 = emitWork(F, B, V2, Spec.Work - Spec.Work / 2, Salt + 1,
+                           WorkLoops);
+    B.binaryTo(Y, Opcode::Xor, Op::reg(Y), Op::reg(T2));
+    B.binaryTo(I, Opcode::Add, Op::reg(I), Op::immInt(1));
+    B.br(Header);
+    B.setInsertPoint(Exit);
+    unsigned Sum = B.add(Op::reg(X), Op::reg(Y));
+    B.ret(Op::reg(Sum));
+    return F;
+  }
+
+  Function *buildNested2D() {
+    uint64_t Rows = Spec.N, Cols = Spec.Inner;
+    unsigned A = newArray("A", Rows * Cols);
+    unsigned Bv = newArray("B", Cols);
+    Function *F = M.createFunction(Name, 1);
+    IRBuilder B(F);
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *RowHdr = F->createBlock("rowhdr");
+    BasicBlock *RowBody = F->createBlock("rowbody");
+    BasicBlock *ColHdr = F->createBlock("colhdr");
+    BasicBlock *ColBody = F->createBlock("colbody");
+    BasicBlock *RowLatch = F->createBlock("rowlatch");
+    BasicBlock *Exit = F->createBlock("exit");
+    B.setInsertPoint(Entry);
+    unsigned I = B.mov(Op::immInt(0));
+    B.br(RowHdr);
+    B.setInsertPoint(RowHdr);
+    unsigned CI = B.cmpLT(Op::reg(I), Op::immInt(int64_t(Rows)));
+    B.condBr(Op::reg(CI), RowBody, Exit);
+    B.setInsertPoint(RowBody);
+    unsigned RowBase = B.mul(Op::reg(I), Op::immInt(int64_t(Cols)));
+    unsigned RowAddr = B.add(Op::global(A), Op::reg(RowBase));
+    unsigned J = B.mov(Op::immInt(0));
+    B.br(ColHdr);
+    B.setInsertPoint(ColHdr);
+    unsigned CJ = B.cmpLT(Op::reg(J), Op::immInt(int64_t(Cols)));
+    B.condBr(Op::reg(CJ), ColBody, RowLatch);
+    B.setInsertPoint(ColBody);
+    unsigned Addr = B.add(Op::reg(RowAddr), Op::reg(J));
+    unsigned BAddr = B.add(Op::global(Bv), Op::reg(J));
+    unsigned V = B.load(Op::reg(Addr));
+    unsigned W = B.load(Op::reg(BAddr));
+    unsigned S = B.add(Op::reg(V), Op::reg(W));
+    unsigned T = emitAluChain(B, S, Spec.Work, Salt);
+    B.store(Op::reg(T), Op::reg(Addr));
+    B.binaryTo(J, Opcode::Add, Op::reg(J), Op::immInt(1));
+    B.br(ColHdr);
+    B.setInsertPoint(RowLatch);
+    B.binaryTo(I, Opcode::Add, Op::reg(I), Op::immInt(1));
+    B.br(RowHdr);
+    B.setInsertPoint(Exit);
+    unsigned Addr2 = B.add(Op::global(A), Op::immInt(int64_t(Rows * Cols) - 1));
+    unsigned Sum = B.load(Op::reg(Addr2));
+    B.ret(Op::reg(Sum));
+    return F;
+  }
+
+  Module &M;
+  std::string Name;
+  KernelSpec Spec;
+  unsigned Salt;
+  unsigned WorkLoops = 0;
+  std::vector<ArrayReq> Arrays;
+};
+
+/// Emits @init filling every kernel array deterministically (LCG) and
+/// threading the linked lists.
+void buildInit(Module &M,
+               const std::vector<KernelBuilder::ArrayReq> &Arrays) {
+  Function *F = M.createFunction("init", 0);
+  IRBuilder B(F);
+  BasicBlock *Cur = F->createBlock("entry");
+  B.setInsertPoint(Cur);
+  unsigned Seed = B.mov(Op::immInt(88172645463325252ll));
+
+  unsigned Counter = 0;
+  for (const auto &A : Arrays) {
+    std::string Tag = "a" + std::to_string(Counter++);
+    BasicBlock *Hdr = F->createBlock(Tag + ".hdr");
+    BasicBlock *Body = F->createBlock(Tag + ".body");
+    BasicBlock *Done = F->createBlock(Tag + ".done");
+    uint64_t Count = A.IsList ? (A.Size - 2) / 2 : A.Size;
+    unsigned I = B.mov(Op::immInt(0));
+    B.br(Hdr);
+    B.setInsertPoint(Hdr);
+    unsigned C = B.cmpLT(Op::reg(I), Op::immInt(int64_t(Count)));
+    B.condBr(Op::reg(C), Body, Done);
+    B.setInsertPoint(Body);
+    // xorshift-ish LCG step.
+    unsigned S1 = B.mul(Op::reg(Seed), Op::immInt(6364136223846793005ll));
+    unsigned S2 = B.add(Op::reg(S1), Op::immInt(1442695040888963407ll));
+    B.movTo(Seed, Op::reg(S2));
+    unsigned V = B.binary(Opcode::Shr, Op::reg(Seed), Op::immInt(33));
+    if (A.IsList) {
+      // Node i at slots [1 + 2i, 2 + 2i]; slot 0 holds the head pointer.
+      unsigned Two = B.mul(Op::reg(I), Op::immInt(2));
+      unsigned NodeAddr = B.add(Op::global(A.Global), Op::reg(Two));
+      unsigned Node = B.add(Op::reg(NodeAddr), Op::immInt(1));
+      unsigned ValAddr = B.add(Op::reg(Node), Op::immInt(1));
+      unsigned Masked = B.binary(Opcode::And, Op::reg(V),
+                                 Op::immInt(0xFFFF));
+      B.store(Op::reg(Masked), Op::reg(ValAddr));
+      // next = this + 2, or 0 for the last node.
+      unsigned IsLast = B.cmpEQ(Op::reg(I), Op::immInt(int64_t(Count) - 1));
+      unsigned NextCand = B.add(Op::reg(Node), Op::immInt(2));
+      unsigned NotLast = B.binary(Opcode::Xor, Op::reg(IsLast), Op::immInt(1));
+      unsigned Next = B.mul(Op::reg(NextCand), Op::reg(NotLast));
+      B.store(Op::reg(Next), Op::reg(Node));
+      B.binaryTo(I, Opcode::Add, Op::reg(I), Op::immInt(1));
+      B.br(Hdr);
+      B.setInsertPoint(Done);
+      // Head pointer = first node (base + 1).
+      unsigned Head = B.add(Op::global(A.Global), Op::immInt(1));
+      B.store(Op::reg(Head), Op::global(A.Global));
+    } else {
+      unsigned Addr = B.add(Op::global(A.Global), Op::reg(I));
+      unsigned Masked =
+          B.binary(Opcode::And, Op::reg(V), Op::immInt(0xFFFFFF));
+      B.store(Op::reg(Masked), Op::reg(Addr));
+      B.binaryTo(I, Opcode::Add, Op::reg(I), Op::immInt(1));
+      B.br(Hdr);
+      B.setInsertPoint(Done);
+    }
+    Cur = Done;
+  }
+  B.ret(Op::immInt(0));
+}
+
+const char *idiomTag(KernelIdiom K) {
+  switch (K) {
+  case KernelIdiom::DoAll:
+    return "doall";
+  case KernelIdiom::DoAllFP:
+    return "fdoall";
+  case KernelIdiom::Reduction:
+    return "reduce";
+  case KernelIdiom::PointerChase:
+    return "chase";
+  case KernelIdiom::Histogram:
+    return "hist";
+  case KernelIdiom::Stencil:
+    return "stencil";
+  case KernelIdiom::Branchy:
+    return "branchy";
+  case KernelIdiom::Nested2D:
+    return "nest2d";
+  }
+  return "k";
+}
+
+} // namespace
+
+std::unique_ptr<Module> helix::buildWorkload(const WorkloadSpec &Spec) {
+  auto M = std::make_unique<Module>();
+  std::vector<KernelBuilder::ArrayReq> AllArrays;
+
+  // Kernels first (so phases can call them).
+  std::vector<std::vector<Function *>> PhaseKernels;
+  unsigned Salt = unsigned(Spec.Seed * 2654435761u);
+  unsigned KId = 0;
+  for (const PhaseSpec &Phase : Spec.Phases) {
+    PhaseKernels.emplace_back();
+    for (const KernelSpec &KS : Phase.Kernels) {
+      std::string Name =
+          formatStr("%s.k%u.%s", Spec.Name.c_str(), KId++, idiomTag(KS.Idiom));
+      KernelBuilder KB(*M, Name, KS, Salt + KId * 17);
+      PhaseKernels.back().push_back(KB.build());
+      for (const auto &A : KB.arrays())
+        AllArrays.push_back(A);
+    }
+  }
+
+  buildInit(*M, AllArrays);
+
+  // Phase functions: a repeat loop invoking the phase's kernels.
+  std::vector<Function *> PhaseFns;
+  for (unsigned P = 0; P != Spec.Phases.size(); ++P) {
+    const PhaseSpec &PS = Spec.Phases[P];
+    auto BuildLoopCalling =
+        [&](const std::string &Name, unsigned Repeat,
+            const std::vector<Function *> &Callees) -> Function * {
+      Function *F = M->createFunction(Name, 1);
+      IRBuilder B(F);
+      BasicBlock *Entry = F->createBlock("entry");
+      BasicBlock *Hdr = F->createBlock("hdr");
+      BasicBlock *Body = F->createBlock("body");
+      BasicBlock *Exit = F->createBlock("exit");
+      B.setInsertPoint(Entry);
+      unsigned R = B.mov(Op::immInt(0));
+      unsigned Acc = B.mov(Op::reg(0));
+      B.br(Hdr);
+      B.setInsertPoint(Hdr);
+      unsigned C = B.cmpLT(Op::reg(R), Op::immInt(Repeat));
+      B.condBr(Op::reg(C), Body, Exit);
+      B.setInsertPoint(Body);
+      unsigned Mix = B.add(Op::reg(Acc), Op::reg(R));
+      for (Function *K : Callees) {
+        unsigned V = B.call(K, {Op::reg(Mix)});
+        B.binaryTo(Acc, Opcode::Add, Op::reg(Acc), Op::reg(V));
+      }
+      B.binaryTo(R, Opcode::Add, Op::reg(R), Op::immInt(1));
+      B.br(Hdr);
+      B.setInsertPoint(Exit);
+      B.ret(Op::reg(Acc));
+      return F;
+    };
+
+    std::string PhaseName = formatStr("%s.phase%u", Spec.Name.c_str(), P);
+    if (PS.ExtraCallLevel) {
+      Function *Inner = BuildLoopCalling(PhaseName + ".sub", PS.Repeat,
+                                         PhaseKernels[P]);
+      PhaseFns.push_back(
+          BuildLoopCalling(PhaseName, PS.Repeat, {Inner}));
+    } else {
+      PhaseFns.push_back(
+          BuildLoopCalling(PhaseName, PS.Repeat, PhaseKernels[P]));
+    }
+  }
+
+  // main: init, then the outer repeat loop over all phases.
+  {
+    Function *F = M->createFunction("main", 0);
+    IRBuilder B(F);
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Hdr = F->createBlock("hdr");
+    BasicBlock *Body = F->createBlock("body");
+    BasicBlock *Exit = F->createBlock("exit");
+    B.setInsertPoint(Entry);
+    B.callVoid(M->findFunction("init"), {});
+    unsigned R = B.mov(Op::immInt(0));
+    unsigned Sum = B.mov(Op::immInt(0));
+    B.br(Hdr);
+    B.setInsertPoint(Hdr);
+    unsigned C = B.cmpLT(Op::reg(R), Op::immInt(Spec.MainRepeat));
+    B.condBr(Op::reg(C), Body, Exit);
+    B.setInsertPoint(Body);
+    for (Function *P : PhaseFns) {
+      unsigned V = B.call(P, {Op::reg(R)});
+      B.binaryTo(Sum, Opcode::Add, Op::reg(Sum), Op::reg(V));
+    }
+    B.binaryTo(R, Opcode::Add, Op::reg(R), Op::immInt(1));
+    B.br(Hdr);
+    B.setInsertPoint(Exit);
+    unsigned Final = B.binary(Opcode::And, Op::reg(Sum),
+                              Op::immInt(0xFFFFFFFFFFFFll));
+    B.ret(Op::reg(Final));
+  }
+
+  std::string Err = verifyModule(*M);
+  if (!Err.empty())
+    reportFatalError(("workload failed verification: " + Err).c_str());
+  return M;
+}
+
+std::unique_ptr<Module> helix::buildSpecWorkload(const std::string &Name) {
+  for (const WorkloadSpec &Spec : spec2000Suite())
+    if (Spec.Name == Name)
+      return buildWorkload(Spec);
+  return nullptr;
+}

@@ -1,0 +1,389 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for dominators, loop detection, liveness, the points-to analysis,
+/// loop-variable classification and the loop-carried dependence analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+#include "analysis/DataDependence.h"
+#include "analysis/LoopNestGraph.h"
+#include "analysis/LoopVars.h"
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace helix;
+
+namespace {
+
+std::unique_ptr<Module> parse(const char *Text) {
+  ParseResult R = parseModule(Text);
+  EXPECT_TRUE(R.succeeded()) << R.Error;
+  return std::move(R.M);
+}
+
+const char *DiamondLoop = R"(
+func @main(0) {
+entry:
+  r0 = mov 0
+  br hdr
+hdr:
+  r1 = cmplt r0, 100
+  condbr r1, body, exit
+body:
+  r2 = and r0, 1
+  condbr r2, odd, even
+odd:
+  br latch
+even:
+  br latch
+latch:
+  r0 = add r0, 1
+  br hdr
+exit:
+  ret r0
+}
+)";
+
+TEST(Dominators, DiamondJoin) {
+  auto M = parse(DiamondLoop);
+  Function *F = M->findFunction("main");
+  CFGInfo CFG(F);
+  DominatorTree DT(F, CFG);
+  BasicBlock *Body = F->findBlock("body");
+  BasicBlock *Odd = F->findBlock("odd");
+  BasicBlock *Latch = F->findBlock("latch");
+  EXPECT_TRUE(DT.dominates(Body, Odd));
+  EXPECT_TRUE(DT.dominates(Body, Latch));
+  EXPECT_FALSE(DT.dominates(Odd, Latch)); // join kills single-branch dom
+  EXPECT_EQ(DT.idom(Latch), Body);
+  EXPECT_TRUE(DT.dominates(F->entry(), Latch));
+  EXPECT_TRUE(DT.dominates(Latch, Latch)); // reflexive
+}
+
+TEST(LoopInfo, FindsNaturalLoopWithLatchAndExit) {
+  auto M = parse(DiamondLoop);
+  Function *F = M->findFunction("main");
+  FunctionAnalyses FA(F);
+  ASSERT_EQ(FA.LI.numLoops(), 1u);
+  Loop *L = FA.LI.loop(0);
+  EXPECT_EQ(L->header()->name(), "hdr");
+  ASSERT_EQ(L->latches().size(), 1u);
+  EXPECT_EQ(L->latches()[0]->name(), "latch");
+  EXPECT_EQ(L->blocks().size(), 5u); // hdr, body, odd, even, latch
+  EXPECT_FALSE(L->contains(F->findBlock("exit")));
+  auto Exits = L->exitEdges();
+  ASSERT_EQ(Exits.size(), 1u);
+  EXPECT_EQ(Exits[0].first->name(), "hdr");
+}
+
+TEST(LoopInfo, NestedLoopsHaveCorrectDepth) {
+  auto M = parse(R"(
+func @main(0) {
+entry:
+  r0 = mov 0
+  br ohdr
+ohdr:
+  r1 = cmplt r0, 10
+  condbr r1, obody, exit
+obody:
+  r2 = mov 0
+  br ihdr
+ihdr:
+  r3 = cmplt r2, 10
+  condbr r3, ibody, olatch
+ibody:
+  r2 = add r2, 1
+  br ihdr
+olatch:
+  r0 = add r0, 1
+  br ohdr
+exit:
+  ret r0
+}
+)");
+  Function *F = M->findFunction("main");
+  FunctionAnalyses FA(F);
+  ASSERT_EQ(FA.LI.numLoops(), 2u);
+  Loop *Inner = FA.LI.loopFor(F->findBlock("ibody"));
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->depth(), 2u);
+  ASSERT_NE(Inner->parent(), nullptr);
+  EXPECT_EQ(Inner->parent()->depth(), 1u);
+  EXPECT_EQ(FA.LI.topLevelLoops().size(), 1u);
+}
+
+TEST(Liveness, LoopVariableLiveAtHeader) {
+  auto M = parse(DiamondLoop);
+  Function *F = M->findFunction("main");
+  FunctionAnalyses FA(F);
+  BasicBlock *Hdr = F->findBlock("hdr");
+  EXPECT_TRUE(FA.LV.liveIn(Hdr).test(0));  // r0: the loop counter
+  EXPECT_FALSE(FA.LV.liveIn(Hdr).test(2)); // r2: body temporary
+}
+
+TEST(PointsTo, DisjointGlobalsDoNotAlias) {
+  auto M = parse(R"(
+global @a 8
+global @b 8
+
+func @main(0) {
+entry:
+  r0 = add @a, 1
+  r1 = add @b, 1
+  store 1, r0
+  r2 = load r1
+  ret r2
+}
+)");
+  ModuleAnalyses AM(*M);
+  PointsToAnalysis &PT = AM.pointsTo();
+  Function *F = M->findFunction("main");
+  EXPECT_FALSE(
+      PT.mayAlias(F, Operand::reg(0), F, Operand::reg(1)));
+  EXPECT_TRUE(PT.mayAlias(F, Operand::reg(0), F, Operand::reg(0)));
+}
+
+TEST(PointsTo, FlowsThroughCallsAndReturns) {
+  auto M = parse(R"(
+global @a 8
+
+func @id(1) {
+entry:
+  ret r0
+}
+
+func @main(0) {
+entry:
+  r0 = call @id(@a)
+  store 1, r0
+  ret 0
+}
+)");
+  ModuleAnalyses AM(*M);
+  PointsToAnalysis &PT = AM.pointsTo();
+  Function *F = M->findFunction("main");
+  BitSet Pts = PT.operandPointsTo(F, Operand::reg(0));
+  EXPECT_TRUE(Pts.test(0)); // points to global @a (location 0)
+}
+
+TEST(PointsTo, MemEffectsPropagateUpCallGraph) {
+  auto M = parse(R"(
+global @a 8
+
+func @writer(0) {
+entry:
+  store 1, @a
+  ret
+}
+
+func @caller(0) {
+entry:
+  call @writer()
+  ret
+}
+
+func @main(0) {
+entry:
+  call @caller()
+  ret 0
+}
+)");
+  ModuleAnalyses AM(*M);
+  MemEffects &ME = AM.memEffects();
+  EXPECT_TRUE(ME.mayWrite(M->findFunction("writer")).test(0));
+  EXPECT_TRUE(ME.mayWrite(M->findFunction("caller")).test(0));
+  EXPECT_TRUE(ME.mayWrite(M->findFunction("main")).test(0));
+  EXPECT_FALSE(ME.mayRead(M->findFunction("writer")).test(0));
+}
+
+const char *ArraySweep = R"(
+global @a 64
+global @b 64
+
+func @main(0) {
+entry:
+  r0 = mov 0
+  br hdr
+hdr:
+  r1 = cmplt r0, 64
+  condbr r1, body, exit
+body:
+  r2 = add @a, r0
+  r3 = load r2
+  r4 = add @b, r0
+  r5 = load r4
+  r6 = add r3, r5
+  store r6, r2
+  r0 = add r0, 1
+  br hdr
+exit:
+  ret 0
+}
+)";
+
+TEST(LoopVars, DetectsInductionVariable) {
+  auto M = parse(ArraySweep);
+  Function *F = M->findFunction("main");
+  FunctionAnalyses FA(F);
+  Loop *L = FA.LI.loop(0);
+  LoopVarAnalysis Vars(F, L, FA.DT);
+  const InductionVar *IV = Vars.inductionVar(0);
+  ASSERT_NE(IV, nullptr);
+  EXPECT_EQ(IV->Stride, 1);
+  EXPECT_EQ(Vars.inductionVar(3), nullptr);
+  EXPECT_TRUE(Vars.isInvariant(100)); // a register never defined in loop
+  EXPECT_FALSE(Vars.isInvariant(2));
+}
+
+TEST(LoopVars, AffineAddressDecomposition) {
+  auto M = parse(ArraySweep);
+  Function *F = M->findFunction("main");
+  FunctionAnalyses FA(F);
+  Loop *L = FA.LI.loop(0);
+  LoopVarAnalysis Vars(F, L, FA.DT);
+  AffineAddr A = Vars.affineAddr(Operand::reg(2)); // @a + i
+  ASSERT_TRUE(A.Valid);
+  EXPECT_EQ(A.Base, AffineAddr::BaseKind::Global);
+  EXPECT_EQ(A.BaseId, 0u);
+  EXPECT_EQ(A.IVReg, 0u);
+  EXPECT_EQ(A.Scale, 1);
+}
+
+TEST(Dependence, ArraySweepHasNoCarriedDeps) {
+  auto M = parse(ArraySweep);
+  ModuleAnalyses AM(*M);
+  Function *F = M->findFunction("main");
+  FunctionAnalyses &FA = AM.on(F);
+  Loop *L = FA.LI.loop(0);
+  LoopVarAnalysis Vars(F, L, FA.DT);
+  LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
+                             AM.pointsTo(), AM.memEffects());
+  EXPECT_TRUE(DDA.toSynchronize().empty());
+  EXPECT_GE(DDA.stats().NumExcludedInduction, 1u);
+}
+
+TEST(Dependence, StencilHasCarriedMemoryDep) {
+  auto M = parse(R"(
+global @a 65
+
+func @main(0) {
+entry:
+  r0 = mov 0
+  br hdr
+hdr:
+  r1 = cmplt r0, 64
+  condbr r1, body, exit
+body:
+  r2 = add @a, r0
+  r3 = load r2
+  r4 = add r0, 1
+  r5 = add @a, r4
+  store r3, r5
+  r0 = add r0, 1
+  br hdr
+exit:
+  ret 0
+}
+)");
+  ModuleAnalyses AM(*M);
+  Function *F = M->findFunction("main");
+  FunctionAnalyses &FA = AM.on(F);
+  Loop *L = FA.LI.loop(0);
+  LoopVarAnalysis Vars(F, L, FA.DT);
+  LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
+                             AM.pointsTo(), AM.memEffects());
+  bool FoundMem = false;
+  for (const DataDependence &D : DDA.toSynchronize())
+    FoundMem |= D.ViaMemory;
+  EXPECT_TRUE(FoundMem);
+}
+
+TEST(Dependence, AccumulatorIsRegisterCarried) {
+  auto M = parse(R"(
+global @a 64
+
+func @main(0) {
+entry:
+  r0 = mov 0
+  r7 = mov 0
+  br hdr
+hdr:
+  r1 = cmplt r0, 64
+  condbr r1, body, exit
+body:
+  r2 = add @a, r0
+  r3 = load r2
+  r7 = add r7, r3
+  r0 = add r0, 1
+  br hdr
+exit:
+  ret r7
+}
+)");
+  ModuleAnalyses AM(*M);
+  Function *F = M->findFunction("main");
+  FunctionAnalyses &FA = AM.on(F);
+  Loop *L = FA.LI.loop(0);
+  LoopVarAnalysis Vars(F, L, FA.DT);
+  LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
+                             AM.pointsTo(), AM.memEffects());
+  bool FoundReg = false;
+  for (const DataDependence &D : DDA.toSynchronize())
+    if (!D.ViaMemory && D.Reg == 7)
+      FoundReg = true;
+  EXPECT_TRUE(FoundReg);
+}
+
+TEST(LoopNestGraph, CrossFunctionNesting) {
+  auto M = parse(R"(
+func @kernel(0) {
+entry:
+  r0 = mov 0
+  br hdr
+hdr:
+  r1 = cmplt r0, 8
+  condbr r1, body, exit
+body:
+  r0 = add r0, 1
+  br hdr
+exit:
+  ret
+}
+
+func @main(0) {
+entry:
+  r0 = mov 0
+  br hdr
+hdr:
+  r1 = cmplt r0, 4
+  condbr r1, body, exit
+body:
+  call @kernel()
+  r0 = add r0, 1
+  br hdr
+exit:
+  ret 0
+}
+)");
+  ModuleAnalyses AM(*M);
+  LoopNestGraph LNG(*M, AM);
+  ASSERT_EQ(LNG.numNodes(), 2u);
+  // main's loop must have kernel's loop as a child.
+  unsigned MainNode = ~0u, KernelNode = ~0u;
+  for (unsigned I = 0; I != 2; ++I) {
+    if (LNG.node(I).F->name() == "main")
+      MainNode = I;
+    else
+      KernelNode = I;
+  }
+  ASSERT_NE(MainNode, ~0u);
+  ASSERT_EQ(LNG.node(MainNode).Children.size(), 1u);
+  EXPECT_EQ(LNG.node(MainNode).Children[0], KernelNode);
+  EXPECT_EQ(LNG.roots().size(), 1u);
+  EXPECT_EQ(LNG.roots()[0], MainNode);
+}
+
+} // namespace

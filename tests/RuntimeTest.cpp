@@ -1,0 +1,148 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential tests of the real multi-threaded runtime: every workload
+/// idiom, transformed and executed on actual std::threads, must compute
+/// exactly what the sequential interpreter computes. Repeated runs shake
+/// out ordering races.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopNestGraph.h"
+#include "helix/HelixTransform.h"
+#include "ir/Clone.h"
+#include "runtime/ThreadedRuntime.h"
+#include "workloads/WorkloadBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace helix;
+
+namespace {
+
+/// Transforms every loop of every kernel function of \p M (in a clone) and
+/// returns the clone plus loop metadata.
+struct Prepared {
+  std::unique_ptr<Module> M;
+  std::vector<ParallelLoopInfo> Loops;
+};
+
+Prepared prepare(const Module &Original) {
+  Prepared Out;
+  CloneMap Map;
+  Out.M = cloneModule(Original, &Map);
+  ModuleAnalyses AM(*Out.M);
+  HelixOptions Opts;
+  std::vector<std::pair<Function *, BasicBlock *>> Targets;
+  for (Function *F : *Out.M) {
+    if (F->name().find(".k") == std::string::npos)
+      continue;
+    LoopInfo &LI = AM.on(F).LI;
+    // Outermost loops only (the pipeline's selection never nests choices).
+    for (Loop *L : LI.topLevelLoops())
+      Targets.push_back({F, L->header()});
+  }
+  for (auto &[F, H] : Targets) {
+    auto PLI = parallelizeLoop(AM, F, H, Opts);
+    if (PLI)
+      Out.Loops.push_back(std::move(*PLI));
+  }
+  return Out;
+}
+
+int64_t sequentialResult(Module &M) {
+  Interpreter I(M);
+  ExecResult R = I.run();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.ReturnValue.asInt();
+}
+
+class ThreadedIdiom : public ::testing::TestWithParam<KernelIdiom> {};
+
+TEST_P(ThreadedIdiom, MatchesSequential) {
+  WorkloadSpec Spec;
+  Spec.Name = "rt";
+  Spec.Seed = 5;
+  Spec.MainRepeat = 2;
+  Spec.Phases = {{2, false, {{GetParam(), 80, 30, 16}}}};
+  auto M = buildWorkload(Spec);
+  int64_t Ref = sequentialResult(*M);
+
+  Prepared P = prepare(*M);
+  ASSERT_FALSE(P.Loops.empty());
+  std::vector<const ParallelLoopInfo *> Ptrs;
+  for (auto &L : P.Loops)
+    Ptrs.push_back(&L);
+  RuntimeStats Stats;
+  ExecResult R = runThreaded(*P.M, Ptrs, 4, &Stats);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), Ref);
+  EXPECT_GT(Stats.ParallelInvocations, 0u);
+  EXPECT_GT(Stats.ParallelIterations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIdioms, ThreadedIdiom,
+    ::testing::Values(KernelIdiom::DoAll, KernelIdiom::DoAllFP,
+                      KernelIdiom::Reduction, KernelIdiom::PointerChase,
+                      KernelIdiom::Histogram, KernelIdiom::Stencil,
+                      KernelIdiom::Branchy, KernelIdiom::Nested2D,
+                      KernelIdiom::TwoAccum));
+
+class ThreadedSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ThreadedSuite, WholeBenchmarkMatches) {
+  auto M = buildSpecWorkload(GetParam());
+  ASSERT_NE(M, nullptr);
+  int64_t Ref = sequentialResult(*M);
+  Prepared P = prepare(*M);
+  std::vector<const ParallelLoopInfo *> Ptrs;
+  for (auto &L : P.Loops)
+    Ptrs.push_back(&L);
+  RuntimeStats Stats;
+  ExecResult R = runThreaded(*P.M, Ptrs, 6, &Stats);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), Ref);
+  EXPECT_GT(Stats.ParallelInvocations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec2000, ThreadedSuite,
+                         ::testing::Values("gzip", "art", "mcf", "parser",
+                                           "twolf", "vpr"));
+
+TEST(ThreadedRuntime, RepeatedRunsAreDeterministic) {
+  // The schedule is nondeterministic; the result must not be.
+  auto M = buildSpecWorkload("bzip2");
+  int64_t Ref = sequentialResult(*M);
+  Prepared P = prepare(*M);
+  std::vector<const ParallelLoopInfo *> Ptrs;
+  for (auto &L : P.Loops)
+    Ptrs.push_back(&L);
+  for (int Rep = 0; Rep != 3; ++Rep) {
+    ExecResult R = runThreaded(*P.M, Ptrs, 3 + Rep, nullptr);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.ReturnValue.asInt(), Ref) << "repetition " << Rep;
+  }
+}
+
+TEST(ThreadedRuntime, WorksWithOneThread) {
+  auto M = buildSpecWorkload("gap");
+  int64_t Ref = sequentialResult(*M);
+  Prepared P = prepare(*M);
+  std::vector<const ParallelLoopInfo *> Ptrs;
+  for (auto &L : P.Loops)
+    Ptrs.push_back(&L);
+  ExecResult R = runThreaded(*P.M, Ptrs, 1, nullptr);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), Ref);
+}
+
+TEST(ThreadedRuntime, NoLoopsMeansPlainExecution) {
+  auto M = buildSpecWorkload("mcf");
+  int64_t Ref = sequentialResult(*M);
+  ExecResult R = runThreaded(*M, {}, 4, nullptr);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), Ref);
+}
+
+} // namespace

@@ -1,0 +1,260 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the CMP timing simulator: scaling of parallel loops, chain
+/// behaviour of sequential segments, prefetch-mode ordering, DOACROSS
+/// serialization, data-transfer accounting, and the speedup model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "helix/SpeedupModel.h"
+#include "sim/ParallelSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace helix;
+
+namespace {
+
+/// Synthesizes a trace: K iterations of [IterStart, Pre cycles, (Wait, Seg
+/// cycles, Signal)?, Post cycles].
+InvocationTrace makeTrace(unsigned K, uint64_t Pre, bool HasSegment,
+                          uint64_t Seg, uint64_t Post) {
+  InvocationTrace Inv;
+  for (unsigned I = 0; I != K; ++I) {
+    IterationTrace It;
+    It.Events.push_back({IterEvent::Kind::IterStart, 0, 0});
+    if (Pre)
+      It.Events.push_back({IterEvent::Kind::Cycles, 0, Pre});
+    if (HasSegment) {
+      It.Events.push_back({IterEvent::Kind::Wait, 0, 0});
+      It.Events.push_back({IterEvent::Kind::Cycles, 0, Seg});
+      It.Events.push_back({IterEvent::Kind::Signal, 0, 0});
+    }
+    if (Post)
+      It.Events.push_back({IterEvent::Kind::Cycles, 0, Post});
+    It.TotalCycles = Pre + Seg + Post;
+    It.SegmentCycles = HasSegment ? Seg : 0;
+    Inv.Iterations.push_back(std::move(It));
+    Inv.SeqCycles += Pre + Seg + Post;
+  }
+  return Inv;
+}
+
+ParallelLoopInfo makePLI(bool HasSegment, bool SelfStarting) {
+  ParallelLoopInfo PLI;
+  if (HasSegment)
+    PLI.Segments.push_back(SequentialSegment());
+  PLI.SelfStartingPrologue = SelfStarting;
+  return PLI;
+}
+
+TEST(Sim, DoallScalesWithCores) {
+  ParallelLoopInfo PLI = makePLI(false, true);
+  InvocationTrace Inv = makeTrace(600, 0, false, 0, 600);
+  double Prev = 0;
+  for (unsigned N : {1u, 2u, 4u, 6u}) {
+    SimConfig C;
+    C.NumCores = N;
+    SimStats S;
+    uint64_t Span = simulateInvocation(Inv, PLI, C, S);
+    double Speedup = double(Inv.SeqCycles) / double(Span);
+    EXPECT_GT(Speedup, Prev);
+    Prev = Speedup;
+    if (N == 6)
+      EXPECT_GT(Speedup, 4.5); // near-linear for a large DOALL
+  }
+}
+
+TEST(Sim, SegmentChainBoundsSpeedup) {
+  // The whole iteration is one sequential segment: no speedup possible.
+  ParallelLoopInfo PLI = makePLI(true, true);
+  InvocationTrace Inv = makeTrace(400, 0, true, 100, 0);
+  SimConfig C;
+  SimStats S;
+  uint64_t Span = simulateInvocation(Inv, PLI, C, S);
+  EXPECT_GE(Span, Inv.SeqCycles); // chained segments + latency >= serial
+  EXPECT_GT(S.WaitStallCycles, 0u);
+}
+
+TEST(Sim, PrefetchModesAreOrdered) {
+  ParallelLoopInfo PLI = makePLI(true, true);
+  // Enough parallel code before the Wait for the helper to hide latency.
+  InvocationTrace Inv = makeTrace(500, 400, true, 20, 0);
+  uint64_t Spans[3];
+  const PrefetchMode Modes[3] = {PrefetchMode::None, PrefetchMode::Helper,
+                                 PrefetchMode::Ideal};
+  for (unsigned K = 0; K != 3; ++K) {
+    SimConfig C;
+    C.Prefetch = Modes[K];
+    SimStats S;
+    Spans[K] = simulateInvocation(Inv, PLI, C, S);
+  }
+  EXPECT_GE(Spans[0], Spans[1]); // helper never hurts
+  EXPECT_GE(Spans[1], Spans[2]); // ideal is the lower bound
+  EXPECT_GT(Spans[0], Spans[2]); // and the gap is real on this trace
+}
+
+TEST(Sim, DoAcrossSerializesDistinctSegments) {
+  // Two independent segments per iteration at different offsets: HELIX
+  // overlaps them, DOACROSS may not.
+  ParallelLoopInfo PLI;
+  PLI.Segments.push_back(SequentialSegment());
+  PLI.Segments.push_back(SequentialSegment());
+  PLI.Segments[1].Id = 1;
+  PLI.SelfStartingPrologue = true;
+
+  InvocationTrace Inv;
+  for (unsigned I = 0; I != 300; ++I) {
+    IterationTrace It;
+    It.Events.push_back({IterEvent::Kind::IterStart, 0, 0});
+    It.Events.push_back({IterEvent::Kind::Wait, 0, 0});
+    It.Events.push_back({IterEvent::Kind::Cycles, 0, 40});
+    It.Events.push_back({IterEvent::Kind::Signal, 0, 0});
+    It.Events.push_back({IterEvent::Kind::Cycles, 0, 200});
+    It.Events.push_back({IterEvent::Kind::Wait, 1, 0});
+    It.Events.push_back({IterEvent::Kind::Cycles, 0, 40});
+    It.Events.push_back({IterEvent::Kind::Signal, 1, 0});
+    It.TotalCycles = 280;
+    It.SegmentCycles = 80;
+    Inv.Iterations.push_back(std::move(It));
+    Inv.SeqCycles += 280;
+  }
+
+  SimConfig Helix;
+  SimStats S1;
+  uint64_t HelixSpan = simulateInvocation(Inv, PLI, Helix, S1);
+  SimConfig DoAcross;
+  DoAcross.DoAcross = true;
+  SimStats S2;
+  uint64_t DoAcrossSpan = simulateInvocation(Inv, PLI, DoAcross, S2);
+  EXPECT_LT(HelixSpan, DoAcrossSpan);
+}
+
+TEST(Sim, DataTransfersCountedOnlyCrossCore) {
+  ParallelLoopInfo PLI = makePLI(true, true);
+  InvocationTrace Inv;
+  for (unsigned I = 0; I != 12; ++I) {
+    IterationTrace It;
+    It.Events.push_back({IterEvent::Kind::IterStart, 0, 0});
+    It.Events.push_back({IterEvent::Kind::Wait, 0, 0});
+    It.Events.push_back({IterEvent::Kind::SlotRead, 0, 0});
+    It.Events.push_back({IterEvent::Kind::Cycles, 0, 10});
+    It.Events.push_back({IterEvent::Kind::SlotWrite, 0, 0});
+    It.Events.push_back({IterEvent::Kind::Signal, 0, 0});
+    It.TotalCycles = 10;
+    Inv.Iterations.push_back(std::move(It));
+    Inv.SeqCycles += 10;
+  }
+  SimConfig C;
+  C.NumCores = 6;
+  SimStats S;
+  simulateInvocation(Inv, PLI, C, S);
+  EXPECT_EQ(S.SlotReads, 12u);
+  // Every read after the first consumes the previous iteration's write,
+  // always on a different core with N=6 and distance 1.
+  EXPECT_EQ(S.DataTransfers, 11u);
+
+  SimConfig C1;
+  C1.NumCores = 1;
+  SimStats S1;
+  simulateInvocation(Inv, PLI, C1, S1);
+  EXPECT_EQ(S1.DataTransfers, 0u); // same core: no transfer
+}
+
+TEST(Sim, SignalsCountedOncePerSegmentPerIteration) {
+  ParallelLoopInfo PLI = makePLI(true, true);
+  InvocationTrace Inv = makeTrace(10, 0, true, 5, 5);
+  SimConfig C;
+  SimStats S;
+  simulateInvocation(Inv, PLI, C, S);
+  // 10 data signals + 2*(N-1) start/stop control signals.
+  EXPECT_EQ(S.SignalsSent, 10u + 2u * (C.NumCores - 1));
+}
+
+TEST(Model, AmdahlLimitsRespected) {
+  ModelParams P;
+  P.NumCores = 6;
+  LoopModelInputs In;
+  In.SeqCycles = 1000;
+  In.ParallelCycles = 1000;
+  In.SelfStarting = true;
+  In.Invocations = 1;
+  // Fully parallel, overhead-free except config: close to 6x.
+  P.ConfCycles = 0;
+  P.StartStopSignalCycles = 0;
+  In.Iterations = 0;
+  double Speedup =
+      double(In.SeqCycles) / modelLoopParallelCycles(In, P);
+  EXPECT_NEAR(Speedup, 6.0, 0.01);
+
+  // Half parallel: at most 1/(0.5 + 0.5/6).
+  In.ParallelCycles = 500;
+  Speedup = double(In.SeqCycles) / modelLoopParallelCycles(In, P);
+  EXPECT_NEAR(Speedup, 1.0 / (0.5 + 0.5 / 6.0), 0.01);
+}
+
+TEST(Model, OverheadReducesSavings) {
+  ModelParams P;
+  LoopModelInputs In;
+  In.SeqCycles = 10000;
+  In.ParallelCycles = 9000;
+  In.SelfStarting = true;
+  In.Invocations = 2;
+  In.Iterations = 100;
+  In.DataSignals = 10;
+  double Saved1 = modelLoopSavedCycles(In, P);
+  EXPECT_GT(Saved1, 0.0);
+  In.WordsForwarded = 100; // add transfer overhead
+  double Saved2 = modelLoopSavedCycles(In, P);
+  EXPECT_LT(Saved2, Saved1);
+}
+
+TEST(Model, ChainBoundDominatesChainLimitedLoops) {
+  // A loop whose whole iteration is one sequential segment: the chain
+  // bound (segment + unprefetched signal per iteration) must exceed the
+  // Amdahl estimate and kill the predicted savings.
+  ModelParams P;
+  LoopModelInputs In;
+  In.SeqCycles = 10000;
+  In.ParallelCycles = 2000;
+  In.SegmentCycles = 8000;
+  In.SelfStarting = true;
+  In.Invocations = 1;
+  In.Iterations = 100;
+  In.DataSignals = 100;
+  EXPECT_GT(modelLoopChainCycles(In, P), double(In.SeqCycles));
+  EXPECT_EQ(modelLoopSavedCycles(In, P), 0.0);
+}
+
+TEST(Model, PerLoopEffectiveLatencyOverridesGlobal) {
+  ModelParams P;
+  P.SignalCycles = 4.0;
+  LoopModelInputs In;
+  In.SeqCycles = 1000;
+  In.Iterations = 100;
+  In.DataSignals = 100;
+  double O1 = modelLoopOverheadCycles(In, P);
+  In.EffSignalCycles = 110.0;
+  double O2 = modelLoopOverheadCycles(In, P);
+  EXPECT_GT(O2, O1);
+}
+
+TEST(Model, ProgramSpeedupComposesLoops) {
+  ModelParams P;
+  P.NumCores = 6;
+  P.ConfCycles = 0;
+  P.StartStopSignalCycles = 0;
+  LoopModelInputs A, B;
+  A.SeqCycles = 400;
+  A.ParallelCycles = 400;
+  A.SelfStarting = true;
+  B.SeqCycles = 400;
+  B.ParallelCycles = 400;
+  B.SelfStarting = true;
+  double S = modelProgramSpeedup(1000, {A, B}, P);
+  // P = 0.8 parallel: 1/(0.2 + 0.8/6).
+  EXPECT_NEAR(S, 1.0 / (0.2 + 0.8 / 6.0), 0.01);
+}
+
+} // namespace

@@ -1,0 +1,29 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Build smoke test: constructs a tiny module and checks the basics hold
+/// together. Real coverage lives in the per-module test files.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace helix;
+
+TEST(Smoke, BuildTinyModule) {
+  Module M;
+  Function *F = M.createFunction("main", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertPoint(Entry);
+  unsigned X = B.mov(IRBuilder::imm(40));
+  unsigned Y = B.add(IRBuilder::reg(X), IRBuilder::imm(2));
+  B.ret(IRBuilder::reg(Y));
+
+  EXPECT_EQ(verifyModule(M), "");
+  EXPECT_EQ(F->numBlocks(), 1u);
+  EXPECT_EQ(F->entry()->size(), 3u);
+}

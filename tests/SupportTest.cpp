@@ -1,0 +1,182 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the support library: BitSet algebra, Tarjan SCC,
+/// topological order, deterministic RNG.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/BitSet.h"
+#include "support/Format.h"
+#include "support/Graph.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace helix;
+
+namespace {
+
+TEST(BitSet, SetResetTest) {
+  BitSet S(100);
+  EXPECT_TRUE(S.empty());
+  S.set(0);
+  S.set(63);
+  S.set(64);
+  S.set(99);
+  EXPECT_TRUE(S.test(0));
+  EXPECT_TRUE(S.test(63));
+  EXPECT_TRUE(S.test(64));
+  EXPECT_TRUE(S.test(99));
+  EXPECT_FALSE(S.test(1));
+  EXPECT_EQ(S.count(), 4u);
+  S.reset(63);
+  EXPECT_FALSE(S.test(63));
+  EXPECT_EQ(S.count(), 3u);
+}
+
+TEST(BitSet, SetAllRespectsPadding) {
+  BitSet S(70);
+  S.setAll();
+  EXPECT_EQ(S.count(), 70u);
+}
+
+TEST(BitSet, UnionIntersectSubtract) {
+  BitSet A(128), B(128);
+  A.set(1);
+  A.set(100);
+  B.set(100);
+  B.set(2);
+  BitSet U = A;
+  EXPECT_TRUE(U.unionWith(B));
+  EXPECT_EQ(U.count(), 3u);
+  EXPECT_FALSE(U.unionWith(B)); // no change the second time
+
+  BitSet I = A;
+  EXPECT_TRUE(I.intersectWith(B));
+  EXPECT_EQ(I.count(), 1u);
+  EXPECT_TRUE(I.test(100));
+
+  BitSet D = A;
+  EXPECT_TRUE(D.subtract(B));
+  EXPECT_EQ(D.count(), 1u);
+  EXPECT_TRUE(D.test(1));
+}
+
+TEST(BitSet, ContainsAndIntersects) {
+  BitSet A(64), B(64);
+  A.set(3);
+  A.set(5);
+  B.set(5);
+  EXPECT_TRUE(A.contains(B));
+  EXPECT_FALSE(B.contains(A));
+  EXPECT_TRUE(A.intersects(B));
+  B.reset(5);
+  B.set(6);
+  EXPECT_FALSE(A.intersects(B));
+}
+
+TEST(BitSet, ForEachVisitsInOrder) {
+  BitSet S(200);
+  S.set(7);
+  S.set(64);
+  S.set(199);
+  std::vector<unsigned> Seen;
+  S.forEach([&](unsigned I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, (std::vector<unsigned>{7, 64, 199}));
+}
+
+class BitSetSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitSetSweep, CountMatchesSetBits) {
+  unsigned N = GetParam();
+  BitSet S(N);
+  Rng R(N);
+  unsigned Expected = 0;
+  for (unsigned I = 0; I != N; ++I)
+    if (R.nextBool(0.3)) {
+      if (!S.test(I))
+        ++Expected;
+      S.set(I);
+    }
+  EXPECT_EQ(S.count(), Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitSetSweep,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128, 129,
+                                           1000));
+
+TEST(Graph, SCCOfDag) {
+  DenseGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(0, 3);
+  SCCResult R = computeSCCs(G);
+  EXPECT_EQ(R.numComponents(), 4u);
+  for (unsigned I = 0; I != 4; ++I)
+    EXPECT_FALSE(R.isInCycle(I));
+  // Tarjan numbers components in reverse topological order.
+  EXPECT_GT(R.ComponentOf[0], R.ComponentOf[1]);
+  EXPECT_GT(R.ComponentOf[1], R.ComponentOf[2]);
+}
+
+TEST(Graph, SCCOfCycle) {
+  DenseGraph G(5);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 0); // cycle {0,1,2}
+  G.addEdge(2, 3);
+  G.addEdge(3, 4);
+  SCCResult R = computeSCCs(G);
+  EXPECT_EQ(R.numComponents(), 3u);
+  EXPECT_TRUE(R.isInCycle(0));
+  EXPECT_TRUE(R.isInCycle(1));
+  EXPECT_TRUE(R.isInCycle(2));
+  EXPECT_FALSE(R.isInCycle(3));
+  EXPECT_EQ(R.ComponentOf[0], R.ComponentOf[1]);
+  EXPECT_EQ(R.ComponentOf[1], R.ComponentOf[2]);
+}
+
+TEST(Graph, TopologicalOrderRespectsEdges) {
+  DenseGraph G(6);
+  G.addEdge(5, 0);
+  G.addEdge(5, 2);
+  G.addEdge(4, 0);
+  G.addEdge(4, 1);
+  G.addEdge(2, 3);
+  G.addEdge(3, 1);
+  std::vector<unsigned> Order = topologicalOrder(G);
+  ASSERT_EQ(Order.size(), 6u);
+  std::vector<unsigned> Pos(6);
+  for (unsigned I = 0; I != 6; ++I)
+    Pos[Order[I]] = I;
+  EXPECT_LT(Pos[5], Pos[0]);
+  EXPECT_LT(Pos[2], Pos[3]);
+  EXPECT_LT(Pos[3], Pos[1]);
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Format, BasicFormatting) {
+  EXPECT_EQ(formatStr("x=%d y=%s", 5, "ok"), "x=5 y=ok");
+  EXPECT_EQ(formatStr("%.2f", 1.5), "1.50");
+  EXPECT_EQ(formatStr("empty"), "empty");
+}
+
+} // namespace
