@@ -10,6 +10,7 @@
 #define HELIX_BENCH_BENCHUTIL_H
 
 #include "driver/HelixDriver.h"
+#include "pipeline/PipelineBuilder.h"
 #include "workloads/WorkloadBuilder.h"
 
 #include <cmath>
@@ -37,6 +38,28 @@ void forEachBenchmark(const DriverConfig &Config, FnT PerBench) {
     std::unique_ptr<Module> M = buildWorkload(Spec);
     PipelineReport Report = runHelixPipeline(*M, Config);
     PerBench(Spec, Report);
+  }
+}
+
+/// Sweeps several configurations over every suite benchmark through one
+/// PipelineContext per benchmark, so stages whose configuration slice is
+/// unchanged between points (typically the training-run profile) are
+/// reused instead of recomputed. \p PerRun is invoked as
+/// (spec, configIndex, report); \p PerBench (spec, context) after each
+/// benchmark's sweep, e.g. to report cache reuse.
+template <typename PerRunT, typename PerBenchT>
+void sweepEachBenchmark(const std::vector<PipelineConfig> &Configs,
+                        PerRunT PerRun, PerBenchT PerBench) {
+  Pipeline P = PipelineBuilder::standard();
+  for (const WorkloadSpec &Spec : spec2000Suite()) {
+    std::unique_ptr<Module> M = buildWorkload(Spec);
+    PipelineContext Ctx(*M);
+    for (size_t K = 0; K != Configs.size(); ++K) {
+      Ctx.setConfig(Configs[K]);
+      PipelineReport Report = P.run(Ctx);
+      PerRun(Spec, unsigned(K), Report);
+    }
+    PerBench(Spec, Ctx);
   }
 }
 

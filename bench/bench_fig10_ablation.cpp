@@ -8,6 +8,11 @@
 /// exactly as in the paper. Only steps 6 and 8 together give significant
 /// speedups; balancing adds on top.
 ///
+/// The sweep runs through one PipelineContext per benchmark: the training
+/// run (profile stage) executes once and is reused by every configuration
+/// point, while model-profiling/transformation re-run per point because
+/// the transform switches change the code being profiled.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -22,33 +27,40 @@ int main() {
     const char *Label;
     bool Step6, Step8, Balancing;
   };
-  const ConfigSpec Configs[5] = {
+  const ConfigSpec Specs[5] = {
       {"no6no8", false, false, false}, {"no8", true, false, false},
       {"no6", false, true, false},     {"no-balance", true, true, false},
       {"HELIX", true, true, true},
   };
+  std::vector<PipelineConfig> Configs;
+  for (const ConfigSpec &CS : Specs) {
+    PipelineConfig C;
+    C.Helix.EnableSignalOpt = CS.Step6;
+    C.Helix.EnableHelperThreads = CS.Step8;
+    C.Helix.EnableBalancing = CS.Balancing;
+    Configs.push_back(C);
+  }
 
   std::printf("%-10s", "benchmark");
-  for (const ConfigSpec &CS : Configs)
+  for (const ConfigSpec &CS : Specs)
     std::printf(" %10s", CS.Label);
-  std::printf("\n");
+  std::printf("   profile-stage\n");
 
   std::vector<std::vector<double>> All(5);
-  for (const WorkloadSpec &Spec : spec2000Suite()) {
-    std::unique_ptr<Module> M = buildWorkload(Spec);
-    std::printf("%-10s", Spec.Name.c_str());
-    for (unsigned K = 0; K != 5; ++K) {
-      DriverConfig Config;
-      Config.Helix.EnableSignalOpt = Configs[K].Step6;
-      Config.Helix.EnableHelperThreads = Configs[K].Step8;
-      Config.Helix.EnableBalancing = Configs[K].Balancing;
-      PipelineReport R = runHelixPipeline(*M, Config);
-      std::printf(" %9.2fx", R.Speedup);
-      if (R.Ok)
-        All[K].push_back(R.Speedup);
-    }
-    std::printf("\n");
-  }
+  sweepEachBenchmark(
+      Configs,
+      [&](const WorkloadSpec &Spec, unsigned K, const PipelineReport &R) {
+        if (K == 0)
+          std::printf("%-10s", Spec.Name.c_str());
+        std::printf(" %9.2fx", R.Speedup);
+        if (R.Ok)
+          All[K].push_back(R.Speedup);
+      },
+      [](const WorkloadSpec &, const PipelineContext &Ctx) {
+        std::printf("   ran %ux, reused %ux\n",
+                    Ctx.timesExecuted("profile"),
+                    Ctx.timesReused("profile"));
+      });
   std::printf("%-10s", "geoMean");
   for (unsigned K = 0; K != 5; ++K)
     std::printf(" %9.2fx", geoMean(All[K]));

@@ -7,6 +7,10 @@
 /// (slowdowns); a 110-cycle overestimate deters the algorithm from
 /// profitable loops and leaves speedup on the table.
 ///
+/// Only the selection knob varies, so the shared-context sweep reuses the
+/// training run AND the per-candidate model profiling across all three
+/// points: each benchmark is profiled once instead of three times.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -18,25 +22,31 @@ int main() {
   printHeader("Figure 12: impact of mis-estimated signal latency in loop "
               "selection",
               "Figure 12");
-  std::printf("%-10s %14s %14s %14s\n", "benchmark", "under (S=0)",
-              "over (S=110)", "HELIX");
+  std::printf("%-10s %14s %14s %14s   %s\n", "benchmark", "under (S=0)",
+              "over (S=110)", "HELIX", "profile/model-profile runs");
+
+  const double Latency[3] = {0.0, 110.0, -1.0};
+  std::vector<PipelineConfig> Configs;
+  for (double S : Latency) {
+    PipelineConfig C;
+    C.Selection.SignalCycles = S;
+    Configs.push_back(C);
+  }
 
   std::vector<std::vector<double>> All(3);
-  for (const WorkloadSpec &Spec : spec2000Suite()) {
-    std::unique_ptr<Module> M = buildWorkload(Spec);
-    double S[3];
-    const double Latency[3] = {0.0, 110.0, -1.0};
-    for (unsigned K = 0; K != 3; ++K) {
-      DriverConfig Config;
-      Config.SelectionSignalCycles = Latency[K];
-      PipelineReport R = runHelixPipeline(*M, Config);
-      S[K] = R.Speedup;
-      if (R.Ok)
-        All[K].push_back(R.Speedup);
-    }
-    std::printf("%-10s %13.2fx %13.2fx %13.2fx\n", Spec.Name.c_str(), S[0],
-                S[1], S[2]);
-  }
+  sweepEachBenchmark(
+      Configs,
+      [&](const WorkloadSpec &Spec, unsigned K, const PipelineReport &R) {
+        if (K == 0)
+          std::printf("%-10s", Spec.Name.c_str());
+        std::printf(" %13.2fx", R.Speedup);
+        if (R.Ok)
+          All[K].push_back(R.Speedup);
+      },
+      [](const WorkloadSpec &, const PipelineContext &Ctx) {
+        std::printf("   %ux / %ux\n", Ctx.timesExecuted("profile"),
+                    Ctx.timesExecuted("model-profile"));
+      });
   std::printf("%-10s %13.2fx %13.2fx %13.2fx\n", "geoMean", geoMean(All[0]),
               geoMean(All[1]), geoMean(All[2]));
   std::printf("\npaper: underestimating S causes slowdowns (< 1x) on most "

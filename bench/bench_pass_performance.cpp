@@ -12,6 +12,7 @@
 #include "analysis/LoopNestGraph.h"
 #include "helix/HelixTransform.h"
 #include "ir/Clone.h"
+#include "pipeline/PipelineBuilder.h"
 #include "workloads/WorkloadBuilder.h"
 
 #include <benchmark/benchmark.h>
@@ -103,6 +104,47 @@ void BM_ParallelizeLoop(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ParallelizeLoop);
+
+void BM_PipelineStringParse(benchmark::State &State) {
+  for (auto _ : State) {
+    Pipeline P = PipelineBuilder()
+                     .parse("profile,candidates,model-profile,select,"
+                            "transform,validate,simulate")
+                     .build();
+    benchmark::DoNotOptimize(P.str());
+  }
+}
+BENCHMARK(BM_PipelineStringParse);
+
+void BM_FullPipelineCold(benchmark::State &State) {
+  // The end-to-end cost a fresh context pays: every stage executes.
+  auto M = suiteModule();
+  Pipeline P = PipelineBuilder::standard();
+  for (auto _ : State) {
+    PipelineContext Ctx(*M);
+    benchmark::DoNotOptimize(P.run(Ctx).Speedup);
+  }
+}
+BENCHMARK(BM_FullPipelineCold)->Unit(benchmark::kMillisecond);
+
+void BM_SelectionSweepPointCached(benchmark::State &State) {
+  // The per-point cost of a Figure-12/13 style sweep on a warm context:
+  // profiling stages are cached, only selection onward re-runs. Compare
+  // against BM_FullPipelineCold for the caching win.
+  auto M = suiteModule();
+  Pipeline P = PipelineBuilder::standard();
+  PipelineContext Ctx(*M);
+  PipelineConfig C;
+  P.run(Ctx); // warm up: populate the profile/model-profile caches
+  double S = 0.0;
+  for (auto _ : State) {
+    S = S >= 110.0 ? 0.0 : S + 1.0; // new key each point, like a sweep
+    C.Selection.SignalCycles = S;
+    Ctx.setConfig(C);
+    benchmark::DoNotOptimize(P.run(Ctx).Speedup);
+  }
+}
+BENCHMARK(BM_SelectionSweepPointCached)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

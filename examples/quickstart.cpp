@@ -9,10 +9,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "driver/HelixDriver.h"
 #include "helix/HelixTransform.h"
 #include "ir/Clone.h"
 #include "ir/IRBuilder.h"
+#include "pipeline/PipelineBuilder.h"
 #include "sim/TraceCollector.h"
 
 #include <cstdio>
@@ -126,12 +126,49 @@ int main() {
                 (unsigned long long)Stats.DataTransfers);
   }
 
-  // The same thing through the one-call pipeline (high-level API).
-  DriverConfig Config;
-  PipelineReport Report = runHelixPipeline(*M, Config);
+  // The same thing through the composable pipeline (high-level API): build
+  // the standard stage sequence from a pipeline string, instrument it, and
+  // run it against a reusable context.
+  std::string Err;
+  Pipeline P =
+      PipelineBuilder()
+          .parse("profile,candidates,model-profile,select,transform,"
+                 "validate,simulate")
+          .instrument([](const PipelineContext::StageRun &R) {
+            if (R.Cached)
+              std::printf("  stage %-13s : cached\n", R.Name.c_str());
+            else
+              std::printf("  stage %-13s : %7.2f ms  %9llu interp instrs\n",
+                          R.Name.c_str(), R.WallMillis,
+                          (unsigned long long)R.InterpretedInstructions);
+          })
+          .build(&Err);
+  if (!Err.empty()) {
+    std::printf("pipeline build error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  PipelineContext Ctx(*M);
+  std::printf("pipeline '%s':\n", P.str().c_str());
+  PipelineReport Report = P.run(Ctx);
   std::printf("pipeline: ok=%d outputsMatch=%d chosen=%zu "
-              "speedup=%.2fx (model %.2fx)\n",
+              "speedup=%.2fx (model %.2fx)\n\n",
               Report.Ok, Report.OutputsMatch, Report.Loops.size(),
               Report.Speedup, Report.ModelSpeedup);
-  return Report.Ok && Report.OutputsMatch ? 0 : 1;
+
+  // Re-running after changing only a selection knob reuses the cached
+  // profiling stages (the expensive part) and re-runs selection onward.
+  PipelineConfig Sweep;
+  Sweep.Selection.SignalCycles = 110.0;
+  Ctx.setConfig(Sweep);
+  std::printf("re-run with Selection.SignalCycles=110:\n");
+  PipelineReport R110 = P.run(Ctx);
+  std::printf("pipeline: ok=%d outputsMatch=%d chosen=%zu speedup=%.2fx "
+              "(profile executed %ux, reused %ux)\n",
+              R110.Ok, R110.OutputsMatch, R110.Loops.size(), R110.Speedup,
+              Ctx.timesExecuted("profile"), Ctx.timesReused("profile"));
+
+  return Report.Ok && Report.OutputsMatch && R110.Ok && R110.OutputsMatch
+             ? 0
+             : 1;
 }

@@ -47,7 +47,10 @@ public:
   }
 
   /// Drops the cached analyses of \p F after a transformation.
-  void invalidate(Function *F) { PerFunction.erase(F); }
+  void invalidate(Function *F) {
+    PerFunction.erase(F);
+    ++Epoch;
+  }
 
   /// Drops everything, including module-level analyses.
   void invalidateAll() {
@@ -55,7 +58,18 @@ public:
     CG.reset();
     PT.reset();
     ME.reset();
+    ++Epoch;
   }
+
+  // --- Introspection (tests, pass-manager assertions) --------------------
+  size_t numCachedFunctionAnalyses() const { return PerFunction.size(); }
+  bool isCached(const Function *F) const {
+    return PerFunction.count(const_cast<Function *>(F)) != 0;
+  }
+  bool hasModuleAnalyses() const { return CG || PT || ME; }
+  /// Bumped by every invalidation; lets clients assert that a
+  /// transformation explicitly invalidated what it touched.
+  uint64_t invalidationEpoch() const { return Epoch; }
 
   CallGraph &callGraph() {
     if (!CG)
@@ -78,6 +92,7 @@ public:
 private:
   Module &M;
   std::map<Function *, std::unique_ptr<FunctionAnalyses>> PerFunction;
+  uint64_t Epoch = 0;
   std::unique_ptr<CallGraph> CG;
   std::unique_ptr<PointsToAnalysis> PT;
   std::unique_ptr<MemEffects> ME;

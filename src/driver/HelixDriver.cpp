@@ -1,327 +1,15 @@
 #include "driver/HelixDriver.h"
 
-#include "helix/HelixTransform.h"
-#include "ir/Clone.h"
-#include "profile/Profiler.h"
-#include "sim/TraceCollector.h"
-#include "support/Compiler.h"
-
-#include <algorithm>
-#include <map>
+#include "pipeline/PipelineBuilder.h"
 
 using namespace helix;
 
-namespace {
-
-/// Model inputs extracted from the traces of one loop, with data-forwarding
-/// words counted under round-robin placement on \p NumCores cores.
-LoopModelInputs inputsFromTraces(const LoopTraces &T, unsigned NumCores,
-                                 const MachineModel &Machine,
-                                 bool HelperThreads) {
-  LoopModelInputs In;
-  In.SelfStarting = T.PLI && T.PLI->SelfStartingPrologue;
-  In.Invocations = T.Invocations.size();
-  for (const InvocationTrace &Inv : T.Invocations) {
-    std::map<uint32_t, uint64_t> SlotWriter;
-    for (uint64_t I = 0; I != Inv.Iterations.size(); ++I) {
-      const IterationTrace &It = Inv.Iterations[I];
-      ++In.Iterations;
-      In.SeqCycles += It.TotalCycles;
-      In.PrologueCycles += It.PrologueCycles;
-      In.SegmentCycles += It.SegmentCycles;
-      In.ParallelCycles +=
-          It.TotalCycles - It.PrologueCycles - It.SegmentCycles;
-      uint64_t SignalMask = 0;
-      for (const IterEvent &E : It.Events) {
-        if (E.K == IterEvent::Kind::Signal) {
-          if (E.A < 64 && !(SignalMask & (uint64_t(1) << E.A))) {
-            SignalMask |= uint64_t(1) << E.A;
-            ++In.DataSignals;
-          }
-        } else if (E.K == IterEvent::Kind::SlotWrite) {
-          SlotWriter[E.A] = I;
-        } else if (E.K == IterEvent::Kind::SlotRead) {
-          auto W = SlotWriter.find(E.A);
-          if (W != SlotWriter.end() && W->second != I &&
-              (I - W->second) % NumCores != 0)
-            ++In.WordsForwarded;
-        }
-      }
-    }
-  }
-  // Section 3.3: per-loop effective signal latency. The helper thread can
-  // hide (gap) cycles of the unprefetched latency, where gap is the average
-  // run of non-segment code between consecutive sequential segments.
-  if (!HelperThreads) {
-    In.EffSignalCycles = Machine.UnprefetchedSignalCycles;
-  } else if (In.Iterations > 0) {
-    // Signals the helper must hide per iteration: the data signals, plus
-    // the control signal unless the prologue is self-starting (Step 3's
-    // counted-loop case needs no control signals at all).
-    uint64_t SignalsPerRun =
-        In.DataSignals + (In.SelfStarting ? 0 : In.Iterations);
-    if (SignalsPerRun == 0) {
-      In.EffSignalCycles = Machine.PrefetchedSignalCycles;
-    } else {
-      double Gap =
-          double(In.SeqCycles - In.SegmentCycles) / double(SignalsPerRun);
-      In.EffSignalCycles = std::max(Machine.PrefetchedSignalCycles,
-                                    Machine.UnprefetchedSignalCycles - Gap);
-    }
-  }
-  return In;
+PipelineReport helix::runHelixPipeline(const Module &Original,
+                                       const PipelineConfig &Config) {
+  return PipelineBuilder::standard().run(Original, Config);
 }
-
-ModelParams makeModelParams(const DriverConfig &Config, double SignalCycles) {
-  ModelParams P;
-  P.NumCores = Config.NumCores;
-  P.SignalCycles = SignalCycles;
-  P.StartStopSignalCycles = Config.Helix.Machine.UnprefetchedSignalCycles;
-  P.WordTransferCycles = Config.Helix.Machine.WordTransferCycles;
-  P.ConfCycles = Config.Helix.Machine.LoopConfigCycles;
-  return P;
-}
-
-/// Dynamic nesting level of every node (1 = outermost), from the profiled
-/// edges (shortest distance from a dynamic root).
-std::vector<unsigned> dynamicLevels(const LoopNestGraph &LNG,
-                                    const ProgramProfile &Profile) {
-  unsigned N = LNG.numNodes();
-  std::vector<std::vector<unsigned>> Children(N);
-  std::vector<unsigned> Parents(N, 0);
-  for (auto &[From, To] : Profile.DynamicEdges) {
-    Children[From].push_back(To);
-    ++Parents[To];
-  }
-  std::vector<unsigned> Level(N, 0);
-  std::vector<unsigned> Queue;
-  for (unsigned I = 0; I != N; ++I)
-    if (Profile.executed(I) && Parents[I] == 0) {
-      Level[I] = 1;
-      Queue.push_back(I);
-    }
-  for (size_t Head = 0; Head != Queue.size(); ++Head) {
-    unsigned Node = Queue[Head];
-    for (unsigned C : Children[Node])
-      if (Level[C] == 0) {
-        Level[C] = Level[Node] + 1;
-        Queue.push_back(C);
-      }
-  }
-  return Level;
-}
-
-/// Clones the original module and parallelizes the loops named by
-/// \p Nodes there. \returns the clone and the per-node metadata (nodes
-/// whose transformation failed are dropped).
-struct TransformedProgram {
-  std::unique_ptr<Module> M;
-  std::vector<std::pair<unsigned, ParallelLoopInfo>> Loops;
-};
-
-TransformedProgram transformChosen(const Module &Original,
-                                   const LoopNestGraph &LNG,
-                                   const std::vector<unsigned> &Nodes,
-                                   const HelixOptions &Opts) {
-  TransformedProgram Out;
-  CloneMap Map;
-  Out.M = cloneModule(Original, &Map);
-  ModuleAnalyses AM(*Out.M);
-  for (unsigned Node : Nodes) {
-    const LoopNestNode &N = LNG.node(Node);
-    Function *F = Map.Functions.at(N.F);
-    BasicBlock *Header = Map.Blocks.at(N.L->header());
-    std::optional<ParallelLoopInfo> PLI =
-        parallelizeLoop(AM, F, Header, Opts);
-    if (PLI)
-      Out.Loops.push_back({Node, std::move(*PLI)});
-  }
-  return Out;
-}
-
-} // namespace
 
 PipelineReport helix::runHelixPipeline(const Module &Original,
                                        const DriverConfig &Config) {
-  PipelineReport Report;
-
-  // ----- 1. Profile the original program. --------------------------------
-  auto Pristine = cloneModule(Original);
-  ModuleAnalyses AM(*Pristine);
-  LoopNestGraph LNG(*Pristine, AM);
-  Report.NumLoopsInProgram = LNG.numNodes();
-
-  ExecResult SeqRun;
-  ProgramProfile Profile = profileProgram(*Pristine, LNG, AM, &SeqRun);
-  if (!SeqRun.Ok) {
-    Report.Error = "sequential profiling run failed: " + SeqRun.Error;
-    return Report;
-  }
-  Report.SeqCycles = SeqRun.Cycles;
-  std::vector<unsigned> Levels = dynamicLevels(LNG, Profile);
-
-  // ----- 2. Candidate loops and their HELIX-optimized profiles. ----------
-  std::vector<std::optional<LoopModelInputs>> Inputs(LNG.numNodes());
-  std::vector<unsigned> Candidates;
-  for (unsigned Node = 0; Node != LNG.numNodes(); ++Node) {
-    const LoopProfile &LP = Profile.Loops[Node];
-    if (LP.Invocations == 0 || LP.Iterations <= LP.Invocations)
-      continue;
-    if (double(LP.Cycles) <
-        Config.MinLoopCycleFraction * double(Profile.TotalCycles))
-      continue;
-    Candidates.push_back(Node);
-  }
-  Report.NumCandidates = unsigned(Candidates.size());
-
-  bool NeedModel = Config.ForceNestingLevel < 1;
-  if (NeedModel) {
-    for (unsigned Node : Candidates) {
-      TransformedProgram TP =
-          transformChosen(*Pristine, LNG, {Node}, Config.Helix);
-      if (TP.Loops.empty())
-        continue;
-      std::vector<const ParallelLoopInfo *> PLIs = {&TP.Loops[0].second};
-      TraceCollector TC(PLIs);
-      Interpreter Interp(*TP.M);
-      Interp.setMaxInstructions(Config.MaxInterpInstructions);
-      Interp.setObserver(&TC);
-      ExecResult R = Interp.run("main");
-      if (!R.Ok)
-        continue; // candidate profiling failed: leave it unmodeled
-      Inputs[Node] = inputsFromTraces(
-          TC.traces()[0], Config.NumCores, Config.Helix.Machine,
-          Config.Helix.EnableHelperThreads);
-    }
-  }
-
-  // ----- 3. Loop selection. ----------------------------------------------
-  std::vector<unsigned> Chosen;
-  if (Config.ForceNestingLevel >= 1) {
-    for (unsigned Node : Candidates)
-      if (int(Levels[Node]) == Config.ForceNestingLevel)
-        Chosen.push_back(Node);
-  } else {
-    double S = Config.SelectionSignalCycles;
-    bool Explicit = S >= 0;
-    if (Explicit) {
-      // Explicit S (Figure 12/13 experiments) overrides the per-loop
-      // gap-based estimates.
-      for (auto &In : Inputs)
-        if (In)
-          In->EffSignalCycles = -1.0;
-    } else {
-      S = Config.Helix.Machine.PrefetchedSignalCycles; // unused fallback
-    }
-    ModelParams Params = makeModelParams(Config, S);
-    if (Explicit) {
-      // The experiment models a compiler that *believes* every signal
-      // costs S, including on the segment chain.
-      Params.ChainSignalCycles = S;
-    }
-    SelectionResult Sel = selectLoops(LNG, Profile, Inputs, Params);
-    Chosen = Sel.Chosen;
-  }
-
-  // ----- 4. Transform the chosen set and validate sequentially. ----------
-  TransformedProgram Final =
-      transformChosen(*Pristine, LNG, Chosen, Config.Helix);
-  std::vector<const ParallelLoopInfo *> PLIs;
-  for (auto &[Node, PLI] : Final.Loops)
-    PLIs.push_back(&PLI);
-  TraceCollector TC(PLIs);
-  Interpreter Interp(*Final.M);
-  Interp.setMaxInstructions(Config.MaxInterpInstructions);
-  Interp.setObserver(&TC);
-  ExecResult ParRun = Interp.run("main");
-  if (!ParRun.Ok) {
-    Report.Error = "transformed program failed: " + ParRun.Error;
-    return Report;
-  }
-  Report.OutputsMatch = ParRun.ReturnValue == SeqRun.ReturnValue;
-
-  // ----- 5. Timing simulation. --------------------------------------------
-  SimConfig SC;
-  SC.NumCores = Config.NumCores;
-  SC.Machine = Config.Helix.Machine;
-  SC.Prefetch =
-      Config.Helix.EnableHelperThreads ? Config.Prefetch : PrefetchMode::None;
-  SC.DoAcross = Config.DoAcross;
-  std::vector<SimStats> PerLoop;
-  Report.ParCycles = simulateProgram(TC, SC, &PerLoop);
-  Report.Speedup =
-      Report.ParCycles ? double(Report.SeqCycles) / double(Report.ParCycles)
-                       : 1.0;
-
-  // ----- Reports. ----------------------------------------------------------
-  uint64_t TransformedTotal = TC.totalCycles();
-  double TPar = 0, TSeqData = 0, TSeqControl = 0;
-  double ModelParTime = double(TransformedTotal);
-  ModelParams ModelP = makeModelParams(
-      Config, Config.Helix.EnableHelperThreads
-                  ? Config.Helix.Machine.PrefetchedSignalCycles
-                  : Config.Helix.Machine.UnprefetchedSignalCycles);
-
-  uint64_t SumTransfers = 0, SumLoads = 0;
-  uint64_t SumDepsTotal = 0, SumDepsCarried = 0;
-  uint64_t SumSignalsInserted = 0, SumSignalsKept = 0;
-
-  for (unsigned K = 0; K != PLIs.size(); ++K) {
-    const ParallelLoopInfo &PLI = *PLIs[K];
-    unsigned Node = Final.Loops[K].first;
-    LoopReport LR;
-    LR.Name = LNG.node(Node).name();
-    LR.Node = Node;
-    LR.NestingLevel = std::max(1u, Levels[Node]);
-    LR.Inputs = inputsFromTraces(TC.traces()[K], Config.NumCores,
-                                 Config.Helix.Machine,
-                                 Config.Helix.EnableHelperThreads);
-    LR.Sim = PerLoop[K];
-    LR.NumDepsTotal = PLI.NumDepsTotal;
-    LR.NumDepsCarried = PLI.NumDepsCarried;
-    LR.SignalsInserted = PLI.NumSignalsInserted;
-    LR.SignalsKept = PLI.NumSignalsKept;
-    LR.WaitsInserted = PLI.NumWaitsInserted;
-    LR.WaitsKept = PLI.NumWaitsKept;
-    LR.CodeSizeInstrs = PLI.CodeSizeInstrs;
-    LR.NumSegments = unsigned(PLI.Segments.size());
-
-    TPar += double(LR.Inputs.ParallelCycles);
-    TSeqData += double(LR.Inputs.SegmentCycles);
-    TSeqControl += double(LR.Inputs.PrologueCycles);
-    ModelParTime -= double(LR.Inputs.SeqCycles);
-    ModelParTime += modelLoopParallelCycles(LR.Inputs, ModelP);
-
-    SumTransfers += LR.Sim.DataTransfers;
-    SumLoads += LR.Sim.ProgramLoads;
-    SumDepsTotal += LR.NumDepsTotal;
-    SumDepsCarried += LR.NumDepsCarried;
-    SumSignalsInserted += LR.WaitsInserted + LR.SignalsInserted;
-    SumSignalsKept += LR.WaitsKept + LR.SignalsKept;
-    Report.MaxCodeInstrs = std::max(Report.MaxCodeInstrs, LR.CodeSizeInstrs);
-
-    Report.Loops.push_back(std::move(LR));
-  }
-
-  double T = double(std::max<uint64_t>(1, TransformedTotal));
-  Report.PctParallel = 100.0 * TPar / T;
-  Report.PctSeqData = 100.0 * TSeqData / T;
-  Report.PctSeqControl = 100.0 * TSeqControl / T;
-  Report.PctOutside =
-      100.0 - Report.PctParallel - Report.PctSeqData - Report.PctSeqControl;
-
-  Report.ModelSpeedup = double(Report.SeqCycles) / std::max(1.0, ModelParTime);
-  Report.LoopCarriedPct =
-      SumDepsTotal ? 100.0 * double(SumDepsCarried) / double(SumDepsTotal)
-                   : 0.0;
-  Report.SignalsRemovedPct =
-      SumSignalsInserted
-          ? 100.0 * double(SumSignalsInserted - SumSignalsKept) /
-                double(SumSignalsInserted)
-          : 0.0;
-  Report.DataTransferPct =
-      SumLoads ? 100.0 * double(SumTransfers) / double(SumLoads) : 0.0;
-
-  Report.Ok = true;
-  return Report;
+  return runHelixPipeline(Original, Config.toPipelineConfig());
 }

@@ -1,44 +1,40 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The end-to-end HELIX pipeline used by the benchmark harnesses and the
-/// examples:
+/// Backwards-compatible one-call driver over the composable pipeline API
+/// (pipeline/PipelineBuilder.h). runHelixPipeline(Original, Config) is
+/// exactly equivalent to running PipelineBuilder::standard() on a fresh
+/// PipelineContext configured with Config.toPipelineConfig():
 ///
-///   1. profile the original program (training run), building the dynamic
-///      loop nesting graph;
-///   2. for every candidate loop, transform a clone of the program and
-///      profile the HELIX-optimized form, yielding the model inputs
-///      (Section 3.1's "subsequent profiling runs");
-///   3. select the loops to parallelize with the analytical model (or at a
-///      forced nesting level for the Figure 11/13 experiments);
-///   4. transform the chosen set, re-run it sequentially to both validate
-///      the transformation (outputs must match) and collect traces;
-///   5. replay the traces on the CMP timing simulator.
+///   profile -> candidates -> model-profile -> select -> transform
+///           -> validate -> simulate
+///
+/// New code (and anything that sweeps configurations) should use the
+/// pipeline API directly: a reused PipelineContext caches stage results
+/// across configuration points.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HELIX_DRIVER_HELIXDRIVER_H
 #define HELIX_DRIVER_HELIXDRIVER_H
 
-#include "helix/HelixOptions.h"
-#include "helix/LoopSelection.h"
-#include "sim/ParallelSim.h"
-
-#include <string>
-#include <vector>
+#include "pipeline/PipelineConfig.h"
+#include "pipeline/PipelineReport.h"
 
 namespace helix {
 
+/// Flat legacy configuration, kept for source compatibility with the
+/// original monolithic driver. The layered PipelineConfig is the single
+/// source of truth; this struct merely maps onto it.
 struct DriverConfig {
   HelixOptions Helix;
   unsigned NumCores = 6;
   PrefetchMode Prefetch = PrefetchMode::Helper;
   bool DoAcross = false;
   /// Signal latency S assumed by the selection model. Negative (default)
-  /// = per-loop gap-based estimate (Section 3.3): the latency a signal
-  /// actually costs given how much parallel code separates consecutive
-  /// segments. Explicit values reproduce Figures 12/13 (0 under-, 110
-  /// over-estimate, 4 = always fully prefetched).
+  /// = per-loop gap-based estimate (Section 3.3). Explicit values
+  /// reproduce Figures 12/13 — see SelectionConfig::SignalCycles for the
+  /// full override semantics.
   double SelectionSignalCycles = -1.0;
   /// When >= 1, skip model-driven selection and pick every executed loop at
   /// this dynamic nesting level (1 = outermost), as in Figures 11 and 13.
@@ -47,50 +43,29 @@ struct DriverConfig {
   /// evaluated.
   double MinLoopCycleFraction = 0.002;
   uint64_t MaxInterpInstructions = 400ull * 1000 * 1000;
+
+  /// The equivalent layered configuration.
+  PipelineConfig toPipelineConfig() const {
+    PipelineConfig P;
+    P.NumCores = NumCores;
+    P.Helix = Helix;
+    P.Selection.SignalCycles = SelectionSignalCycles;
+    P.Selection.ForceNestingLevel = ForceNestingLevel;
+    P.Selection.MinLoopCycleFraction = MinLoopCycleFraction;
+    P.Prefetch = Prefetch;
+    P.DoAcross = DoAcross;
+    P.MaxInterpInstructions = MaxInterpInstructions;
+    return P;
+  }
 };
 
-/// Per chosen loop results.
-struct LoopReport {
-  std::string Name;
-  unsigned Node = 0;
-  unsigned NestingLevel = 1; ///< dynamic level, 1 = outermost
-  LoopModelInputs Inputs;
-  SimStats Sim;
-  // Static transform statistics (from ParallelLoopInfo).
-  unsigned NumDepsTotal = 0, NumDepsCarried = 0;
-  unsigned SignalsInserted = 0, SignalsKept = 0;
-  unsigned WaitsInserted = 0, WaitsKept = 0;
-  unsigned CodeSizeInstrs = 0;
-  unsigned NumSegments = 0;
-};
-
-struct PipelineReport {
-  bool Ok = false;
-  std::string Error;
-
-  uint64_t SeqCycles = 0; ///< original sequential program time
-  uint64_t ParCycles = 0; ///< simulated parallel program time
-  double Speedup = 1.0;
-  double ModelSpeedup = 1.0; ///< Equation-1 estimate for the chosen set
-  bool OutputsMatch = false; ///< transformed program computes same result
-
-  unsigned NumCandidates = 0;
-  unsigned NumLoopsInProgram = 0;
-  std::vector<LoopReport> Loops;
-
-  // Figure 11 breakdown, percent of sequential execution time.
-  double PctParallel = 0, PctSeqData = 0, PctSeqControl = 0, PctOutside = 100;
-
-  // Table 1 aggregates.
-  double LoopCarriedPct = 0;   ///< carried deps / all dependences
-  double SignalsRemovedPct = 0;///< removed by Step 6 (static)
-  double DataTransferPct = 0;  ///< forwarded words / loads executed in loops
-  unsigned MaxCodeInstrs = 0;
-};
-
-/// Runs the whole pipeline on (a clone of) \p Original.
+/// Runs the whole standard pipeline on (a clone of) \p Original.
 PipelineReport runHelixPipeline(const Module &Original,
                                 const DriverConfig &Config);
+
+/// Same, from a layered configuration.
+PipelineReport runHelixPipeline(const Module &Original,
+                                const PipelineConfig &Config);
 
 } // namespace helix
 

@@ -16,8 +16,11 @@ namespace helix {
 /// (two last-level-cache accesses of 55 cycles each); a fully prefetched
 /// signal hits the first-level cache in 4 cycles; forwarding one CPU word
 /// between cores costs 110 cycles.
+/// Latencies only: the core count is *not* part of the machine model — it
+/// is a top-level pipeline knob (PipelineConfig::NumCores, single source of
+/// truth) because the paper sweeps it independently (Figure 9's 2/4/6-core
+/// bars) while the latencies stay fixed.
 struct MachineModel {
-  unsigned NumCores = 6;
   bool HasSMT = true; ///< helper threads require SMT contexts
   double UnprefetchedSignalCycles = 110.0;
   double PrefetchedSignalCycles = 4.0;
@@ -34,9 +37,9 @@ struct HelixOptions {
   bool EnableSignalOpt = true;   ///< Step 6: signal minimization
   bool EnableHelperThreads = true; ///< Step 8: SMT signal prefetching
   bool EnableBalancing = true;     ///< Step 8: Figure-6 spacing scheduler
-  /// Signal latency assumed by the loop-selection model (Figures 12/13
-  /// override this; 4 = fully prefetched, the paper's default).
-  double SelectionSignalCycles = 4.0;
+  // Note: the signal latency assumed by the loop-*selection* model is not a
+  // transform knob; it lives in SelectionConfig::SignalCycles
+  // (pipeline/PipelineConfig.h), the single source of truth.
 
   MachineModel Machine;
 };

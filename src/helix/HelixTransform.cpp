@@ -1,198 +1,18 @@
 #include "helix/HelixTransform.h"
 
-#include "analysis/DataDependence.h"
-#include "helix/Inliner.h"
-#include "helix/Lowering.h"
-#include "helix/Normalize.h"
-#include "helix/Scheduler.h"
-#include "helix/SequentialSegments.h"
-#include "helix/SignalOpt.h"
-#include "ir/Verifier.h"
-#include "support/Compiler.h"
-
-#include <algorithm>
-#include <set>
+#include "helix/LoopPasses.h"
 
 using namespace helix;
-
-namespace {
-
-/// Recomputes the dependence set of the (already normalized) loop, and
-/// filters out dependences that need no synchronization because every
-/// endpoint sits in the prologue of an earlier-or-equal iteration: the
-/// prologues themselves execute sequentially, ordered by the IterStart
-/// control signal, so only data forwarding (Step 7) is needed for them.
-std::vector<DataDependence> computeDeps(ModuleAnalyses &AM, Function *F,
-                                        Loop *L, DependenceStats &StatsOut) {
-  FunctionAnalyses &FA = AM.on(F);
-  LoopVarAnalysis Vars(F, L, FA.DT);
-  LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
-                             AM.pointsTo(), AM.memEffects());
-  StatsOut = DDA.stats();
-  return DDA.toSynchronize();
-}
-
-Loop *findLoop(LoopInfo &LI, BasicBlock *Header) {
-  for (unsigned I = 0, E = LI.numLoops(); I != E; ++I)
-    if (LI.loop(I)->header() == Header)
-      return LI.loop(I);
-  return nullptr;
-}
-
-/// Induction variables the engines materialize per iteration.
-std::vector<MaterializedIV> collectIVs(ModuleAnalyses &AM, Function *F,
-                                       Loop *L) {
-  LoopVarAnalysis Vars(F, L, AM.on(F).DT);
-  std::vector<MaterializedIV> IVs;
-  for (const InductionVar &IV : Vars.inductionVars())
-    IVs.push_back({IV.Reg, IV.Stride});
-  return IVs;
-}
-
-/// Step 3's counted-loop test: true when no dependence endpoint sits in
-/// the prologue and every register the prologue reads is invariant, an
-/// induction variable, or defined earlier in the prologue itself. Such a
-/// prologue is locally computable from the iteration number, so iterations
-/// start without inter-thread control signals.
-bool prologueIsSelfStarting(ModuleAnalyses &AM, Function *F, Loop *L,
-                            const NormalizedLoop &NL,
-                            const std::vector<DataDependence> &Deps) {
-  for (const DataDependence &D : Deps)
-    for (Instruction *E : D.allEndpoints())
-      if (NL.inPrologue(E->parent()))
-        return false;
-
-  LoopVarAnalysis Vars(F, L, AM.on(F).DT);
-  std::set<unsigned> DefinedInPrologue;
-  for (BasicBlock *BB : NL.Prologue)
-    for (Instruction *I : *BB) {
-      for (unsigned K = 0, E = I->numOperands(); K != E; ++K) {
-        const Operand &O = I->operand(K);
-        if (!O.isReg())
-          continue;
-        unsigned R = O.regId();
-        if (Vars.isInvariant(R) || Vars.inductionVar(R) ||
-            DefinedInPrologue.count(R))
-          continue;
-        return false;
-      }
-      if (I->hasDest())
-        DefinedInPrologue.insert(I->dest());
-      // Calls may read loop-varying memory; be conservative.
-      if (I->isCall() || I->mayReadMemory())
-        return false;
-    }
-  return true;
-}
-
-} // namespace
 
 std::optional<ParallelLoopInfo>
 helix::parallelizeLoop(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
                        const HelixOptions &Opts) {
-  // ----- Step 1: normalization. ------------------------------------------
-  NormalizedLoop NL = normalizeLoop(AM, F, Header);
-  if (!NL.Valid)
-    return std::nullopt;
-
-  ParallelLoopInfo PLI;
-  PLI.F = F;
-  PLI.Header = NL.Header;
-
-  // ----- Step 2: dependences to satisfy. ----------------------------------
-  DependenceStats Stats;
-  Loop *L = findLoop(AM.on(F).LI, Header);
-  assert(L && "normalized loop vanished");
-  std::vector<DataDependence> Deps = computeDeps(AM, F, L, Stats);
-
-  // ----- Step 5a: method inlining. ----------------------------------------
-  // Calls that are endpoints of a dependence are inlined (unless inside a
-  // subloop, which would prevent shrinking the segment), then dependences
-  // are recomputed. Bounded to avoid code blow-up, per the paper's
-  // conservative heuristic.
-  if (Opts.EnableInlining) {
-    for (unsigned Round = 0; Round != 4; ++Round) {
-      Instruction *ToInline = nullptr;
-      for (const DataDependence &D : Deps) {
-        for (Instruction *E : D.allEndpoints()) {
-          if (!E->isCall() || E->callee() == F)
-            continue;
-          // Skip calls inside subloops of L.
-          bool InSubLoop = false;
-          for (Loop *Sub : L->subLoops())
-            InSubLoop |= Sub->contains(E->parent());
-          if (InSubLoop)
-            continue;
-          if (AM.callGraph().isRecursive(E->callee()))
-            continue;
-          ToInline = E;
-          break;
-        }
-        if (ToInline)
-          break;
-      }
-      if (!ToInline)
-        break;
-      if (!inlineCall(F, ToInline))
-        break;
-      ++PLI.InlinedCalls;
-      AM.invalidateAll();
-      NL = normalizeLoop(AM, F, Header);
-      assert(NL.Valid && "inlining destroyed the loop");
-      L = findLoop(AM.on(F).LI, Header);
-      Deps = computeDeps(AM, F, L, Stats);
-    }
-  }
-
-  PLI.NumDepsTotal = Stats.NumAliasPairs + Stats.NumRegCarried +
-                     Stats.NumExcludedFalse + Stats.NumExcludedInduction;
-  PLI.NumDepsCarried = unsigned(Deps.size());
-  PLI.Deps = Deps;
-
-  // Induction variables (collected before lowering adds new code).
-  PLI.IVs = collectIVs(AM, F, L);
-  PLI.SelfStartingPrologue = prologueIsSelfStarting(AM, F, L, NL, Deps);
-
-  // ----- Step 4: Wait/Signal insertion. -----------------------------------
-  WaitSignalInsertion WS = insertWaitSignals(F, NL, Deps);
-  PLI.NumWaitsInserted = WS.NumWaits;
-  PLI.NumSignalsInserted = WS.NumSignals;
-
-  // ----- Step 5b: shrink sequential segments by scheduling. ---------------
-  if (Opts.EnableScheduling)
-    compactSegments(NL, Deps);
-
-  // ----- Step 6: minimize signals. ----------------------------------------
-  SignalOptResult SO =
-      optimizeSignals(F, NL, Deps, WS, Opts.EnableSignalOpt);
-  PLI.NumWaitsKept = SO.NumWaitsKept;
-  PLI.NumSignalsKept = SO.NumSignalsKept;
-
-  // ----- Steps 3 and 7: iteration starts and communication. ---------------
-  LoweringResult LR = lowerParallelLoop(F, NL, Deps, SO, PLI.IVs);
-  PLI.IterStarts = LR.IterStarts;
-  PLI.StorageGlobal = LR.StorageGlobal;
-  PLI.SlotOfReg = LR.SlotOfReg;
-
-  // ----- Step 8: space segments for helper-thread prefetching. ------------
-  if (Opts.EnableHelperThreads && Opts.EnableBalancing) {
-    unsigned Delta = unsigned(Opts.Machine.UnprefetchedSignalCycles -
-                              Opts.Machine.PrefetchedSignalCycles);
-    balanceSegmentSpacing(NL, Deps, Delta);
-  }
-
-  // ----- Publish metadata. -------------------------------------------------
-  PLI.Latch = NL.Latch;
-  PLI.LoopBlocks = NL.LoopBlocks;
-  PLI.PrologueBlocks = NL.Prologue;
-  PLI.BodyBlocks = NL.Body;
-  PLI.Segments = SO.Segments;
-  for (auto &[SegId, Slots] : LR.SlotsReadOfSegment)
-    PLI.Segments[SegId].SlotsRead = Slots;
-  for (BasicBlock *BB : NL.LoopBlocks)
-    PLI.CodeSizeInstrs += BB->size();
-
-  AM.invalidateAll();
-  assert(verifyFunction(*F).empty() && "transformed function is malformed");
-  return PLI;
+  // One manager serves every configuration: the step switches in Opts are
+  // honoured inside the passes.
+  static const LoopPassManager PM = [] {
+    LoopPassManager M;
+    addStandardHelixLoopPasses(M);
+    return M;
+  }();
+  return PM.run(AM, F, Header, Opts);
 }

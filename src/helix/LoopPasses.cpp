@@ -1,0 +1,334 @@
+#include "helix/LoopPasses.h"
+
+#include "helix/Inliner.h"
+#include "helix/Scheduler.h"
+#include "ir/Verifier.h"
+#include "support/Compiler.h"
+
+#include <set>
+
+using namespace helix;
+
+//===----------------------------------------------------------------------===//
+// Shared helpers.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recomputes the dependence set of the (already normalized) loop, and
+/// filters out dependences that need no synchronization because every
+/// endpoint sits in the prologue of an earlier-or-equal iteration: the
+/// prologues themselves execute sequentially, ordered by the IterStart
+/// control signal, so only data forwarding (Step 7) is needed for them.
+std::vector<DataDependence> computeDeps(ModuleAnalyses &AM, Function *F,
+                                        Loop *L, DependenceStats &StatsOut) {
+  FunctionAnalyses &FA = AM.on(F);
+  LoopVarAnalysis Vars(F, L, FA.DT);
+  LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
+                             AM.pointsTo(), AM.memEffects());
+  StatsOut = DDA.stats();
+  return DDA.toSynchronize();
+}
+
+Loop *findLoop(LoopInfo &LI, BasicBlock *Header) {
+  for (unsigned I = 0, E = LI.numLoops(); I != E; ++I)
+    if (LI.loop(I)->header() == Header)
+      return LI.loop(I);
+  return nullptr;
+}
+
+/// Induction variables the engines materialize per iteration.
+std::vector<MaterializedIV> collectIVs(ModuleAnalyses &AM, Function *F,
+                                       Loop *L) {
+  LoopVarAnalysis Vars(F, L, AM.on(F).DT);
+  std::vector<MaterializedIV> IVs;
+  for (const InductionVar &IV : Vars.inductionVars())
+    IVs.push_back({IV.Reg, IV.Stride});
+  return IVs;
+}
+
+/// Step 3's counted-loop test: true when no dependence endpoint sits in
+/// the prologue and every register the prologue reads is invariant, an
+/// induction variable, or defined earlier in the prologue itself. Such a
+/// prologue is locally computable from the iteration number, so iterations
+/// start without inter-thread control signals.
+bool prologueIsSelfStarting(ModuleAnalyses &AM, Function *F, Loop *L,
+                            const NormalizedLoop &NL,
+                            const std::vector<DataDependence> &Deps) {
+  for (const DataDependence &D : Deps)
+    for (Instruction *E : D.allEndpoints())
+      if (NL.inPrologue(E->parent()))
+        return false;
+
+  LoopVarAnalysis Vars(F, L, AM.on(F).DT);
+  std::set<unsigned> DefinedInPrologue;
+  for (BasicBlock *BB : NL.Prologue)
+    for (Instruction *I : *BB) {
+      for (unsigned K = 0, E = I->numOperands(); K != E; ++K) {
+        const Operand &O = I->operand(K);
+        if (!O.isReg())
+          continue;
+        unsigned R = O.regId();
+        if (Vars.isInvariant(R) || Vars.inductionVar(R) ||
+            DefinedInPrologue.count(R))
+          continue;
+        return false;
+      }
+      if (I->hasDest())
+        DefinedInPrologue.insert(I->dest());
+      // Calls may read loop-varying memory; be conservative.
+      if (I->isCall() || I->mayReadMemory())
+        return false;
+    }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// The standard passes.
+//===----------------------------------------------------------------------===//
+
+/// Step 1: normalization. Aborts when the header no longer heads a loop.
+class NormalizePass : public LoopPass {
+public:
+  const char *name() const override { return "normalize"; }
+  // Mutates the CFG (may add a latch) but performs its own invalidation
+  // inside normalizeLoop and re-derives S.L from the fresh analyses; a
+  // manager-level invalidation here would destroy the LoopInfo that owns
+  // S.L while later passes still hold it.
+  Result run(ModuleAnalyses &AM, LoopPassState &S) override {
+    S.NL = normalizeLoop(AM, S.F, S.Header);
+    if (!S.NL.Valid)
+      return Result::Abort;
+    S.PLI.F = S.F;
+    S.PLI.Header = S.NL.Header;
+    S.L = findLoop(AM.on(S.F).LI, S.Header);
+    assert(S.L && "normalized loop vanished");
+    return Result::Continue;
+  }
+};
+
+/// Step 2: the dependences to satisfy.
+class DependencePass : public LoopPass {
+public:
+  const char *name() const override { return "dependence"; }
+  Result run(ModuleAnalyses &AM, LoopPassState &S) override {
+    S.Deps = computeDeps(AM, S.F, S.L, S.Stats);
+    return Result::Continue;
+  }
+};
+
+/// Step 5a: method inlining. Calls that are endpoints of a dependence are
+/// inlined (unless inside a subloop, which would prevent shrinking the
+/// segment), then dependences are recomputed. Bounded to avoid code
+/// blow-up, per the paper's conservative heuristic.
+class InlinePass : public LoopPass {
+public:
+  const char *name() const override { return "inline"; }
+  // Like normalize: invalidates and re-derives internally (see below), so
+  // the analyses, S.L and S.Deps leave this pass mutually consistent.
+  Result run(ModuleAnalyses &AM, LoopPassState &S) override {
+    if (!S.Opts.EnableInlining)
+      return Result::Continue;
+    for (unsigned Round = 0; Round != 4; ++Round) {
+      Instruction *ToInline = nullptr;
+      for (const DataDependence &D : S.Deps) {
+        for (Instruction *E : D.allEndpoints()) {
+          if (!E->isCall() || E->callee() == S.F)
+            continue;
+          // Skip calls inside subloops of L.
+          bool InSubLoop = false;
+          for (Loop *Sub : S.L->subLoops())
+            InSubLoop |= Sub->contains(E->parent());
+          if (InSubLoop)
+            continue;
+          if (AM.callGraph().isRecursive(E->callee()))
+            continue;
+          ToInline = E;
+          break;
+        }
+        if (ToInline)
+          break;
+      }
+      if (!ToInline)
+        break;
+      if (!inlineCall(S.F, ToInline))
+        break;
+      ++S.PLI.InlinedCalls;
+      // Inlining splinters the CFG of S.F and can grow the call graph's
+      // edge set: invalidate everything, then rebuild the normal form and
+      // the dependence set from scratch.
+      AM.invalidateAll();
+      S.NL = normalizeLoop(AM, S.F, S.Header);
+      assert(S.NL.Valid && "inlining destroyed the loop");
+      S.L = findLoop(AM.on(S.F).LI, S.Header);
+      S.Deps = computeDeps(AM, S.F, S.L, S.Stats);
+    }
+    return Result::Continue;
+  }
+};
+
+/// Metadata between analysis and transformation: dependence statistics,
+/// induction variables (collected before lowering adds new code), and the
+/// Step-3 counted-loop test.
+class CharacterizePass : public LoopPass {
+public:
+  const char *name() const override { return "characterize"; }
+  Result run(ModuleAnalyses &AM, LoopPassState &S) override {
+    S.PLI.NumDepsTotal = S.Stats.NumAliasPairs + S.Stats.NumRegCarried +
+                         S.Stats.NumExcludedFalse +
+                         S.Stats.NumExcludedInduction;
+    S.PLI.NumDepsCarried = unsigned(S.Deps.size());
+    S.PLI.Deps = S.Deps;
+    S.PLI.IVs = collectIVs(AM, S.F, S.L);
+    S.PLI.SelfStartingPrologue =
+        prologueIsSelfStarting(AM, S.F, S.L, S.NL, S.Deps);
+    return Result::Continue;
+  }
+};
+
+/// Step 4: naive Wait/Signal insertion — sequential-segment construction.
+class WaitSignalPass : public LoopPass {
+public:
+  const char *name() const override { return "wait-signal"; }
+  bool modifiesFunction() const override { return true; }
+  Result run(ModuleAnalyses &, LoopPassState &S) override {
+    S.WS = insertWaitSignals(S.F, S.NL, S.Deps);
+    S.PLI.NumWaitsInserted = S.WS.NumWaits;
+    S.PLI.NumSignalsInserted = S.WS.NumSignals;
+    return Result::Continue;
+  }
+};
+
+/// Step 5b: shrink sequential segments by scheduling.
+class SchedulePass : public LoopPass {
+public:
+  const char *name() const override { return "schedule"; }
+  bool modifiesFunction() const override { return true; }
+  Result run(ModuleAnalyses &, LoopPassState &S) override {
+    if (S.Opts.EnableScheduling)
+      compactSegments(S.NL, S.Deps);
+    return Result::Continue;
+  }
+};
+
+/// Step 6: minimize signals. Runs even when disabled — it also computes
+/// the final segment list the later passes and the engines consume.
+class SignalOptPass : public LoopPass {
+public:
+  const char *name() const override { return "signal-opt"; }
+  bool modifiesFunction() const override { return true; }
+  Result run(ModuleAnalyses &, LoopPassState &S) override {
+    S.SO = optimizeSignals(S.F, S.NL, S.Deps, S.WS, S.Opts.EnableSignalOpt);
+    S.PLI.NumWaitsKept = S.SO.NumWaitsKept;
+    S.PLI.NumSignalsKept = S.SO.NumSignalsKept;
+    return Result::Continue;
+  }
+};
+
+/// Steps 3 and 7: iteration starts and boundary-variable communication.
+class LowerPass : public LoopPass {
+public:
+  const char *name() const override { return "lower"; }
+  bool modifiesFunction() const override { return true; }
+  Result run(ModuleAnalyses &, LoopPassState &S) override {
+    S.LR = lowerParallelLoop(S.F, S.NL, S.Deps, S.SO, S.PLI.IVs);
+    S.PLI.IterStarts = S.LR.IterStarts;
+    S.PLI.StorageGlobal = S.LR.StorageGlobal;
+    S.PLI.SlotOfReg = S.LR.SlotOfReg;
+    return Result::Continue;
+  }
+};
+
+/// Step 8: space segments so the helper thread can prefetch signals.
+class BalancePass : public LoopPass {
+public:
+  const char *name() const override { return "balance"; }
+  bool modifiesFunction() const override { return true; }
+  Result run(ModuleAnalyses &, LoopPassState &S) override {
+    if (S.Opts.EnableHelperThreads && S.Opts.EnableBalancing) {
+      unsigned Delta = unsigned(S.Opts.Machine.UnprefetchedSignalCycles -
+                                S.Opts.Machine.PrefetchedSignalCycles);
+      balanceSegmentSpacing(S.NL, S.Deps, Delta);
+    }
+    return Result::Continue;
+  }
+};
+
+/// Publishes the remaining ParallelLoopInfo metadata and verifies the
+/// transformed function.
+class FinalizePass : public LoopPass {
+public:
+  const char *name() const override { return "finalize"; }
+  Result run(ModuleAnalyses &, LoopPassState &S) override {
+    S.PLI.Latch = S.NL.Latch;
+    S.PLI.LoopBlocks = S.NL.LoopBlocks;
+    S.PLI.PrologueBlocks = S.NL.Prologue;
+    S.PLI.BodyBlocks = S.NL.Body;
+    S.PLI.Segments = S.SO.Segments;
+    for (auto &[SegId, Slots] : S.LR.SlotsReadOfSegment)
+      S.PLI.Segments[SegId].SlotsRead = Slots;
+    for (BasicBlock *BB : S.NL.LoopBlocks)
+      S.PLI.CodeSizeInstrs += BB->size();
+    // The verifier always runs. Malformed IR is a compiler bug: debug
+    // builds stop on it immediately (assert); release builds degrade
+    // gracefully by aborting the pass sequence — the loop is dropped, and
+    // the mutated code stays sequentially correct since sync ops are
+    // no-ops in sequential execution.
+    if (!verifyFunction(*S.F).empty()) {
+      assert(false && "transformed function malformed");
+      return Result::Abort;
+    }
+    return Result::Continue;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Manager.
+//===----------------------------------------------------------------------===//
+
+std::optional<ParallelLoopInfo>
+LoopPassManager::run(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
+                     const HelixOptions &Opts) const {
+  LoopPassState S(F, Header, Opts);
+  bool MutatedSinceStart = false;
+  for (const auto &P : Passes) {
+    if (P->run(AM, S) == LoopPass::Result::Abort) {
+      // An abort after a mutating pass (e.g. the finalize verifier gate in
+      // release builds) leaves the module changed; module-level analyses
+      // (points-to, mem-effects) must not survive it, or the next loop
+      // transformed with this ModuleAnalyses would consume stale facts. A
+      // pre-mutation abort (normalize: header heads no loop) keeps the
+      // caches, which self-invalidating passes left coherent.
+      if (MutatedSinceStart)
+        AM.invalidateAll();
+      return std::nullopt;
+    }
+    // Explicit invalidation discipline: a pass that touched the function
+    // leaves no stale analyses behind. (NormalizedLoop block lists stay
+    // valid — blocks are never deleted — but dominator/liveness/loop info
+    // must be recomputed on next use.)
+    if (P->modifiesFunction()) {
+      AM.invalidate(F);
+      MutatedSinceStart = true;
+    }
+  }
+  // The transformation is module-visible (new globals, call-graph changes
+  // from inlining): drop module-level analyses too.
+  AM.invalidateAll();
+  return std::move(S.PLI);
+}
+
+void helix::addStandardHelixLoopPasses(LoopPassManager &PM) {
+  PM.add(std::make_unique<NormalizePass>())
+      .add(std::make_unique<DependencePass>())
+      .add(std::make_unique<InlinePass>())
+      .add(std::make_unique<CharacterizePass>())
+      .add(std::make_unique<WaitSignalPass>())
+      .add(std::make_unique<SchedulePass>())
+      .add(std::make_unique<SignalOptPass>())
+      .add(std::make_unique<LowerPass>())
+      .add(std::make_unique<BalancePass>())
+      .add(std::make_unique<FinalizePass>());
+}

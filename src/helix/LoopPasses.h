@@ -1,0 +1,121 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A uniform loop-pass interface over the HELIX transformation steps
+/// (Section 2.1). parallelizeLoop() is a LoopPassManager running the
+/// standard sequence:
+///
+///   normalize    Step 1: Figure-3(a) normal form (prologue/body split)
+///   dependence   Step 2: loop-carried dependences to satisfy
+///   inline       Step 5a: inline calls participating in dependences
+///   characterize metadata: IVs, self-starting prologue, dep statistics
+///   wait-signal  Step 4: naive Wait/Signal insertion (sequential-segment
+///                construction)
+///   schedule     Step 5b: segment-shrinking code scheduling
+///   signal-opt   Step 6: signal minimization
+///   lower        Steps 3+7: iteration starts and boundary communication
+///   balance      Step 8: Figure-6 segment spacing for helper threads
+///   finalize     publish ParallelLoopInfo, verify, invalidate analyses
+///
+/// Every pass runs against a shared LoopPassState. Invalidation is
+/// explicit: a pass either declares modifiesFunction() (the manager drops
+/// the function's cached ModuleAnalyses after it) or — when later passes
+/// must see analyses consistent with pointers it re-derives, as normalize
+/// and inline do for the Loop object — invalidates and recomputes
+/// internally. Either way no pass ever consumes stale analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_HELIX_LOOPPASSES_H
+#define HELIX_HELIX_LOOPPASSES_H
+
+#include "analysis/AnalysisManager.h"
+#include "analysis/DataDependence.h"
+#include "helix/HelixOptions.h"
+#include "helix/Lowering.h"
+#include "helix/Normalize.h"
+#include "helix/ParallelLoopInfo.h"
+#include "helix/SequentialSegments.h"
+#include "helix/SignalOpt.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace helix {
+
+/// The working state threaded through the loop passes. Passes read the
+/// artifacts earlier passes produced and append their own.
+struct LoopPassState {
+  LoopPassState(Function *F, BasicBlock *Header, const HelixOptions &Opts)
+      : F(F), Header(Header), Opts(Opts) {}
+
+  Function *F;
+  BasicBlock *Header;
+  const HelixOptions &Opts;
+
+  NormalizedLoop NL;                 ///< normalize
+  Loop *L = nullptr;                 ///< normalize (refreshed by inline)
+  DependenceStats Stats;             ///< dependence
+  std::vector<DataDependence> Deps;  ///< dependence (refreshed by inline)
+  WaitSignalInsertion WS;            ///< wait-signal
+  SignalOptResult SO;                ///< signal-opt
+  LoweringResult LR;                 ///< lower
+  ParallelLoopInfo PLI;              ///< accumulated result
+};
+
+class LoopPass {
+public:
+  virtual ~LoopPass() = default;
+
+  virtual const char *name() const = 0;
+
+  enum class Result {
+    Continue, ///< proceed to the next pass
+    Abort,    ///< loop is not parallelizable; manager returns nullopt
+  };
+  virtual Result run(ModuleAnalyses &AM, LoopPassState &S) = 0;
+
+  /// True when the pass may mutate the function (CFG or instructions).
+  /// The manager invalidates the function's cached analyses afterwards.
+  virtual bool modifiesFunction() const { return false; }
+};
+
+/// Runs a sequence of loop passes over one loop, handling analysis
+/// invalidation between passes.
+class LoopPassManager {
+public:
+  LoopPassManager &add(std::unique_ptr<LoopPass> P) {
+    Passes.push_back(std::move(P));
+    return *this;
+  }
+
+  std::vector<std::string> passNames() const {
+    std::vector<std::string> Names;
+    for (const auto &P : Passes)
+      Names.push_back(P->name());
+    return Names;
+  }
+
+  size_t size() const { return Passes.size(); }
+
+  /// Runs every pass in order against the loop with header \p Header of
+  /// \p F. \returns the accumulated ParallelLoopInfo, or nullopt when a
+  /// pass aborted.
+  std::optional<ParallelLoopInfo> run(ModuleAnalyses &AM, Function *F,
+                                      BasicBlock *Header,
+                                      const HelixOptions &Opts) const;
+
+private:
+  std::vector<std::unique_ptr<LoopPass>> Passes;
+};
+
+/// Appends the standard HELIX Step 1-8 pass sequence. Step switches in
+/// HelixOptions are honoured by the passes themselves, so one manager
+/// serves every configuration.
+void addStandardHelixLoopPasses(LoopPassManager &PM);
+
+} // namespace helix
+
+#endif // HELIX_HELIX_LOOPPASSES_H

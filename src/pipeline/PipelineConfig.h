@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified, layered configuration of the HELIX pipeline — the single
+/// source of truth for every knob. It replaces the former split between
+/// DriverConfig (driver-level knobs) and HelixOptions (transform knobs),
+/// which duplicated SelectionSignalCycles and NumCores.
+///
+/// Layers:
+///   - NumCores            top-level: how many cores the CMP has. Feeds the
+///                         selection model, the data-placement accounting
+///                         and the timing simulator alike.
+///   - Helix               the transformation switches (Section 2.1 steps)
+///                         plus the machine latency model they assume.
+///   - Selection           the loop-selection experiment knobs (Section
+///                         2.2 / 3.3, Figures 11-13).
+///   - Prefetch/DoAcross   timing-simulator execution models (Section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_PIPELINE_PIPELINECONFIG_H
+#define HELIX_PIPELINE_PIPELINECONFIG_H
+
+#include "helix/HelixOptions.h"
+#include "sim/ParallelSim.h"
+
+#include <cstdint>
+
+namespace helix {
+
+/// Knobs of the analytical loop-selection stage (Equation 1).
+struct SelectionConfig {
+  /// Signal latency S assumed by the selection model.
+  ///
+  /// Figure 12/13 override semantics: negative (the default) means the
+  /// compiler estimates S per loop from its profile — the gap-based
+  /// Section-3.3 estimate of how much of the unprefetched latency the
+  /// helper thread can hide. An explicit value >= 0 models a compiler that
+  /// *believes* every signal costs exactly S cycles, including on the
+  /// chain of sequential segments: 0 reproduces Figure 12's underestimate
+  /// (deep loops get picked, then slow down), 110 the overestimate
+  /// (profitable loops are forfeited), and sweeping 4 -> 110 reproduces
+  /// Figure 13's drift of the chosen loops toward outermost nesting
+  /// levels.
+  double SignalCycles = -1.0;
+
+  /// When >= 1, skip model-driven selection and pick every executed
+  /// candidate at this dynamic nesting level (1 = outermost), as in
+  /// Figures 11 and 13.
+  int ForceNestingLevel = -1;
+
+  /// Candidate filter: loops below this fraction of program time are not
+  /// evaluated.
+  double MinLoopCycleFraction = 0.002;
+};
+
+/// Everything the pipeline stages read. One source of truth per knob.
+struct PipelineConfig {
+  /// Cores of the simulated CMP (Figure 9 sweeps 2/4/6). The machine
+  /// *latency* constants live in Helix.Machine; the core count lives here
+  /// only.
+  unsigned NumCores = 6;
+
+  /// HELIX transformation switches (Steps 1-8) and the machine latency
+  /// model the transformation and simulator assume.
+  HelixOptions Helix;
+
+  SelectionConfig Selection;
+
+  /// Signal-latency model of the timing simulator (Step 8 evaluation).
+  PrefetchMode Prefetch = PrefetchMode::Helper;
+  /// Model the classic DOACROSS baseline instead of HELIX overlap.
+  bool DoAcross = false;
+
+  /// Interpreter run-length cap for profiling and validation runs.
+  uint64_t MaxInterpInstructions = 400ull * 1000 * 1000;
+};
+
+} // namespace helix
+
+#endif // HELIX_PIPELINE_PIPELINECONFIG_H

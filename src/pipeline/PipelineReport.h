@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result structures produced by the pipeline: per chosen loop
+/// statistics and the whole-program report whose fields back the paper's
+/// figures (9-13) and Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_PIPELINE_PIPELINEREPORT_H
+#define HELIX_PIPELINE_PIPELINEREPORT_H
+
+#include "helix/SpeedupModel.h"
+#include "sim/ParallelSim.h"
+
+#include <string>
+#include <vector>
+
+namespace helix {
+
+/// Per chosen loop results.
+struct LoopReport {
+  std::string Name;
+  unsigned Node = 0;
+  unsigned NestingLevel = 1; ///< dynamic level, 1 = outermost
+  LoopModelInputs Inputs;
+  SimStats Sim;
+  // Static transform statistics (from ParallelLoopInfo).
+  unsigned NumDepsTotal = 0, NumDepsCarried = 0;
+  unsigned SignalsInserted = 0, SignalsKept = 0;
+  unsigned WaitsInserted = 0, WaitsKept = 0;
+  unsigned CodeSizeInstrs = 0;
+  unsigned NumSegments = 0;
+};
+
+struct PipelineReport {
+  bool Ok = false;
+  std::string Error;
+
+  uint64_t SeqCycles = 0; ///< original sequential program time
+  uint64_t ParCycles = 0; ///< simulated parallel program time
+  double Speedup = 1.0;
+  double ModelSpeedup = 1.0; ///< Equation-1 estimate for the chosen set
+  bool OutputsMatch = false; ///< transformed program computes same result
+
+  unsigned NumCandidates = 0;
+  unsigned NumLoopsInProgram = 0;
+  std::vector<LoopReport> Loops;
+
+  // Figure 11 breakdown, percent of sequential execution time.
+  double PctParallel = 0, PctSeqData = 0, PctSeqControl = 0, PctOutside = 100;
+
+  // Table 1 aggregates.
+  double LoopCarriedPct = 0;   ///< carried deps / all dependences
+  double SignalsRemovedPct = 0;///< removed by Step 6 (static)
+  double DataTransferPct = 0;  ///< forwarded words / loads executed in loops
+  unsigned MaxCodeInstrs = 0;
+};
+
+} // namespace helix
+
+#endif // HELIX_PIPELINE_PIPELINEREPORT_H

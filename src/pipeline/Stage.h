@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stage interface of the composable HELIX pipeline. A stage is a
+/// named, individually runnable step that reads and writes artifacts of a
+/// PipelineContext. Stages declare their upstream dependencies (so a
+/// builder can complete and validate compositions) and a cache key over
+/// the configuration slice they read (so contexts can reuse results across
+/// configuration sweeps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_PIPELINE_STAGE_H
+#define HELIX_PIPELINE_STAGE_H
+
+#include "pipeline/PipelineConfig.h"
+#include "pipeline/PipelineReport.h"
+
+#include <string>
+#include <vector>
+
+namespace helix {
+
+class PipelineContext;
+
+class Stage {
+public:
+  virtual ~Stage() = default;
+
+  /// Stable, unique stage name; also the pipeline-string token.
+  virtual const char *name() const = 0;
+
+  /// Names of the stages whose artifacts this stage consumes. They must
+  /// run earlier in any pipeline containing this stage.
+  virtual std::vector<const char *> dependencies() const { return {}; }
+
+  /// Serialization of the configuration slice this stage reads. Two
+  /// configurations with equal keys produce identical stage results on the
+  /// same context (given identical upstream artifacts), which is what
+  /// makes stage results reusable across sweeps.
+  virtual std::string cacheKey(const PipelineConfig &Config) const = 0;
+
+  /// Executes the stage against \p Ctx. On failure, sets
+  /// Ctx.Report.Error and returns false; the pipeline aborts.
+  virtual bool run(PipelineContext &Ctx) = 0;
+
+  /// Resets the report fields this stage owns to their defaults. Called
+  /// for the failing stage and everything downstream when a run aborts,
+  /// so a failed run never reports values left over from an earlier
+  /// configuration point on a reused context.
+  virtual void resetReport(PipelineReport &Report) const { (void)Report; }
+};
+
+} // namespace helix
+
+#endif // HELIX_PIPELINE_STAGE_H

@@ -1,0 +1,498 @@
+#include "pipeline/Stages.h"
+
+#include "helix/HelixTransform.h"
+#include "helix/LoopSelection.h"
+#include "ir/Clone.h"
+#include "pipeline/PipelineContext.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace helix;
+
+//===----------------------------------------------------------------------===//
+// Cache-key helpers: serialize exactly the configuration slice a stage
+// reads, nothing more, so unrelated knob changes never invalidate it.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string machineKey(const MachineModel &M) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "u%.17g,p%.17g,w%.17g,c%.17g,smt%d",
+                M.UnprefetchedSignalCycles, M.PrefetchedSignalCycles,
+                M.WordTransferCycles, M.LoopConfigCycles, int(M.HasSMT));
+  return Buf;
+}
+
+std::string transformKey(const HelixOptions &O) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "i%d,s%d,o%d,h%d,b%d;", int(O.EnableInlining),
+                int(O.EnableScheduling), int(O.EnableSignalOpt),
+                int(O.EnableHelperThreads), int(O.EnableBalancing));
+  return Buf + machineKey(O.Machine);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared stage helpers (formerly private to the monolithic driver).
+//===----------------------------------------------------------------------===//
+
+/// Model inputs extracted from the traces of one loop, with data-forwarding
+/// words counted under round-robin placement on \p NumCores cores.
+LoopModelInputs inputsFromTraces(const LoopTraces &T, unsigned NumCores,
+                                 const MachineModel &Machine,
+                                 bool HelperThreads) {
+  LoopModelInputs In;
+  In.SelfStarting = T.PLI && T.PLI->SelfStartingPrologue;
+  In.Invocations = T.Invocations.size();
+  for (const InvocationTrace &Inv : T.Invocations) {
+    std::map<uint32_t, uint64_t> SlotWriter;
+    for (uint64_t I = 0; I != Inv.Iterations.size(); ++I) {
+      const IterationTrace &It = Inv.Iterations[I];
+      ++In.Iterations;
+      In.SeqCycles += It.TotalCycles;
+      In.PrologueCycles += It.PrologueCycles;
+      In.SegmentCycles += It.SegmentCycles;
+      In.ParallelCycles +=
+          It.TotalCycles - It.PrologueCycles - It.SegmentCycles;
+      uint64_t SignalMask = 0;
+      for (const IterEvent &E : It.Events) {
+        if (E.K == IterEvent::Kind::Signal) {
+          if (E.A < 64 && !(SignalMask & (uint64_t(1) << E.A))) {
+            SignalMask |= uint64_t(1) << E.A;
+            ++In.DataSignals;
+          }
+        } else if (E.K == IterEvent::Kind::SlotWrite) {
+          SlotWriter[E.A] = I;
+        } else if (E.K == IterEvent::Kind::SlotRead) {
+          auto W = SlotWriter.find(E.A);
+          if (W != SlotWriter.end() && W->second != I &&
+              (I - W->second) % NumCores != 0)
+            ++In.WordsForwarded;
+        }
+      }
+    }
+  }
+  // Section 3.3: per-loop effective signal latency. The helper thread can
+  // hide (gap) cycles of the unprefetched latency, where gap is the average
+  // run of non-segment code between consecutive sequential segments.
+  if (!HelperThreads) {
+    In.EffSignalCycles = Machine.UnprefetchedSignalCycles;
+  } else if (In.Iterations > 0) {
+    // Signals the helper must hide per iteration: the data signals, plus
+    // the control signal unless the prologue is self-starting (Step 3's
+    // counted-loop case needs no control signals at all).
+    uint64_t SignalsPerRun =
+        In.DataSignals + (In.SelfStarting ? 0 : In.Iterations);
+    if (SignalsPerRun == 0) {
+      In.EffSignalCycles = Machine.PrefetchedSignalCycles;
+    } else {
+      double Gap =
+          double(In.SeqCycles - In.SegmentCycles) / double(SignalsPerRun);
+      In.EffSignalCycles = std::max(Machine.PrefetchedSignalCycles,
+                                    Machine.UnprefetchedSignalCycles - Gap);
+    }
+  }
+  return In;
+}
+
+ModelParams makeModelParams(const PipelineConfig &Config,
+                            double SignalCycles) {
+  ModelParams P;
+  P.NumCores = Config.NumCores;
+  P.SignalCycles = SignalCycles;
+  P.StartStopSignalCycles = Config.Helix.Machine.UnprefetchedSignalCycles;
+  P.WordTransferCycles = Config.Helix.Machine.WordTransferCycles;
+  P.ConfCycles = Config.Helix.Machine.LoopConfigCycles;
+  return P;
+}
+
+/// Dynamic nesting level of every node (1 = outermost), from the profiled
+/// edges (shortest distance from a dynamic root).
+std::vector<unsigned> dynamicLevels(const LoopNestGraph &LNG,
+                                    const ProgramProfile &Profile) {
+  unsigned N = LNG.numNodes();
+  std::vector<std::vector<unsigned>> Children(N);
+  std::vector<unsigned> Parents(N, 0);
+  for (auto &[From, To] : Profile.DynamicEdges) {
+    Children[From].push_back(To);
+    ++Parents[To];
+  }
+  std::vector<unsigned> Level(N, 0);
+  std::vector<unsigned> Queue;
+  for (unsigned I = 0; I != N; ++I)
+    if (Profile.executed(I) && Parents[I] == 0) {
+      Level[I] = 1;
+      Queue.push_back(I);
+    }
+  for (size_t Head = 0; Head != Queue.size(); ++Head) {
+    unsigned Node = Queue[Head];
+    for (unsigned C : Children[Node])
+      if (Level[C] == 0) {
+        Level[C] = Level[Node] + 1;
+        Queue.push_back(C);
+      }
+  }
+  return Level;
+}
+
+/// Clones \p Source and parallelizes the loops named by \p Nodes there.
+/// Nodes whose transformation failed are dropped. The analyses of the
+/// clone are returned too (invalidated by the transformation; the caller
+/// may keep them for lazy recomputation).
+struct TransformedProgram {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<ModuleAnalyses> AM;
+  std::vector<std::pair<unsigned, ParallelLoopInfo>> Loops;
+};
+
+TransformedProgram transformChosen(const Module &Source,
+                                   const LoopNestGraph &LNG,
+                                   const std::vector<unsigned> &Nodes,
+                                   const HelixOptions &Opts) {
+  TransformedProgram Out;
+  CloneMap Map;
+  Out.M = cloneModule(Source, &Map);
+  Out.AM = std::make_unique<ModuleAnalyses>(*Out.M);
+  for (unsigned Node : Nodes) {
+    const LoopNestNode &N = LNG.node(Node);
+    Function *F = Map.Functions.at(N.F);
+    BasicBlock *Header = Map.Blocks.at(N.L->header());
+    std::optional<ParallelLoopInfo> PLI =
+        parallelizeLoop(*Out.AM, F, Header, Opts);
+    if (PLI)
+      Out.Loops.push_back({Node, std::move(*PLI)});
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// profile
+//===----------------------------------------------------------------------===//
+
+std::string ProfileStage::cacheKey(const PipelineConfig &) const {
+  // The training run depends only on the module the context is bound to.
+  return "v1";
+}
+
+void ProfileStage::resetReport(PipelineReport &Report) const {
+  Report.SeqCycles = 0;
+  Report.NumLoopsInProgram = 0;
+}
+
+bool ProfileStage::run(PipelineContext &Ctx) {
+  Ctx.Pristine = cloneModule(Ctx.original());
+  Ctx.AM = std::make_unique<ModuleAnalyses>(*Ctx.Pristine);
+  Ctx.LNG = std::make_unique<LoopNestGraph>(*Ctx.Pristine, *Ctx.AM);
+  Ctx.Report.NumLoopsInProgram = Ctx.LNG->numNodes();
+
+  Ctx.Profile = profileProgram(*Ctx.Pristine, *Ctx.LNG, *Ctx.AM, &Ctx.SeqRun);
+  Ctx.noteInterpreted(Ctx.SeqRun.Instructions);
+  if (!Ctx.SeqRun.Ok) {
+    Ctx.Report.Error = "sequential profiling run failed: " + Ctx.SeqRun.Error;
+    return false;
+  }
+  Ctx.Report.SeqCycles = Ctx.SeqRun.Cycles;
+  Ctx.Levels = dynamicLevels(*Ctx.LNG, Ctx.Profile);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// candidates
+//===----------------------------------------------------------------------===//
+
+std::string CandidateStage::cacheKey(const PipelineConfig &Config) const {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "f%.17g",
+                Config.Selection.MinLoopCycleFraction);
+  return Buf;
+}
+
+void CandidateStage::resetReport(PipelineReport &Report) const {
+  Report.NumCandidates = 0;
+}
+
+bool CandidateStage::run(PipelineContext &Ctx) {
+  Ctx.Candidates.clear();
+  for (unsigned Node = 0; Node != Ctx.LNG->numNodes(); ++Node) {
+    const LoopProfile &LP = Ctx.Profile.Loops[Node];
+    if (LP.Invocations == 0 || LP.Iterations <= LP.Invocations)
+      continue;
+    if (double(LP.Cycles) < Ctx.config().Selection.MinLoopCycleFraction *
+                               double(Ctx.Profile.TotalCycles))
+      continue;
+    Ctx.Candidates.push_back(Node);
+  }
+  Ctx.Report.NumCandidates = unsigned(Ctx.Candidates.size());
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// model-profile
+//===----------------------------------------------------------------------===//
+
+std::string ModelProfilingStage::cacheKey(const PipelineConfig &Config) const {
+  // A forced nesting level skips model profiling entirely, so all forced
+  // configurations share one key.
+  if (Config.Selection.ForceNestingLevel >= 1)
+    return "forced";
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "n%u,m%llu;", Config.NumCores,
+                (unsigned long long)Config.MaxInterpInstructions);
+  return Buf + transformKey(Config.Helix);
+}
+
+bool ModelProfilingStage::run(PipelineContext &Ctx) {
+  const PipelineConfig &Config = Ctx.config();
+  Ctx.ModelInputs.assign(Ctx.LNG->numNodes(), std::nullopt);
+  if (Config.Selection.ForceNestingLevel >= 1)
+    return true; // selection will not consult the model
+
+  for (unsigned Node : Ctx.Candidates) {
+    TransformedProgram TP =
+        transformChosen(*Ctx.Pristine, *Ctx.LNG, {Node}, Config.Helix);
+    if (TP.Loops.empty())
+      continue;
+    std::vector<const ParallelLoopInfo *> PLIs = {&TP.Loops[0].second};
+    TraceCollector TC(PLIs);
+    Interpreter Interp(*TP.M);
+    Interp.setMaxInstructions(Config.MaxInterpInstructions);
+    Interp.setObserver(&TC);
+    ExecResult R = Interp.run("main");
+    Ctx.noteInterpreted(R.Instructions);
+    if (!R.Ok)
+      continue; // candidate profiling failed: leave it unmodeled
+    Ctx.ModelInputs[Node] =
+        inputsFromTraces(TC.traces()[0], Config.NumCores, Config.Helix.Machine,
+                         Config.Helix.EnableHelperThreads);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// select
+//===----------------------------------------------------------------------===//
+
+std::string SelectionStage::cacheKey(const PipelineConfig &Config) const {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "fl%d,s%.17g,n%u;",
+                Config.Selection.ForceNestingLevel,
+                Config.Selection.SignalCycles, Config.NumCores);
+  return Buf + machineKey(Config.Helix.Machine);
+}
+
+bool SelectionStage::run(PipelineContext &Ctx) {
+  const PipelineConfig &Config = Ctx.config();
+  Ctx.Chosen.clear();
+  if (Config.Selection.ForceNestingLevel >= 1) {
+    for (unsigned Node : Ctx.Candidates)
+      if (int(Ctx.Levels[Node]) == Config.Selection.ForceNestingLevel)
+        Ctx.Chosen.push_back(Node);
+    return true;
+  }
+
+  double S = Config.Selection.SignalCycles;
+  bool Explicit = S >= 0;
+  // Copied only when the explicit-S override must mutate it:
+  // Ctx.ModelInputs may be a cached stage result shared by several
+  // selection configurations of a sweep.
+  std::vector<std::optional<LoopModelInputs>> Overridden;
+  const std::vector<std::optional<LoopModelInputs>> *Inputs =
+      &Ctx.ModelInputs;
+  if (Explicit) {
+    // Explicit S (Figure 12/13 experiments) overrides the per-loop
+    // gap-based estimates.
+    Overridden = Ctx.ModelInputs;
+    for (auto &In : Overridden)
+      if (In)
+        In->EffSignalCycles = -1.0;
+    Inputs = &Overridden;
+  } else {
+    S = Config.Helix.Machine.PrefetchedSignalCycles; // unused fallback
+  }
+  ModelParams Params = makeModelParams(Config, S);
+  if (Explicit) {
+    // The experiment models a compiler that *believes* every signal costs
+    // S, including on the segment chain.
+    Params.ChainSignalCycles = S;
+  }
+  SelectionResult Sel = selectLoops(*Ctx.LNG, Ctx.Profile, *Inputs, Params);
+  Ctx.Chosen = Sel.Chosen;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// transform
+//===----------------------------------------------------------------------===//
+
+std::string TransformStage::cacheKey(const PipelineConfig &Config) const {
+  return transformKey(Config.Helix);
+}
+
+bool TransformStage::run(PipelineContext &Ctx) {
+  // The validate-stage artifacts point into TransformedLoops (LoopTraces
+  // keeps ParallelLoopInfo pointers); drop them before destroying the old
+  // transform result so a transform-terminal pipeline never leaves the
+  // context holding dangling traces.
+  Ctx.Traces.reset();
+  Ctx.ParRun = ExecResult();
+  TransformedProgram Final = transformChosen(*Ctx.Pristine, *Ctx.LNG,
+                                             Ctx.Chosen, Ctx.config().Helix);
+  Ctx.Transformed = std::move(Final.M);
+  Ctx.TransformedAM = std::move(Final.AM);
+  Ctx.TransformedLoops = std::move(Final.Loops);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// validate
+//===----------------------------------------------------------------------===//
+
+std::string ValidateStage::cacheKey(const PipelineConfig &Config) const {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "m%llu",
+                (unsigned long long)Config.MaxInterpInstructions);
+  return Buf;
+}
+
+void ValidateStage::resetReport(PipelineReport &Report) const {
+  Report.OutputsMatch = false;
+}
+
+bool ValidateStage::run(PipelineContext &Ctx) {
+  std::vector<const ParallelLoopInfo *> PLIs;
+  for (auto &[Node, PLI] : Ctx.TransformedLoops) {
+    (void)Node;
+    PLIs.push_back(&PLI);
+  }
+  Ctx.Traces = std::make_unique<TraceCollector>(PLIs);
+  Interpreter Interp(*Ctx.Transformed);
+  Interp.setMaxInstructions(Ctx.config().MaxInterpInstructions);
+  Interp.setObserver(Ctx.Traces.get());
+  Ctx.ParRun = Interp.run("main");
+  Ctx.noteInterpreted(Ctx.ParRun.Instructions);
+  if (!Ctx.ParRun.Ok) {
+    Ctx.Report.Error = "transformed program failed: " + Ctx.ParRun.Error;
+    return false;
+  }
+  Ctx.Report.OutputsMatch =
+      Ctx.ParRun.ReturnValue == Ctx.SeqRun.ReturnValue;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// simulate
+//===----------------------------------------------------------------------===//
+
+std::string SimulateStage::cacheKey(const PipelineConfig &Config) const {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "n%u,pf%d,da%d,h%d;", Config.NumCores,
+                int(Config.Prefetch), int(Config.DoAcross),
+                int(Config.Helix.EnableHelperThreads));
+  return Buf + machineKey(Config.Helix.Machine);
+}
+
+void SimulateStage::resetReport(PipelineReport &Report) const {
+  Report.ParCycles = 0;
+  Report.Speedup = 1.0;
+  Report.ModelSpeedup = 1.0;
+  Report.Loops.clear();
+  Report.PctParallel = Report.PctSeqData = Report.PctSeqControl = 0;
+  Report.PctOutside = 100;
+  Report.LoopCarriedPct = Report.SignalsRemovedPct = Report.DataTransferPct = 0;
+  Report.MaxCodeInstrs = 0;
+}
+
+bool SimulateStage::run(PipelineContext &Ctx) {
+  const PipelineConfig &Config = Ctx.config();
+  PipelineReport &Report = Ctx.Report;
+  const TraceCollector &TC = *Ctx.Traces;
+
+  SimConfig SC;
+  SC.NumCores = Config.NumCores;
+  SC.Machine = Config.Helix.Machine;
+  SC.Prefetch =
+      Config.Helix.EnableHelperThreads ? Config.Prefetch : PrefetchMode::None;
+  SC.DoAcross = Config.DoAcross;
+  std::vector<SimStats> PerLoop;
+  Report.ParCycles = simulateProgram(TC, SC, &PerLoop);
+  Report.Speedup =
+      Report.ParCycles ? double(Report.SeqCycles) / double(Report.ParCycles)
+                       : 1.0;
+
+  // ----- Figure 11 breakdown, Table 1 aggregates, per-loop reports. ------
+  Report.Loops.clear();
+  Report.MaxCodeInstrs = 0;
+  uint64_t TransformedTotal = TC.totalCycles();
+  double TPar = 0, TSeqData = 0, TSeqControl = 0;
+  double ModelParTime = double(TransformedTotal);
+  ModelParams ModelP = makeModelParams(
+      Config, Config.Helix.EnableHelperThreads
+                  ? Config.Helix.Machine.PrefetchedSignalCycles
+                  : Config.Helix.Machine.UnprefetchedSignalCycles);
+
+  uint64_t SumTransfers = 0, SumLoads = 0;
+  uint64_t SumDepsTotal = 0, SumDepsCarried = 0;
+  uint64_t SumSignalsInserted = 0, SumSignalsKept = 0;
+
+  for (unsigned K = 0; K != Ctx.TransformedLoops.size(); ++K) {
+    const ParallelLoopInfo &PLI = Ctx.TransformedLoops[K].second;
+    unsigned Node = Ctx.TransformedLoops[K].first;
+    LoopReport LR;
+    LR.Name = Ctx.LNG->node(Node).name();
+    LR.Node = Node;
+    LR.NestingLevel = std::max(1u, Ctx.Levels[Node]);
+    LR.Inputs =
+        inputsFromTraces(TC.traces()[K], Config.NumCores, Config.Helix.Machine,
+                         Config.Helix.EnableHelperThreads);
+    LR.Sim = PerLoop[K];
+    LR.NumDepsTotal = PLI.NumDepsTotal;
+    LR.NumDepsCarried = PLI.NumDepsCarried;
+    LR.SignalsInserted = PLI.NumSignalsInserted;
+    LR.SignalsKept = PLI.NumSignalsKept;
+    LR.WaitsInserted = PLI.NumWaitsInserted;
+    LR.WaitsKept = PLI.NumWaitsKept;
+    LR.CodeSizeInstrs = PLI.CodeSizeInstrs;
+    LR.NumSegments = unsigned(PLI.Segments.size());
+
+    TPar += double(LR.Inputs.ParallelCycles);
+    TSeqData += double(LR.Inputs.SegmentCycles);
+    TSeqControl += double(LR.Inputs.PrologueCycles);
+    ModelParTime -= double(LR.Inputs.SeqCycles);
+    ModelParTime += modelLoopParallelCycles(LR.Inputs, ModelP);
+
+    SumTransfers += LR.Sim.DataTransfers;
+    SumLoads += LR.Sim.ProgramLoads;
+    SumDepsTotal += LR.NumDepsTotal;
+    SumDepsCarried += LR.NumDepsCarried;
+    SumSignalsInserted += LR.WaitsInserted + LR.SignalsInserted;
+    SumSignalsKept += LR.WaitsKept + LR.SignalsKept;
+    Report.MaxCodeInstrs = std::max(Report.MaxCodeInstrs, LR.CodeSizeInstrs);
+
+    Report.Loops.push_back(std::move(LR));
+  }
+
+  double T = double(std::max<uint64_t>(1, TransformedTotal));
+  Report.PctParallel = 100.0 * TPar / T;
+  Report.PctSeqData = 100.0 * TSeqData / T;
+  Report.PctSeqControl = 100.0 * TSeqControl / T;
+  Report.PctOutside =
+      100.0 - Report.PctParallel - Report.PctSeqData - Report.PctSeqControl;
+
+  Report.ModelSpeedup = double(Report.SeqCycles) / std::max(1.0, ModelParTime);
+  Report.LoopCarriedPct =
+      SumDepsTotal ? 100.0 * double(SumDepsCarried) / double(SumDepsTotal)
+                   : 0.0;
+  Report.SignalsRemovedPct =
+      SumSignalsInserted
+          ? 100.0 * double(SumSignalsInserted - SumSignalsKept) /
+                double(SumSignalsInserted)
+          : 0.0;
+  Report.DataTransferPct =
+      SumLoads ? 100.0 * double(SumTransfers) / double(SumLoads) : 0.0;
+  return true;
+}

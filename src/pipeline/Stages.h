@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seven standard stages of the HELIX pipeline, mapping the paper's
+/// structure onto the Stage interface:
+///
+///   profile        Section 2.2/3.1: training run of the original program,
+///                  dynamic loop nesting graph and per-loop profiles.
+///   candidates     Section 2.2: filter loops worth evaluating.
+///   model-profile  Section 3.1: per candidate, profile the
+///                  HELIX-optimized form to extract Equation-1 inputs.
+///   select         Section 2.2: analytical loop selection (or a forced
+///                  nesting level for the Figure 11/13 experiments).
+///   transform      Section 2.1, Steps 1-8: parallelize the chosen set.
+///   validate       run the transformed program sequentially; outputs must
+///                  match; collect the traces the simulator replays.
+///   simulate       Section 3: CMP timing simulation and report
+///                  aggregation (Figures 9-13, Table 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_PIPELINE_STAGES_H
+#define HELIX_PIPELINE_STAGES_H
+
+#include "pipeline/Stage.h"
+
+namespace helix {
+
+class ProfileStage : public Stage {
+public:
+  const char *name() const override { return "profile"; }
+  std::string cacheKey(const PipelineConfig &Config) const override;
+  bool run(PipelineContext &Ctx) override;
+  void resetReport(PipelineReport &Report) const override;
+};
+
+class CandidateStage : public Stage {
+public:
+  const char *name() const override { return "candidates"; }
+  std::vector<const char *> dependencies() const override {
+    return {"profile"};
+  }
+  std::string cacheKey(const PipelineConfig &Config) const override;
+  bool run(PipelineContext &Ctx) override;
+  void resetReport(PipelineReport &Report) const override;
+};
+
+class ModelProfilingStage : public Stage {
+public:
+  const char *name() const override { return "model-profile"; }
+  std::vector<const char *> dependencies() const override {
+    return {"candidates"};
+  }
+  std::string cacheKey(const PipelineConfig &Config) const override;
+  bool run(PipelineContext &Ctx) override;
+};
+
+class SelectionStage : public Stage {
+public:
+  const char *name() const override { return "select"; }
+  std::vector<const char *> dependencies() const override {
+    return {"model-profile"};
+  }
+  std::string cacheKey(const PipelineConfig &Config) const override;
+  bool run(PipelineContext &Ctx) override;
+};
+
+class TransformStage : public Stage {
+public:
+  const char *name() const override { return "transform"; }
+  std::vector<const char *> dependencies() const override {
+    return {"select"};
+  }
+  std::string cacheKey(const PipelineConfig &Config) const override;
+  bool run(PipelineContext &Ctx) override;
+};
+
+class ValidateStage : public Stage {
+public:
+  const char *name() const override { return "validate"; }
+  std::vector<const char *> dependencies() const override {
+    return {"transform"};
+  }
+  std::string cacheKey(const PipelineConfig &Config) const override;
+  bool run(PipelineContext &Ctx) override;
+  void resetReport(PipelineReport &Report) const override;
+};
+
+class SimulateStage : public Stage {
+public:
+  const char *name() const override { return "simulate"; }
+  std::vector<const char *> dependencies() const override {
+    return {"validate"};
+  }
+  std::string cacheKey(const PipelineConfig &Config) const override;
+  bool run(PipelineContext &Ctx) override;
+  void resetReport(PipelineReport &Report) const override;
+};
+
+} // namespace helix
+
+#endif // HELIX_PIPELINE_STAGES_H

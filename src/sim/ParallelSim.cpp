@@ -48,7 +48,7 @@ uint64_t helix::simulateInvocation(const InvocationTrace &Inv,
       T = std::max(Free, double(StartGate));
     } else {
       double Gate = double(StartGate);
-      double CtrlArrival;
+      double CtrlArrival = 0.0;
       switch (Config.Prefetch) {
       case PrefetchMode::None:
         CtrlArrival = std::max(Free, Gate) + Unpref;
@@ -106,7 +106,7 @@ uint64_t helix::simulateInvocation(const InvocationTrace &Inv,
         if (S >= NumSegs)
           break;
         double Ts = Config.DoAcross ? PrevLast : PrevSignal[S];
-        double Resume;
+        double Resume = 0.0;
         switch (Config.Prefetch) {
         case PrefetchMode::None:
           Resume = std::max(T, Ts) + Unpref;

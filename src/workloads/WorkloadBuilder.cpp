@@ -486,6 +486,8 @@ const char *idiomTag(KernelIdiom K) {
     return "branchy";
   case KernelIdiom::Nested2D:
     return "nest2d";
+  case KernelIdiom::TwoAccum:
+    return "twoacc";
   }
   return "k";
 }

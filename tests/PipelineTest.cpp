@@ -35,8 +35,9 @@ TEST_P(SuitePipeline, TransformIsCorrectAndProfitable) {
   EXPECT_NEAR(R.PctParallel + R.PctSeqData + R.PctSeqControl + R.PctOutside,
               100.0, 0.5);
   // Step 6 removes a large share of the naive synchronization.
-  if (R.SignalsRemovedPct > 0)
+  if (R.SignalsRemovedPct > 0) {
     EXPECT_LE(R.SignalsRemovedPct, 100.0);
+  }
 }
 
 TEST_P(SuitePipeline, MoreCoresNeverHurtMuch) {
@@ -113,8 +114,9 @@ TEST(Pipeline, OverestimatedLatencyChoosesOuterLoops) {
   // Composition can shift when the sets differ, so allow slack; the firm
   // property is that a higher assumed latency never selects more loops
   // and never goes substantially deeper.
-  if (!RS.Loops.empty())
+  if (!RS.Loops.empty()) {
     EXPECT_LE(AvgLevel(RS), AvgLevel(RF) + 0.5);
+  }
   EXPECT_LE(RS.Loops.size(), RF.Loops.size());
 }
 

@@ -81,8 +81,9 @@ TEST(Selection, MaxTPropagatesFromChildren) {
             std::string::npos);
   // Ancestors carry the child's maxT.
   for (unsigned N = 0; N != S.LNG->numNodes(); ++N)
-    if (S.LNG->node(N).F->name() == "main")
+    if (S.LNG->node(N).F->name() == "main") {
       EXPECT_GE(R.MaxT[N], R.T[R.Chosen[0]] - 1e-6);
+    }
 }
 
 TEST(Selection, PrefersOuterLoopWhenEquallyGood) {

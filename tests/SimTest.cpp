@@ -61,8 +61,9 @@ TEST(Sim, DoallScalesWithCores) {
     double Speedup = double(Inv.SeqCycles) / double(Span);
     EXPECT_GT(Speedup, Prev);
     Prev = Speedup;
-    if (N == 6)
+    if (N == 6) {
       EXPECT_GT(Speedup, 4.5); // near-linear for a large DOALL
+    }
   }
 }
 
