@@ -1,20 +1,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Shared helpers for the benchmark harnesses: suite iteration, geometric
-/// mean, table formatting.
+/// Shared helpers for the benchmark harnesses: suite iteration with
+/// stage-result reuse (in-memory across configuration points, on-disk
+/// across invocations), geometric mean, table formatting.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HELIX_BENCH_BENCHUTIL_H
 #define HELIX_BENCH_BENCHUTIL_H
 
-#include "driver/HelixDriver.h"
 #include "pipeline/PipelineBuilder.h"
+#include "pipeline/StageCache.h"
 #include "workloads/WorkloadBuilder.h"
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,37 +33,75 @@ inline double geoMean(const std::vector<double> &Values) {
   return std::exp(LogSum / double(Values.size()));
 }
 
-/// Runs the pipeline over the whole suite with one configuration,
-/// invoking \p PerBench for every (spec, report).
-template <typename FnT>
-void forEachBenchmark(const DriverConfig &Config, FnT PerBench) {
-  for (const WorkloadSpec &Spec : spec2000Suite()) {
-    std::unique_ptr<Module> M = buildWorkload(Spec);
-    PipelineReport Report = runHelixPipeline(*M, Config);
-    PerBench(Spec, Report);
-  }
+/// The disk-persistent stage cache every bench harness shares. Directory:
+/// $HELIX_STAGE_CACHE_DIR, defaulting to ".helix-stage-cache" under the
+/// working directory; set it to "off" to disable. A second invocation of
+/// any harness restores the training-run stages (profile, candidates,
+/// model-profile) from here with zero interpreter instructions.
+inline DiskStageCache *defaultStageCache() {
+  static std::unique_ptr<DiskStageCache> Cache = [] {
+    const char *Env = std::getenv("HELIX_STAGE_CACHE_DIR");
+    std::string Dir = Env ? Env : ".helix-stage-cache";
+    if (Dir.empty() || Dir == "off" || Dir == "0")
+      return std::unique_ptr<DiskStageCache>();
+    auto C = std::make_unique<DiskStageCache>(Dir);
+    if (!C->ok()) {
+      std::fprintf(stderr,
+                   "warning: stage cache directory '%s' unusable; "
+                   "running cold\n",
+                   Dir.c_str());
+      return std::unique_ptr<DiskStageCache>();
+    }
+    return C;
+  }();
+  return Cache.get();
 }
 
-/// Sweeps several configurations over every suite benchmark through one
-/// PipelineContext per benchmark, so stages whose configuration slice is
-/// unchanged between points (typically the training-run profile) are
-/// reused instead of recomputed. \p PerRun is invoked as
+/// Sweeps several configurations over one workload through a single
+/// PipelineContext wired to the shared disk cache: stages whose
+/// configuration slice is unchanged between points are reused in memory,
+/// and training runs recorded by an earlier process are restored from
+/// disk. \p PerRun is invoked as (configIndex, report); \p PerWorkload
+/// (context) once afterwards, e.g. to report cache reuse.
+template <typename PerRunT, typename PerWorkloadT>
+void sweepWorkload(const std::string &Name, const Module &M,
+                   const std::vector<PipelineConfig> &Configs, PerRunT PerRun,
+                   PerWorkloadT PerWorkload) {
+  Pipeline P = PipelineBuilder::standard();
+  PipelineContext Ctx(M);
+  Ctx.setDiskCache(defaultStageCache(), Name);
+  for (size_t K = 0; K != Configs.size(); ++K) {
+    Ctx.setConfig(Configs[K]);
+    PipelineReport Report = P.run(Ctx);
+    PerRun(unsigned(K), Report);
+  }
+  PerWorkload(Ctx);
+}
+
+/// Sweeps several configurations over every suite benchmark (one context
+/// per benchmark, see sweepWorkload). \p PerRun is invoked as
 /// (spec, configIndex, report); \p PerBench (spec, context) after each
-/// benchmark's sweep, e.g. to report cache reuse.
+/// benchmark's sweep.
 template <typename PerRunT, typename PerBenchT>
 void sweepEachBenchmark(const std::vector<PipelineConfig> &Configs,
                         PerRunT PerRun, PerBenchT PerBench) {
-  Pipeline P = PipelineBuilder::standard();
   for (const WorkloadSpec &Spec : spec2000Suite()) {
     std::unique_ptr<Module> M = buildWorkload(Spec);
-    PipelineContext Ctx(*M);
-    for (size_t K = 0; K != Configs.size(); ++K) {
-      Ctx.setConfig(Configs[K]);
-      PipelineReport Report = P.run(Ctx);
-      PerRun(Spec, unsigned(K), Report);
-    }
-    PerBench(Spec, Ctx);
+    sweepWorkload(
+        Spec.Name, *M, Configs,
+        [&](unsigned K, const PipelineReport &R) { PerRun(Spec, K, R); },
+        [&](const PipelineContext &Ctx) { PerBench(Spec, Ctx); });
   }
+}
+
+/// One-line summary of where a context's training work came from, for the
+/// harnesses' per-benchmark "checks" column.
+inline std::string trainingSourceNote(const PipelineContext &Ctx) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "profile ran %ux, reused %ux, disk %ux",
+                Ctx.timesExecuted("profile"), Ctx.timesReused("profile"),
+                Ctx.timesLoadedFromDisk("profile"));
+  return Buf;
 }
 
 inline void printHeader(const char *Title, const char *Reference) {

@@ -11,12 +11,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "driver/HelixDriver.h"
+#include "BenchUtil.h"
+
 #include "ir/IRBuilder.h"
 
 #include <cstdio>
 
 using namespace helix;
+using namespace helix::bench;
 
 namespace {
 
@@ -99,22 +101,31 @@ int main() {
               "transfers", "xfer/sync");
 
   const unsigned Mods[4] = {2, 4, 8, 16};
+  PipelineConfig Config;
+  Config.Selection.MinLoopCycleFraction = 0.0;
   for (unsigned Mod : Mods) {
     std::unique_ptr<Module> M = buildConditional(4000, Mod);
-    DriverConfig Config;
-    Config.MinLoopCycleFraction = 0.0;
-    PipelineReport R = runHelixPipeline(*M, Config);
-    uint64_t Reads = 0, Transfers = 0, Iters = 0;
-    for (const LoopReport &L : R.Loops) {
-      Reads += L.Sim.SlotReads;
-      Transfers += L.Sim.DataTransfers;
-      Iters += L.Sim.Iterations;
-    }
-    // Denominator: synchronizations (one Wait per iteration). The paper's
-    // point is that the Wait always runs but data rarely moves.
-    std::printf("1/%-11u %12llu %14llu %13.2f%%\n", Mod,
-                (unsigned long long)Reads, (unsigned long long)Transfers,
-                Iters ? 100.0 * double(Transfers) / double(Iters) : 0.0);
+    // One single-point sweep per kernel shape, each its own disk-cache
+    // workload: a repeated invocation skips all four training runs.
+    sweepWorkload(
+        "cond-mod" + std::to_string(Mod), *M, {Config},
+        [&](unsigned, const PipelineReport &R) {
+          uint64_t Reads = 0, Transfers = 0, Iters = 0;
+          for (const LoopReport &L : R.Loops) {
+            Reads += L.Sim.SlotReads;
+            Transfers += L.Sim.DataTransfers;
+            Iters += L.Sim.Iterations;
+          }
+          // Denominator: synchronizations (one Wait per iteration). The
+          // paper's point is that the Wait always runs but data rarely
+          // moves.
+          std::printf("1/%-11u %12llu %14llu %13.2f%%\n", Mod,
+                      (unsigned long long)Reads,
+                      (unsigned long long)Transfers,
+                      Iters ? 100.0 * double(Transfers) / double(Iters)
+                            : 0.0);
+        },
+        [](const PipelineContext &) {});
   }
   std::printf("\npaper (Figure 2): synchronization runs every iteration "
               "but data moves only when\nthe conditional endpoints "

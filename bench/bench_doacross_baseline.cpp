@@ -21,23 +21,28 @@ int main() {
   std::printf("%-10s %12s %12s %10s\n", "benchmark", "DOACROSS", "HELIX",
               "ratio");
 
+  PipelineConfig Da;
+  Da.DoAcross = true;
+  // DOACROSS also has no helper-thread prefetching.
+  Da.Helix.EnableHelperThreads = false;
+  PipelineConfig He;
+
   std::vector<double> DA, HE;
-  for (const WorkloadSpec &Spec : spec2000Suite()) {
-    std::unique_ptr<Module> M = buildWorkload(Spec);
-    DriverConfig Da;
-    Da.DoAcross = true;
-    // DOACROSS also has no helper-thread prefetching.
-    Da.Helix.EnableHelperThreads = false;
-    PipelineReport RDa = runHelixPipeline(*M, Da);
-    DriverConfig He;
-    PipelineReport RHe = runHelixPipeline(*M, He);
-    if (RDa.Ok && RHe.Ok) {
-      DA.push_back(RDa.Speedup);
-      HE.push_back(RHe.Speedup);
-    }
-    std::printf("%-10s %11.2fx %11.2fx %9.2f\n", Spec.Name.c_str(),
-                RDa.Speedup, RHe.Speedup, RHe.Speedup / RDa.Speedup);
-  }
+  PipelineReport Point[2];
+  sweepEachBenchmark(
+      {Da, He},
+      [&](const WorkloadSpec &, unsigned K, const PipelineReport &R) {
+        Point[K] = R;
+      },
+      [&](const WorkloadSpec &Spec, const PipelineContext &) {
+        if (Point[0].Ok && Point[1].Ok) {
+          DA.push_back(Point[0].Speedup);
+          HE.push_back(Point[1].Speedup);
+        }
+        std::printf("%-10s %11.2fx %11.2fx %9.2f\n", Spec.Name.c_str(),
+                    Point[0].Speedup, Point[1].Speedup,
+                    Point[1].Speedup / Point[0].Speedup);
+      });
   std::printf("%-10s %11.2fx %11.2fx\n", "geoMean", geoMean(DA),
               geoMean(HE));
   std::printf("\npaper: HELIX generalizes DOACROSS; overlapping distinct "

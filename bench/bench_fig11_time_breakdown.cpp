@@ -7,6 +7,10 @@
 /// selection (H). No fixed level maximizes parallel code across all
 /// benchmarks; the selection algorithm consistently does.
 ///
+/// The eight configuration points differ only in selection knobs, so each
+/// benchmark's training run executes once (or is restored from the disk
+/// cache) and the sweep re-runs selection onward per point.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -20,25 +24,31 @@ int main() {
   std::printf("(P = parallel, D = sequential-data, C = sequential-control, "
               "O = outside; percent of time)\n\n");
 
-  for (const WorkloadSpec &Spec : spec2000Suite()) {
-    std::unique_ptr<Module> M = buildWorkload(Spec);
-    std::printf("%-10s", Spec.Name.c_str());
-    for (int Level = 1; Level <= 8; ++Level) {
-      DriverConfig Config;
-      // The paper assumes an optimistic 0-cycle communication latency for
-      // this single-core breakdown analysis.
-      Config.SelectionSignalCycles = Level == 8 ? -1.0 : 0.0;
-      Config.ForceNestingLevel = Level == 8 ? -1 : Level;
-      PipelineReport R = runHelixPipeline(*M, Config);
-      if (Level == 8)
-        std::printf(" | H");
-      else
-        std::printf(" | %d", Level);
-      std::printf(" P%2.0f D%2.0f C%2.0f O%2.0f", R.PctParallel,
-                  R.PctSeqData, R.PctSeqControl, R.PctOutside);
-    }
-    std::printf("\n");
+  std::vector<PipelineConfig> Configs;
+  for (int Level = 1; Level <= 8; ++Level) {
+    PipelineConfig C;
+    // The paper assumes an optimistic 0-cycle communication latency for
+    // this single-core breakdown analysis.
+    C.Selection.SignalCycles = Level == 8 ? -1.0 : 0.0;
+    C.Selection.ForceNestingLevel = Level == 8 ? -1 : Level;
+    Configs.push_back(C);
   }
+
+  sweepEachBenchmark(
+      Configs,
+      [&](const WorkloadSpec &Spec, unsigned K, const PipelineReport &R) {
+        if (K == 0)
+          std::printf("%-10s", Spec.Name.c_str());
+        if (K == 7)
+          std::printf(" | H");
+        else
+          std::printf(" | %u", K + 1);
+        std::printf(" P%2.0f D%2.0f C%2.0f O%2.0f", R.PctParallel,
+                    R.PctSeqData, R.PctSeqControl, R.PctOutside);
+      },
+      [](const WorkloadSpec &, const PipelineContext &) {
+        std::printf("\n");
+      });
   std::printf("\npaper: no single fixed nesting level maximizes the "
               "parallel fraction on\nall benchmarks; HELIX's selection "
               "(H) consistently does\n");

@@ -6,6 +6,10 @@
 /// cycles (six cores). Higher latency pushes the choice toward outermost
 /// loops.
 ///
+/// Both latency points share one context per benchmark: only the selection
+/// stage's key differs, so the training stages run once per benchmark (or
+/// come from the disk cache).
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -23,25 +27,30 @@ int main() {
   std::printf("%-10s %-30s %-30s\n", "benchmark", "S=4 cycles",
               "S=110 cycles");
 
-  for (const WorkloadSpec &Spec : spec2000Suite()) {
-    std::unique_ptr<Module> M = buildWorkload(Spec);
-    std::string Cols[2];
-    const double Latency[2] = {4.0, 110.0};
-    for (unsigned K = 0; K != 2; ++K) {
-      DriverConfig Config;
-      Config.SelectionSignalCycles = Latency[K];
-      PipelineReport R = runHelixPipeline(*M, Config);
-      unsigned Hist[8] = {0};
-      for (const LoopReport &L : R.Loops)
-        ++Hist[std::min(7u, L.NestingLevel)];
-      std::string Col;
-      for (unsigned Lv = 1; Lv <= 6; ++Lv)
-        Col += formatStr("L%u:%u ", Lv, Hist[Lv]);
-      Cols[K] = Col;
-    }
-    std::printf("%-10s %-30s %-30s\n", Spec.Name.c_str(), Cols[0].c_str(),
-                Cols[1].c_str());
+  const double Latency[2] = {4.0, 110.0};
+  std::vector<PipelineConfig> Configs;
+  for (double S : Latency) {
+    PipelineConfig C;
+    C.Selection.SignalCycles = S;
+    Configs.push_back(C);
   }
+
+  std::string Cols[2];
+  sweepEachBenchmark(
+      Configs,
+      [&](const WorkloadSpec &, unsigned K, const PipelineReport &R) {
+        unsigned Hist[8] = {0};
+        for (const LoopReport &L : R.Loops)
+          ++Hist[std::min(7u, L.NestingLevel)];
+        std::string Col;
+        for (unsigned Lv = 1; Lv <= 6; ++Lv)
+          Col += formatStr("L%u:%u ", Lv, Hist[Lv]);
+        Cols[K] = Col;
+      },
+      [&](const WorkloadSpec &Spec, const PipelineContext &) {
+        std::printf("%-10s %-30s %-30s\n", Spec.Name.c_str(), Cols[0].c_str(),
+                    Cols[1].c_str());
+      });
   std::printf("\npaper: as latency grows 4 -> 110 cycles, selection "
               "shifts toward outermost\nlevels (and drops loops entirely "
               "where nothing profits, e.g. twolf)\n");

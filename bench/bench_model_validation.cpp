@@ -17,18 +17,19 @@ int main() {
   std::printf("%-10s %10s %10s %8s\n", "benchmark", "model", "measured",
               "error");
 
-  DriverConfig Config;
   double WorstError = 0;
-  forEachBenchmark(Config, [&](const WorkloadSpec &Spec,
-                               const PipelineReport &R) {
-    double Err = R.Speedup > 0
-                     ? 100.0 * std::fabs(R.ModelSpeedup - R.Speedup) /
-                           R.Speedup
-                     : 0.0;
-    WorstError = std::max(WorstError, Err);
-    std::printf("%-10s %9.2fx %9.2fx %7.1f%%\n", Spec.Name.c_str(),
-                R.ModelSpeedup, R.Speedup, Err);
-  });
+  sweepEachBenchmark(
+      {PipelineConfig()},
+      [&](const WorkloadSpec &Spec, unsigned, const PipelineReport &R) {
+        double Err = R.Speedup > 0
+                         ? 100.0 * std::fabs(R.ModelSpeedup - R.Speedup) /
+                               R.Speedup
+                         : 0.0;
+        WorstError = std::max(WorstError, Err);
+        std::printf("%-10s %9.2fx %9.2fx %7.1f%%\n", Spec.Name.c_str(),
+                    R.ModelSpeedup, R.Speedup, Err);
+      },
+      [](const WorkloadSpec &, const PipelineContext &) {});
   std::printf("\npaper: error below 4%% on every benchmark\n");
   std::printf("here : worst-case error %.1f%%\n", WorstError);
   return 0;

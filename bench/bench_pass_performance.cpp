@@ -127,6 +127,38 @@ void BM_FullPipelineCold(benchmark::State &State) {
 }
 BENCHMARK(BM_FullPipelineCold)->Unit(benchmark::kMillisecond);
 
+void BM_ModelProfileStageThreads(benchmark::State &State) {
+  // Wall-clock of the model-profile stage alone at 1/2/4/8 worker
+  // threads, aggregated over the whole spec2000 suite. The per-candidate
+  // evaluations are independent, so this should scale near-linearly until
+  // the suite's candidate counts (or the machine) run out — the
+  // "parallelize model-profile" acceptance gate.
+  std::vector<std::unique_ptr<Module>> Modules;
+  std::vector<std::unique_ptr<PipelineContext>> Contexts;
+  Pipeline Warm = PipelineBuilder().parse("candidates").build();
+  PipelineConfig C;
+  C.ModelProfileThreads = unsigned(State.range(0));
+  for (const WorkloadSpec &Spec : spec2000Suite()) {
+    Modules.push_back(buildWorkload(Spec));
+    Contexts.push_back(
+        std::make_unique<PipelineContext>(*Modules.back(), C));
+    Warm.run(*Contexts.back()); // profile+candidates cached once, outside
+  }
+  Pipeline P = PipelineBuilder().parse("model-profile").build();
+  for (auto _ : State) {
+    for (auto &Ctx : Contexts) {
+      Ctx->clearStageResult("model-profile"); // force re-execution
+      benchmark::DoNotOptimize(P.run(*Ctx).Ok);
+    }
+  }
+}
+BENCHMARK(BM_ModelProfileStageThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SelectionSweepPointCached(benchmark::State &State) {
   // The per-point cost of a Figure-12/13 style sweep on a warm context:
   // profiling stages are cached, only selection onward re-runs. Compare

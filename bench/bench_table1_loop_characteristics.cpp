@@ -18,16 +18,17 @@ int main() {
   std::printf("%-10s %6s %6s %9s %9s %9s %8s\n", "benchmark", "par",
               "cand", "carried%", "sigrem%", "xfer%", "code(KB)");
 
-  DriverConfig Config;
-  forEachBenchmark(Config, [](const WorkloadSpec &Spec,
-                              const PipelineReport &R) {
-    // Code size: ~8 bytes per IR instruction (one machine word each).
-    double CodeKB = double(R.MaxCodeInstrs) * 8.0 / 1024.0;
-    std::printf("%-10s %6zu %6u %8.1f%% %8.1f%% %8.2f%% %8.1f %s\n",
-                Spec.Name.c_str(), R.Loops.size(), R.NumCandidates,
-                R.LoopCarriedPct, R.SignalsRemovedPct, R.DataTransferPct,
-                CodeKB, R.OutputsMatch ? "" : "OUTPUT-MISMATCH");
-  });
+  sweepEachBenchmark(
+      {PipelineConfig()},
+      [](const WorkloadSpec &Spec, unsigned, const PipelineReport &R) {
+        // Code size: ~8 bytes per IR instruction (one machine word each).
+        double CodeKB = double(R.MaxCodeInstrs) * 8.0 / 1024.0;
+        std::printf("%-10s %6zu %6u %8.1f%% %8.1f%% %8.2f%% %8.1f %s\n",
+                    Spec.Name.c_str(), R.Loops.size(), R.NumCandidates,
+                    R.LoopCarriedPct, R.SignalsRemovedPct, R.DataTransferPct,
+                    CodeKB, R.OutputsMatch ? "" : "OUTPUT-MISMATCH");
+      },
+      [](const WorkloadSpec &, const PipelineContext &) {});
 
   std::printf("\npaper ranges: carried 12-54%%, signals removed 80-98%%,\n"
               "              data transfers 0.1-12%%, code 30-100KB\n");

@@ -19,15 +19,26 @@ std::vector<std::pair<BasicBlock *, BasicBlock *>> Loop::exitEdges() const {
 LoopInfo::LoopInfo(Function *F, const CFGInfo &CFG, const DominatorTree &DT) {
   InnermostFor.assign(F->numBlockIds(), nullptr);
 
-  // Find back edges: u -> h where h dominates u. Group by header.
+  // Find back edges: u -> h where h dominates u. Group by header. Headers
+  // are processed in reverse post order, NOT in map (pointer) order:
+  // pointer order varies with the heap layout, and loop numbering feeds
+  // LoopNestGraph node ids, which must be identical across processes and
+  // thread schedules (the stage cache persists them, and the parallel
+  // model-profile stage merges results by them).
+  std::vector<BasicBlock *> Headers;
   std::map<BasicBlock *, std::vector<BasicBlock *>> LatchesByHeader;
   for (BasicBlock *BB : CFG.reversePostOrder())
     for (BasicBlock *Succ : BB->successors())
-      if (DT.dominates(Succ, BB))
-        LatchesByHeader[Succ].push_back(BB);
+      if (DT.dominates(Succ, BB)) {
+        std::vector<BasicBlock *> &Latches = LatchesByHeader[Succ];
+        if (Latches.empty())
+          Headers.push_back(Succ);
+        Latches.push_back(BB);
+      }
 
   // Build each loop body by backwards reachability from its latches.
-  for (auto &[Header, Latches] : LatchesByHeader) {
+  for (BasicBlock *Header : Headers) {
+    const std::vector<BasicBlock *> &Latches = LatchesByHeader[Header];
     auto L = std::make_unique<Loop>();
     L->Header = Header;
     L->Latches = Latches;
@@ -58,9 +69,13 @@ LoopInfo::LoopInfo(Function *F, const CFGInfo &CFG, const DominatorTree &DT) {
 
   // Establish nesting: L1 is an ancestor of L2 if L1 contains L2's header
   // and L1 != L2. Sort by block count so the innermost parent is found by
-  // scanning smaller loops first.
+  // scanning smaller loops first; ties break on the header's block id (a
+  // total order — headers are unique) so the final loop indices never
+  // depend on allocation addresses.
   std::sort(Loops.begin(), Loops.end(), [](const auto &A, const auto &B) {
-    return A->Blocks.size() < B->Blocks.size();
+    if (A->Blocks.size() != B->Blocks.size())
+      return A->Blocks.size() < B->Blocks.size();
+    return A->Header->id() < B->Header->id();
   });
   for (unsigned I = 0; I != Loops.size(); ++I) {
     Loops[I]->Index = I;

@@ -25,6 +25,7 @@
 #include "sim/ParallelSim.h"
 
 #include <cstdint>
+#include <string>
 
 namespace helix {
 
@@ -74,6 +75,26 @@ struct PipelineConfig {
 
   /// Interpreter run-length cap for profiling and validation runs.
   uint64_t MaxInterpInstructions = 400ull * 1000 * 1000;
+
+  /// Worker threads of the model-profile stage's per-candidate fan-out.
+  /// 0 = hardware concurrency, 1 = forced single-thread execution. Pure
+  /// execution policy: the stage's results are bit-identical for every
+  /// value, so this knob is deliberately absent from its cache key.
+  unsigned ModelProfileThreads = 0;
+
+  /// Central configuration validation, run by Pipeline::run before any
+  /// stage executes. \returns an empty string when the configuration is
+  /// usable, else a description of the first problem. Guards the knobs
+  /// whose bad values would otherwise surface as UB deep inside a stage
+  /// (e.g. NumCores == 0 reaching a modulo in the data-placement
+  /// accounting).
+  std::string validate() const {
+    if (NumCores < 1)
+      return "PipelineConfig: NumCores must be >= 1";
+    if (MaxInterpInstructions == 0)
+      return "PipelineConfig: MaxInterpInstructions must be >= 1";
+    return std::string();
+  }
 };
 
 } // namespace helix

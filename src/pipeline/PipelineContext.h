@@ -36,6 +36,8 @@
 
 namespace helix {
 
+class DiskStageCache;
+
 class PipelineContext {
 public:
   /// \p Original must outlive the context; stages clone it and never
@@ -111,13 +113,34 @@ public:
   }
   void clearStageResult(const std::string &Name) { StageKeys.erase(Name); }
 
+  // --- Disk-persistent stage cache ---------------------------------------
+
+  /// Attaches a disk cache (pipeline/StageCache.h). \p WorkloadKey names
+  /// this context's program in entry files — bench harnesses pass the
+  /// workload name. The cache must outlive the context. Pass nullptr to
+  /// detach. Subsequent Pipeline::run calls will satisfy persistence-aware
+  /// stages from disk (and populate it after executions).
+  void setDiskCache(DiskStageCache *Cache, std::string WorkloadKey) {
+    Disk = Cache;
+    this->WorkloadKey = std::move(WorkloadKey);
+  }
+  DiskStageCache *diskCache() const { return Disk; }
+  const std::string &workloadKey() const { return WorkloadKey; }
+
+  /// Fingerprint of the original module, computed lazily by Pipeline::run
+  /// when a disk cache is attached (it needs the IR printer, which this
+  /// header must not depend on).
+  const std::string &moduleFingerprint() const { return Fingerprint; }
+  void setModuleFingerprint(std::string F) { Fingerprint = std::move(F); }
+
   // --- Instrumentation ---------------------------------------------------
 
   /// One entry per stage slot of every pipeline run on this context.
   struct StageRun {
     std::string Name;
-    bool Cached = false;     ///< result reused, stage body not executed
-    double WallMillis = 0.0; ///< 0 when Cached
+    bool Cached = false;     ///< in-memory result reused, body not executed
+    bool FromDisk = false;   ///< restored from the disk cache, body not run
+    double WallMillis = 0.0; ///< 0 when Cached; load time when FromDisk
     uint64_t InterpretedInstructions = 0; ///< interpreter work in the stage
   };
   /// Detailed per-slot records, most recent last. Bounded: on very long
@@ -134,6 +157,11 @@ public:
     auto It = ReusedCount.find(Name);
     return It == ReusedCount.end() ? 0 : It->second;
   }
+  /// How often the stage was restored from the disk cache.
+  unsigned timesLoadedFromDisk(const std::string &Name) const {
+    auto It = DiskLoadCount.find(Name);
+    return It == DiskLoadCount.end() ? 0 : It->second;
+  }
 
   /// Stages call this to attribute interpreter work to the current run;
   /// the pipeline driver folds it into the StageRun record.
@@ -148,7 +176,8 @@ public:
     return N;
   }
   void addHistory(StageRun R) {
-    (R.Cached ? ReusedCount : ExecutedCount)[R.Name] += 1;
+    (R.Cached ? ReusedCount : R.FromDisk ? DiskLoadCount : ExecutedCount)
+        [R.Name] += 1;
     if (History.size() >= MaxHistory)
       History.erase(History.begin(), History.begin() + MaxHistory / 2);
     History.push_back(std::move(R));
@@ -161,8 +190,11 @@ private:
   std::map<std::string, StageRecord> StageKeys;
   uint64_t Generation = 0;
   std::vector<StageRun> History;
-  std::map<std::string, unsigned> ExecutedCount, ReusedCount;
+  std::map<std::string, unsigned> ExecutedCount, ReusedCount, DiskLoadCount;
   uint64_t PendingInstructions = 0;
+  DiskStageCache *Disk = nullptr;
+  std::string WorkloadKey;
+  std::string Fingerprint;
 };
 
 } // namespace helix

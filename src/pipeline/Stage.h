@@ -49,6 +49,37 @@ public:
   /// so a failed run never reports values left over from an earlier
   /// configuration point on a reused context.
   virtual void resetReport(PipelineReport &Report) const { (void)Report; }
+
+  // --- Disk persistence (optional) ---------------------------------------
+  //
+  // A stage that can externalize its artifacts participates in the
+  // disk-backed stage cache (pipeline/StageCache.h): after a successful
+  // execution the pipeline stores serializeResult()'s payload, and on a
+  // later run (typically a fresh process) deserializeResult() replaces the
+  // execution entirely. Artifacts that are cheap and deterministic to
+  // rebuild (module clones, analyses, the loop nesting graph) are NOT
+  // serialized — deserializeResult recomputes them and loads only what an
+  // interpreter training run would have produced.
+
+  /// Appends this stage's artifacts to \p Out. \returns false when the
+  /// stage does not support persistence (the default).
+  virtual bool serializeResult(const PipelineContext &Ctx,
+                               std::string &Out) const {
+    (void)Ctx;
+    (void)Out;
+    return false;
+  }
+
+  /// Restores this stage's artifacts (and the report fields it owns) from
+  /// \p In, exactly as a fresh run() would have left them. \returns false
+  /// when unsupported or when \p In is malformed/inconsistent with the
+  /// context — the pipeline then falls back to executing the stage.
+  virtual bool deserializeResult(PipelineContext &Ctx,
+                                 const std::string &In) const {
+    (void)Ctx;
+    (void)In;
+    return false;
+  }
 };
 
 } // namespace helix

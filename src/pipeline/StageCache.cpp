@@ -1,0 +1,157 @@
+#include "pipeline/StageCache.h"
+
+#include "ir/Module.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+#include <unistd.h>
+
+using namespace helix;
+
+namespace {
+
+constexpr char Magic[4] = {'H', 'L', 'X', 'C'};
+constexpr uint32_t FormatVersion = 1;
+
+struct EntryHeader {
+  char M[4];
+  uint32_t Version;
+  uint64_t PayloadSize;
+  uint64_t PayloadHash;
+};
+
+/// Only [a-zA-Z0-9._-] may reach a file name; everything else becomes '_'.
+std::string sanitize(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    bool Safe = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
+    Out += Safe ? C : '_';
+  }
+  return Out.empty() ? "_" : Out;
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)V);
+  return Buf;
+}
+
+} // namespace
+
+uint64_t DiskStageCache::fnv1a(const std::string &Data) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string DiskStageCache::moduleFingerprint(const Module &M) {
+  std::ostringstream OS;
+  M.print(OS);
+  return hex64(fnv1a(OS.str()));
+}
+
+DiskStageCache::DiskStageCache(std::string Directory)
+    : Dir(std::move(Directory)) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  Usable = !EC && std::filesystem::is_directory(Dir, EC);
+}
+
+std::string DiskStageCache::entryName(const std::string &WorkloadKey,
+                                      const std::string &StageName,
+                                      const std::string &ChainKey,
+                                      const std::string &ModuleFingerprint) {
+  std::string Invalidators = std::to_string(FormatVersion) + '\0' +
+                             WorkloadKey + '\0' + ModuleFingerprint + '\0' +
+                             ChainKey;
+  return sanitize(WorkloadKey) + "-" + sanitize(StageName) + "-" +
+         hex64(fnv1a(Invalidators)) + ".stagecache";
+}
+
+std::string DiskStageCache::entryPath(const std::string &EntryName) const {
+  return Dir + "/" + EntryName;
+}
+
+bool DiskStageCache::load(const std::string &EntryName,
+                          std::string &PayloadOut) const {
+  if (!Usable)
+    return false;
+  std::string Path = entryPath(EntryName);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+
+  auto Reject = [&] {
+    In.close();
+    std::error_code EC;
+    std::filesystem::remove(Path, EC); // corrupt: drop so it is rebuilt
+    return false;
+  };
+
+  EntryHeader H;
+  if (!In.read(reinterpret_cast<char *>(&H), sizeof(H)))
+    return Reject();
+  if (std::memcmp(H.M, Magic, sizeof(Magic)) != 0 ||
+      H.Version != FormatVersion)
+    return Reject();
+  // An absurd size field (corruption) must not trigger a huge allocation:
+  // compare against the actual file size first.
+  std::error_code EC;
+  uint64_t FileSize = std::filesystem::file_size(Path, EC);
+  if (EC || FileSize != sizeof(H) + H.PayloadSize)
+    return Reject();
+  std::string Payload(size_t(H.PayloadSize), '\0');
+  if (!In.read(Payload.data(), std::streamsize(Payload.size())))
+    return Reject();
+  if (fnv1a(Payload) != H.PayloadHash)
+    return Reject();
+  PayloadOut = std::move(Payload);
+  return true;
+}
+
+bool DiskStageCache::store(const std::string &EntryName,
+                           const std::string &Payload) const {
+  if (!Usable)
+    return false;
+  EntryHeader H;
+  std::memcpy(H.M, Magic, sizeof(Magic));
+  H.Version = FormatVersion;
+  H.PayloadSize = Payload.size();
+  H.PayloadHash = fnv1a(Payload);
+
+  // Unique temporary per writer (pid disambiguates concurrent harness
+  // processes sharing one cache directory), then an atomic rename:
+  // racing writers produce identical payloads, so last-rename-wins is
+  // correct.
+  std::string Path = entryPath(EntryName);
+  std::string Tmp = Path + ".tmp." + std::to_string(uint64_t(::getpid())) +
+                    "." +
+                    std::to_string(std::hash<std::thread::id>()(
+                        std::this_thread::get_id()));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(reinterpret_cast<const char *>(&H), sizeof(H));
+    Out.write(Payload.data(), std::streamsize(Payload.size()));
+    if (!Out)
+      return false;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC) {
+    std::filesystem::remove(Tmp, EC);
+    return false;
+  }
+  return true;
+}

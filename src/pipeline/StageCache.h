@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disk-persistent stage cache. A DiskStageCache is a directory of entry
+/// files, each holding one stage's serialized artifacts for one (workload,
+/// upstream-chain) point. Pipeline::run consults it when a context has one
+/// attached (PipelineContext::setDiskCache): a hit replaces the stage
+/// execution — for the profiling stages that means a repeated bench
+/// invocation in a fresh process skips every training run.
+///
+/// Entry naming and invalidation:
+///
+///   <workload>-<stage>-<hash>.stagecache
+///
+/// where <hash> is a 64-bit FNV-1a over (format version, workload key,
+/// a fingerprint of the original module's printed IR, and the
+/// concatenated cache keys of the stage and every stage upstream of it in
+/// the standard chain). Any change to the workload generator, to an
+/// upstream knob, or to a stage's own configuration slice therefore lands
+/// on a different file name; stale entries are never read, only orphaned.
+/// Semantic changes to a stage's *implementation* are covered by the
+/// code-version token each persisted stage embeds in its cacheKey
+/// ("v2"/"c1"/"p1" in Stages.cpp) — bump it when the stage's behaviour
+/// changes without any knob changing.
+///
+/// File format: "HLXC" magic, format version, payload length, FNV-1a
+/// checksum of the payload, payload bytes. A truncated, corrupted or
+/// version-mismatched file is treated as a miss (and removed) — the
+/// pipeline falls back to executing the stage, so a damaged cache can
+/// never produce wrong results, only cold ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_PIPELINE_STAGECACHE_H
+#define HELIX_PIPELINE_STAGECACHE_H
+
+#include <cstdint>
+#include <string>
+
+namespace helix {
+
+class Module;
+
+class DiskStageCache {
+public:
+  /// Binds the cache to \p Directory, creating it (and parents) if absent.
+  /// When creation fails the cache is inert: every load misses, every
+  /// store is dropped, and ok() reports false.
+  explicit DiskStageCache(std::string Directory);
+
+  const std::string &directory() const { return Dir; }
+  bool ok() const { return Usable; }
+
+  /// Reads the payload stored under \p EntryName. \returns false on miss,
+  /// corruption (the entry is then removed), or format mismatch.
+  bool load(const std::string &EntryName, std::string &PayloadOut) const;
+
+  /// Atomically stores \p Payload under \p EntryName (write to a
+  /// temporary, then rename) so a concurrent or killed writer never leaves
+  /// a torn entry behind. \returns true on success.
+  bool store(const std::string &EntryName, const std::string &Payload) const;
+
+  /// Entry file name for one stage result: workload key + stage name +
+  /// hash of everything that must invalidate it (see file comment).
+  static std::string entryName(const std::string &WorkloadKey,
+                               const std::string &StageName,
+                               const std::string &ChainKey,
+                               const std::string &ModuleFingerprint);
+
+  /// 64-bit FNV-1a, the cache's sole hash.
+  static uint64_t fnv1a(const std::string &Data);
+
+  /// Fingerprint of a module: FNV-1a over its printed IR, hex-encoded.
+  /// Exact — any textual change to the program invalidates every entry
+  /// derived from it.
+  static std::string moduleFingerprint(const Module &M);
+
+private:
+  std::string entryPath(const std::string &EntryName) const;
+
+  std::string Dir;
+  bool Usable = false;
+};
+
+} // namespace helix
+
+#endif // HELIX_PIPELINE_STAGECACHE_H

@@ -5,9 +5,11 @@
 #include "ir/Clone.h"
 #include "pipeline/PipelineContext.h"
 #include "support/Compiler.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 using namespace helix;
@@ -36,6 +38,74 @@ std::string transformKey(const HelixOptions &O) {
 }
 
 //===----------------------------------------------------------------------===//
+// Payload (de)serialization for the disk-persistent stage cache. Fixed
+// little-endian-agnostic byte copies of POD scalars; strings and vectors
+// are length-prefixed. The reader is fail-sticky: after the first
+// malformed field every subsequent read reports failure, so stages can
+// parse a whole payload and check once at the end.
+//===----------------------------------------------------------------------===//
+
+class PayloadWriter {
+public:
+  explicit PayloadWriter(std::string &Out) : Out(Out) {}
+
+  void u8(uint8_t V) { Out.push_back(char(V)); }
+  void u32(uint32_t V) { raw(&V, sizeof(V)); }
+  void u64(uint64_t V) { raw(&V, sizeof(V)); }
+  void f64(double V) { raw(&V, sizeof(V)); }
+
+private:
+  void raw(const void *P, size_t N) {
+    Out.append(reinterpret_cast<const char *>(P), N);
+  }
+  std::string &Out;
+};
+
+class PayloadReader {
+public:
+  explicit PayloadReader(const std::string &In) : In(In) {}
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  double f64() {
+    double V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+
+  /// True when every read so far succeeded and the payload was consumed
+  /// exactly (trailing garbage counts as corruption).
+  bool done() const { return !Failed && Pos == In.size(); }
+  bool ok() const { return !Failed; }
+
+private:
+  void raw(void *P, size_t N) {
+    if (Failed || In.size() - Pos < N) {
+      Failed = true;
+      return;
+    }
+    std::memcpy(P, In.data() + Pos, N);
+    Pos += N;
+  }
+  const std::string &In;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+//===----------------------------------------------------------------------===//
 // Shared stage helpers (formerly private to the monolithic driver).
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +114,10 @@ std::string transformKey(const HelixOptions &O) {
 LoopModelInputs inputsFromTraces(const LoopTraces &T, unsigned NumCores,
                                  const MachineModel &Machine,
                                  bool HelperThreads) {
+  // PipelineConfig::validate() rejects NumCores == 0 before any stage
+  // runs, but this helper is also reachable with caller-supplied counts:
+  // clamp like simulateInvocation does rather than divide by zero below.
+  NumCores = std::max(1u, NumCores);
   LoopModelInputs In;
   In.SelfStarting = T.PLI && T.PLI->SelfStartingPrologue;
   In.Invocations = T.Invocations.size();
@@ -174,9 +248,17 @@ TransformedProgram transformChosen(const Module &Source,
 // profile
 //===----------------------------------------------------------------------===//
 
-std::string ProfileStage::cacheKey(const PipelineConfig &) const {
-  // The training run depends only on the module the context is bound to.
-  return "v1";
+std::string ProfileStage::cacheKey(const PipelineConfig &Config) const {
+  // The training run depends on the module the context is bound to and on
+  // the interpreter run-length cap: a capped run that failed must not be
+  // served as the profile of a configuration with a higher cap (or vice
+  // versa) across a MaxInterpInstructions sweep. "v2" is a code-version
+  // token (results persist to disk): bump it when the profiler or the
+  // interpreter cost model changes semantically.
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "v2;m%llu",
+                (unsigned long long)Config.MaxInterpInstructions);
+  return Buf;
 }
 
 void ProfileStage::resetReport(PipelineReport &Report) const {
@@ -190,7 +272,8 @@ bool ProfileStage::run(PipelineContext &Ctx) {
   Ctx.LNG = std::make_unique<LoopNestGraph>(*Ctx.Pristine, *Ctx.AM);
   Ctx.Report.NumLoopsInProgram = Ctx.LNG->numNodes();
 
-  Ctx.Profile = profileProgram(*Ctx.Pristine, *Ctx.LNG, *Ctx.AM, &Ctx.SeqRun);
+  Ctx.Profile = profileProgram(*Ctx.Pristine, *Ctx.LNG, *Ctx.AM, &Ctx.SeqRun,
+                               Ctx.config().MaxInterpInstructions);
   Ctx.noteInterpreted(Ctx.SeqRun.Instructions);
   if (!Ctx.SeqRun.Ok) {
     Ctx.Report.Error = "sequential profiling run failed: " + Ctx.SeqRun.Error;
@@ -201,13 +284,111 @@ bool ProfileStage::run(PipelineContext &Ctx) {
   return true;
 }
 
+bool ProfileStage::serializeResult(const PipelineContext &Ctx,
+                                   std::string &Out) const {
+  // Only what the training run *executed* is persisted. The pristine
+  // clone, its analyses and the loop nesting graph are deterministic
+  // functions of the original module and are rebuilt on load.
+  PayloadWriter W(Out);
+  W.u8(Ctx.SeqRun.ReturnValue.IsFloat ? 1 : 0);
+  // The value union's 8 payload bytes, without reading a (possibly
+  // inactive) member.
+  uint64_t ValueBits = 0;
+  std::memcpy(&ValueBits, &Ctx.SeqRun.ReturnValue.I, sizeof(ValueBits));
+  W.u64(ValueBits);
+  W.u64(Ctx.SeqRun.Cycles);
+  W.u64(Ctx.SeqRun.Instructions);
+
+  W.u64(Ctx.Profile.TotalCycles);
+  W.u32(uint32_t(Ctx.Profile.Loops.size()));
+  for (const LoopProfile &LP : Ctx.Profile.Loops) {
+    W.u64(LP.Invocations);
+    W.u64(LP.Iterations);
+    W.u64(LP.Cycles);
+  }
+  W.u32(uint32_t(Ctx.Profile.DynamicEdges.size()));
+  for (const auto &[From, To] : Ctx.Profile.DynamicEdges) {
+    W.u32(From);
+    W.u32(To);
+  }
+  W.u32(uint32_t(Ctx.Levels.size()));
+  for (unsigned L : Ctx.Levels)
+    W.u32(L);
+  return true;
+}
+
+bool ProfileStage::deserializeResult(PipelineContext &Ctx,
+                                     const std::string &In) const {
+  // Parse and validate everything before committing any artifact, so a
+  // rejected payload leaves the context exactly as it was.
+  PayloadReader R(In);
+  ExecResult Seq;
+  Seq.Ok = true; // only successful stage executions are ever stored
+  Seq.ReturnValue.IsFloat = R.u8() != 0;
+  uint64_t ValueBits = R.u64();
+  std::memcpy(&Seq.ReturnValue.I, &ValueBits, sizeof(ValueBits));
+  Seq.Cycles = R.u64();
+  Seq.Instructions = R.u64();
+
+  ProgramProfile Profile;
+  Profile.TotalCycles = R.u64();
+  uint32_t NumLoops = R.u32();
+  if (!R.ok() || NumLoops > In.size()) // cheap sanity bound
+    return false;
+  Profile.Loops.resize(NumLoops);
+  for (LoopProfile &LP : Profile.Loops) {
+    LP.Invocations = R.u64();
+    LP.Iterations = R.u64();
+    LP.Cycles = R.u64();
+  }
+  uint32_t NumEdges = R.u32();
+  if (!R.ok() || NumEdges > In.size())
+    return false;
+  for (uint32_t I = 0; I != NumEdges; ++I) {
+    unsigned From = R.u32(), To = R.u32();
+    if (From >= NumLoops || To >= NumLoops)
+      return false;
+    Profile.DynamicEdges.insert({From, To});
+  }
+  uint32_t NumLevels = R.u32();
+  if (!R.ok() || NumLevels != NumLoops)
+    return false;
+  std::vector<unsigned> Levels(NumLevels);
+  for (unsigned &L : Levels)
+    L = R.u32();
+  if (!R.done())
+    return false;
+
+  // Rebuild the deterministic artifacts; the payload must describe this
+  // exact program (one more guard against a key collision).
+  auto Pristine = cloneModule(Ctx.original());
+  auto AM = std::make_unique<ModuleAnalyses>(*Pristine);
+  auto LNG = std::make_unique<LoopNestGraph>(*Pristine, *AM);
+  if (LNG->numNodes() != NumLoops)
+    return false;
+
+  Ctx.Pristine = std::move(Pristine);
+  Ctx.AM = std::move(AM);
+  Ctx.LNG = std::move(LNG);
+  Ctx.SeqRun = Seq;
+  Ctx.Profile = std::move(Profile);
+  Ctx.Levels = std::move(Levels);
+  Ctx.Report.NumLoopsInProgram = Ctx.LNG->numNodes();
+  Ctx.Report.SeqCycles = Seq.Cycles;
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // candidates
 //===----------------------------------------------------------------------===//
 
 std::string CandidateStage::cacheKey(const PipelineConfig &Config) const {
+  // The leading "c1" is a code-version token: results of this stage are
+  // persisted to disk, so bump it whenever the candidate filter's
+  // *implementation* changes — config knobs alone cannot invalidate
+  // entries produced by older code.
   char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "f%.17g",
+  std::snprintf(Buf, sizeof(Buf), "c1;f%.17g",
                 Config.Selection.MinLoopCycleFraction);
   return Buf;
 }
@@ -231,17 +412,50 @@ bool CandidateStage::run(PipelineContext &Ctx) {
   return true;
 }
 
+bool CandidateStage::serializeResult(const PipelineContext &Ctx,
+                                     std::string &Out) const {
+  PayloadWriter W(Out);
+  W.u32(uint32_t(Ctx.Candidates.size()));
+  for (unsigned Node : Ctx.Candidates)
+    W.u32(Node);
+  return true;
+}
+
+bool CandidateStage::deserializeResult(PipelineContext &Ctx,
+                                       const std::string &In) const {
+  if (!Ctx.LNG)
+    return false; // upstream artifacts absent: cannot validate node ids
+  PayloadReader R(In);
+  uint32_t N = R.u32();
+  if (!R.ok() || N > Ctx.LNG->numNodes())
+    return false;
+  std::vector<unsigned> Candidates(N);
+  for (unsigned &Node : Candidates) {
+    Node = R.u32();
+    if (Node >= Ctx.LNG->numNodes())
+      return false;
+  }
+  if (!R.done())
+    return false;
+  Ctx.Candidates = std::move(Candidates);
+  Ctx.Report.NumCandidates = N;
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // model-profile
 //===----------------------------------------------------------------------===//
 
 std::string ModelProfilingStage::cacheKey(const PipelineConfig &Config) const {
   // A forced nesting level skips model profiling entirely, so all forced
-  // configurations share one key.
+  // configurations share one key. The leading "p1" is a code-version
+  // token (results persist to disk): bump it when the model-input
+  // extraction, the transform, or the interpreter cost model changes
+  // semantically.
   if (Config.Selection.ForceNestingLevel >= 1)
-    return "forced";
+    return "p1;forced";
   char Buf[48];
-  std::snprintf(Buf, sizeof(Buf), "n%u,m%llu;", Config.NumCores,
+  std::snprintf(Buf, sizeof(Buf), "p1;n%u,m%llu;", Config.NumCores,
                 (unsigned long long)Config.MaxInterpInstructions);
   return Buf + transformKey(Config.Helix);
 }
@@ -252,24 +466,100 @@ bool ModelProfilingStage::run(PipelineContext &Ctx) {
   if (Config.Selection.ForceNestingLevel >= 1)
     return true; // selection will not consult the model
 
-  for (unsigned Node : Ctx.Candidates) {
-    TransformedProgram TP =
-        transformChosen(*Ctx.Pristine, *Ctx.LNG, {Node}, Config.Helix);
-    if (TP.Loops.empty())
-      continue;
-    std::vector<const ParallelLoopInfo *> PLIs = {&TP.Loops[0].second};
-    TraceCollector TC(PLIs);
-    Interpreter Interp(*TP.M);
-    Interp.setMaxInstructions(Config.MaxInterpInstructions);
-    Interp.setObserver(&TC);
-    ExecResult R = Interp.run("main");
-    Ctx.noteInterpreted(R.Instructions);
-    if (!R.Ok)
-      continue; // candidate profiling failed: leave it unmodeled
-    Ctx.ModelInputs[Node] =
-        inputsFromTraces(TC.traces()[0], Config.NumCores, Config.Helix.Machine,
-                         Config.Helix.EnableHelperThreads);
+  // Fan out over the candidates: each evaluation clones the pristine
+  // module, transforms one loop there and re-interprets the program — all
+  // state a worker touches is thread-private (the clone, its analyses, the
+  // trace collector, the interpreter), and the shared inputs (Pristine,
+  // LNG, Config) are only read. parallelizeLoop's pass manager is a const
+  // singleton of stateless passes, so it is shared safely too. Every
+  // worker writes only its own pre-sized slot; the merge below walks the
+  // slots in candidate order, which makes ModelInputs and the interpreted-
+  // instruction accounting bit-identical to a single-thread run no matter
+  // how the schedule interleaved.
+  struct CandidateEval {
+    std::optional<LoopModelInputs> In;
+    uint64_t Instructions = 0;
+  };
+  std::vector<CandidateEval> Evals(Ctx.Candidates.size());
+  parallelForEach(
+      Config.ModelProfileThreads, Ctx.Candidates.size(), [&](size_t K) {
+        unsigned Node = Ctx.Candidates[K];
+        TransformedProgram TP =
+            transformChosen(*Ctx.Pristine, *Ctx.LNG, {Node}, Config.Helix);
+        if (TP.Loops.empty())
+          return;
+        std::vector<const ParallelLoopInfo *> PLIs = {&TP.Loops[0].second};
+        TraceCollector TC(PLIs);
+        Interpreter Interp(*TP.M);
+        Interp.setMaxInstructions(Config.MaxInterpInstructions);
+        Interp.setObserver(&TC);
+        ExecResult R = Interp.run("main");
+        Evals[K].Instructions = R.Instructions;
+        if (!R.Ok)
+          return; // candidate profiling failed: leave it unmodeled
+        Evals[K].In = inputsFromTraces(TC.traces()[0], Config.NumCores,
+                                       Config.Helix.Machine,
+                                       Config.Helix.EnableHelperThreads);
+      });
+
+  for (size_t K = 0; K != Evals.size(); ++K) {
+    Ctx.noteInterpreted(Evals[K].Instructions);
+    if (Evals[K].In)
+      Ctx.ModelInputs[Ctx.Candidates[K]] = *Evals[K].In;
   }
+  return true;
+}
+
+bool ModelProfilingStage::serializeResult(const PipelineContext &Ctx,
+                                          std::string &Out) const {
+  PayloadWriter W(Out);
+  W.u32(uint32_t(Ctx.ModelInputs.size()));
+  for (const std::optional<LoopModelInputs> &In : Ctx.ModelInputs) {
+    W.u8(In ? 1 : 0);
+    if (!In)
+      continue;
+    W.u64(In->SeqCycles);
+    W.u64(In->ParallelCycles);
+    W.u64(In->PrologueCycles);
+    W.u64(In->SegmentCycles);
+    W.u64(In->Invocations);
+    W.u64(In->Iterations);
+    W.u64(In->DataSignals);
+    W.u64(In->WordsForwarded);
+    W.f64(In->EffSignalCycles);
+    W.u8(In->SelfStarting ? 1 : 0);
+  }
+  return true;
+}
+
+bool ModelProfilingStage::deserializeResult(PipelineContext &Ctx,
+                                            const std::string &In) const {
+  if (!Ctx.LNG)
+    return false;
+  PayloadReader R(In);
+  uint32_t N = R.u32();
+  if (!R.ok() || N != Ctx.LNG->numNodes())
+    return false;
+  std::vector<std::optional<LoopModelInputs>> Inputs(N);
+  for (std::optional<LoopModelInputs> &Slot : Inputs) {
+    if (R.u8() == 0)
+      continue;
+    LoopModelInputs LMI;
+    LMI.SeqCycles = R.u64();
+    LMI.ParallelCycles = R.u64();
+    LMI.PrologueCycles = R.u64();
+    LMI.SegmentCycles = R.u64();
+    LMI.Invocations = R.u64();
+    LMI.Iterations = R.u64();
+    LMI.DataSignals = R.u64();
+    LMI.WordsForwarded = R.u64();
+    LMI.EffSignalCycles = R.f64();
+    LMI.SelfStarting = R.u8() != 0;
+    Slot = LMI;
+  }
+  if (!R.done())
+    return false;
+  Ctx.ModelInputs = std::move(Inputs);
   return true;
 }
 

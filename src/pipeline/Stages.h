@@ -32,6 +32,10 @@ public:
   std::string cacheKey(const PipelineConfig &Config) const override;
   bool run(PipelineContext &Ctx) override;
   void resetReport(PipelineReport &Report) const override;
+  bool serializeResult(const PipelineContext &Ctx,
+                       std::string &Out) const override;
+  bool deserializeResult(PipelineContext &Ctx,
+                         const std::string &In) const override;
 };
 
 class CandidateStage : public Stage {
@@ -43,8 +47,17 @@ public:
   std::string cacheKey(const PipelineConfig &Config) const override;
   bool run(PipelineContext &Ctx) override;
   void resetReport(PipelineReport &Report) const override;
+  bool serializeResult(const PipelineContext &Ctx,
+                       std::string &Out) const override;
+  bool deserializeResult(PipelineContext &Ctx,
+                         const std::string &In) const override;
 };
 
+/// Section 3.1's "subsequent profiling runs", fanned out over a thread
+/// pool: every candidate's transform + trace run is independent (each
+/// works on a private module clone), so the stage evaluates
+/// PipelineConfig::ModelProfileThreads candidates concurrently and merges
+/// the results in candidate order — bit-identical to a single-thread run.
 class ModelProfilingStage : public Stage {
 public:
   const char *name() const override { return "model-profile"; }
@@ -53,6 +66,10 @@ public:
   }
   std::string cacheKey(const PipelineConfig &Config) const override;
   bool run(PipelineContext &Ctx) override;
+  bool serializeResult(const PipelineContext &Ctx,
+                       std::string &Out) const override;
+  bool deserializeResult(PipelineContext &Ctx,
+                         const std::string &In) const override;
 };
 
 class SelectionStage : public Stage {

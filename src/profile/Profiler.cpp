@@ -86,13 +86,15 @@ private:
 } // namespace
 
 ProgramProfile helix::profileProgram(Module &M, const LoopNestGraph &LNG,
-                                     ModuleAnalyses &AM,
-                                     ExecResult *ResultOut) {
+                                     ModuleAnalyses &AM, ExecResult *ResultOut,
+                                     uint64_t MaxInstructions) {
   ProgramProfile P;
   P.Loops.assign(LNG.numNodes(), LoopProfile());
 
   LoopProfiler Obs(LNG, AM, P);
   Interpreter Interp(M);
+  if (MaxInstructions != 0)
+    Interp.setMaxInstructions(MaxInstructions);
   Interp.setObserver(&Obs);
   ExecResult R = Interp.run("main");
   if (ResultOut)

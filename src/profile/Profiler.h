@@ -43,10 +43,14 @@ struct ProgramProfile {
   }
 };
 
-/// Interprets @main and profiles every loop of \p LNG.
+/// Interprets @main and profiles every loop of \p LNG. The run executes
+/// at most \p MaxInstructions interpreter instructions (0 keeps the
+/// interpreter's built-in default) — without a cap a runaway workload
+/// would hang the pipeline at its very first stage.
 /// \returns the profile; Ok is false in \p ResultOut on interpreter error.
 ProgramProfile profileProgram(Module &M, const LoopNestGraph &LNG,
-                              ModuleAnalyses &AM, ExecResult *ResultOut);
+                              ModuleAnalyses &AM, ExecResult *ResultOut,
+                              uint64_t MaxInstructions = 0);
 
 } // namespace helix
 

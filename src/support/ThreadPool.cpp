@@ -1,0 +1,86 @@
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace helix;
+
+unsigned ThreadPool::effectiveThreads(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  unsigned N = effectiveThreads(NumThreads);
+  Workers.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllIdle.wait(Lock, [this] { return Queue.empty() && ActiveTasks == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutting down and drained
+      Task = std::move(Queue.front());
+      Queue.pop();
+      ++ActiveTasks;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --ActiveTasks;
+      if (Queue.empty() && ActiveTasks == 0)
+        AllIdle.notify_all();
+    }
+  }
+}
+
+void helix::parallelForEach(unsigned Threads, size_t N,
+                            const std::function<void(size_t)> &Body) {
+  unsigned Effective = ThreadPool::effectiveThreads(Threads);
+  if (Effective == 1 || N <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+  // One shared cursor instead of pre-partitioned ranges: work items can be
+  // wildly uneven (one candidate loop may dominate the whole program run),
+  // so idle workers steal whatever index comes next.
+  std::atomic<size_t> Next{0};
+  ThreadPool Pool(std::min<size_t>(Effective, N));
+  for (unsigned W = 0; W != Pool.numThreads(); ++W)
+    Pool.submit([&] {
+      for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
+        Body(I);
+    });
+  Pool.wait();
+}

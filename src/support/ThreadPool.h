@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool for fan-out/join parallelism inside the
+/// pipeline. Tasks are plain std::function<void()>; wait() blocks until
+/// every submitted task finished. parallelForEach() is the common shape:
+/// N independent index-addressed work items distributed over the workers
+/// through a shared atomic cursor, so results land wherever the caller's
+/// closure writes them (typically a pre-sized per-index slot, which keeps
+/// merging deterministic regardless of completion order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SUPPORT_THREADPOOL_H
+#define HELIX_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace helix {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 means std::thread::hardware_concurrency
+  /// (clamped to at least 1).
+  explicit ThreadPool(unsigned NumThreads = 0);
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return unsigned(Workers.size()); }
+
+  /// Enqueues one task. Tasks must not throw — the pool has no channel to
+  /// report an exception and std::terminate would follow.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and no task is executing. The pool is
+  /// reusable afterwards.
+  void wait();
+
+  /// The normalized worker count a request of \p Requested maps to
+  /// (0 -> hardware concurrency, always >= 1).
+  static unsigned effectiveThreads(unsigned Requested);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable; ///< signalled on submit/shutdown
+  std::condition_variable AllIdle;       ///< signalled when work drains
+  size_t ActiveTasks = 0;
+  bool ShuttingDown = false;
+};
+
+/// Applies \p Body(I) for every I in [0, N), distributed over \p Threads
+/// workers (see ThreadPool::effectiveThreads for 0). Threads == 1 runs
+/// inline on the caller's thread with no pool at all — the forced
+/// single-thread mode the determinism tests compare against. Blocks until
+/// every index completed. \p Body must not throw.
+void parallelForEach(unsigned Threads, size_t N,
+                     const std::function<void(size_t)> &Body);
+
+} // namespace helix
+
+#endif // HELIX_SUPPORT_THREADPOOL_H

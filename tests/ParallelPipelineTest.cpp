@@ -1,0 +1,197 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the parallel model-profile stage and the cache-correctness
+/// bugfixes that shipped with it:
+///   - determinism: the fan-out over candidates produces bit-identical
+///     ModelInputs and reports vs. a forced single-thread run;
+///   - NumCores == 0 is rejected centrally (it used to reach a
+///     modulo-by-zero in the data-placement accounting);
+///   - the profile training run honours MaxInterpInstructions and keys
+///     its cache on it (it used to ignore both);
+///   - parse("") reports a build error instead of silently yielding an
+///     empty pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/PipelineBuilder.h"
+#include "pipeline/Stages.h"
+#include "workloads/WorkloadBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace helix;
+
+namespace {
+
+bool sameInputs(const std::optional<LoopModelInputs> &A,
+                const std::optional<LoopModelInputs> &B) {
+  if (A.has_value() != B.has_value())
+    return false;
+  if (!A)
+    return true;
+  return A->SeqCycles == B->SeqCycles &&
+         A->ParallelCycles == B->ParallelCycles &&
+         A->PrologueCycles == B->PrologueCycles &&
+         A->SegmentCycles == B->SegmentCycles &&
+         A->Invocations == B->Invocations && A->Iterations == B->Iterations &&
+         A->DataSignals == B->DataSignals &&
+         A->WordsForwarded == B->WordsForwarded &&
+         A->EffSignalCycles == B->EffSignalCycles &&
+         A->SelfStarting == B->SelfStarting;
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism of the parallel fan-out.
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelModelProfile, BitIdenticalToSingleThread) {
+  for (const char *Name : {"gzip", "art"}) {
+    auto M = buildSpecWorkload(Name);
+    ASSERT_NE(M, nullptr) << Name;
+
+    PipelineConfig Single, Parallel;
+    Single.ModelProfileThreads = 1;
+    Parallel.ModelProfileThreads = 4;
+
+    PipelineContext CtxS(*M, Single), CtxP(*M, Parallel);
+    PipelineReport RS = PipelineBuilder::standard().run(CtxS);
+    PipelineReport RP = PipelineBuilder::standard().run(CtxP);
+    ASSERT_TRUE(RS.Ok) << RS.Error;
+    ASSERT_TRUE(RP.Ok) << RP.Error;
+
+    // The model inputs the candidates produced are bit-identical.
+    ASSERT_EQ(CtxS.ModelInputs.size(), CtxP.ModelInputs.size()) << Name;
+    for (size_t I = 0; I != CtxS.ModelInputs.size(); ++I)
+      EXPECT_TRUE(sameInputs(CtxS.ModelInputs[I], CtxP.ModelInputs[I]))
+          << Name << " node " << I;
+
+    // So is everything computed from them.
+    EXPECT_EQ(CtxS.Chosen, CtxP.Chosen) << Name;
+    EXPECT_EQ(RS.SeqCycles, RP.SeqCycles);
+    EXPECT_EQ(RS.ParCycles, RP.ParCycles);
+    EXPECT_DOUBLE_EQ(RS.Speedup, RP.Speedup);
+    EXPECT_DOUBLE_EQ(RS.ModelSpeedup, RP.ModelSpeedup);
+    EXPECT_EQ(RS.OutputsMatch, RP.OutputsMatch);
+    EXPECT_EQ(RS.Loops.size(), RP.Loops.size());
+
+    // Interpreted-instruction accounting is schedule-independent too.
+    uint64_t InstrS = 0, InstrP = 0;
+    for (const PipelineContext::StageRun &R : CtxS.history())
+      if (R.Name == "model-profile")
+        InstrS += R.InterpretedInstructions;
+    for (const PipelineContext::StageRun &R : CtxP.history())
+      if (R.Name == "model-profile")
+        InstrP += R.InterpretedInstructions;
+    EXPECT_EQ(InstrS, InstrP) << Name;
+    EXPECT_GT(InstrS, 0u) << Name;
+  }
+}
+
+TEST(ParallelModelProfile, ThreadCountDoesNotChangeCacheKey) {
+  // The thread count is execution policy, not configuration: results are
+  // identical, so a sweep that varies it must keep its cache hits.
+  ModelProfilingStage S;
+  PipelineConfig A, B;
+  A.ModelProfileThreads = 1;
+  B.ModelProfileThreads = 8;
+  EXPECT_EQ(S.cacheKey(A), S.cacheKey(B));
+}
+
+//===----------------------------------------------------------------------===//
+// NumCores validation (regression: modulo-by-zero UB).
+//===----------------------------------------------------------------------===//
+
+TEST(ConfigValidation, ZeroCoresIsRejectedBeforeAnyStageRuns) {
+  auto M = buildSpecWorkload("gzip");
+  PipelineConfig C;
+  C.NumCores = 0;
+  PipelineContext Ctx(*M, C);
+  PipelineReport R = PipelineBuilder::standard().run(Ctx);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("NumCores"), std::string::npos) << R.Error;
+  // Nothing executed: the invalid configuration never reached a stage.
+  EXPECT_EQ(Ctx.timesExecuted("profile"), 0u);
+  EXPECT_TRUE(Ctx.history().empty());
+}
+
+TEST(ConfigValidation, ValidateReportsFirstProblem) {
+  PipelineConfig C;
+  EXPECT_TRUE(C.validate().empty());
+  C.NumCores = 0;
+  EXPECT_NE(C.validate().find("NumCores"), std::string::npos);
+  C.NumCores = 1;
+  C.MaxInterpInstructions = 0;
+  EXPECT_NE(C.validate().find("MaxInterpInstructions"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Profile training run honours MaxInterpInstructions (regression: the
+// first stage used to ignore the cap — a runaway workload would hang).
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileCap, TrainingRunStopsAtMaxInterpInstructions) {
+  auto M = buildSpecWorkload("gzip");
+  PipelineConfig C;
+  C.MaxInterpInstructions = 1000; // far below the workload's run length
+  PipelineContext Ctx(*M, C);
+  PipelineReport R =
+      PipelineBuilder().parse("profile").build().run(Ctx);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("sequential profiling run failed"),
+            std::string::npos)
+      << R.Error;
+  // The run was cut off by the cap, not by a crash: it executed at most
+  // the configured number of instructions.
+  EXPECT_LE(Ctx.SeqRun.Instructions, 1000u);
+}
+
+TEST(ProfileCap, CacheKeyVariesWithTheCap) {
+  // Serving a capped profile to an uncapped configuration (or vice versa)
+  // across a MaxInterpInstructions sweep would be silently wrong.
+  ProfileStage S;
+  PipelineConfig A, B;
+  A.MaxInterpInstructions = 1000;
+  B.MaxInterpInstructions = 2000;
+  EXPECT_NE(S.cacheKey(A), S.cacheKey(B));
+  EXPECT_EQ(S.cacheKey(A), S.cacheKey(A));
+}
+
+TEST(ProfileCap, CapSweepReprofilesInsteadOfServingStaleProfile) {
+  auto M = buildSpecWorkload("gzip");
+  PipelineContext Ctx(*M);
+  Pipeline P = PipelineBuilder().parse("profile").build();
+
+  PipelineConfig Small;
+  Small.MaxInterpInstructions = 1000;
+  Ctx.setConfig(Small);
+  EXPECT_FALSE(P.run(Ctx).Ok);
+
+  PipelineConfig Big; // default cap: the run completes
+  Ctx.setConfig(Big);
+  PipelineReport R = P.run(Ctx);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.SeqCycles, 0u);
+  EXPECT_EQ(Ctx.timesExecuted("profile"), 2u); // no stale reuse
+}
+
+//===----------------------------------------------------------------------===//
+// parse("") (regression: silent empty pipeline).
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineParse, EmptyStringIsABuildError) {
+  for (const char *Text : {"", "   ", " \t\n", ",", " , ,"}) {
+    std::string Err;
+    Pipeline P = PipelineBuilder().parse(Text).build(&Err);
+    EXPECT_TRUE(P.empty()) << '"' << Text << '"';
+    EXPECT_NE(Err.find("empty pipeline string"), std::string::npos)
+        << '"' << Text << "\" -> " << Err;
+  }
+  // Non-empty strings are unaffected.
+  std::string Err;
+  Pipeline P = PipelineBuilder().parse(" profile , candidates ").build(&Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  EXPECT_EQ(P.str(), "profile,candidates");
+}
+
+} // namespace
