@@ -86,7 +86,7 @@ int main() {
   // Timing: the full pipeline lets loop selection decide, and it rejects
   // the pointer chase (serial chain + per-signal latency) while keeping
   // the histogram.
-  DriverConfig Config;
+  PipelineConfig Config;
   PipelineReport Report = runHelixPipeline(*M, Config);
   std::printf("pipeline (6 cores)  : speedup %.2fx, %zu of %u candidate "
               "loops chosen\n",

@@ -29,8 +29,8 @@ int main(int argc, char **argv) {
   std::printf("== Loop selection on %s (Figure 8 methodology) ==\n\n", Name);
 
   for (double S : {4.0, 110.0}) {
-    DriverConfig Config;
-    Config.SelectionSignalCycles = S;
+    PipelineConfig Config;
+    Config.Selection.SignalCycles = S;
     PipelineReport R = runHelixPipeline(*M, Config);
     if (!R.Ok) {
       std::printf("pipeline failed: %s\n", R.Error.c_str());

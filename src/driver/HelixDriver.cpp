@@ -8,8 +8,3 @@ PipelineReport helix::runHelixPipeline(const Module &Original,
                                        const PipelineConfig &Config) {
   return PipelineBuilder::standard().run(Original, Config);
 }
-
-PipelineReport helix::runHelixPipeline(const Module &Original,
-                                       const DriverConfig &Config) {
-  return runHelixPipeline(Original, Config.toPipelineConfig());
-}

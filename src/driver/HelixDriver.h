@@ -4,14 +4,15 @@
 /// Backwards-compatible one-call driver over the composable pipeline API
 /// (pipeline/PipelineBuilder.h). runHelixPipeline(Original, Config) is
 /// exactly equivalent to running PipelineBuilder::standard() on a fresh
-/// PipelineContext configured with Config.toPipelineConfig():
+/// PipelineContext configured with Config:
 ///
 ///   profile -> candidates -> model-profile -> select -> transform
 ///           -> validate -> simulate
 ///
 /// New code (and anything that sweeps configurations) should use the
 /// pipeline API directly: a reused PipelineContext caches stage results
-/// across configuration points.
+/// across configuration points. The flat legacy DriverConfig is gone; the
+/// layered PipelineConfig is the single source of truth for every knob.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,47 +24,7 @@
 
 namespace helix {
 
-/// Flat legacy configuration, kept for source compatibility with the
-/// original monolithic driver. The layered PipelineConfig is the single
-/// source of truth; this struct merely maps onto it.
-struct DriverConfig {
-  HelixOptions Helix;
-  unsigned NumCores = 6;
-  PrefetchMode Prefetch = PrefetchMode::Helper;
-  bool DoAcross = false;
-  /// Signal latency S assumed by the selection model. Negative (default)
-  /// = per-loop gap-based estimate (Section 3.3). Explicit values
-  /// reproduce Figures 12/13 — see SelectionConfig::SignalCycles for the
-  /// full override semantics.
-  double SelectionSignalCycles = -1.0;
-  /// When >= 1, skip model-driven selection and pick every executed loop at
-  /// this dynamic nesting level (1 = outermost), as in Figures 11 and 13.
-  int ForceNestingLevel = -1;
-  /// Candidate filter: loops below this fraction of program time are not
-  /// evaluated.
-  double MinLoopCycleFraction = 0.002;
-  uint64_t MaxInterpInstructions = 400ull * 1000 * 1000;
-
-  /// The equivalent layered configuration.
-  PipelineConfig toPipelineConfig() const {
-    PipelineConfig P;
-    P.NumCores = NumCores;
-    P.Helix = Helix;
-    P.Selection.SignalCycles = SelectionSignalCycles;
-    P.Selection.ForceNestingLevel = ForceNestingLevel;
-    P.Selection.MinLoopCycleFraction = MinLoopCycleFraction;
-    P.Prefetch = Prefetch;
-    P.DoAcross = DoAcross;
-    P.MaxInterpInstructions = MaxInterpInstructions;
-    return P;
-  }
-};
-
 /// Runs the whole standard pipeline on (a clone of) \p Original.
-PipelineReport runHelixPipeline(const Module &Original,
-                                const DriverConfig &Config);
-
-/// Same, from a layered configuration.
 PipelineReport runHelixPipeline(const Module &Original,
                                 const PipelineConfig &Config);
 

@@ -1,0 +1,130 @@
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/TestCaseReducer.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/ThreadPool.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace helix;
+
+uint64_t helix::fuzzCaseSeed(uint64_t Seed, unsigned Index) {
+  // One SplitMix64 step over a (seed, index) mix: cases are independent of
+  // each other and of the worker schedule.
+  return Rng(Seed ^ (0x9E3779B97F4A7C15ull * (uint64_t(Index) + 1))).next();
+}
+
+namespace {
+
+/// Everything one worker records about its case; merged in index order.
+struct CaseResult {
+  DiffOutcome Outcome;
+  std::string ReproText;  ///< filled on divergence/inconclusive
+  std::string ShrunkText; ///< filled when shrinking succeeded
+  unsigned ShrunkInstrs = 0;
+};
+
+void writeRepro(const std::string &Dir, const std::string &Name,
+                uint64_t CaseSeed, const std::string &Detail,
+                const std::string &Text, std::string &PathOut) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  std::string Path = Dir + "/" + Name;
+  std::ofstream OS(Path);
+  if (!OS)
+    return;
+  // '#' starts a comment in the IR grammar: the repro stays parseable.
+  OS << "# helix-fuzz repro; case seed 0x" << std::hex << CaseSeed
+     << std::dec << "\n";
+  OS << "# " << Detail << "\n";
+  OS << Text;
+  PathOut = Path;
+}
+
+} // namespace
+
+FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
+  FuzzSummary Summary;
+  unsigned Runs = Options.CaseSeeds.empty()
+                      ? Options.Runs
+                      : unsigned(Options.CaseSeeds.size());
+  auto CaseSeedOf = [&](unsigned Index) {
+    return Options.CaseSeeds.empty() ? fuzzCaseSeed(Options.Seed, Index)
+                                     : Options.CaseSeeds[Index];
+  };
+  Summary.Runs = Runs;
+
+  std::vector<CaseResult> Results(Runs);
+  parallelForEach(Options.Jobs, Runs, [&](size_t Index) {
+    CaseResult &R = Results[Index];
+    uint64_t CaseSeed = CaseSeedOf(unsigned(Index));
+    std::unique_ptr<Module> M = generateProgram(CaseSeed, Options.Gen);
+    R.Outcome = runDifferential(*M, Options.Diff);
+    if (!R.Outcome.Divergence && !R.Outcome.Inconclusive)
+      return;
+    R.ReproText = M->toString();
+    if (R.Outcome.Divergence && Options.Shrink) {
+      // The shrink oracle replays the divergence hundreds of times; make
+      // each replay as cheap as the original failure allows. A candidate
+      // whose edit created an endless loop dies on the tightened budget
+      // instead of burning the full campaign budget, and the threaded
+      // legs only run when the divergence actually needed threads.
+      DiffConfig Replay = Options.Diff;
+      Replay.MaxInstructions =
+          std::max<uint64_t>(10000, R.Outcome.SeqInstructions * 4);
+      if (R.Outcome.DivergentLeg != DiffOutcome::Leg::Threaded)
+        Replay.ThreadCounts.clear();
+      DiffOutcome::Kind Kind = R.Outcome.DivergentKind;
+      ReduceResult Reduced = reduceTestCase(*M, [&](const Module &Cand) {
+        DiffOutcome O = runDifferential(Cand, Replay);
+        return O.Divergence && O.DivergentKind == Kind;
+      });
+      R.ShrunkText = Reduced.Text;
+      R.ShrunkInstrs = Reduced.InstrsAfter;
+    }
+  });
+
+  for (unsigned Index = 0; Index != Runs; ++Index) {
+    const CaseResult &R = Results[Index];
+    Summary.LoopsAttempted += R.Outcome.LoopsAttempted;
+    Summary.LoopsTransformed += R.Outcome.LoopsTransformed;
+    if (R.Outcome.LoopsTransformed == 0)
+      ++Summary.Untransformed;
+    mergePassTimings(Summary.PassTimings, R.Outcome.PassTimings);
+
+    if (!R.Outcome.Divergence && !R.Outcome.Inconclusive) {
+      ++Summary.Clean;
+      continue;
+    }
+    FuzzFailure F;
+    F.CaseIndex = Index;
+    F.CaseSeed = CaseSeedOf(Index);
+    F.Inconclusive = R.Outcome.Inconclusive;
+    F.Detail = R.Outcome.Detail;
+    F.ReproText = R.ReproText;
+    F.ShrunkText = R.ShrunkText;
+    F.ShrunkInstrs = R.ShrunkInstrs;
+    if (R.Outcome.Inconclusive)
+      ++Summary.Inconclusive;
+    else
+      ++Summary.Divergent;
+
+    // Inconclusive cases are persisted too: they make the run non-clean
+    // (the CLI exits nonzero), so CI's artifact upload must have the
+    // module, not just a case seed in the log.
+    if (!Options.CorpusDir.empty()) {
+      std::string Base =
+          formatStr("%s-%04u-%016llx", R.Outcome.Divergence ? "div" : "inc",
+                    Index, (unsigned long long)F.CaseSeed);
+      writeRepro(Options.CorpusDir, Base + ".ir", F.CaseSeed, F.Detail,
+                 F.ReproText, F.ReproPath);
+      if (!F.ShrunkText.empty())
+        writeRepro(Options.CorpusDir, Base + ".shrunk.ir", F.CaseSeed,
+                   F.Detail, F.ShrunkText, F.ShrunkPath);
+    }
+    Summary.Failures.push_back(std::move(F));
+  }
+  return Summary;
+}

@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzz campaign driver: generate -> differential -> (on divergence)
+/// shrink -> persist, fanned out over the shared ThreadPool. Per-case
+/// seeds are derived from (campaign seed, case index) alone, so a
+/// campaign's modules and verdicts are identical for a given seed no
+/// matter how many workers run it or how the scheduler interleaves them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_FUZZ_FUZZER_H
+#define HELIX_FUZZ_FUZZER_H
+
+#include "fuzz/DifferentialRunner.h"
+#include "fuzz/ProgramGenerator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace helix {
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  unsigned Runs = 100;
+  /// When non-empty, run exactly these *generator* seeds (one case each);
+  /// Seed/Runs are ignored. This is the replay path for a failing case:
+  /// pass the case seed a campaign printed.
+  std::vector<uint64_t> CaseSeeds;
+  /// Worker threads the cases fan out over (0 = hardware concurrency,
+  /// 1 = inline). Execution policy only; results are seed-deterministic.
+  unsigned Jobs = 0;
+  /// Shrink failing cases with the TestCaseReducer.
+  bool Shrink = true;
+  /// Directory for repro files of failing cases; empty = don't persist.
+  std::string CorpusDir;
+  GeneratorConfig Gen;
+  DiffConfig Diff;
+};
+
+/// One failing (or inconclusive) case of a campaign.
+struct FuzzFailure {
+  unsigned CaseIndex = 0;
+  uint64_t CaseSeed = 0;
+  bool Inconclusive = false;
+  std::string Detail;
+  std::string ReproText;        ///< original failing module
+  std::string ShrunkText;       ///< reduced module ("" when not shrunk)
+  unsigned ShrunkInstrs = 0;
+  std::string ReproPath;        ///< original repro on disk (CorpusDir set)
+  std::string ShrunkPath;       ///< shrunk repro on disk (CorpusDir set)
+};
+
+struct FuzzSummary {
+  unsigned Runs = 0;
+  unsigned Clean = 0;
+  unsigned Divergent = 0;
+  unsigned Inconclusive = 0;
+  /// Cases where HELIX accepted no loop at all (coverage signal).
+  unsigned Untransformed = 0;
+  uint64_t LoopsAttempted = 0;
+  uint64_t LoopsTransformed = 0;
+  std::vector<FuzzFailure> Failures;
+  /// Transform pass timing aggregated over every case.
+  std::vector<LoopPassTiming> PassTimings;
+};
+
+/// Derives the generator seed of case \p Index of campaign \p Seed.
+uint64_t fuzzCaseSeed(uint64_t Seed, unsigned Index);
+
+/// Runs the campaign. Deterministic for (Options.Seed, Options.Runs,
+/// generator/differential configs); Jobs only changes the schedule.
+FuzzSummary runFuzzCampaign(const FuzzOptions &Options);
+
+} // namespace helix
+
+#endif // HELIX_FUZZ_FUZZER_H

@@ -1,0 +1,483 @@
+#include "fuzz/ProgramGenerator.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/Compiler.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace helix;
+
+namespace {
+
+using Op = Operand;
+
+/// Everything one kernel's emission threads through its loop levels.
+struct KernelCtx {
+  Function *F = nullptr;
+  IRBuilder *B = nullptr;
+  Rng *R = nullptr;
+  /// Registers holding recently computed integer values; operand pool.
+  std::vector<unsigned> Vals;
+  /// Carried accumulators (register-carried dependences when updated in a
+  /// loop body).
+  std::vector<unsigned> Accs;
+  /// (global index, size) of the arrays this kernel may touch.
+  std::vector<std::pair<unsigned, uint64_t>> Arrays;
+  /// Straight-line helper functions callable from loop bodies.
+  std::vector<Function *> Leaves;
+  unsigned BlockCounter = 0;
+  unsigned Depth = 0; ///< current loop depth (0 = outside loops)
+};
+
+unsigned pickVal(KernelCtx &C) {
+  return C.Vals[C.R->nextBelow(C.Vals.size())];
+}
+
+void pushVal(KernelCtx &C, unsigned Reg) {
+  C.Vals.push_back(Reg);
+  // Keep the pool bounded and biased toward recent values.
+  if (C.Vals.size() > 12)
+    C.Vals.erase(C.Vals.begin());
+}
+
+std::string blockName(KernelCtx &C, const char *Tag) {
+  return formatStr("b%u.%s", C.BlockCounter++, Tag);
+}
+
+/// One random integer ALU instruction over pool values; pushes the result.
+void emitAluOp(KernelCtx &C) {
+  IRBuilder &B = *C.B;
+  unsigned A = pickVal(C);
+  switch (C.R->nextBelow(8)) {
+  case 0:
+    pushVal(C, B.binary(Opcode::Add, Op::reg(A), Op::reg(pickVal(C))));
+    break;
+  case 1:
+    pushVal(C, B.binary(Opcode::Sub, Op::reg(A),
+                        Op::immInt(C.R->nextInRange(-64, 64))));
+    break;
+  case 2:
+    pushVal(C, B.binary(Opcode::Mul, Op::reg(A),
+                        Op::immInt(C.R->nextInRange(1, 9))));
+    break;
+  case 3:
+    pushVal(C, B.binary(Opcode::Xor, Op::reg(A), Op::reg(pickVal(C))));
+    break;
+  case 4:
+    pushVal(C, B.binary(Opcode::And, Op::reg(A),
+                        Op::immInt(int64_t(C.R->next() & 0xFFFFFF))));
+    break;
+  case 5:
+    pushVal(C, B.binary(Opcode::Or, Op::reg(A),
+                        Op::immInt(C.R->nextInRange(0, 255))));
+    break;
+  case 6:
+    pushVal(C, B.binary(Opcode::Shr, Op::reg(A),
+                        Op::immInt(C.R->nextInRange(1, 11))));
+    break;
+  default: {
+    // Checked division: the |1 keeps the divisor nonzero.
+    unsigned D = B.binary(Opcode::Or, Op::reg(pickVal(C)), Op::immInt(1));
+    pushVal(C, B.binary(C.R->nextBool(0.5) ? Opcode::Div : Opcode::Rem,
+                        Op::reg(A), Op::reg(D)));
+    break;
+  }
+  }
+}
+
+/// Floating-point chain: mask to a small int first so FPToInt never sees a
+/// double outside int64 range (that conversion would be UB host-side).
+void emitFpChain(KernelCtx &C) {
+  IRBuilder &B = *C.B;
+  unsigned V = B.binary(Opcode::And, Op::reg(pickVal(C)), Op::immInt(0xFFFFF));
+  unsigned FV = B.conv(Opcode::IntToFP, Op::reg(V));
+  unsigned FM = B.binary(Opcode::FMul, Op::reg(FV),
+                         Op::immFloat(0.5 + C.R->nextDouble() * 3.0));
+  unsigned FA = B.binary(C.R->nextBool(0.5) ? Opcode::FAdd : Opcode::FSub,
+                         Op::reg(FM),
+                         Op::immFloat(double(C.R->nextInRange(-99, 99))));
+  if (C.R->nextBool(0.3)) {
+    unsigned Cmp = B.binary(Opcode::FCmpLT, Op::reg(FA), Op::immFloat(1000.0));
+    pushVal(C, Cmp);
+  }
+  pushVal(C, B.conv(Opcode::FPToInt, Op::reg(FA)));
+}
+
+/// a[idx & (Size-1)] load (histogram-style indirect read).
+void emitIndirectLoad(KernelCtx &C) {
+  if (C.Arrays.empty())
+    return;
+  IRBuilder &B = *C.B;
+  auto [G, Size] = C.Arrays[C.R->nextBelow(C.Arrays.size())];
+  unsigned Idx = B.binary(Opcode::And, Op::reg(pickVal(C)),
+                          Op::immInt(int64_t(Size - 1)));
+  unsigned Addr = B.add(Op::global(G), Op::reg(Idx));
+  pushVal(C, B.load(Op::reg(Addr)));
+}
+
+/// h[idx & (Size-1)] += delta: the unprovable carried memory dependence of
+/// the histogram idiom.
+void emitIndirectUpdate(KernelCtx &C) {
+  if (C.Arrays.empty())
+    return;
+  IRBuilder &B = *C.B;
+  auto [G, Size] = C.Arrays[C.R->nextBelow(C.Arrays.size())];
+  unsigned Idx = B.binary(Opcode::And, Op::reg(pickVal(C)),
+                          Op::immInt(int64_t(Size - 1)));
+  unsigned Addr = B.add(Op::global(G), Op::reg(Idx));
+  unsigned Old = B.load(Op::reg(Addr));
+  unsigned New = B.binary(C.R->nextBool(0.7) ? Opcode::Add : Opcode::Xor,
+                          Op::reg(Old),
+                          C.R->nextBool(0.5) ? Op::immInt(1)
+                                             : Op::reg(pickVal(C)));
+  B.store(Op::reg(New), Op::reg(Addr));
+}
+
+/// Register-carried reduction on a random accumulator.
+void emitReduction(KernelCtx &C) {
+  IRBuilder &B = *C.B;
+  unsigned Acc = C.Accs[C.R->nextBelow(C.Accs.size())];
+  Opcode Ops[] = {Opcode::Add, Opcode::Xor, Opcode::Sub};
+  B.binaryTo(Acc, Ops[C.R->nextBelow(3)], Op::reg(Acc),
+             Op::reg(pickVal(C)));
+}
+
+/// Call into a straight-line helper from the loop body.
+void emitCall(KernelCtx &C) {
+  if (C.Leaves.empty())
+    return;
+  IRBuilder &B = *C.B;
+  Function *Leaf = C.Leaves[C.R->nextBelow(C.Leaves.size())];
+  std::vector<Op> Args;
+  for (unsigned K = 0; K != Leaf->numParams(); ++K)
+    Args.push_back(Op::reg(pickVal(C)));
+  pushVal(C, B.call(Leaf, Args));
+}
+
+/// if ((v & m) == c) acc op= t — the Figure-2 conditional carried update.
+void emitBranchy(KernelCtx &C) {
+  IRBuilder &B = *C.B;
+  Function *F = C.F;
+  BasicBlock *Then = F->createBlock(blockName(C, "then"));
+  BasicBlock *Cont = F->createBlock(blockName(C, "cont"));
+  unsigned Low = B.binary(Opcode::And, Op::reg(pickVal(C)),
+                          Op::immInt(C.R->nextInRange(1, 7)));
+  unsigned Bit = B.cmpEQ(Op::reg(Low), Op::immInt(C.R->nextInRange(0, 3)));
+  B.condBr(Op::reg(Bit), Then, Cont);
+  B.setInsertPoint(Then);
+  unsigned Acc = C.Accs[C.R->nextBelow(C.Accs.size())];
+  B.binaryTo(Acc, C.R->nextBool(0.5) ? Opcode::Add : Opcode::Xor,
+             Op::reg(Acc), Op::reg(pickVal(C)));
+  B.br(Cont);
+  B.setInsertPoint(Cont);
+}
+
+struct LoopShape {
+  bool Stencil = false;   ///< emit a distance-1 carried a[i+1] = f(a[i], .)
+  bool DoAllStore = false;///< emit a disjoint a[i] = t store
+  bool MultiExit = false; ///< emit a conditional break to the loop exit
+};
+
+void emitLoopNest(KernelCtx &C, const GeneratorConfig &Cfg,
+                  unsigned DepthBudget);
+
+/// One randomly composed counted loop: `for i in [0, Trip)` with a body
+/// drawn from the feature menu, optionally multi-exit, optionally wrapping
+/// a nested loop.
+void emitCountedLoop(KernelCtx &C, const GeneratorConfig &Cfg,
+                     unsigned DepthBudget) {
+  IRBuilder &B = *C.B;
+  Function *F = C.F;
+  ++C.Depth;
+  // Outer loops get the full trip range; inner ones stay small so the
+  // dynamic instruction count of a nest stays bounded.
+  unsigned Trip =
+      C.Depth == 1
+          ? unsigned(C.R->nextInRange(std::max(2u, Cfg.MinTrip), Cfg.MaxTrip))
+          : unsigned(C.R->nextInRange(2, 7));
+
+  BasicBlock *Hdr = F->createBlock(blockName(C, "hdr"));
+  BasicBlock *Body = F->createBlock(blockName(C, "body"));
+  BasicBlock *Exit = F->createBlock(blockName(C, "exit"));
+
+  LoopShape Shape;
+  Shape.Stencil = C.R->nextBool(0.35) && !C.Arrays.empty();
+  Shape.DoAllStore = C.R->nextBool(0.45) && !C.Arrays.empty();
+  Shape.MultiExit = C.R->nextBool(0.25);
+
+  unsigned I = B.mov(Op::immInt(0));
+  B.br(Hdr);
+  B.setInsertPoint(Hdr);
+  unsigned Cmp = B.cmpLT(Op::reg(I), Op::immInt(Trip));
+  B.condBr(Op::reg(Cmp), Body, Exit);
+  B.setInsertPoint(Body);
+  pushVal(C, I);
+
+  // The conditional break makes the loop multi-exit (Step 1 must cope or
+  // conservatively refuse; either way the oracle checks the result).
+  if (Shape.MultiExit) {
+    BasicBlock *Brk = F->createBlock(blockName(C, "brk"));
+    BasicBlock *Cont = F->createBlock(blockName(C, "cont"));
+    unsigned T = B.binary(Opcode::And, Op::reg(pickVal(C)), Op::immInt(63));
+    unsigned Hit = B.cmpEQ(Op::reg(T), Op::immInt(C.R->nextInRange(0, 60)));
+    B.condBr(Op::reg(Hit), Brk, Cont);
+    B.setInsertPoint(Brk);
+    unsigned Acc = C.Accs[C.R->nextBelow(C.Accs.size())];
+    B.binaryTo(Acc, Opcode::Xor, Op::reg(Acc), Op::reg(I));
+    B.br(Exit);
+    B.setInsertPoint(Cont);
+  }
+
+  // Straight-line feature mix.
+  unsigned Features = unsigned(C.R->nextInRange(2, 5));
+  for (unsigned K = 0; K != Features; ++K) {
+    switch (C.R->nextBelow(8)) {
+    case 0:
+    case 1:
+      emitAluOp(C);
+      break;
+    case 2:
+      emitFpChain(C);
+      break;
+    case 3:
+      emitIndirectLoad(C);
+      break;
+    case 4:
+      emitIndirectUpdate(C);
+      break;
+    case 5:
+      emitReduction(C);
+      break;
+    case 6:
+      emitCall(C);
+      break;
+    default:
+      emitBranchy(C);
+      break;
+    }
+  }
+
+  if (Shape.Stencil) {
+    // a[i+1] = f(a[i], t): needs Trip + 1 <= Size, which MaxTrip and the
+    // minimum array size of 32 guarantee.
+    auto [G, Size] = C.Arrays[C.R->nextBelow(C.Arrays.size())];
+    (void)Size;
+    unsigned I1 = B.add(Op::reg(I), Op::immInt(1));
+    unsigned PrevAddr = B.add(Op::global(G), Op::reg(I));
+    unsigned CurAddr = B.add(Op::global(G), Op::reg(I1));
+    unsigned Prev = B.load(Op::reg(PrevAddr));
+    unsigned Mixed = B.binary(Opcode::Xor, Op::reg(Prev), Op::reg(pickVal(C)));
+    unsigned Scaled = B.binary(Opcode::Shr, Op::reg(Mixed), Op::immInt(1));
+    B.store(Op::reg(Scaled), Op::reg(CurAddr));
+  }
+
+  // Nested loop (recursion); the builder continues in the inner exit.
+  if (DepthBudget > 1 && C.R->nextBool(0.5))
+    emitLoopNest(C, Cfg, DepthBudget - 1);
+
+  if (Shape.DoAllStore) {
+    auto [G, Size] = C.Arrays[C.R->nextBelow(C.Arrays.size())];
+    (void)Size;
+    unsigned Addr = B.add(Op::global(G), Op::reg(I));
+    B.store(Op::reg(pickVal(C)), Op::reg(Addr));
+  }
+
+  B.binaryTo(I, Opcode::Add, Op::reg(I), Op::immInt(1));
+  B.br(Hdr);
+  B.setInsertPoint(Exit);
+  pushVal(C, I); // exit value of the induction register
+  --C.Depth;
+}
+
+/// Relocatable pointer-chase loop: offsets within the list global, slot 0
+/// holding the head offset and each node holding [next-offset, value].
+void emitChaseLoop(KernelCtx &C, unsigned ListGlobal) {
+  IRBuilder &B = *C.B;
+  Function *F = C.F;
+  BasicBlock *Hdr = F->createBlock(blockName(C, "chdr"));
+  BasicBlock *Body = F->createBlock(blockName(C, "cbody"));
+  BasicBlock *Exit = F->createBlock(blockName(C, "cexit"));
+
+  unsigned Offset = B.load(Op::global(ListGlobal));
+  B.br(Hdr);
+  B.setInsertPoint(Hdr);
+  unsigned Cmp = B.binary(Opcode::CmpNE, Op::reg(Offset), Op::immInt(0));
+  B.condBr(Op::reg(Cmp), Body, Exit);
+  B.setInsertPoint(Body);
+  unsigned NodeAddr = B.add(Op::global(ListGlobal), Op::reg(Offset));
+  unsigned VAddr = B.add(Op::reg(NodeAddr), Op::immInt(1));
+  unsigned V = B.load(Op::reg(VAddr));
+  pushVal(C, V);
+  emitAluOp(C);
+  emitReduction(C);
+  B.loadTo(Offset, Op::reg(NodeAddr)); // offset = node->next
+  B.br(Hdr);
+  B.setInsertPoint(Exit);
+}
+
+void emitLoopNest(KernelCtx &C, const GeneratorConfig &Cfg,
+                  unsigned DepthBudget) {
+  emitCountedLoop(C, Cfg, DepthBudget);
+}
+
+/// Straight-line helper function: a short ALU/FP mix over its parameters.
+Function *buildLeaf(Module &M, Rng &R, unsigned Idx) {
+  unsigned NumParams = unsigned(R.nextInRange(1, 2));
+  Function *F = M.createFunction(formatStr("leaf%u", Idx), NumParams);
+  IRBuilder B(F);
+  B.setInsertPoint(F->createBlock("entry"));
+  KernelCtx C;
+  C.F = F;
+  C.B = &B;
+  C.R = &R;
+  for (unsigned K = 0; K != NumParams; ++K)
+    C.Vals.push_back(K);
+  unsigned Ops = unsigned(R.nextInRange(2, 6));
+  for (unsigned K = 0; K != Ops; ++K) {
+    if (R.nextBool(0.2))
+      emitFpChain(C);
+    else
+      emitAluOp(C);
+  }
+  B.ret(Op::reg(C.Vals.back()));
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module> helix::generateProgram(uint64_t Seed,
+                                               const GeneratorConfig &Raw) {
+  // Sanitize the caller's bounds: the smallest array has 32 slots and the
+  // stencil writes a[i+1], so trip counts above 30 would index out of
+  // bounds — the program would trap identically in every leg and the
+  // "clean" verdict would be vacuous.
+  GeneratorConfig Cfg = Raw;
+  Cfg.MaxTrip = std::min(std::max(Cfg.MaxTrip, 2u), 30u);
+  Cfg.MinTrip = std::min(std::max(Cfg.MinTrip, 2u), Cfg.MaxTrip);
+
+  Rng R(Seed ^ 0xC0FFEE123456789Bull);
+  auto M = std::make_unique<Module>();
+
+  // --- Globals: power-of-two arrays with static random contents, plus an
+  // --- optional statically-threaded offset list for pointer chasing. -----
+  unsigned NumArrays = unsigned(R.nextInRange(1, 3));
+  std::vector<std::pair<unsigned, uint64_t>> Arrays;
+  for (unsigned K = 0; K != NumArrays; ++K) {
+    uint64_t Size = R.nextBool(0.5) ? 32 : 64;
+    unsigned G = M->createGlobal(formatStr("a%u", K), Size);
+    GlobalVariable &GV = M->global(G);
+    for (uint64_t S = 0; S != Size; ++S)
+      GV.Init.push_back(int64_t(R.next() & 0xFFFF));
+    Arrays.push_back({G, Size});
+  }
+  int ListGlobal = -1;
+  if (R.nextBool(0.4)) {
+    uint64_t Nodes = uint64_t(R.nextInRange(3, 14));
+    unsigned G = M->createGlobal("list", 2 * Nodes + 2);
+    GlobalVariable &GV = M->global(G);
+    GV.Init.assign(2 * Nodes + 2, 0);
+    GV.Init[0] = 1; // head offset: first node
+    for (uint64_t N = 0; N != Nodes; ++N) {
+      GV.Init[1 + 2 * N] = N + 1 == Nodes ? 0 : int64_t(1 + 2 * (N + 1));
+      GV.Init[2 + 2 * N] = int64_t(R.next() & 0x7FFF);
+    }
+    ListGlobal = int(G);
+  }
+
+  // --- Leaf helpers. -----------------------------------------------------
+  std::vector<Function *> Leaves;
+  unsigned NumLeaves = unsigned(R.nextBelow(Cfg.MaxLeafFuncs + 1));
+  for (unsigned K = 0; K != NumLeaves; ++K)
+    Leaves.push_back(buildLeaf(*M, R, K));
+
+  // --- Kernels: one loop nest each. --------------------------------------
+  unsigned NumKernels =
+      unsigned(R.nextInRange(std::max(1u, Cfg.MinKernels), Cfg.MaxKernels));
+  std::vector<Function *> Kernels;
+  for (unsigned K = 0; K != NumKernels; ++K) {
+    Function *F = M->createFunction(formatStr("kernel%u", K), 1);
+    IRBuilder B(F);
+    B.setInsertPoint(F->createBlock("entry"));
+    KernelCtx C;
+    C.F = F;
+    C.B = &B;
+    C.R = &R;
+    C.Arrays = Arrays;
+    C.Leaves = Leaves;
+    C.Vals.push_back(0); // the parameter
+    unsigned NumAccs = unsigned(R.nextInRange(1, 3));
+    for (unsigned A = 0; A != NumAccs; ++A)
+      C.Accs.push_back(
+          B.mov(A == 0 ? Op::reg(0)
+                       : Op::immInt(int64_t(R.next() & 0xFFFFFF))));
+
+    unsigned Depth =
+        unsigned(R.nextInRange(1, int64_t(std::max(1u, Cfg.MaxLoopDepth))));
+    if (ListGlobal >= 0 && R.nextBool(0.35))
+      emitChaseLoop(C, unsigned(ListGlobal));
+    else
+      emitLoopNest(C, Cfg, Depth);
+
+    // Checksum: accumulators, last pool value, and one array slot.
+    unsigned Sum = C.Accs[0];
+    for (unsigned A = 1; A < C.Accs.size(); ++A)
+      Sum = B.add(Op::reg(Sum), Op::reg(C.Accs[A]));
+    Sum = B.binary(Opcode::Xor, Op::reg(Sum), Op::reg(C.Vals.back()));
+    if (!Arrays.empty()) {
+      auto [G, Size] = Arrays[R.nextBelow(Arrays.size())];
+      unsigned Addr =
+          B.add(Op::global(G), Op::immInt(R.nextInRange(0, int64_t(Size) - 1)));
+      unsigned V = B.load(Op::reg(Addr));
+      Sum = B.add(Op::reg(Sum), Op::reg(V));
+    }
+    B.ret(Op::reg(Sum));
+    Kernels.push_back(F);
+  }
+
+  // --- main: repeat loop over the kernels, then fold a few array reads. --
+  {
+    Function *F = M->createFunction("main", 0);
+    IRBuilder B(F);
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Hdr = F->createBlock("mhdr");
+    BasicBlock *Body = F->createBlock("mbody");
+    BasicBlock *Exit = F->createBlock("mexit");
+    B.setInsertPoint(Entry);
+    unsigned Repeat =
+        unsigned(R.nextInRange(1, int64_t(std::max(1u, Cfg.MaxMainRepeat))));
+    unsigned Rr = B.mov(Op::immInt(0));
+    unsigned Sum = B.mov(Op::immInt(int64_t(R.next() & 0xFFFF)));
+    B.br(Hdr);
+    B.setInsertPoint(Hdr);
+    unsigned Cmp = B.cmpLT(Op::reg(Rr), Op::immInt(Repeat));
+    B.condBr(Op::reg(Cmp), Body, Exit);
+    B.setInsertPoint(Body);
+    unsigned Mix = B.add(Op::reg(Sum), Op::reg(Rr));
+    for (Function *K : Kernels) {
+      unsigned V = B.call(K, {Op::reg(Mix)});
+      B.binaryTo(Sum, Opcode::Add, Op::reg(Sum), Op::reg(V));
+    }
+    B.binaryTo(Rr, Opcode::Add, Op::reg(Rr), Op::immInt(1));
+    B.br(Hdr);
+    B.setInsertPoint(Exit);
+    for (auto [G, Size] : Arrays) {
+      unsigned Addr =
+          B.add(Op::global(G), Op::immInt(R.nextInRange(0, int64_t(Size) - 1)));
+      unsigned V = B.load(Op::reg(Addr));
+      B.binaryTo(Sum, Opcode::Xor, Op::reg(Sum), Op::reg(V));
+    }
+    unsigned Final =
+        B.binary(Opcode::And, Op::reg(Sum), Op::immInt(0x3FFFFFFFFFFFll));
+    B.ret(Op::reg(Final));
+  }
+
+  std::string Err = verifyModule(*M);
+  if (!Err.empty())
+    reportFatalError(
+        ("generated program failed verification: " + Err).c_str());
+  return M;
+}

@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generation of Verifier-clean IR programs for differential
+/// fuzzing of the HELIX pipeline.
+///
+/// Where src/workloads/ builds nine hand-shaped kernel idioms, the
+/// generator *composes* the structures HELIX cares about at random: nested
+/// natural loops, register-carried reductions, memory-carried stencils,
+/// histogram-style indirect updates, pointer chains, multi-exit loops,
+/// calls from loop bodies, branchy control flow and floating-point chains.
+/// Every generated program is deterministic for its seed, terminates
+/// (bounded trip counts, statically linked pointer chains), traps at most
+/// through the interpreter's checked operations, and returns a checksum
+/// from @main — the value the differential oracle compares across
+/// sequential, transformed-sequential and threaded executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_FUZZ_PROGRAMGENERATOR_H
+#define HELIX_FUZZ_PROGRAMGENERATOR_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace helix {
+
+/// Size/shape bounds of generated programs. The defaults keep one
+/// differential run in the low milliseconds so CI can afford hundreds of
+/// iterations.
+struct GeneratorConfig {
+  unsigned MinKernels = 1; ///< loop-nest functions called from @main
+  unsigned MaxKernels = 3;
+  unsigned MaxLoopDepth = 3; ///< loop nesting inside one kernel
+  /// Trip-count bounds of counted loops. Clamped to [2, 30] by the
+  /// generator: the smallest array has 32 slots and the stencil shape
+  /// writes a[i+1], so larger trips would index out of bounds.
+  unsigned MinTrip = 3;
+  unsigned MaxTrip = 20;
+  unsigned MaxLeafFuncs = 2; ///< straight-line helpers callable from bodies
+  unsigned MaxMainRepeat = 3; ///< @main's repeat loop around the kernels
+};
+
+/// Builds the program for \p Seed. The module verifies cleanly; @main
+/// takes no arguments and returns the checksum. Aborts (fatal error) if
+/// the generator ever emits malformed IR — that is a generator bug, not an
+/// input condition.
+std::unique_ptr<Module> generateProgram(uint64_t Seed,
+                                        const GeneratorConfig &Config = {});
+
+} // namespace helix
+
+#endif // HELIX_FUZZ_PROGRAMGENERATOR_H

@@ -1,0 +1,323 @@
+#include "fuzz/TestCaseReducer.h"
+
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+using namespace helix;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  std::istringstream SS(Text);
+  std::string Line;
+  while (std::getline(SS, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+unsigned countInstrs(const Module &M) {
+  unsigned N = 0;
+  for (Function *F : M)
+    N += F->numInstrs();
+  return N;
+}
+
+std::string trimmed(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return std::string();
+  size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+bool startsWith(const std::string &S, const char *Prefix) {
+  return S.rfind(Prefix, 0) == 0;
+}
+
+/// An instruction line: inside a function, not a label, not structure.
+bool isInstrLine(const std::string &Raw) {
+  std::string S = trimmed(Raw);
+  if (S.empty() || S[0] == '#' || S[0] == '}')
+    return false;
+  if (startsWith(S, "func ") || startsWith(S, "global "))
+    return false;
+  // Label lines are "name:" only.
+  if (S.back() == ':' && S.find(' ') == std::string::npos)
+    return false;
+  return true;
+}
+
+bool isGlobalLine(const std::string &Raw) {
+  return startsWith(trimmed(Raw), "global ");
+}
+
+/// Half-open [Begin, End) line spans of every function definition.
+struct Span {
+  size_t Begin, End;
+  bool IsMain;
+};
+std::vector<Span> functionSpans(const std::vector<std::string> &Lines) {
+  std::vector<Span> Spans;
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    std::string S = trimmed(Lines[I]);
+    if (!startsWith(S, "func "))
+      continue;
+    size_t End = I + 1;
+    while (End != Lines.size() && trimmed(Lines[End]) != "}")
+      ++End;
+    if (End == Lines.size())
+      break; // malformed; leave it alone
+    Spans.push_back({I, End + 1, S.find("@main(") != std::string::npos});
+    I = End;
+  }
+  return Spans;
+}
+
+/// Half-open spans of non-entry blocks (label line through the last line
+/// before the next label or '}').
+std::vector<Span> blockSpans(const std::vector<std::string> &Lines) {
+  std::vector<Span> Spans;
+  for (const Span &F : functionSpans(Lines)) {
+    size_t BlockBegin = 0; ///< 0 = no droppable block open
+    bool FirstLabel = true;
+    for (size_t I = F.Begin + 1; I != F.End; ++I) {
+      std::string S = trimmed(Lines[I]);
+      bool IsLabel = !S.empty() && S.back() == ':' &&
+                     S.find(' ') == std::string::npos;
+      bool IsEnd = S == "}";
+      if ((IsLabel || IsEnd) && BlockBegin != 0)
+        Spans.push_back({BlockBegin, I, false});
+      if (IsLabel) {
+        // Skip the first (entry) block: removing its label would turn the
+        // next block into the entry, changing semantics wholesale.
+        BlockBegin = FirstLabel ? 0 : I;
+        FirstLabel = false;
+      }
+    }
+  }
+  return Spans;
+}
+
+/// The reduction engine: owns the current accepted text and tries edits.
+class Reducer {
+public:
+  Reducer(std::string Text, const ReduceOracle &Oracle, unsigned MaxAttempts)
+      : Lines(splitLines(std::move(Text))), Oracle(Oracle),
+        MaxAttempts(MaxAttempts) {}
+
+  const std::vector<std::string> &lines() const { return Lines; }
+  unsigned accepted() const { return Accepted; }
+  bool exhausted() const { return Attempts >= MaxAttempts; }
+
+  /// Tries the candidate line set; on success adopts it.
+  bool tryLines(std::vector<std::string> Candidate) {
+    if (exhausted())
+      return false;
+    std::string Text = joinLines(Candidate);
+    ParseResult P = parseModule(Text);
+    if (!P.succeeded() || !verifyModule(*P.M).empty())
+      return false; // free: structurally invalid, the oracle never ran
+    ++Attempts;
+    if (!Oracle(*P.M))
+      return false;
+    Lines = std::move(Candidate);
+    ++Accepted;
+    return true;
+  }
+
+  bool removeSpan(size_t Begin, size_t End) {
+    std::vector<std::string> C(Lines.begin(), Lines.begin() + Begin);
+    C.insert(C.end(), Lines.begin() + End, Lines.end());
+    return tryLines(std::move(C));
+  }
+
+  bool replaceLine(size_t I, std::string NewLine) {
+    std::vector<std::string> C = Lines;
+    C[I] = std::move(NewLine);
+    return tryLines(std::move(C));
+  }
+
+  // --- Edit passes (each returns true if anything was accepted) ---------
+
+  bool dropFunctions() {
+    bool Any = false;
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (const Span &S : functionSpans(Lines)) {
+        if (S.IsMain)
+          continue;
+        if (removeSpan(S.Begin, S.End)) {
+          Any = Progress = true;
+          break; // spans shifted; rescan
+        }
+      }
+    }
+    return Any;
+  }
+
+  bool dropBlocks() {
+    bool Any = false;
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (const Span &S : blockSpans(Lines)) {
+        if (removeSpan(S.Begin, S.End)) {
+          Any = Progress = true;
+          break;
+        }
+      }
+    }
+    return Any;
+  }
+
+  bool dropInstructionWindows() {
+    bool Any = false;
+    for (size_t Window : {8u, 4u, 2u, 1u}) {
+      size_t I = 0;
+      while (I < Lines.size()) {
+        // Collect a run of up to Window removable lines starting at I.
+        size_t End = I;
+        size_t Count = 0;
+        while (End < Lines.size() && Count < Window &&
+               (isInstrLine(Lines[End]) || isGlobalLine(Lines[End]))) {
+          ++End;
+          ++Count;
+        }
+        if (Count == 0) {
+          ++I;
+          continue;
+        }
+        if (removeSpan(I, End))
+          Any = true; // stay at I: new content shifted in
+        else
+          ++I;
+      }
+    }
+    return Any;
+  }
+
+  bool collapseCondBrs() {
+    bool Any = false;
+    for (size_t I = 0; I != Lines.size(); ++I) {
+      std::string S = trimmed(Lines[I]);
+      if (!startsWith(S, "condbr "))
+        continue;
+      // condbr <operand>, L1, L2
+      size_t C1 = S.find(',');
+      if (C1 == std::string::npos)
+        continue;
+      size_t C2 = S.find(',', C1 + 1);
+      if (C2 == std::string::npos)
+        continue;
+      std::string L1 = trimmed(S.substr(C1 + 1, C2 - C1 - 1));
+      std::string L2 = trimmed(S.substr(C2 + 1));
+      if (replaceLine(I, "  br " + L1) || replaceLine(I, "  br " + L2))
+        Any = true;
+    }
+    return Any;
+  }
+
+  bool shrinkIntegers() {
+    bool Any = false;
+    for (size_t I = 0; I != Lines.size(); ++I) {
+      if (!isInstrLine(Lines[I]) || isGlobalLine(Lines[I]))
+        continue;
+      const std::string &L = Lines[I];
+      for (size_t P = 0; P < L.size(); ++P) {
+        if (!std::isdigit((unsigned char)L[P]))
+          continue;
+        // Part of an identifier or register (r12, b3.hdr)? Skip the run.
+        char Prev = P ? L[P - 1] : ' ';
+        bool Signed = Prev == '-' &&
+                      (P < 2 || !std::isalnum((unsigned char)L[P - 2]));
+        size_t TokBegin = Signed ? P - 1 : P;
+        if (!Signed && (std::isalnum((unsigned char)Prev) || Prev == '_' ||
+                        Prev == '.')) {
+          while (P < L.size() && std::isdigit((unsigned char)L[P]))
+            ++P;
+          continue;
+        }
+        size_t E = P;
+        while (E < L.size() && std::isdigit((unsigned char)L[E]))
+          ++E;
+        // Float literal? Leave it alone.
+        if (E < L.size() && (L[E] == '.' || L[E] == 'e' || L[E] == 'E')) {
+          P = E;
+          continue;
+        }
+        long long V = std::strtoll(L.c_str() + TokBegin, nullptr, 10);
+        if (V >= -3 && V <= 3) {
+          P = E;
+          continue;
+        }
+        std::string Candidate = L.substr(0, TokBegin) +
+                                std::to_string(V / 2) + L.substr(E);
+        if (replaceLine(I, Candidate)) {
+          Any = true;
+          break; // line changed; move on to the next line
+        }
+        P = E;
+      }
+    }
+    return Any;
+  }
+
+private:
+  std::vector<std::string> Lines;
+  const ReduceOracle &Oracle;
+  unsigned MaxAttempts;
+  unsigned Attempts = 0;
+  unsigned Accepted = 0;
+};
+
+} // namespace
+
+ReduceResult helix::reduceTestCase(const Module &M,
+                                   const ReduceOracle &StillFails,
+                                   const ReducerConfig &Config) {
+  ReduceResult Out;
+  Out.InstrsBefore = countInstrs(M);
+  Reducer R(M.toString(), StillFails, Config.MaxAttempts);
+
+  for (unsigned Round = 0; Round != Config.MaxRounds && !R.exhausted();
+       ++Round) {
+    ++Out.Rounds;
+    bool Any = false;
+    Any |= R.dropFunctions();
+    Any |= R.dropBlocks();
+    Any |= R.dropInstructionWindows();
+    Any |= R.collapseCondBrs();
+    Any |= R.shrinkIntegers();
+    if (!Any)
+      break;
+  }
+
+  Out.Text = joinLines(R.lines());
+  ParseResult P = parseModule(Out.Text);
+  // The engine only ever adopts parseable, verified text; a final parse
+  // failure would mean the reducer itself is broken.
+  if (!P.succeeded()) {
+    Out.Text = M.toString();
+    P = parseModule(Out.Text);
+  }
+  Out.M = std::move(P.M);
+  Out.InstrsAfter = Out.M ? countInstrs(*Out.M) : Out.InstrsBefore;
+  Out.EditsAccepted = R.accepted();
+  return Out;
+}

@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinking of failing fuzz cases. The reducer works on the *textual* IR
+/// (the same form repro files are stored in): each candidate edit is
+/// re-parsed, re-verified, and re-judged by the caller's oracle, so every
+/// accepted step keeps a well-formed module that still exhibits the
+/// original divergence. Edits, from coarse to fine: drop whole functions,
+/// drop blocks, drop instruction windows (ddmin-style), collapse
+/// conditional branches, and halve integer literals (trip counts,
+/// immediates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_FUZZ_TESTCASEREDUCER_H
+#define HELIX_FUZZ_TESTCASEREDUCER_H
+
+#include "ir/Module.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace helix {
+
+/// \returns true when the candidate module is still "interesting" (i.e.
+/// still diverges). Must be deterministic, or reduction will thrash.
+using ReduceOracle = std::function<bool(const Module &)>;
+
+struct ReducerConfig {
+  /// A round applies every edit pass once; reduction stops after a round
+  /// that accepts nothing, or after this many rounds.
+  unsigned MaxRounds = 12;
+  /// Hard cap on oracle invocations: reduction is best-effort and stops
+  /// mid-pass when the budget is spent (every oracle call replays the
+  /// divergence, which is the expensive part).
+  unsigned MaxAttempts = 3000;
+};
+
+struct ReduceResult {
+  /// Reduced program text: parses, verifies, and satisfies the oracle.
+  /// Equal to the input's text when nothing could be removed.
+  std::string Text;
+  std::unique_ptr<Module> M; ///< parsed form of Text
+  unsigned InstrsBefore = 0;
+  unsigned InstrsAfter = 0;
+  unsigned EditsAccepted = 0;
+  unsigned Rounds = 0;
+};
+
+/// Shrinks \p M while \p StillFails holds. \p M itself is not modified.
+ReduceResult reduceTestCase(const Module &M, const ReduceOracle &StillFails,
+                            const ReducerConfig &Config = {});
+
+} // namespace helix
+
+#endif // HELIX_FUZZ_TESTCASEREDUCER_H

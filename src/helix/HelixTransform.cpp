@@ -6,7 +6,8 @@ using namespace helix;
 
 std::optional<ParallelLoopInfo>
 helix::parallelizeLoop(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
-                       const HelixOptions &Opts) {
+                       const HelixOptions &Opts,
+                       std::vector<LoopPassTiming> *Timings) {
   // One manager serves every configuration: the step switches in Opts are
   // honoured inside the passes.
   static const LoopPassManager PM = [] {
@@ -14,5 +15,5 @@ helix::parallelizeLoop(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
     addStandardHelixLoopPasses(M);
     return M;
   }();
-  return PM.run(AM, F, Header, Opts);
+  return PM.run(AM, F, Header, Opts, Timings);
 }

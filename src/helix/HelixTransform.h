@@ -26,18 +26,22 @@
 #include "analysis/AnalysisManager.h"
 #include "helix/HelixOptions.h"
 #include "helix/ParallelLoopInfo.h"
+#include "helix/PassTiming.h"
 
 #include <optional>
+#include <vector>
 
 namespace helix {
 
 /// Parallelizes the loop with header \p Header of \p F in place.
 /// \returns the loop metadata, or nullopt when the loop cannot be
-/// normalized (e.g. the header no longer heads a loop).
-std::optional<ParallelLoopInfo> parallelizeLoop(ModuleAnalyses &AM,
-                                                Function *F,
-                                                BasicBlock *Header,
-                                                const HelixOptions &Opts);
+/// normalized (e.g. the header no longer heads a loop). When \p Timings
+/// is non-null, per-pass wall time is accumulated into it (see
+/// LoopPassManager::run).
+std::optional<ParallelLoopInfo>
+parallelizeLoop(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
+                const HelixOptions &Opts,
+                std::vector<LoopPassTiming> *Timings = nullptr);
 
 } // namespace helix
 

@@ -5,6 +5,7 @@
 #include "ir/Verifier.h"
 #include "support/Compiler.h"
 
+#include <chrono>
 #include <set>
 
 using namespace helix;
@@ -290,11 +291,20 @@ public:
 
 std::optional<ParallelLoopInfo>
 LoopPassManager::run(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
-                     const HelixOptions &Opts) const {
+                     const HelixOptions &Opts,
+                     std::vector<LoopPassTiming> *Timings) const {
   LoopPassState S(F, Header, Opts);
   bool MutatedSinceStart = false;
   for (const auto &P : Passes) {
-    if (P->run(AM, S) == LoopPass::Result::Abort) {
+    auto Start = std::chrono::steady_clock::now();
+    LoopPass::Result Res = P->run(AM, S);
+    if (Timings)
+      accumulatePassTiming(
+          *Timings, P->name(),
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - Start)
+              .count());
+    if (Res == LoopPass::Result::Abort) {
       // An abort after a mutating pass (e.g. the finalize verifier gate in
       // release builds) leaves the module changed; module-level analyses
       // (points-to, mem-effects) must not survive it, or the next loop

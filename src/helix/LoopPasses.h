@@ -35,6 +35,7 @@
 #include "helix/Lowering.h"
 #include "helix/Normalize.h"
 #include "helix/ParallelLoopInfo.h"
+#include "helix/PassTiming.h"
 #include "helix/SequentialSegments.h"
 #include "helix/SignalOpt.h"
 
@@ -102,10 +103,15 @@ public:
 
   /// Runs every pass in order against the loop with header \p Header of
   /// \p F. \returns the accumulated ParallelLoopInfo, or nullopt when a
-  /// pass aborted.
-  std::optional<ParallelLoopInfo> run(ModuleAnalyses &AM, Function *F,
-                                      BasicBlock *Header,
-                                      const HelixOptions &Opts) const;
+  /// pass aborted. When \p Timings is non-null, each pass's wall time is
+  /// folded into it (by pass name), so one vector accumulates timing
+  /// across every loop a caller transforms — that is what attributes a
+  /// slow transform (e.g. a fuzz-found pathological module) to a specific
+  /// Step.
+  std::optional<ParallelLoopInfo>
+  run(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
+      const HelixOptions &Opts,
+      std::vector<LoopPassTiming> *Timings = nullptr) const;
 
 private:
   std::vector<std::unique_ptr<LoopPass>> Passes;

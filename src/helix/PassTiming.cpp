@@ -1,0 +1,32 @@
+#include "helix/PassTiming.h"
+
+using namespace helix;
+
+void helix::accumulatePassTiming(std::vector<LoopPassTiming> &Timings,
+                                 const std::string &Name, double Millis) {
+  for (LoopPassTiming &T : Timings)
+    if (T.Pass == Name) {
+      T.Millis += Millis;
+      ++T.Invocations;
+      return;
+    }
+  Timings.push_back({Name, Millis, 1});
+}
+
+void helix::mergePassTimings(std::vector<LoopPassTiming> &Into,
+                             const std::vector<LoopPassTiming> &From) {
+  for (const LoopPassTiming &T : From) {
+    LoopPassTiming *Hit = nullptr;
+    for (LoopPassTiming &I : Into)
+      if (I.Pass == T.Pass) {
+        Hit = &I;
+        break;
+      }
+    if (Hit) {
+      Hit->Millis += T.Millis;
+      Hit->Invocations += T.Invocations;
+    } else {
+      Into.push_back(T);
+    }
+  }
+}

@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-loop-pass timing record. Kept in its own header so the pipeline
+/// report can carry timings without pulling in the whole loop-pass
+/// machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_HELIX_PASSTIMING_H
+#define HELIX_HELIX_PASSTIMING_H
+
+#include <string>
+#include <vector>
+
+namespace helix {
+
+/// Accumulated wall-clock of one loop pass (normalize, dependence, ...)
+/// across every loop a LoopPassManager::run caller transformed.
+struct LoopPassTiming {
+  std::string Pass;
+  double Millis = 0.0;
+  unsigned Invocations = 0;
+};
+
+/// Folds \p Millis for pass \p Name into \p Timings (matching by name,
+/// appending in first-seen order). Shared by the pass manager and by
+/// consumers that merge timing vectors from several transforms.
+void accumulatePassTiming(std::vector<LoopPassTiming> &Timings,
+                          const std::string &Name, double Millis);
+
+/// Merges every entry of \p From into \p Into.
+void mergePassTimings(std::vector<LoopPassTiming> &Into,
+                      const std::vector<LoopPassTiming> &From);
+
+} // namespace helix
+
+#endif // HELIX_HELIX_PASSTIMING_H

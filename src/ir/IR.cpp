@@ -262,6 +262,19 @@ BasicBlock *Function::createBlock(std::string BlockName) {
   uint32_t Id = NextBlockId++;
   if (BlockName.empty())
     BlockName = "bb" + std::to_string(Id);
+  // Names must be unique within the function: the textual IR uses them as
+  // labels, so a collision (e.g. repeated block splitting deriving
+  // "x.cont" twice) would print a module the parser rejects as a
+  // duplicate label. Callers hold the returned pointer, never the name,
+  // so disambiguating here is safe.
+  if (findBlock(BlockName)) {
+    unsigned Suffix = 1;
+    std::string Candidate;
+    do
+      Candidate = BlockName + "." + std::to_string(Suffix++);
+    while (findBlock(Candidate));
+    BlockName = std::move(Candidate);
+  }
   Blocks.emplace_back(new BasicBlock(this, Id, std::move(BlockName)));
   return Blocks.back().get();
 }

@@ -5,6 +5,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -235,6 +236,19 @@ std::optional<Operand> Parser::parseOperand(LineLexer &Lex, Function *F) {
       return std::nullopt;
     }
     return Operand::global(Idx);
+  }
+  // Non-finite float immediates print as inf/-inf/nan/-nan (%.17g); they
+  // must parse back, or modules computing them would not round-trip.
+  {
+    LineLexer Probe = Lex;
+    bool Neg = Probe.consume('-');
+    std::string Word = Probe.ident();
+    if (Word == "inf" || Word == "nan") {
+      Lex = Probe;
+      double V = Word == "inf" ? std::numeric_limits<double>::infinity()
+                               : std::numeric_limits<double>::quiet_NaN();
+      return Operand::immFloat(Neg ? -V : V);
+    }
   }
   std::string Num = Lex.number();
   if (Num.empty()) {

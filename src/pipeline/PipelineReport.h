@@ -10,6 +10,7 @@
 #ifndef HELIX_PIPELINE_PIPELINEREPORT_H
 #define HELIX_PIPELINE_PIPELINEREPORT_H
 
+#include "helix/PassTiming.h"
 #include "helix/SpeedupModel.h"
 #include "sim/ParallelSim.h"
 
@@ -46,6 +47,12 @@ struct PipelineReport {
   unsigned NumCandidates = 0;
   unsigned NumLoopsInProgram = 0;
   std::vector<LoopReport> Loops;
+
+  /// Per-pass wall time of the transform stage's final parallelization,
+  /// aggregated over the chosen loops (normalize, dependence, inline,
+  /// ...). Attribution for slow Steps on big modules; the stage-level
+  /// instrumentation only sees the transform as one opaque block.
+  std::vector<LoopPassTiming> TransformPassTimings;
 
   // Figure 11 breakdown, percent of sequential execution time.
   double PctParallel = 0, PctSeqData = 0, PctSeqControl = 0, PctOutside = 100;

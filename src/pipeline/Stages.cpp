@@ -225,7 +225,9 @@ struct TransformedProgram {
 TransformedProgram transformChosen(const Module &Source,
                                    const LoopNestGraph &LNG,
                                    const std::vector<unsigned> &Nodes,
-                                   const HelixOptions &Opts) {
+                                   const HelixOptions &Opts,
+                                   std::vector<LoopPassTiming> *Timings =
+                                       nullptr) {
   TransformedProgram Out;
   CloneMap Map;
   Out.M = cloneModule(Source, &Map);
@@ -235,7 +237,7 @@ TransformedProgram transformChosen(const Module &Source,
     Function *F = Map.Functions.at(N.F);
     BasicBlock *Header = Map.Blocks.at(N.L->header());
     std::optional<ParallelLoopInfo> PLI =
-        parallelizeLoop(*Out.AM, F, Header, Opts);
+        parallelizeLoop(*Out.AM, F, Header, Opts, Timings);
     if (PLI)
       Out.Loops.push_back({Node, std::move(*PLI)});
   }
@@ -623,6 +625,10 @@ std::string TransformStage::cacheKey(const PipelineConfig &Config) const {
   return transformKey(Config.Helix);
 }
 
+void TransformStage::resetReport(PipelineReport &Report) const {
+  Report.TransformPassTimings.clear();
+}
+
 bool TransformStage::run(PipelineContext &Ctx) {
   // The validate-stage artifacts point into TransformedLoops (LoopTraces
   // keeps ParallelLoopInfo pointers); drop them before destroying the old
@@ -630,8 +636,10 @@ bool TransformStage::run(PipelineContext &Ctx) {
   // context holding dangling traces.
   Ctx.Traces.reset();
   Ctx.ParRun = ExecResult();
-  TransformedProgram Final = transformChosen(*Ctx.Pristine, *Ctx.LNG,
-                                             Ctx.Chosen, Ctx.config().Helix);
+  Ctx.Report.TransformPassTimings.clear();
+  TransformedProgram Final =
+      transformChosen(*Ctx.Pristine, *Ctx.LNG, Ctx.Chosen, Ctx.config().Helix,
+                      &Ctx.Report.TransformPassTimings);
   Ctx.Transformed = std::move(Final.M);
   Ctx.TransformedAM = std::move(Final.AM);
   Ctx.TransformedLoops = std::move(Final.Loops);

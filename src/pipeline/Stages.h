@@ -90,6 +90,7 @@ public:
   }
   std::string cacheKey(const PipelineConfig &Config) const override;
   bool run(PipelineContext &Ctx) override;
+  void resetReport(PipelineReport &Report) const override;
 };
 
 class ValidateStage : public Stage {

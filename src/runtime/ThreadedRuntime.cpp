@@ -21,6 +21,13 @@ struct SharedMemory {
   std::vector<Value> Low;
   std::atomic<uint64_t> HeapPtr{0};
   std::vector<uint64_t> GlobalBase;
+  /// Per-context step cap (defence against endless loops); every Context
+  /// created against this memory inherits it.
+  uint64_t MaxSteps = 400ull * 1000 * 1000;
+  /// Set by any context (main or worker) that hit the step cap, so the
+  /// final ExecResult can report budget exhaustion structurally even when
+  /// the failing context was a worker whose message is summarized away.
+  std::atomic<bool> BudgetExhausted{false};
 
   explicit SharedMemory(Module &M) {
     uint64_t Next = 1;
@@ -142,6 +149,7 @@ public:
         return StopReason::Returned;
       if (++Ctx.Steps > Ctx.MaxSteps) {
         Ctx.Error = "threaded runtime step budget exhausted";
+        Mem.BudgetExhausted.store(true, std::memory_order_relaxed);
         return StopReason::Failed;
       }
       Context::Frame &Fr = Ctx.Frames.back();
@@ -416,6 +424,7 @@ void workerMain(Module &M, SharedMemory &Mem, Invocation &Inv,
 
     Context Ctx;
     Ctx.Mem = &Mem;
+    Ctx.MaxSteps = Mem.MaxSteps;
     Context::Frame Fr;
     Fr.F = PLI->F;
     Fr.Regs = Snapshot;
@@ -481,9 +490,11 @@ void workerMain(Module &M, SharedMemory &Mem, Invocation &Inv,
 
 ExecResult helix::runThreaded(
     Module &M, const std::vector<const ParallelLoopInfo *> &Loops,
-    unsigned NumThreads, RuntimeStats *Stats) {
+    unsigned NumThreads, RuntimeStats *Stats, uint64_t MaxSteps) {
   ExecResult Result;
   SharedMemory Mem(M);
+  if (MaxSteps)
+    Mem.MaxSteps = MaxSteps;
   Engine Eng(M, Mem);
   RuntimeStats LocalStats;
 
@@ -495,6 +506,7 @@ ExecResult helix::runThreaded(
 
   Context Ctx;
   Ctx.Mem = &Mem;
+  Ctx.MaxSteps = Mem.MaxSteps;
   Context::Frame Fr;
   Fr.F = Main;
   Fr.Regs.assign(Main->numRegs(), Value());
@@ -567,6 +579,7 @@ ExecResult helix::runThreaded(
     Ctx.Frames.back().Pos = 0;
   }
 
+  Result.BudgetExhausted = Mem.BudgetExhausted.load();
   if (Stats)
     *Stats = LocalStats;
   return Result;

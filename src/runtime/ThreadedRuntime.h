@@ -47,9 +47,13 @@ struct RuntimeStats {
 /// Executes @main of \p M with the loops in \p Loops running on
 /// \p NumThreads worker threads. \returns the result (return value must
 /// equal the sequential interpretation of the same module).
+/// \p MaxSteps caps the instruction steps of each execution context
+/// (defence against endless loops, e.g. fuzz-reduced candidates);
+/// 0 keeps the default cap of 400M steps.
 ExecResult runThreaded(Module &M,
                        const std::vector<const ParallelLoopInfo *> &Loops,
-                       unsigned NumThreads, RuntimeStats *Stats = nullptr);
+                       unsigned NumThreads, RuntimeStats *Stats = nullptr,
+                       uint64_t MaxSteps = 0);
 
 } // namespace helix
 

@@ -103,6 +103,7 @@ ExecResult Interpreter::run(const std::string &Name,
     if (R.Instructions >= MaxInstructions) {
       R.Error = formatStr("instruction budget exhausted (%llu)",
                           (unsigned long long)MaxInstructions);
+      R.BudgetExhausted = true;
       return R;
     }
     if (!step(R))

@@ -50,6 +50,10 @@ public:
 struct ExecResult {
   bool Ok = false;
   std::string Error;      ///< set when Ok is false
+  /// The run stopped on an instruction/step cap rather than a trap.
+  /// Structural (not derived from Error text): the differential oracle
+  /// classifies hang-shaped failures through this flag.
+  bool BudgetExhausted = false;
   Value ReturnValue;      ///< main's return value
   uint64_t Cycles = 0;    ///< accumulated cost-model cycles
   uint64_t Instructions = 0;

@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace helix;
 
 namespace {
@@ -98,7 +100,7 @@ TEST(PipelineString, StandardMatchesRegistry) {
 TEST(PipelineRun, PartialPipelineProducesPartialArtifacts) {
   auto M = buildSpecWorkload("gzip");
   ASSERT_NE(M, nullptr);
-  PipelineContext Ctx(*M, DriverConfig().toPipelineConfig());
+  PipelineContext Ctx(*M, PipelineConfig());
 
   std::string Err;
   Pipeline P = PipelineBuilder().parse("profile,candidates").build(&Err);
@@ -125,7 +127,7 @@ TEST(PipelineRun, PartialPipelineProducesPartialArtifacts) {
 
 TEST(PipelineRun, InstrumentationSeesEveryStageSlot) {
   auto M = buildSpecWorkload("gzip");
-  PipelineContext Ctx(*M, DriverConfig().toPipelineConfig());
+  PipelineContext Ctx(*M, PipelineConfig());
 
   std::vector<std::string> Seen;
   std::vector<bool> Cached;
@@ -178,10 +180,10 @@ TEST(PipelineRun, FullyCachedPartialRunDoesNotReportStaleDownstream) {
   // downstream of (and absent from) a fully cache-hitting partial
   // pipeline, the stale simulation numbers must still be swept.
   auto M = buildSpecWorkload("gzip");
-  PipelineContext Ctx(*M, DriverConfig().toPipelineConfig());
+  PipelineContext Ctx(*M, PipelineConfig());
   ASSERT_TRUE(PipelineBuilder::standard().run(Ctx).Ok);
 
-  PipelineConfig B = DriverConfig().toPipelineConfig();
+  PipelineConfig B = PipelineConfig();
   B.Selection.SignalCycles = 110.0; // changes only select's key
   Ctx.setConfig(B);
   Pipeline P = PipelineBuilder().parse("candidates").build();
@@ -194,8 +196,8 @@ TEST(PipelineRun, FullyCachedPartialRunDoesNotReportStaleDownstream) {
 
   // Resuming the full pipeline under B matches a fresh context.
   PipelineReport RB = PipelineBuilder::standard().run(Ctx);
-  DriverConfig DC;
-  DC.SelectionSignalCycles = 110.0;
+  PipelineConfig DC;
+  DC.Selection.SignalCycles = 110.0;
   PipelineReport Fresh = runHelixPipeline(*M, DC);
   ASSERT_TRUE(RB.Ok && Fresh.Ok);
   EXPECT_DOUBLE_EQ(RB.Speedup, Fresh.Speedup);
@@ -207,12 +209,12 @@ TEST(PipelineRun, FailedRunSweepsDownstreamOutsidePipelineToo) {
   // stages must be reset even when those stages are not part of the
   // failing (partial) pipeline.
   auto M = buildSpecWorkload("gzip");
-  PipelineContext Ctx(*M, DriverConfig().toPipelineConfig());
+  PipelineContext Ctx(*M, PipelineConfig());
   PipelineReport Full = PipelineBuilder::standard().run(Ctx);
   ASSERT_TRUE(Full.Ok);
   ASSERT_GT(Full.Speedup, 1.0);
 
-  PipelineConfig B = DriverConfig().toPipelineConfig();
+  PipelineConfig B = PipelineConfig();
   B.MaxInterpInstructions = 1000; // no training/validation run can finish
   Ctx.setConfig(B);
   Pipeline P = PipelineBuilder().parse("validate").build(); // no simulate
@@ -235,11 +237,11 @@ TEST(PipelineRun, TransformTerminalRunDropsStaleTraces) {
   // the context must not keep the previous run's TraceCollector, whose
   // LoopTraces point into the replaced TransformedLoops.
   auto M = buildSpecWorkload("gzip");
-  PipelineContext Ctx(*M, DriverConfig().toPipelineConfig());
+  PipelineContext Ctx(*M, PipelineConfig());
   ASSERT_TRUE(PipelineBuilder::standard().run(Ctx).Ok);
   ASSERT_NE(Ctx.Traces, nullptr);
 
-  PipelineConfig B = DriverConfig().toPipelineConfig();
+  PipelineConfig B = PipelineConfig();
   B.Helix.EnableSignalOpt = false; // changes transform's cache key
   Ctx.setConfig(B);
   Pipeline P = PipelineBuilder().parse("transform").build();
@@ -251,12 +253,12 @@ TEST(PipelineRun, PartialRunResetsStaleDownstreamReportFields) {
   // After a full run, a partial run under a new config must not return
   // the earlier configuration's simulation numbers as if current.
   auto M = buildSpecWorkload("gzip");
-  PipelineContext Ctx(*M, DriverConfig().toPipelineConfig());
+  PipelineContext Ctx(*M, PipelineConfig());
   PipelineReport Full = PipelineBuilder::standard().run(Ctx);
   ASSERT_TRUE(Full.Ok);
   ASSERT_FALSE(Full.Loops.empty());
 
-  PipelineConfig B = DriverConfig().toPipelineConfig();
+  PipelineConfig B = PipelineConfig();
   B.Selection.ForceNestingLevel = 2;
   Ctx.setConfig(B);
   Pipeline Sel = PipelineBuilder().parse("select").build();
@@ -281,13 +283,13 @@ TEST(PipelineCache, SelectionSweepReusesProfilingStages) {
   // Everything up to and including model profiling must run exactly once.
   auto M = buildSpecWorkload("art");
   ASSERT_NE(M, nullptr);
-  PipelineContext Ctx(*M, DriverConfig().toPipelineConfig());
+  PipelineContext Ctx(*M, PipelineConfig());
   Pipeline P = PipelineBuilder::standard();
 
   const double Latencies[3] = {0.0, 4.0, 110.0};
   std::vector<PipelineReport> Reports;
   for (double S : Latencies) {
-    PipelineConfig C = DriverConfig().toPipelineConfig();
+    PipelineConfig C = PipelineConfig();
     C.Selection.SignalCycles = S;
     Ctx.setConfig(C);
     PipelineReport R = P.run(Ctx);
@@ -305,8 +307,8 @@ TEST(PipelineCache, SelectionSweepReusesProfilingStages) {
 
   // Cached sweeps must agree with from-scratch runs.
   for (unsigned K = 0; K != 3; ++K) {
-    DriverConfig DC;
-    DC.SelectionSignalCycles = Latencies[K];
+    PipelineConfig DC;
+    DC.Selection.SignalCycles = Latencies[K];
     PipelineReport Fresh = runHelixPipeline(*M, DC);
     ASSERT_TRUE(Fresh.Ok);
     EXPECT_DOUBLE_EQ(Reports[K].Speedup, Fresh.Speedup);
@@ -317,11 +319,11 @@ TEST(PipelineCache, SelectionSweepReusesProfilingStages) {
 
 TEST(PipelineCache, TransformKnobInvalidatesModelProfilingButNotProfile) {
   auto M = buildSpecWorkload("gzip");
-  PipelineContext Ctx(*M, DriverConfig().toPipelineConfig());
+  PipelineContext Ctx(*M, PipelineConfig());
   Pipeline P = PipelineBuilder::standard();
   ASSERT_TRUE(P.run(Ctx).Ok);
 
-  PipelineConfig C = DriverConfig().toPipelineConfig();
+  PipelineConfig C = PipelineConfig();
   C.Helix.EnableSignalOpt = false; // Figure-10 style ablation point
   Ctx.setConfig(C);
   ASSERT_TRUE(P.run(Ctx).Ok);
@@ -339,11 +341,11 @@ TEST(PipelineCache, PartialRunInvalidatesDownstreamOfOtherPipelines) {
   // earlier full run, even when the downstream stages' own config keys
   // are unchanged.
   auto M = buildSpecWorkload("gzip");
-  PipelineContext Ctx(*M, DriverConfig().toPipelineConfig());
+  PipelineContext Ctx(*M, PipelineConfig());
   Pipeline Full = PipelineBuilder::standard();
   ASSERT_TRUE(Full.run(Ctx).Ok);
 
-  PipelineConfig B = DriverConfig().toPipelineConfig();
+  PipelineConfig B = PipelineConfig();
   B.Selection.ForceNestingLevel = 2; // changes only select's key
   Ctx.setConfig(B);
   std::string Err;
@@ -357,8 +359,8 @@ TEST(PipelineCache, PartialRunInvalidatesDownstreamOfOtherPipelines) {
   // have re-run, and the result must match a from-scratch run bit for
   // bit.
   EXPECT_EQ(Ctx.timesExecuted("transform"), 2u);
-  DriverConfig DC;
-  DC.ForceNestingLevel = 2;
+  PipelineConfig DC;
+  DC.Selection.ForceNestingLevel = 2;
   PipelineReport Fresh = runHelixPipeline(*M, DC);
   ASSERT_TRUE(Fresh.Ok);
   EXPECT_DOUBLE_EQ(RB.Speedup, Fresh.Speedup);
@@ -388,7 +390,7 @@ TEST(PipelineCache, NearbyDoubleKnobsGetDistinctKeys) {
 
 TEST(PipelineInvalidation, TransformStageLeavesNoStaleAnalyses) {
   auto M = buildSpecWorkload("art");
-  PipelineContext Ctx(*M, DriverConfig().toPipelineConfig());
+  PipelineContext Ctx(*M, PipelineConfig());
   std::string Err;
   Pipeline P = PipelineBuilder().parse("transform").build(&Err);
   ASSERT_TRUE(Err.empty()) << Err;
@@ -528,14 +530,14 @@ TEST(Compat, RunHelixPipelineEqualsBuilderRun) {
   auto M = buildSpecWorkload("art");
   ASSERT_NE(M, nullptr);
 
-  DriverConfig DC;
+  PipelineConfig DC;
   DC.NumCores = 4;
   DC.Helix.EnableBalancing = false;
-  DC.SelectionSignalCycles = 4.0;
+  DC.Selection.SignalCycles = 4.0;
   PipelineReport Wrapper = runHelixPipeline(*M, DC);
   ASSERT_TRUE(Wrapper.Ok) << Wrapper.Error;
 
-  PipelineContext Ctx(*M, DC.toPipelineConfig());
+  PipelineContext Ctx(*M, DC);
   PipelineReport Built = PipelineBuilder::standard().run(Ctx);
   ASSERT_TRUE(Built.Ok) << Built.Error;
 
@@ -556,26 +558,26 @@ TEST(Compat, RunHelixPipelineEqualsBuilderRun) {
   EXPECT_DOUBLE_EQ(Wrapper.PctSeqData, Built.PctSeqData);
 }
 
-TEST(Compat, LegacyConfigMapsOntoLayeredConfig) {
-  DriverConfig DC;
-  DC.NumCores = 2;
-  DC.SelectionSignalCycles = 110.0;
-  DC.ForceNestingLevel = 3;
-  DC.MinLoopCycleFraction = 0.01;
-  DC.DoAcross = true;
-  DC.Prefetch = PrefetchMode::Ideal;
-  DC.MaxInterpInstructions = 1234;
-  DC.Helix.EnableInlining = false;
-
-  PipelineConfig P = DC.toPipelineConfig();
-  EXPECT_EQ(P.NumCores, 2u);
-  EXPECT_DOUBLE_EQ(P.Selection.SignalCycles, 110.0);
-  EXPECT_EQ(P.Selection.ForceNestingLevel, 3);
-  EXPECT_DOUBLE_EQ(P.Selection.MinLoopCycleFraction, 0.01);
-  EXPECT_TRUE(P.DoAcross);
-  EXPECT_EQ(P.Prefetch, PrefetchMode::Ideal);
-  EXPECT_EQ(P.MaxInterpInstructions, 1234u);
-  EXPECT_FALSE(P.Helix.EnableInlining);
+TEST(Instrumentation, TransformStageReportsPassTimings) {
+  // The transform stage attributes its wall time to the individual HELIX
+  // steps (loop-pass timing); a standard run over a benchmark that
+  // chooses loops must surface every standard pass at least once.
+  auto M = buildSpecWorkload("art");
+  PipelineReport R = runHelixPipeline(*M, PipelineConfig());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_FALSE(R.Loops.empty());
+  ASSERT_FALSE(R.TransformPassTimings.empty());
+  // One invocation per pass per transformed loop, accumulated.
+  std::set<std::string> Names;
+  for (const LoopPassTiming &T : R.TransformPassTimings) {
+    EXPECT_GE(T.Invocations, unsigned(R.Loops.size())) << T.Pass;
+    EXPECT_GE(T.Millis, 0.0);
+    Names.insert(T.Pass);
+  }
+  for (const char *Expected :
+       {"normalize", "dependence", "inline", "characterize", "wait-signal",
+        "schedule", "signal-opt", "lower", "balance", "finalize"})
+    EXPECT_TRUE(Names.count(Expected)) << Expected;
 }
 
 } // namespace

@@ -23,7 +23,7 @@ class SuitePipeline : public ::testing::TestWithParam<std::string> {};
 TEST_P(SuitePipeline, TransformIsCorrectAndProfitable) {
   auto M = buildSpecWorkload(GetParam());
   ASSERT_NE(M, nullptr);
-  DriverConfig Config;
+  PipelineConfig Config;
   PipelineReport R = runHelixPipeline(*M, Config);
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_TRUE(R.OutputsMatch);
@@ -42,7 +42,7 @@ TEST_P(SuitePipeline, TransformIsCorrectAndProfitable) {
 
 TEST_P(SuitePipeline, MoreCoresNeverHurtMuch) {
   auto M = buildSpecWorkload(GetParam());
-  DriverConfig C2, C6;
+  PipelineConfig C2, C6;
   C2.NumCores = 2;
   C6.NumCores = 6;
   PipelineReport R2 = runHelixPipeline(*M, C2);
@@ -61,8 +61,8 @@ TEST(Pipeline, AblationOrdering) {
   // On a parallelism-rich benchmark, full HELIX must beat the
   // no-helper-threads configuration, which must roughly beat nothing.
   auto M = buildSpecWorkload("art");
-  DriverConfig Full;
-  DriverConfig NoStep8;
+  PipelineConfig Full;
+  PipelineConfig NoStep8;
   NoStep8.Helix.EnableHelperThreads = false;
   PipelineReport RFull = runHelixPipeline(*M, Full);
   PipelineReport RNo8 = runHelixPipeline(*M, NoStep8);
@@ -73,7 +73,7 @@ TEST(Pipeline, AblationOrdering) {
 
 TEST(Pipeline, IdealPrefetchIsAnUpperBound) {
   auto M = buildSpecWorkload("vpr");
-  DriverConfig Helper, Ideal;
+  PipelineConfig Helper, Ideal;
   Ideal.Prefetch = PrefetchMode::Ideal;
   PipelineReport RH = runHelixPipeline(*M, Helper);
   PipelineReport RI = runHelixPipeline(*M, Ideal);
@@ -83,8 +83,8 @@ TEST(Pipeline, IdealPrefetchIsAnUpperBound) {
 
 TEST(Pipeline, DoAcrossIsNotFasterThanHelix) {
   auto M = buildSpecWorkload("equake");
-  DriverConfig Helix;
-  DriverConfig DoAcross;
+  PipelineConfig Helix;
+  PipelineConfig DoAcross;
   DoAcross.DoAcross = true;
   DoAcross.Helix.EnableHelperThreads = false;
   PipelineReport RH = runHelixPipeline(*M, Helix);
@@ -97,9 +97,9 @@ TEST(Pipeline, OverestimatedLatencyChoosesOuterLoops) {
   // Figure 13's effect: with S=110 the chosen loops sit at outer levels
   // (or fewer loops are chosen at all) compared to S=4.
   auto M = buildSpecWorkload("vpr");
-  DriverConfig Fast, Slow;
-  Fast.SelectionSignalCycles = 4.0;
-  Slow.SelectionSignalCycles = 110.0;
+  PipelineConfig Fast, Slow;
+  Fast.Selection.SignalCycles = 4.0;
+  Slow.Selection.SignalCycles = 110.0;
   PipelineReport RF = runHelixPipeline(*M, Fast);
   PipelineReport RS = runHelixPipeline(*M, Slow);
   ASSERT_TRUE(RF.Ok && RS.Ok);
@@ -122,8 +122,8 @@ TEST(Pipeline, OverestimatedLatencyChoosesOuterLoops) {
 
 TEST(Pipeline, ForcedNestingLevelRestrictsChoice) {
   auto M = buildSpecWorkload("gzip");
-  DriverConfig Config;
-  Config.ForceNestingLevel = 1;
+  PipelineConfig Config;
+  Config.Selection.ForceNestingLevel = 1;
   PipelineReport R = runHelixPipeline(*M, Config);
   ASSERT_TRUE(R.Ok) << R.Error;
   for (const LoopReport &L : R.Loops)
@@ -135,7 +135,7 @@ TEST(Pipeline, ModelTracksMeasurementWithinFactor) {
   // ballpark (the paper reports <4% on SPEC; our synthetic loops transfer
   // more data, see EXPERIMENTS.md).
   auto M = buildSpecWorkload("art");
-  DriverConfig Config;
+  PipelineConfig Config;
   PipelineReport R = runHelixPipeline(*M, Config);
   ASSERT_TRUE(R.Ok);
   EXPECT_GT(R.ModelSpeedup, 0.5 * R.Speedup);
@@ -144,7 +144,7 @@ TEST(Pipeline, ModelTracksMeasurementWithinFactor) {
 
 TEST(Pipeline, Table1StatisticsAreInRange) {
   auto M = buildSpecWorkload("bzip2");
-  DriverConfig Config;
+  PipelineConfig Config;
   PipelineReport R = runHelixPipeline(*M, Config);
   ASSERT_TRUE(R.Ok);
   EXPECT_GE(R.LoopCarriedPct, 0.0);

@@ -139,9 +139,9 @@ TEST(Selection, RejectsLoopsWithNoSavings) {
 
 TEST(Selection, HigherLatencyNeverSelectsMoreLoops) {
   auto M = buildSpecWorkload("twolf");
-  DriverConfig Fast, Slow;
-  Fast.SelectionSignalCycles = 0.0;
-  Slow.SelectionSignalCycles = 110.0;
+  PipelineConfig Fast, Slow;
+  Fast.Selection.SignalCycles = 0.0;
+  Slow.Selection.SignalCycles = 110.0;
   PipelineReport RF = runHelixPipeline(*M, Fast);
   PipelineReport RS = runHelixPipeline(*M, Slow);
   ASSERT_TRUE(RF.Ok && RS.Ok);

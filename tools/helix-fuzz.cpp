@@ -1,0 +1,194 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// helix-fuzz: differential fuzzing of the HELIX pipeline from the command
+/// line.
+///
+///   helix-fuzz --seed 1 --runs 500 --corpus fuzz-corpus
+///   helix-fuzz --case-seed 0xec779c3693f88501     # replay one case
+///
+/// Each case generates a random loop program, executes it sequentially,
+/// transformed-sequentially and threaded (2/4/6 workers by default), and
+/// reports any checksum/trap divergence. Failing cases are shrunk and
+/// written to the corpus directory as parseable .ir repro files; replay a
+/// printed case seed with --case-seed.
+///
+/// Exit codes: 0 = all cases differentially clean, 1 = divergence found,
+/// 2 = bad usage, 3 = no divergence but some cases were inconclusive
+/// (nothing was actually compared for them — not a clean run).
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace helix;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: helix-fuzz [options]\n"
+      "  --seed N          campaign seed (default 1)\n"
+      "  --runs N          number of generated programs (default 100)\n"
+      "  --case-seed X     replay exactly this generator seed (repeatable;\n"
+      "                    overrides --seed/--runs)\n"
+      "  --jobs N          worker threads (0 = hardware, default)\n"
+      "  --threads A,B,..  thread counts of the threaded leg (default "
+      "2,4,6)\n"
+      "  --corpus DIR      write repro files of failing cases here\n"
+      "  --shrink          shrink failing cases (default)\n"
+      "  --no-shrink       keep failing cases unreduced\n"
+      "  --max-instrs N    interpreter budget per sequential run\n"
+      "  --inject-bug K    deliberately corrupt the transform to prove the\n"
+      "                    oracle works; K = flip | drop-waits\n");
+}
+
+bool parseUnsigned(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 0);
+  return End && *End == '\0' && End != S;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  FuzzOptions Opt;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NeedValue = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "helix-fuzz: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    uint64_t N = 0;
+    if (Arg == "--seed") {
+      if (!parseUnsigned(NeedValue(), Opt.Seed)) {
+        std::fprintf(stderr, "helix-fuzz: bad --seed\n");
+        return 2;
+      }
+    } else if (Arg == "--runs") {
+      if (!parseUnsigned(NeedValue(), N)) {
+        std::fprintf(stderr, "helix-fuzz: bad --runs\n");
+        return 2;
+      }
+      Opt.Runs = unsigned(N);
+    } else if (Arg == "--case-seed") {
+      if (!parseUnsigned(NeedValue(), N)) {
+        std::fprintf(stderr, "helix-fuzz: bad --case-seed\n");
+        return 2;
+      }
+      Opt.CaseSeeds.push_back(N);
+    } else if (Arg == "--jobs") {
+      if (!parseUnsigned(NeedValue(), N)) {
+        std::fprintf(stderr, "helix-fuzz: bad --jobs\n");
+        return 2;
+      }
+      Opt.Jobs = unsigned(N);
+    } else if (Arg == "--threads") {
+      Opt.Diff.ThreadCounts.clear();
+      std::string Spec = NeedValue();
+      size_t Pos = 0;
+      while (Pos < Spec.size()) {
+        size_t Comma = Spec.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = Spec.size();
+        uint64_t T = 0;
+        if (!parseUnsigned(Spec.substr(Pos, Comma - Pos).c_str(), T) ||
+            T == 0) {
+          std::fprintf(stderr, "helix-fuzz: bad --threads list\n");
+          return 2;
+        }
+        Opt.Diff.ThreadCounts.push_back(unsigned(T));
+        Pos = Comma + 1;
+      }
+      if (Opt.Diff.ThreadCounts.empty()) {
+        std::fprintf(stderr, "helix-fuzz: empty --threads list\n");
+        return 2;
+      }
+    } else if (Arg == "--corpus") {
+      Opt.CorpusDir = NeedValue();
+    } else if (Arg == "--shrink") {
+      Opt.Shrink = true;
+    } else if (Arg == "--no-shrink") {
+      Opt.Shrink = false;
+    } else if (Arg == "--max-instrs") {
+      if (!parseUnsigned(NeedValue(), Opt.Diff.MaxInstructions)) {
+        std::fprintf(stderr, "helix-fuzz: bad --max-instrs\n");
+        return 2;
+      }
+    } else if (Arg == "--inject-bug") {
+      std::string Kind = NeedValue();
+      if (Kind == "flip") {
+        Opt.Diff.Inject = BugInjection::FlipFirstBodyOp;
+      } else if (Kind == "drop-waits") {
+        Opt.Diff.Inject = BugInjection::DropFirstSegmentWaits;
+      } else {
+        std::fprintf(stderr, "helix-fuzz: unknown --inject-bug '%s'\n",
+                     Kind.c_str());
+        return 2;
+      }
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "helix-fuzz: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (!Opt.CaseSeeds.empty())
+    std::printf("helix-fuzz: replaying %zu case seed(s)\n",
+                Opt.CaseSeeds.size());
+  std::printf("helix-fuzz: seed=%llu runs=%u threads=",
+              (unsigned long long)Opt.Seed,
+              Opt.CaseSeeds.empty() ? Opt.Runs
+                                    : unsigned(Opt.CaseSeeds.size()));
+  for (size_t K = 0; K != Opt.Diff.ThreadCounts.size(); ++K)
+    std::printf("%s%u", K ? "," : "", Opt.Diff.ThreadCounts[K]);
+  std::printf("%s\n", Opt.Diff.Inject != BugInjection::None
+                          ? " (bug injection active)"
+                          : "");
+
+  auto Start = std::chrono::steady_clock::now();
+  FuzzSummary S = runFuzzCampaign(Opt);
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  std::printf("cases: %u clean, %u divergent, %u inconclusive (%.1fs)\n",
+              S.Clean, S.Divergent, S.Inconclusive, Secs);
+  std::printf("coverage: %llu loops offered, %llu parallelized, "
+              "%u cases with no transformed loop\n",
+              (unsigned long long)S.LoopsAttempted,
+              (unsigned long long)S.LoopsTransformed, S.Untransformed);
+  if (!S.PassTimings.empty()) {
+    std::printf("transform pass time:");
+    for (const LoopPassTiming &T : S.PassTimings)
+      std::printf(" %s=%.0fms", T.Pass.c_str(), T.Millis);
+    std::printf("\n");
+  }
+  for (const FuzzFailure &F : S.Failures) {
+    std::printf("%s case %u (case seed 0x%llx, replay with "
+                "--case-seed 0x%llx): %s\n",
+                F.Inconclusive ? "INCONCLUSIVE" : "DIVERGENCE", F.CaseIndex,
+                (unsigned long long)F.CaseSeed,
+                (unsigned long long)F.CaseSeed, F.Detail.c_str());
+    if (!F.ReproPath.empty())
+      std::printf("  repro: %s\n", F.ReproPath.c_str());
+    if (F.ShrunkInstrs)
+      std::printf("  shrunk to %u instructions%s%s\n", F.ShrunkInstrs,
+                  F.ShrunkPath.empty() ? "" : ": ", F.ShrunkPath.c_str());
+  }
+  if (S.Divergent)
+    return 1;
+  return S.Inconclusive ? 3 : 0;
+}
