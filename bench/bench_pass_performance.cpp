@@ -33,9 +33,11 @@ BENCHMARK(BM_CloneModule);
 void BM_FunctionAnalyses(benchmark::State &State) {
   auto M = suiteModule();
   for (auto _ : State) {
-    ModuleAnalyses AM(*M);
-    for (Function *F : *M)
-      benchmark::DoNotOptimize(&AM.on(F));
+    AnalysisManager AM(*M);
+    for (Function *F : *M) {
+      benchmark::DoNotOptimize(&AM.get<LoopInfo>(F));
+      benchmark::DoNotOptimize(&AM.get<Liveness>(F));
+    }
   }
 }
 BENCHMARK(BM_FunctionAnalyses);
@@ -43,8 +45,8 @@ BENCHMARK(BM_FunctionAnalyses);
 void BM_PointsTo(benchmark::State &State) {
   auto M = suiteModule();
   for (auto _ : State) {
-    ModuleAnalyses AM(*M);
-    benchmark::DoNotOptimize(&AM.pointsTo());
+    AnalysisManager AM(*M);
+    benchmark::DoNotOptimize(&AM.get<PointsToAnalysis>());
   }
 }
 BENCHMARK(BM_PointsTo);
@@ -52,7 +54,7 @@ BENCHMARK(BM_PointsTo);
 void BM_LoopNestGraph(benchmark::State &State) {
   auto M = suiteModule();
   for (auto _ : State) {
-    ModuleAnalyses AM(*M);
+    AnalysisManager AM(*M);
     LoopNestGraph LNG(*M, AM);
     benchmark::DoNotOptimize(LNG.numNodes());
   }
@@ -61,21 +63,22 @@ BENCHMARK(BM_LoopNestGraph);
 
 void BM_DependenceAnalysis(benchmark::State &State) {
   auto M = suiteModule();
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *F = nullptr;
   Loop *L = nullptr;
   for (Function *Cand : *M) {
-    LoopInfo &LI = AM.on(Cand).LI;
+    LoopInfo &LI = AM.get<LoopInfo>(Cand);
     if (LI.numLoops() > 0) {
       F = Cand;
       L = LI.loop(0);
     }
   }
   for (auto _ : State) {
-    FunctionAnalyses &FA = AM.on(F);
-    LoopVarAnalysis Vars(F, L, FA.DT);
-    LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
-                               AM.pointsTo(), AM.memEffects());
+    LoopVarAnalysis Vars(F, L, AM.get<DominatorTree>(F));
+    LoopDependenceAnalysis DDA(F, L, AM.get<CFGInfo>(F),
+                               AM.get<DominatorTree>(F), AM.get<Liveness>(F),
+                               Vars, AM.get<PointsToAnalysis>(),
+                               AM.get<MemEffects>());
     benchmark::DoNotOptimize(DDA.toSynchronize().size());
   }
 }
@@ -87,11 +90,11 @@ void BM_ParallelizeLoop(benchmark::State &State) {
   for (auto _ : State) {
     State.PauseTiming();
     auto Clone = cloneModule(*M);
-    ModuleAnalyses AM(*Clone);
+    AnalysisManager AM(*Clone);
     Function *F = nullptr;
     BasicBlock *Header = nullptr;
     for (Function *Cand : *Clone) {
-      LoopInfo &LI = AM.on(Cand).LI;
+      LoopInfo &LI = AM.get<LoopInfo>(Cand);
       if (LI.numLoops() > 0) {
         F = Cand;
         Header = LI.loop(0)->header();
@@ -104,6 +107,48 @@ void BM_ParallelizeLoop(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ParallelizeLoop);
+
+/// The analysis-preservation acceptance gate, benchmark edition: transform
+/// every top-level loop of the suite module through one shared
+/// AnalysisManager, in preservation-aware mode (Arg 0) and in the
+/// conservative invalidate-everything baseline (Arg 1). The exported
+/// counters show the contract's effect — dom_built must be strictly lower
+/// with preservation on, since transforming one function no longer drops
+/// the dominator trees of the others. CI runs this with a filter and
+/// prints the counters, so a pass silently regressing to invalidate-all
+/// is visible in PR logs as a dom_built jump.
+void BM_AnalysisPreservation(benchmark::State &State) {
+  auto M = suiteModule();
+  bool Conservative = State.range(0) != 0;
+  uint64_t DomBuilt = 0, DomHits = 0, PtBuilt = 0, Loops = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto Clone = cloneModule(*M);
+    State.ResumeTiming();
+    AnalysisManager AM(*Clone);
+    AM.setConservativeInvalidation(Conservative);
+    std::vector<std::pair<Function *, BasicBlock *>> Targets;
+    for (Function *F : *Clone)
+      for (Loop *L : AM.get<LoopInfo>(F).topLevelLoops())
+        Targets.push_back({F, L->header()});
+    HelixOptions Opts;
+    unsigned Done = 0;
+    for (auto &[F, H] : Targets)
+      Done += parallelizeLoop(AM, F, H, Opts).has_value();
+    DomBuilt = AM.stats(AnalysisKind::DomTree).Built;
+    DomHits = AM.stats(AnalysisKind::DomTree).Hits;
+    PtBuilt = AM.stats(AnalysisKind::PointsTo).Built;
+    Loops = Done;
+  }
+  State.counters["dom_built"] = double(DomBuilt);
+  State.counters["dom_hits"] = double(DomHits);
+  State.counters["pt_built"] = double(PtBuilt);
+  State.counters["loops"] = double(Loops);
+}
+BENCHMARK(BM_AnalysisPreservation)
+    ->Arg(0) // preservation-aware (the shipping configuration)
+    ->Arg(1) // conservative invalidate-all baseline
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineStringParse(benchmark::State &State) {
   for (auto _ : State) {

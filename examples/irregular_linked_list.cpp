@@ -48,14 +48,14 @@ int main() {
   // Parallelize both kernel loops in a clone.
   CloneMap Map;
   auto Par = cloneModule(*M, &Map);
-  ModuleAnalyses AM(*Par);
+  AnalysisManager AM(*Par);
   HelixOptions Opts;
   std::vector<ParallelLoopInfo> Loops;
   std::vector<std::pair<Function *, BasicBlock *>> Targets;
   for (Function *F : *Par) {
     if (F->name().find(".k") == std::string::npos)
       continue;
-    for (Loop *L : AM.on(F).LI.topLevelLoops())
+    for (Loop *L : AM.get<LoopInfo>(F).topLevelLoops())
       Targets.push_back({F, L->header()});
   }
   for (auto &[F, H] : Targets)

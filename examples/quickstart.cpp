@@ -82,7 +82,7 @@ int main() {
   // Parallelize the summation loop directly (low-level API).
   {
     auto Clone = cloneModule(*M);
-    ModuleAnalyses AM(*Clone);
+    AnalysisManager AM(*Clone);
     Function *F = Clone->findFunction("main");
     BasicBlock *Header = F->findBlock("hdr");
     HelixOptions Opts;

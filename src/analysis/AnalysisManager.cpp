@@ -1,0 +1,136 @@
+#include "analysis/AnalysisManager.h"
+
+#include <cassert>
+
+using namespace helix;
+
+const char *helix::analysisKindName(AnalysisKind K) {
+  switch (K) {
+  case AnalysisKind::CFG:
+    return "cfg";
+  case AnalysisKind::DomTree:
+    return "dom-tree";
+  case AnalysisKind::Loops:
+    return "loops";
+  case AnalysisKind::Liveness:
+    return "liveness";
+  case AnalysisKind::CallGraph:
+    return "call-graph";
+  case AnalysisKind::PointsTo:
+    return "points-to";
+  case AnalysisKind::MemEffects:
+    return "mem-effects";
+  }
+  return "?";
+}
+
+void helix::mergeAnalysisCounters(
+    std::vector<AnalysisCounterReport> &Into,
+    const std::vector<AnalysisCounterReport> &From) {
+  for (const AnalysisCounterReport &F : From) {
+    AnalysisCounterReport *Slot = nullptr;
+    for (AnalysisCounterReport &I : Into)
+      if (I.Analysis == F.Analysis)
+        Slot = &I;
+    if (!Slot) {
+      Into.push_back({F.Analysis, 0, 0, 0});
+      Slot = &Into.back();
+    }
+    Slot->Built += F.Built;
+    Slot->Hits += F.Hits;
+    Slot->Invalidated += F.Invalidated;
+  }
+}
+
+AnalysisManager::FnEntry &AnalysisManager::entry(Function *F) {
+  auto It = SlotOf.find(F);
+  if (It != SlotOf.end())
+    return *Entries[It->second];
+  SlotOf.emplace(F, Entries.size());
+  Entries.push_back(std::make_unique<FnEntry>());
+  return *Entries.back();
+}
+
+unsigned AnalysisManager::invalidationClosure(PreservedAnalyses PA) {
+  // Direct dependencies, one bitmask per kind (bit i = consumes kind i).
+  static constexpr unsigned Deps[NumAnalysisKinds] = {
+      /*CFG*/ 0u,
+      /*DomTree*/ 1u << unsigned(AnalysisKind::CFG),
+      /*Loops*/ (1u << unsigned(AnalysisKind::CFG)) |
+          (1u << unsigned(AnalysisKind::DomTree)),
+      /*Liveness*/ 1u << unsigned(AnalysisKind::CFG),
+      /*CallGraph*/ 0u,
+      /*PointsTo*/ 1u << unsigned(AnalysisKind::CallGraph),
+      /*MemEffects*/ (1u << unsigned(AnalysisKind::CallGraph)) |
+          (1u << unsigned(AnalysisKind::PointsTo)),
+  };
+  unsigned Drop = 0;
+  for (unsigned K = 0; K != NumAnalysisKinds; ++K)
+    if (!PA.preserved(AnalysisKind(K)))
+      Drop |= 1u << K;
+  // Kinds are numbered in dependency order, so one forward sweep closes
+  // the set (every dependency has a smaller kind value).
+  for (unsigned K = 0; K != NumAnalysisKinds; ++K)
+    if (Deps[K] & Drop)
+      Drop |= 1u << K;
+  return Drop;
+}
+
+void AnalysisManager::dropFunctionKinds(FnEntry &E, unsigned DropMask) {
+  auto DropOne = [&](AnalysisKind K, auto &Ptr) {
+    if (!(DropMask & (1u << unsigned(K))) || !Ptr)
+      return;
+    Ptr.reset();
+    noteDropped(K);
+  };
+  DropOne(AnalysisKind::CFG, E.CFG);
+  DropOne(AnalysisKind::DomTree, E.DT);
+  DropOne(AnalysisKind::Loops, E.LI);
+  DropOne(AnalysisKind::Liveness, E.LV);
+}
+
+void AnalysisManager::dropModuleKinds(unsigned DropMask) {
+  auto DropOne = [&](AnalysisKind K, auto &Ptr) {
+    if (!(DropMask & (1u << unsigned(K))) || !Ptr)
+      return;
+    Ptr.reset();
+    noteDropped(K);
+  };
+  // MemEffects and PointsTo hold references into CallGraph; the closure
+  // guarantees dependents are in the mask whenever a dependency is, and
+  // destruction order here is dependents-first.
+  DropOne(AnalysisKind::MemEffects, ME);
+  DropOne(AnalysisKind::PointsTo, PT);
+  DropOne(AnalysisKind::CallGraph, CG);
+}
+
+void AnalysisManager::invalidate(Function *F, PreservedAnalyses PA) {
+  if (Conservative) {
+    invalidateAll();
+    return;
+  }
+  unsigned Drop = invalidationClosure(PA);
+  if (FnEntry *E = const_cast<FnEntry *>(findEntry(F)))
+    dropFunctionKinds(*E, Drop);
+  dropModuleKinds(Drop);
+  ++Epoch;
+}
+
+void AnalysisManager::invalidateAll() {
+  constexpr unsigned All = (1u << NumAnalysisKinds) - 1;
+  for (auto &E : Entries)
+    dropFunctionKinds(*E, All);
+  dropModuleKinds(All);
+  ++Epoch;
+}
+
+std::vector<AnalysisCounterReport> AnalysisManager::counterReport() const {
+  std::vector<AnalysisCounterReport> Report;
+  Report.reserve(NumAnalysisKinds);
+  for (unsigned K = 0; K != NumAnalysisKinds; ++K) {
+    const AnalysisStats &S = Stats[K];
+    Report.push_back(
+        {analysisKindName(AnalysisKind(K)), S.Built, S.Hits, S.Invalidated});
+  }
+  return Report;
+}

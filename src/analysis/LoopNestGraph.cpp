@@ -12,10 +12,10 @@ std::string LoopNestNode::name() const {
          L->header()->name();
 }
 
-LoopNestGraph::LoopNestGraph(Module &M, ModuleAnalyses &AM) {
+LoopNestGraph::LoopNestGraph(Module &M, AnalysisManager &AM) {
   // Create one node per loop of every function.
   for (Function *F : M) {
-    LoopInfo &LI = AM.on(F).LI;
+    LoopInfo &LI = AM.get<LoopInfo>(F);
     for (unsigned I = 0, E = LI.numLoops(); I != E; ++I) {
       LoopNestNode N;
       N.Id = unsigned(Nodes.size());
@@ -42,7 +42,7 @@ LoopNestGraph::LoopNestGraph(Module &M, ModuleAnalyses &AM) {
   // Cross-function edges: a call site inside loop L makes the loops that a
   // call to the callee can enter *first* (its top-level loops, plus those
   // reached through loop-free call chains) children of L.
-  CallGraph &CG = AM.callGraph();
+  CallGraph &CG = AM.get<CallGraph>();
 
   // EntryLoops(F) = top-level loops of F, plus EntryLoops of callees whose
   // call sites sit outside every loop of F. Fixpoint handles recursion.
@@ -52,7 +52,7 @@ LoopNestGraph::LoopNestGraph(Module &M, ModuleAnalyses &AM) {
     Changed = false;
     for (Function *F : M) {
       unsigned FIdx = CG.indexOf(F);
-      LoopInfo &LI = AM.on(F).LI;
+      LoopInfo &LI = AM.get<LoopInfo>(F);
       auto AddEntry = [&](unsigned Node) {
         auto &V = EntryLoops[FIdx];
         if (std::find(V.begin(), V.end(), Node) == V.end()) {
@@ -72,7 +72,7 @@ LoopNestGraph::LoopNestGraph(Module &M, ModuleAnalyses &AM) {
   }
 
   for (Function *F : M) {
-    LoopInfo &LI = AM.on(F).LI;
+    LoopInfo &LI = AM.get<LoopInfo>(F);
     for (Instruction *Site : CG.callSites(F)) {
       Loop *Enclosing = LI.loopFor(Site->parent());
       if (!Enclosing)

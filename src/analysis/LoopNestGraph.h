@@ -37,7 +37,7 @@ struct LoopNestNode {
 class LoopNestGraph {
 public:
   /// Builds the static loop nesting graph of the whole program.
-  LoopNestGraph(Module &M, ModuleAnalyses &AM);
+  LoopNestGraph(Module &M, AnalysisManager &AM);
 
   unsigned numNodes() const { return unsigned(Nodes.size()); }
   const LoopNestNode &node(unsigned Id) const { return Nodes[Id]; }

@@ -18,12 +18,12 @@ namespace {
 /// \returns the metadata of the loops HELIX accepted.
 std::vector<ParallelLoopInfo> transformAll(Module &M, const DiffConfig &C,
                                            DiffOutcome &Out) {
-  ModuleAnalyses AM(M);
+  AnalysisManager AM(M);
   std::vector<std::pair<Function *, BasicBlock *>> Targets;
   for (Function *F : M) {
     if (!C.TransformMainLoops && F->name() == "main")
       continue;
-    for (Loop *L : AM.on(F).LI.topLevelLoops())
+    for (Loop *L : AM.get<LoopInfo>(F).topLevelLoops())
       Targets.push_back({F, L->header()});
   }
   std::vector<ParallelLoopInfo> Loops;
@@ -36,6 +36,10 @@ std::vector<ParallelLoopInfo> transformAll(Module &M, const DiffConfig &C,
       Loops.push_back(std::move(*PLI));
     }
   }
+  // One AM serves every loop above; transforming F no longer drops the
+  // analyses of untouched functions, which these counters demonstrate
+  // campaign-wide once the driver aggregates them.
+  Out.AnalysisCounters = AM.counterReport();
   return Loops;
 }
 

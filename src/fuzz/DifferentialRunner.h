@@ -101,6 +101,11 @@ struct DiffOutcome {
   /// Per-pass wall time of the HELIX transforms this run performed,
   /// aggregated over loops (LoopPassManager instrumentation).
   std::vector<LoopPassTiming> PassTimings;
+
+  /// Analysis-cache counters of the transform leg's AnalysisManager
+  /// (build/hit/invalidate per analysis). The campaign driver aggregates
+  /// them so preservation regressions surface in `helix-fuzz` output.
+  std::vector<AnalysisCounterReport> AnalysisCounters;
 };
 
 /// Runs the three-way differential on \p M. The module itself is never

@@ -93,6 +93,7 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
     if (R.Outcome.LoopsTransformed == 0)
       ++Summary.Untransformed;
     mergePassTimings(Summary.PassTimings, R.Outcome.PassTimings);
+    mergeAnalysisCounters(Summary.AnalysisCounters, R.Outcome.AnalysisCounters);
 
     if (!R.Outcome.Divergence && !R.Outcome.Inconclusive) {
       ++Summary.Clean;

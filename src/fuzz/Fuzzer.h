@@ -64,6 +64,8 @@ struct FuzzSummary {
   std::vector<FuzzFailure> Failures;
   /// Transform pass timing aggregated over every case.
   std::vector<LoopPassTiming> PassTimings;
+  /// Analysis-cache counters aggregated over every case's transform leg.
+  std::vector<AnalysisCounterReport> AnalysisCounters;
 };
 
 /// Derives the generator seed of case \p Index of campaign \p Seed.

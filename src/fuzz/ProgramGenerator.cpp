@@ -15,6 +15,15 @@ namespace {
 
 using Op = Operand;
 
+/// One addressable data region a kernel may touch: a module global or a
+/// locally allocated (Alloca/HeapAlloc) buffer whose base lives in a
+/// register. The base operand never enters the value pool — raw addresses
+/// must not leak into checksums, whose values the legs compare.
+struct ArrayRef {
+  Operand Base;
+  uint64_t Size;
+};
+
 /// Everything one kernel's emission threads through its loop levels.
 struct KernelCtx {
   Function *F = nullptr;
@@ -25,8 +34,8 @@ struct KernelCtx {
   /// Carried accumulators (register-carried dependences when updated in a
   /// loop body).
   std::vector<unsigned> Accs;
-  /// (global index, size) of the arrays this kernel may touch.
-  std::vector<std::pair<unsigned, uint64_t>> Arrays;
+  /// The data regions this kernel may touch.
+  std::vector<ArrayRef> Arrays;
   /// Straight-line helper functions callable from loop bodies.
   std::vector<Function *> Leaves;
   unsigned BlockCounter = 0;
@@ -112,10 +121,10 @@ void emitIndirectLoad(KernelCtx &C) {
   if (C.Arrays.empty())
     return;
   IRBuilder &B = *C.B;
-  auto [G, Size] = C.Arrays[C.R->nextBelow(C.Arrays.size())];
+  const ArrayRef &A = C.Arrays[C.R->nextBelow(C.Arrays.size())];
   unsigned Idx = B.binary(Opcode::And, Op::reg(pickVal(C)),
-                          Op::immInt(int64_t(Size - 1)));
-  unsigned Addr = B.add(Op::global(G), Op::reg(Idx));
+                          Op::immInt(int64_t(A.Size - 1)));
+  unsigned Addr = B.add(A.Base, Op::reg(Idx));
   pushVal(C, B.load(Op::reg(Addr)));
 }
 
@@ -125,10 +134,10 @@ void emitIndirectUpdate(KernelCtx &C) {
   if (C.Arrays.empty())
     return;
   IRBuilder &B = *C.B;
-  auto [G, Size] = C.Arrays[C.R->nextBelow(C.Arrays.size())];
+  const ArrayRef &A = C.Arrays[C.R->nextBelow(C.Arrays.size())];
   unsigned Idx = B.binary(Opcode::And, Op::reg(pickVal(C)),
-                          Op::immInt(int64_t(Size - 1)));
-  unsigned Addr = B.add(Op::global(G), Op::reg(Idx));
+                          Op::immInt(int64_t(A.Size - 1)));
+  unsigned Addr = B.add(A.Base, Op::reg(Idx));
   unsigned Old = B.load(Op::reg(Addr));
   unsigned New = B.binary(C.R->nextBool(0.7) ? Opcode::Add : Opcode::Xor,
                           Op::reg(Old),
@@ -264,11 +273,10 @@ void emitCountedLoop(KernelCtx &C, const GeneratorConfig &Cfg,
   if (Shape.Stencil) {
     // a[i+1] = f(a[i], t): needs Trip + 1 <= Size, which MaxTrip and the
     // minimum array size of 32 guarantee.
-    auto [G, Size] = C.Arrays[C.R->nextBelow(C.Arrays.size())];
-    (void)Size;
+    const ArrayRef &A = C.Arrays[C.R->nextBelow(C.Arrays.size())];
     unsigned I1 = B.add(Op::reg(I), Op::immInt(1));
-    unsigned PrevAddr = B.add(Op::global(G), Op::reg(I));
-    unsigned CurAddr = B.add(Op::global(G), Op::reg(I1));
+    unsigned PrevAddr = B.add(A.Base, Op::reg(I));
+    unsigned CurAddr = B.add(A.Base, Op::reg(I1));
     unsigned Prev = B.load(Op::reg(PrevAddr));
     unsigned Mixed = B.binary(Opcode::Xor, Op::reg(Prev), Op::reg(pickVal(C)));
     unsigned Scaled = B.binary(Opcode::Shr, Op::reg(Mixed), Op::immInt(1));
@@ -280,9 +288,8 @@ void emitCountedLoop(KernelCtx &C, const GeneratorConfig &Cfg,
     emitLoopNest(C, Cfg, DepthBudget - 1);
 
   if (Shape.DoAllStore) {
-    auto [G, Size] = C.Arrays[C.R->nextBelow(C.Arrays.size())];
-    (void)Size;
-    unsigned Addr = B.add(Op::global(G), Op::reg(I));
+    const ArrayRef &A = C.Arrays[C.R->nextBelow(C.Arrays.size())];
+    unsigned Addr = B.add(A.Base, Op::reg(I));
     B.store(Op::reg(pickVal(C)), Op::reg(Addr));
   }
 
@@ -325,7 +332,13 @@ void emitLoopNest(KernelCtx &C, const GeneratorConfig &Cfg,
 }
 
 /// Straight-line helper function: a short ALU/FP mix over its parameters.
-Function *buildLeaf(Module &M, Rng &R, unsigned Idx) {
+/// With probability \p AllocaProb (drawn from the dedicated buffer stream
+/// \p R2) the leaf spills its parameters through an Alloca-backed scratch
+/// buffer and reloads one of them — a Stack abstract location the
+/// points-to analysis must model, with strictly call-local traffic so the
+/// thread-private stacks of the runtime cannot diverge.
+Function *buildLeaf(Module &M, Rng &R, Rng &R2, double AllocaProb,
+                    unsigned Idx) {
   unsigned NumParams = unsigned(R.nextInRange(1, 2));
   Function *F = M.createFunction(formatStr("leaf%u", Idx), NumParams);
   IRBuilder B(F);
@@ -336,6 +349,17 @@ Function *buildLeaf(Module &M, Rng &R, unsigned Idx) {
   C.R = &R;
   for (unsigned K = 0; K != NumParams; ++K)
     C.Vals.push_back(K);
+  if (R2.nextBool(AllocaProb)) {
+    int64_t Slots = R2.nextInRange(2, 8);
+    unsigned Buf = B.allocaSlots(Slots);
+    for (unsigned K = 0; K != NumParams; ++K) {
+      unsigned Addr = B.add(Op::reg(Buf), Op::immInt(int64_t(K) % Slots));
+      B.store(Op::reg(K), Op::reg(Addr));
+    }
+    unsigned Back = B.add(
+        Op::reg(Buf), Op::immInt(R2.nextInRange(0, int64_t(NumParams) - 1)));
+    pushVal(C, B.load(Op::reg(Back)));
+  }
   unsigned Ops = unsigned(R.nextInRange(2, 6));
   for (unsigned K = 0; K != Ops; ++K) {
     if (R.nextBool(0.2))
@@ -360,19 +384,23 @@ std::unique_ptr<Module> helix::generateProgram(uint64_t Seed,
   Cfg.MinTrip = std::min(std::max(Cfg.MinTrip, 2u), Cfg.MaxTrip);
 
   Rng R(Seed ^ 0xC0FFEE123456789Bull);
+  // Dedicated stream for the Alloca/HeapAlloc scratch-buffer decisions:
+  // keeping them off the main stream leaves the rest of a seed's draw
+  // sequence (loop shapes, feature mix, trip counts) unperturbed.
+  Rng R2(Seed ^ 0xA110CA7E4DA7A5ull);
   auto M = std::make_unique<Module>();
 
   // --- Globals: power-of-two arrays with static random contents, plus an
   // --- optional statically-threaded offset list for pointer chasing. -----
   unsigned NumArrays = unsigned(R.nextInRange(1, 3));
-  std::vector<std::pair<unsigned, uint64_t>> Arrays;
+  std::vector<ArrayRef> Arrays;
   for (unsigned K = 0; K != NumArrays; ++K) {
     uint64_t Size = R.nextBool(0.5) ? 32 : 64;
     unsigned G = M->createGlobal(formatStr("a%u", K), Size);
     GlobalVariable &GV = M->global(G);
     for (uint64_t S = 0; S != Size; ++S)
       GV.Init.push_back(int64_t(R.next() & 0xFFFF));
-    Arrays.push_back({G, Size});
+    Arrays.push_back({Op::global(G), Size});
   }
   int ListGlobal = -1;
   if (R.nextBool(0.4)) {
@@ -392,7 +420,7 @@ std::unique_ptr<Module> helix::generateProgram(uint64_t Seed,
   std::vector<Function *> Leaves;
   unsigned NumLeaves = unsigned(R.nextBelow(Cfg.MaxLeafFuncs + 1));
   for (unsigned K = 0; K != NumLeaves; ++K)
-    Leaves.push_back(buildLeaf(*M, R, K));
+    Leaves.push_back(buildLeaf(*M, R, R2, Cfg.LocalBufferProb, K));
 
   // --- Kernels: one loop nest each. --------------------------------------
   unsigned NumKernels =
@@ -415,6 +443,24 @@ std::unique_ptr<Module> helix::generateProgram(uint64_t Seed,
           B.mov(A == 0 ? Op::reg(0)
                        : Op::immInt(int64_t(R.next() & 0xFFFFFF))));
 
+    // HeapAlloc-backed scratch buffer: allocated once per invocation in
+    // the kernel entry (outside every loop, so allocation order stays
+    // deterministic across the threaded legs), seeded with a few stores,
+    // then addressable by the loop bodies exactly like a global. Heap
+    // slots live in the shared arena, so workers of a parallelized loop
+    // see each other's writes — unlike Alloca, which is thread-private
+    // in the runtime and therefore confined to leaf helpers.
+    if (R2.nextBool(Cfg.LocalBufferProb)) {
+      uint64_t Size = R2.nextBool(0.5) ? 32 : 64;
+      unsigned Base = B.heapAlloc(Op::immInt(int64_t(Size)));
+      for (unsigned S = 0; S != 4; ++S) {
+        unsigned Addr =
+            B.add(Op::reg(Base), Op::immInt(int64_t(S * (Size / 4))));
+        B.store(Op::immInt(int64_t(R2.next() & 0xFFFF)), Op::reg(Addr));
+      }
+      C.Arrays.push_back({Op::reg(Base), Size});
+    }
+
     unsigned Depth =
         unsigned(R.nextInRange(1, int64_t(std::max(1u, Cfg.MaxLoopDepth))));
     if (ListGlobal >= 0 && R.nextBool(0.35))
@@ -428,9 +474,9 @@ std::unique_ptr<Module> helix::generateProgram(uint64_t Seed,
       Sum = B.add(Op::reg(Sum), Op::reg(C.Accs[A]));
     Sum = B.binary(Opcode::Xor, Op::reg(Sum), Op::reg(C.Vals.back()));
     if (!Arrays.empty()) {
-      auto [G, Size] = Arrays[R.nextBelow(Arrays.size())];
+      const ArrayRef &A = Arrays[R.nextBelow(Arrays.size())];
       unsigned Addr =
-          B.add(Op::global(G), Op::immInt(R.nextInRange(0, int64_t(Size) - 1)));
+          B.add(A.Base, Op::immInt(R.nextInRange(0, int64_t(A.Size) - 1)));
       unsigned V = B.load(Op::reg(Addr));
       Sum = B.add(Op::reg(Sum), Op::reg(V));
     }
@@ -464,9 +510,9 @@ std::unique_ptr<Module> helix::generateProgram(uint64_t Seed,
     B.binaryTo(Rr, Opcode::Add, Op::reg(Rr), Op::immInt(1));
     B.br(Hdr);
     B.setInsertPoint(Exit);
-    for (auto [G, Size] : Arrays) {
+    for (const ArrayRef &A : Arrays) {
       unsigned Addr =
-          B.add(Op::global(G), Op::immInt(R.nextInRange(0, int64_t(Size) - 1)));
+          B.add(A.Base, Op::immInt(R.nextInRange(0, int64_t(A.Size) - 1)));
       unsigned V = B.load(Op::reg(Addr));
       B.binaryTo(Sum, Opcode::Xor, Op::reg(Sum), Op::reg(V));
     }

@@ -41,6 +41,15 @@ struct GeneratorConfig {
   unsigned MaxTrip = 20;
   unsigned MaxLeafFuncs = 2; ///< straight-line helpers callable from bodies
   unsigned MaxMainRepeat = 3; ///< @main's repeat loop around the kernels
+  /// Probability that a kernel allocates a HeapAlloc-backed scratch buffer
+  /// at entry and lets its loop bodies read/write it like a global, and
+  /// that a leaf helper spills its parameters through an Alloca-backed
+  /// buffer. Exercises the Stack/Heap abstract locations of the points-to
+  /// analysis (and their invalidation paths), which global-only programs
+  /// never touch. Heap buffers live in shared memory, so the threaded
+  /// legs see them; Alloca traffic stays call-local by construction
+  /// (worker stacks are thread-private in the runtime).
+  double LocalBufferProb = 0.4;
 };
 
 /// Builds the program for \p Seed. The module verifies cleanly; @main

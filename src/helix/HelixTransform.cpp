@@ -5,7 +5,7 @@
 using namespace helix;
 
 std::optional<ParallelLoopInfo>
-helix::parallelizeLoop(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
+helix::parallelizeLoop(AnalysisManager &AM, Function *F, BasicBlock *Header,
                        const HelixOptions &Opts,
                        std::vector<LoopPassTiming> *Timings) {
   // One manager serves every configuration: the step switches in Opts are

@@ -39,7 +39,7 @@ namespace helix {
 /// is non-null, per-pass wall time is accumulated into it (see
 /// LoopPassManager::run).
 std::optional<ParallelLoopInfo>
-parallelizeLoop(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
+parallelizeLoop(AnalysisManager &AM, Function *F, BasicBlock *Header,
                 const HelixOptions &Opts,
                 std::vector<LoopPassTiming> *Timings = nullptr);
 

@@ -21,12 +21,15 @@ namespace {
 /// endpoint sits in the prologue of an earlier-or-equal iteration: the
 /// prologues themselves execute sequentially, ordered by the IterStart
 /// control signal, so only data forwarding (Step 7) is needed for them.
-std::vector<DataDependence> computeDeps(ModuleAnalyses &AM, Function *F,
+std::vector<DataDependence> computeDeps(AnalysisManager &AM, Function *F,
                                         Loop *L, DependenceStats &StatsOut) {
-  FunctionAnalyses &FA = AM.on(F);
-  LoopVarAnalysis Vars(F, L, FA.DT);
-  LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
-                             AM.pointsTo(), AM.memEffects());
+  const CFGInfo &CFG = AM.get<CFGInfo>(F);
+  const DominatorTree &DT = AM.get<DominatorTree>(F);
+  const Liveness &LV = AM.get<Liveness>(F);
+  LoopVarAnalysis Vars(F, L, DT);
+  LoopDependenceAnalysis DDA(F, L, CFG, DT, LV, Vars,
+                             AM.get<PointsToAnalysis>(),
+                             AM.get<MemEffects>());
   StatsOut = DDA.stats();
   return DDA.toSynchronize();
 }
@@ -39,9 +42,9 @@ Loop *findLoop(LoopInfo &LI, BasicBlock *Header) {
 }
 
 /// Induction variables the engines materialize per iteration.
-std::vector<MaterializedIV> collectIVs(ModuleAnalyses &AM, Function *F,
+std::vector<MaterializedIV> collectIVs(AnalysisManager &AM, Function *F,
                                        Loop *L) {
-  LoopVarAnalysis Vars(F, L, AM.on(F).DT);
+  LoopVarAnalysis Vars(F, L, AM.get<DominatorTree>(F));
   std::vector<MaterializedIV> IVs;
   for (const InductionVar &IV : Vars.inductionVars())
     IVs.push_back({IV.Reg, IV.Stride});
@@ -53,7 +56,7 @@ std::vector<MaterializedIV> collectIVs(ModuleAnalyses &AM, Function *F,
 /// induction variable, or defined earlier in the prologue itself. Such a
 /// prologue is locally computable from the iteration number, so iterations
 /// start without inter-thread control signals.
-bool prologueIsSelfStarting(ModuleAnalyses &AM, Function *F, Loop *L,
+bool prologueIsSelfStarting(AnalysisManager &AM, Function *F, Loop *L,
                             const NormalizedLoop &NL,
                             const std::vector<DataDependence> &Deps) {
   for (const DataDependence &D : Deps)
@@ -61,7 +64,7 @@ bool prologueIsSelfStarting(ModuleAnalyses &AM, Function *F, Loop *L,
       if (NL.inPrologue(E->parent()))
         return false;
 
-  LoopVarAnalysis Vars(F, L, AM.on(F).DT);
+  LoopVarAnalysis Vars(F, L, AM.get<DominatorTree>(F));
   std::set<unsigned> DefinedInPrologue;
   for (BasicBlock *BB : NL.Prologue)
     for (Instruction *I : *BB) {
@@ -93,18 +96,18 @@ class NormalizePass : public LoopPass {
 public:
   const char *name() const override { return "normalize"; }
   // Mutates the CFG (may add a latch) but performs its own invalidation
-  // inside normalizeLoop and re-derives S.L from the fresh analyses; a
-  // manager-level invalidation here would destroy the LoopInfo that owns
-  // S.L while later passes still hold it.
-  Result run(ModuleAnalyses &AM, LoopPassState &S) override {
+  // inside normalizeLoop and re-derives S.L from the fresh analyses; it
+  // must report all-preserved — a manager-level invalidation here would
+  // destroy the LoopInfo that owns S.L while later passes still hold it.
+  PassResult run(AnalysisManager &AM, LoopPassState &S) override {
     S.NL = normalizeLoop(AM, S.F, S.Header);
     if (!S.NL.Valid)
-      return Result::Abort;
+      return abort();
     S.PLI.F = S.F;
     S.PLI.Header = S.NL.Header;
-    S.L = findLoop(AM.on(S.F).LI, S.Header);
+    S.L = findLoop(AM.get<LoopInfo>(S.F), S.Header);
     assert(S.L && "normalized loop vanished");
-    return Result::Continue;
+    return preservingAll();
   }
 };
 
@@ -112,9 +115,9 @@ public:
 class DependencePass : public LoopPass {
 public:
   const char *name() const override { return "dependence"; }
-  Result run(ModuleAnalyses &AM, LoopPassState &S) override {
+  PassResult run(AnalysisManager &AM, LoopPassState &S) override {
     S.Deps = computeDeps(AM, S.F, S.L, S.Stats);
-    return Result::Continue;
+    return preservingAll();
   }
 };
 
@@ -127,9 +130,9 @@ public:
   const char *name() const override { return "inline"; }
   // Like normalize: invalidates and re-derives internally (see below), so
   // the analyses, S.L and S.Deps leave this pass mutually consistent.
-  Result run(ModuleAnalyses &AM, LoopPassState &S) override {
+  PassResult run(AnalysisManager &AM, LoopPassState &S) override {
     if (!S.Opts.EnableInlining)
-      return Result::Continue;
+      return preservingAll();
     for (unsigned Round = 0; Round != 4; ++Round) {
       Instruction *ToInline = nullptr;
       for (const DataDependence &D : S.Deps) {
@@ -142,7 +145,7 @@ public:
             InSubLoop |= Sub->contains(E->parent());
           if (InSubLoop)
             continue;
-          if (AM.callGraph().isRecursive(E->callee()))
+          if (AM.get<CallGraph>().isRecursive(E->callee()))
             continue;
           ToInline = E;
           break;
@@ -161,10 +164,10 @@ public:
       AM.invalidateAll();
       S.NL = normalizeLoop(AM, S.F, S.Header);
       assert(S.NL.Valid && "inlining destroyed the loop");
-      S.L = findLoop(AM.on(S.F).LI, S.Header);
+      S.L = findLoop(AM.get<LoopInfo>(S.F), S.Header);
       S.Deps = computeDeps(AM, S.F, S.L, S.Stats);
     }
-    return Result::Continue;
+    return preservingAll();
   }
 };
 
@@ -174,7 +177,7 @@ public:
 class CharacterizePass : public LoopPass {
 public:
   const char *name() const override { return "characterize"; }
-  Result run(ModuleAnalyses &AM, LoopPassState &S) override {
+  PassResult run(AnalysisManager &AM, LoopPassState &S) override {
     S.PLI.NumDepsTotal = S.Stats.NumAliasPairs + S.Stats.NumRegCarried +
                          S.Stats.NumExcludedFalse +
                          S.Stats.NumExcludedInduction;
@@ -183,75 +186,90 @@ public:
     S.PLI.IVs = collectIVs(AM, S.F, S.L);
     S.PLI.SelfStartingPrologue =
         prologueIsSelfStarting(AM, S.F, S.L, S.NL, S.Deps);
-    return Result::Continue;
+    return preservingAll();
   }
 };
 
 /// Step 4: naive Wait/Signal insertion — sequential-segment construction.
+/// Splits edges for landing pads, so the whole CFG family of F goes; the
+/// module-wide analyses survive (no calls, globals or memory operations
+/// are added — Wait/Signal carry only a segment id).
 class WaitSignalPass : public LoopPass {
 public:
   const char *name() const override { return "wait-signal"; }
-  bool modifiesFunction() const override { return true; }
-  Result run(ModuleAnalyses &, LoopPassState &S) override {
+  PassResult run(AnalysisManager &, LoopPassState &S) override {
     S.WS = insertWaitSignals(S.F, S.NL, S.Deps);
     S.PLI.NumWaitsInserted = S.WS.NumWaits;
     S.PLI.NumSignalsInserted = S.WS.NumSignals;
-    return Result::Continue;
+    // S.L points into the LoopInfo the invalidation below drops; null it
+    // so a composed custom pass that reads it crashes loudly instead of
+    // dereferencing freed memory.
+    S.L = nullptr;
+    return preserving(PreservedAnalyses::none().preserveModuleAnalyses());
   }
 };
 
-/// Step 5b: shrink sequential segments by scheduling.
+/// Step 5b: shrink sequential segments by scheduling. Reorders
+/// instructions within blocks only: block set, edges, dominators and loop
+/// structure are untouched, and no instruction is added or removed, so
+/// the flow-insensitive module analyses hold too. Only liveness — whose
+/// point queries are position-sensitive — is abandoned.
 class SchedulePass : public LoopPass {
 public:
   const char *name() const override { return "schedule"; }
-  bool modifiesFunction() const override { return true; }
-  Result run(ModuleAnalyses &, LoopPassState &S) override {
-    if (S.Opts.EnableScheduling)
-      compactSegments(S.NL, S.Deps);
-    return Result::Continue;
+  PassResult run(AnalysisManager &, LoopPassState &S) override {
+    if (!S.Opts.EnableScheduling)
+      return preservingAll();
+    compactSegments(S.NL, S.Deps);
+    return preserving(PreservedAnalyses::all().abandon<Liveness>());
   }
 };
 
 /// Step 6: minimize signals. Runs even when disabled — it also computes
 /// the final segment list the later passes and the engines consume.
+/// Rewrites and erases Wait/Signal operations in place; those touch no
+/// registers and no memory, so everything but (position-sensitive)
+/// liveness is preserved — the counters proving this is what the
+/// AnalysisManagerTest preservation assertions pin down.
 class SignalOptPass : public LoopPass {
 public:
   const char *name() const override { return "signal-opt"; }
-  bool modifiesFunction() const override { return true; }
-  Result run(ModuleAnalyses &, LoopPassState &S) override {
+  PassResult run(AnalysisManager &, LoopPassState &S) override {
     S.SO = optimizeSignals(S.F, S.NL, S.Deps, S.WS, S.Opts.EnableSignalOpt);
     S.PLI.NumWaitsKept = S.SO.NumWaitsKept;
     S.PLI.NumSignalsKept = S.SO.NumSignalsKept;
-    return Result::Continue;
+    return preserving(PreservedAnalyses::all().abandon<Liveness>());
   }
 };
 
 /// Steps 3 and 7: iteration starts and boundary-variable communication.
+/// Creates the storage global and new loads/stores (points-to and memory
+/// effects change), splits edges and adds blocks (CFG family changes);
+/// only the call graph survives — no call site is created or destroyed.
 class LowerPass : public LoopPass {
 public:
   const char *name() const override { return "lower"; }
-  bool modifiesFunction() const override { return true; }
-  Result run(ModuleAnalyses &, LoopPassState &S) override {
+  PassResult run(AnalysisManager &, LoopPassState &S) override {
     S.LR = lowerParallelLoop(S.F, S.NL, S.Deps, S.SO, S.PLI.IVs);
     S.PLI.IterStarts = S.LR.IterStarts;
     S.PLI.StorageGlobal = S.LR.StorageGlobal;
     S.PLI.SlotOfReg = S.LR.SlotOfReg;
-    return Result::Continue;
+    return preserving(PreservedAnalyses::none().preserve<CallGraph>());
   }
 };
 
 /// Step 8: space segments so the helper thread can prefetch signals.
+/// Same scheduling machinery as Step 5b, same preservation.
 class BalancePass : public LoopPass {
 public:
   const char *name() const override { return "balance"; }
-  bool modifiesFunction() const override { return true; }
-  Result run(ModuleAnalyses &, LoopPassState &S) override {
-    if (S.Opts.EnableHelperThreads && S.Opts.EnableBalancing) {
-      unsigned Delta = unsigned(S.Opts.Machine.UnprefetchedSignalCycles -
-                                S.Opts.Machine.PrefetchedSignalCycles);
-      balanceSegmentSpacing(S.NL, S.Deps, Delta);
-    }
-    return Result::Continue;
+  PassResult run(AnalysisManager &, LoopPassState &S) override {
+    if (!(S.Opts.EnableHelperThreads && S.Opts.EnableBalancing))
+      return preservingAll();
+    unsigned Delta = unsigned(S.Opts.Machine.UnprefetchedSignalCycles -
+                              S.Opts.Machine.PrefetchedSignalCycles);
+    balanceSegmentSpacing(S.NL, S.Deps, Delta);
+    return preserving(PreservedAnalyses::all().abandon<Liveness>());
   }
 };
 
@@ -260,7 +278,7 @@ public:
 class FinalizePass : public LoopPass {
 public:
   const char *name() const override { return "finalize"; }
-  Result run(ModuleAnalyses &, LoopPassState &S) override {
+  PassResult run(AnalysisManager &, LoopPassState &S) override {
     S.PLI.Latch = S.NL.Latch;
     S.PLI.LoopBlocks = S.NL.LoopBlocks;
     S.PLI.PrologueBlocks = S.NL.Prologue;
@@ -277,9 +295,9 @@ public:
     // no-ops in sequential execution.
     if (!verifyFunction(*S.F).empty()) {
       assert(false && "transformed function malformed");
-      return Result::Abort;
+      return abort();
     }
-    return Result::Continue;
+    return preservingAll();
   }
 };
 
@@ -290,43 +308,41 @@ public:
 //===----------------------------------------------------------------------===//
 
 std::optional<ParallelLoopInfo>
-LoopPassManager::run(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
+LoopPassManager::run(AnalysisManager &AM, Function *F, BasicBlock *Header,
                      const HelixOptions &Opts,
                      std::vector<LoopPassTiming> *Timings) const {
   LoopPassState S(F, Header, Opts);
   bool MutatedSinceStart = false;
   for (const auto &P : Passes) {
     auto Start = std::chrono::steady_clock::now();
-    LoopPass::Result Res = P->run(AM, S);
+    LoopPass::PassResult Res = P->run(AM, S);
     if (Timings)
       accumulatePassTiming(
           *Timings, P->name(),
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - Start)
               .count());
-    if (Res == LoopPass::Result::Abort) {
+    if (Res.Act == LoopPass::PassResult::Action::Abort) {
       // An abort after a mutating pass (e.g. the finalize verifier gate in
-      // release builds) leaves the module changed; module-level analyses
-      // (points-to, mem-effects) must not survive it, or the next loop
-      // transformed with this ModuleAnalyses would consume stale facts. A
-      // pre-mutation abort (normalize: header heads no loop) keeps the
-      // caches, which self-invalidating passes left coherent.
+      // release builds) means the IR may be malformed mid-transformation;
+      // nothing cached over it can be trusted. A pre-mutation abort
+      // (normalize: header heads no loop) keeps the caches, which
+      // self-invalidating passes left coherent.
       if (MutatedSinceStart)
         AM.invalidateAll();
       return std::nullopt;
     }
-    // Explicit invalidation discipline: a pass that touched the function
-    // leaves no stale analyses behind. (NormalizedLoop block lists stay
-    // valid — blocks are never deleted — but dominator/liveness/loop info
-    // must be recomputed on next use.)
-    if (P->modifiesFunction()) {
-      AM.invalidate(F);
+    // Preservation-aware invalidation: drop exactly what the pass did not
+    // keep intact, dependency-closed, for this function plus the
+    // non-preserved module-wide analyses. Analyses of other functions
+    // survive the whole sequence — that is the compile-time win over the
+    // old invalidate-everything discipline, and the per-kind counters
+    // make it assertable.
+    if (!Res.Preserved.preservesAll()) {
+      AM.invalidate(F, Res.Preserved);
       MutatedSinceStart = true;
     }
   }
-  // The transformation is module-visible (new globals, call-graph changes
-  // from inlining): drop module-level analyses too.
-  AM.invalidateAll();
   return std::move(S.PLI);
 }
 

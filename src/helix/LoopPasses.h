@@ -15,14 +15,18 @@
 ///   signal-opt   Step 6: signal minimization
 ///   lower        Steps 3+7: iteration starts and boundary communication
 ///   balance      Step 8: Figure-6 segment spacing for helper threads
-///   finalize     publish ParallelLoopInfo, verify, invalidate analyses
+///   finalize     publish ParallelLoopInfo, verify
 ///
-/// Every pass runs against a shared LoopPassState. Invalidation is
-/// explicit: a pass either declares modifiesFunction() (the manager drops
-/// the function's cached ModuleAnalyses after it) or — when later passes
-/// must see analyses consistent with pointers it re-derives, as normalize
-/// and inline do for the Loop object — invalidates and recomputes
-/// internally. Either way no pass ever consumes stale analyses.
+/// Every pass runs against a shared LoopPassState and returns, alongside
+/// its continue/abort decision, the PreservedAnalyses set describing what
+/// it left intact. The manager invalidates exactly the complement for the
+/// touched function (closed over the analysis dependency graph), so a pass
+/// that rewrote instructions but kept the CFG does not force the next
+/// pass — or the next *loop* — to rebuild dominators and loop structure.
+/// Passes that must see analyses consistent with pointers they re-derive
+/// (normalize and inline refresh the Loop object) invalidate and recompute
+/// internally and report all-preserved. Either way no pass ever consumes
+/// stale analyses.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,7 +61,8 @@ struct LoopPassState {
   const HelixOptions &Opts;
 
   NormalizedLoop NL;                 ///< normalize
-  Loop *L = nullptr;                 ///< normalize (refreshed by inline)
+  Loop *L = nullptr;                 ///< normalize (refreshed by inline;
+                                     ///< dead once a pass drops LoopInfo)
   DependenceStats Stats;             ///< dependence
   std::vector<DataDependence> Deps;  ///< dependence (refreshed by inline)
   WaitSignalInsertion WS;            ///< wait-signal
@@ -72,19 +77,34 @@ public:
 
   virtual const char *name() const = 0;
 
-  enum class Result {
-    Continue, ///< proceed to the next pass
-    Abort,    ///< loop is not parallelizable; manager returns nullopt
+  /// What one pass execution decided and what it left intact.
+  struct PassResult {
+    enum class Action {
+      Continue, ///< proceed to the next pass
+      Abort,    ///< loop is not parallelizable; manager returns nullopt
+    };
+    Action Act = Action::Continue;
+    /// Honoured only on Continue. all() declares "no cached analysis can
+    /// observe what I did"; anything else marks the function mutated and
+    /// the manager drops the complement (dependency-closed).
+    PreservedAnalyses Preserved = PreservedAnalyses::all();
   };
-  virtual Result run(ModuleAnalyses &AM, LoopPassState &S) = 0;
 
-  /// True when the pass may mutate the function (CFG or instructions).
-  /// The manager invalidates the function's cached analyses afterwards.
-  virtual bool modifiesFunction() const { return false; }
+  static PassResult abort() {
+    return {PassResult::Action::Abort, PreservedAnalyses::all()};
+  }
+  static PassResult preservingAll() {
+    return {PassResult::Action::Continue, PreservedAnalyses::all()};
+  }
+  static PassResult preserving(PreservedAnalyses PA) {
+    return {PassResult::Action::Continue, PA};
+  }
+
+  virtual PassResult run(AnalysisManager &AM, LoopPassState &S) = 0;
 };
 
-/// Runs a sequence of loop passes over one loop, handling analysis
-/// invalidation between passes.
+/// Runs a sequence of loop passes over one loop, invalidating after each
+/// pass exactly the analyses the pass did not preserve.
 class LoopPassManager {
 public:
   LoopPassManager &add(std::unique_ptr<LoopPass> P) {
@@ -109,7 +129,7 @@ public:
   /// slow transform (e.g. a fuzz-found pathological module) to a specific
   /// Step.
   std::optional<ParallelLoopInfo>
-  run(ModuleAnalyses &AM, Function *F, BasicBlock *Header,
+  run(AnalysisManager &AM, Function *F, BasicBlock *Header,
       const HelixOptions &Opts,
       std::vector<LoopPassTiming> *Timings = nullptr) const;
 

@@ -17,11 +17,11 @@ Loop *findLoopWithHeader(LoopInfo &LI, BasicBlock *Header) {
 
 } // namespace
 
-NormalizedLoop helix::normalizeLoop(ModuleAnalyses &AM, Function *F,
+NormalizedLoop helix::normalizeLoop(AnalysisManager &AM, Function *F,
                                     BasicBlock *Header) {
   NormalizedLoop N;
 
-  Loop *L = findLoopWithHeader(AM.on(F).LI, Header);
+  Loop *L = findLoopWithHeader(AM.get<LoopInfo>(F), Header);
   if (!L)
     return N;
 
@@ -33,8 +33,9 @@ NormalizedLoop helix::normalizeLoop(ModuleAnalyses &AM, Function *F,
     Br->setTarget1(Header);
     for (BasicBlock *Latch : L->latches())
       Latch->terminator()->replaceTarget(Header, Merged);
-    AM.invalidate(F);
-    L = findLoopWithHeader(AM.on(F).LI, Header);
+    AM.invalidate(F,
+                  PreservedAnalyses::none().preserveModuleAnalyses());
+    L = findLoopWithHeader(AM.get<LoopInfo>(F), Header);
     assert(L && L->latches().size() == 1 && "latch merge failed");
   }
 
@@ -55,7 +56,7 @@ NormalizedLoop helix::normalizeLoop(ModuleAnalyses &AM, Function *F,
       Work.push_back(From);
     }
   }
-  const CFGInfo &CFG = AM.on(F).CFG;
+  const CFGInfo &CFG = AM.get<CFGInfo>(F);
   while (!Work.empty()) {
     BasicBlock *BB = Work.back();
     Work.pop_back();

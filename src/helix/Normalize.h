@@ -46,8 +46,10 @@ struct NormalizedLoop {
 ///
 /// Merges multiple latches into one (adding a block), then classifies
 /// blocks into prologue and body. Invalidates and recomputes the cached
-/// analyses of \p F when the CFG changes.
-NormalizedLoop normalizeLoop(ModuleAnalyses &AM, Function *F,
+/// analyses of \p F when the CFG changes (the module-wide analyses are
+/// preserved: merging latches adds a block and a branch, nothing a call
+/// graph or points-to result can observe).
+NormalizedLoop normalizeLoop(AnalysisManager &AM, Function *F,
                              BasicBlock *Header);
 
 } // namespace helix

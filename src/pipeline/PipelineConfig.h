@@ -82,6 +82,14 @@ struct PipelineConfig {
   /// value, so this knob is deliberately absent from its cache key.
   unsigned ModelProfileThreads = 0;
 
+  /// A/B baseline for the analysis-preservation contract: when true, the
+  /// transforming stages put their AnalysisManager into conservative mode
+  /// (every invalidation behaves like invalidate-all — the pre-preservation
+  /// world). Results are bit-identical either way; only the analysis
+  /// counters and compile time differ. bench_pass_performance and the
+  /// preservation regression test flip this to prove the win.
+  bool ConservativeAnalysisInvalidation = false;
+
   /// Central configuration validation, run by Pipeline::run before any
   /// stage executes. \returns an empty string when the configuration is
   /// usable, else a description of the first problem. Guards the knobs

@@ -61,9 +61,9 @@ public:
   //     over several translation units and the context is their interface.
 
   // profile
-  std::unique_ptr<Module> Pristine;   ///< clone the pipeline works on
-  std::unique_ptr<ModuleAnalyses> AM; ///< analyses of Pristine
-  std::unique_ptr<LoopNestGraph> LNG; ///< loop nesting graph of Pristine
+  std::unique_ptr<Module> Pristine;     ///< clone the pipeline works on
+  std::unique_ptr<AnalysisManager> AM;  ///< analyses of Pristine
+  std::unique_ptr<LoopNestGraph> LNG;   ///< loop nesting graph of Pristine
   ExecResult SeqRun;                  ///< sequential (training) run
   ProgramProfile Profile;
   std::vector<unsigned> Levels; ///< dynamic nesting level per LNG node
@@ -79,7 +79,7 @@ public:
 
   // transform
   std::unique_ptr<Module> Transformed;
-  std::unique_ptr<ModuleAnalyses> TransformedAM;
+  std::unique_ptr<AnalysisManager> TransformedAM;
   /// (LNG node, metadata) per successfully parallelized loop. Stable for
   /// the lifetime of the transform result: Traces points into it.
   std::vector<std::pair<unsigned, ParallelLoopInfo>> TransformedLoops;

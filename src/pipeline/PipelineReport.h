@@ -10,6 +10,7 @@
 #ifndef HELIX_PIPELINE_PIPELINEREPORT_H
 #define HELIX_PIPELINE_PIPELINEREPORT_H
 
+#include "analysis/AnalysisKinds.h"
 #include "helix/PassTiming.h"
 #include "helix/SpeedupModel.h"
 #include "sim/ParallelSim.h"
@@ -53,6 +54,13 @@ struct PipelineReport {
   /// ...). Attribution for slow Steps on big modules; the stage-level
   /// instrumentation only sees the transform as one opaque block.
   std::vector<LoopPassTiming> TransformPassTimings;
+
+  /// Analysis-cache behaviour of the transform stage's AnalysisManager:
+  /// per analysis, how often it was built, served from cache, and
+  /// invalidated across the chosen-loop transforms. A pass silently
+  /// regressing to invalidate-all shows up here as a build-count jump
+  /// next to the timings above.
+  std::vector<AnalysisCounterReport> TransformAnalysisCounters;
 
   // Figure 11 breakdown, percent of sequential execution time.
   double PctParallel = 0, PctSeqData = 0, PctSeqControl = 0, PctOutside = 100;

@@ -218,7 +218,7 @@ std::vector<unsigned> dynamicLevels(const LoopNestGraph &LNG,
 /// may keep them for lazy recomputation).
 struct TransformedProgram {
   std::unique_ptr<Module> M;
-  std::unique_ptr<ModuleAnalyses> AM;
+  std::unique_ptr<AnalysisManager> AM;
   std::vector<std::pair<unsigned, ParallelLoopInfo>> Loops;
 };
 
@@ -227,11 +227,13 @@ TransformedProgram transformChosen(const Module &Source,
                                    const std::vector<unsigned> &Nodes,
                                    const HelixOptions &Opts,
                                    std::vector<LoopPassTiming> *Timings =
-                                       nullptr) {
+                                       nullptr,
+                                   bool ConservativeInvalidation = false) {
   TransformedProgram Out;
   CloneMap Map;
   Out.M = cloneModule(Source, &Map);
-  Out.AM = std::make_unique<ModuleAnalyses>(*Out.M);
+  Out.AM = std::make_unique<AnalysisManager>(*Out.M);
+  Out.AM->setConservativeInvalidation(ConservativeInvalidation);
   for (unsigned Node : Nodes) {
     const LoopNestNode &N = LNG.node(Node);
     Function *F = Map.Functions.at(N.F);
@@ -270,7 +272,7 @@ void ProfileStage::resetReport(PipelineReport &Report) const {
 
 bool ProfileStage::run(PipelineContext &Ctx) {
   Ctx.Pristine = cloneModule(Ctx.original());
-  Ctx.AM = std::make_unique<ModuleAnalyses>(*Ctx.Pristine);
+  Ctx.AM = std::make_unique<AnalysisManager>(*Ctx.Pristine);
   Ctx.LNG = std::make_unique<LoopNestGraph>(*Ctx.Pristine, *Ctx.AM);
   Ctx.Report.NumLoopsInProgram = Ctx.LNG->numNodes();
 
@@ -364,7 +366,7 @@ bool ProfileStage::deserializeResult(PipelineContext &Ctx,
   // Rebuild the deterministic artifacts; the payload must describe this
   // exact program (one more guard against a key collision).
   auto Pristine = cloneModule(Ctx.original());
-  auto AM = std::make_unique<ModuleAnalyses>(*Pristine);
+  auto AM = std::make_unique<AnalysisManager>(*Pristine);
   auto LNG = std::make_unique<LoopNestGraph>(*Pristine, *AM);
   if (LNG->numNodes() != NumLoops)
     return false;
@@ -487,7 +489,9 @@ bool ModelProfilingStage::run(PipelineContext &Ctx) {
       Config.ModelProfileThreads, Ctx.Candidates.size(), [&](size_t K) {
         unsigned Node = Ctx.Candidates[K];
         TransformedProgram TP =
-            transformChosen(*Ctx.Pristine, *Ctx.LNG, {Node}, Config.Helix);
+            transformChosen(*Ctx.Pristine, *Ctx.LNG, {Node}, Config.Helix,
+                            nullptr,
+                            Config.ConservativeAnalysisInvalidation);
         if (TP.Loops.empty())
           return;
         std::vector<const ParallelLoopInfo *> PLIs = {&TP.Loops[0].second};
@@ -622,11 +626,17 @@ bool SelectionStage::run(PipelineContext &Ctx) {
 //===----------------------------------------------------------------------===//
 
 std::string TransformStage::cacheKey(const PipelineConfig &Config) const {
-  return transformKey(Config.Helix);
+  // The invalidation-baseline knob changes no artifact, but it does
+  // change the reported TransformAnalysisCounters; an A/B sweep over it
+  // on one context must re-execute the stage, not serve the other
+  // mode's counters from cache.
+  return transformKey(Config.Helix) +
+         (Config.ConservativeAnalysisInvalidation ? ";ca1" : ";ca0");
 }
 
 void TransformStage::resetReport(PipelineReport &Report) const {
   Report.TransformPassTimings.clear();
+  Report.TransformAnalysisCounters.clear();
 }
 
 bool TransformStage::run(PipelineContext &Ctx) {
@@ -639,10 +649,12 @@ bool TransformStage::run(PipelineContext &Ctx) {
   Ctx.Report.TransformPassTimings.clear();
   TransformedProgram Final =
       transformChosen(*Ctx.Pristine, *Ctx.LNG, Ctx.Chosen, Ctx.config().Helix,
-                      &Ctx.Report.TransformPassTimings);
+                      &Ctx.Report.TransformPassTimings,
+                      Ctx.config().ConservativeAnalysisInvalidation);
   Ctx.Transformed = std::move(Final.M);
   Ctx.TransformedAM = std::move(Final.AM);
   Ctx.TransformedLoops = std::move(Final.Loops);
+  Ctx.Report.TransformAnalysisCounters = Ctx.TransformedAM->counterReport();
   return true;
 }
 

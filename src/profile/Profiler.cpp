@@ -9,7 +9,7 @@ namespace {
 /// Observer maintaining the dynamic loop stack.
 class LoopProfiler : public ExecObserver {
 public:
-  LoopProfiler(const LoopNestGraph &LNG, ModuleAnalyses &AM,
+  LoopProfiler(const LoopNestGraph &LNG, AnalysisManager &AM,
                ProgramProfile &Out)
       : LNG(LNG), AM(AM), Out(Out) {}
 
@@ -28,7 +28,7 @@ public:
   void onEdge(const BasicBlock *From, const BasicBlock *To,
               Interpreter &Interp) override {
     const Function *F = Interp.currentFunction();
-    LoopInfo &LI = AM.on(const_cast<Function *>(F)).LI;
+    LoopInfo &LI = AM.get<LoopInfo>(const_cast<Function *>(F));
     unsigned Depth = Interp.callDepth();
 
     // Pop loops of this frame that the edge leaves.
@@ -78,7 +78,7 @@ private:
     unsigned Depth;
   };
   const LoopNestGraph &LNG;
-  ModuleAnalyses &AM;
+  AnalysisManager &AM;
   ProgramProfile &Out;
   std::vector<StackEntry> Stack;
 };
@@ -86,7 +86,7 @@ private:
 } // namespace
 
 ProgramProfile helix::profileProgram(Module &M, const LoopNestGraph &LNG,
-                                     ModuleAnalyses &AM, ExecResult *ResultOut,
+                                     AnalysisManager &AM, ExecResult *ResultOut,
                                      uint64_t MaxInstructions) {
   ProgramProfile P;
   P.Loops.assign(LNG.numNodes(), LoopProfile());

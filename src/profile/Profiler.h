@@ -49,7 +49,7 @@ struct ProgramProfile {
 /// would hang the pipeline at its very first stage.
 /// \returns the profile; Ok is false in \p ResultOut on interpreter error.
 ProgramProfile profileProgram(Module &M, const LoopNestGraph &LNG,
-                              ModuleAnalyses &AM, ExecResult *ResultOut,
+                              AnalysisManager &AM, ExecResult *ResultOut,
                               uint64_t MaxInstructions = 0);
 
 } // namespace helix

@@ -66,9 +66,10 @@ TEST(Dominators, DiamondJoin) {
 TEST(LoopInfo, FindsNaturalLoopWithLatchAndExit) {
   auto M = parse(DiamondLoop);
   Function *F = M->findFunction("main");
-  FunctionAnalyses FA(F);
-  ASSERT_EQ(FA.LI.numLoops(), 1u);
-  Loop *L = FA.LI.loop(0);
+  AnalysisManager AM(*M);
+  LoopInfo &LI = AM.get<LoopInfo>(F);
+  ASSERT_EQ(LI.numLoops(), 1u);
+  Loop *L = LI.loop(0);
   EXPECT_EQ(L->header()->name(), "hdr");
   ASSERT_EQ(L->latches().size(), 1u);
   EXPECT_EQ(L->latches()[0]->name(), "latch");
@@ -105,23 +106,25 @@ exit:
 }
 )");
   Function *F = M->findFunction("main");
-  FunctionAnalyses FA(F);
-  ASSERT_EQ(FA.LI.numLoops(), 2u);
-  Loop *Inner = FA.LI.loopFor(F->findBlock("ibody"));
+  AnalysisManager AM(*M);
+  LoopInfo &LI = AM.get<LoopInfo>(F);
+  ASSERT_EQ(LI.numLoops(), 2u);
+  Loop *Inner = LI.loopFor(F->findBlock("ibody"));
   ASSERT_NE(Inner, nullptr);
   EXPECT_EQ(Inner->depth(), 2u);
   ASSERT_NE(Inner->parent(), nullptr);
   EXPECT_EQ(Inner->parent()->depth(), 1u);
-  EXPECT_EQ(FA.LI.topLevelLoops().size(), 1u);
+  EXPECT_EQ(LI.topLevelLoops().size(), 1u);
 }
 
 TEST(Liveness, LoopVariableLiveAtHeader) {
   auto M = parse(DiamondLoop);
   Function *F = M->findFunction("main");
-  FunctionAnalyses FA(F);
+  AnalysisManager AM(*M);
+  Liveness &LV = AM.get<Liveness>(F);
   BasicBlock *Hdr = F->findBlock("hdr");
-  EXPECT_TRUE(FA.LV.liveIn(Hdr).test(0));  // r0: the loop counter
-  EXPECT_FALSE(FA.LV.liveIn(Hdr).test(2)); // r2: body temporary
+  EXPECT_TRUE(LV.liveIn(Hdr).test(0));  // r0: the loop counter
+  EXPECT_FALSE(LV.liveIn(Hdr).test(2)); // r2: body temporary
 }
 
 TEST(PointsTo, DisjointGlobalsDoNotAlias) {
@@ -138,8 +141,8 @@ entry:
   ret r2
 }
 )");
-  ModuleAnalyses AM(*M);
-  PointsToAnalysis &PT = AM.pointsTo();
+  AnalysisManager AM(*M);
+  PointsToAnalysis &PT = AM.get<PointsToAnalysis>();
   Function *F = M->findFunction("main");
   EXPECT_FALSE(
       PT.mayAlias(F, Operand::reg(0), F, Operand::reg(1)));
@@ -162,8 +165,8 @@ entry:
   ret 0
 }
 )");
-  ModuleAnalyses AM(*M);
-  PointsToAnalysis &PT = AM.pointsTo();
+  AnalysisManager AM(*M);
+  PointsToAnalysis &PT = AM.get<PointsToAnalysis>();
   Function *F = M->findFunction("main");
   BitSet Pts = PT.operandPointsTo(F, Operand::reg(0));
   EXPECT_TRUE(Pts.test(0)); // points to global @a (location 0)
@@ -191,8 +194,8 @@ entry:
   ret 0
 }
 )");
-  ModuleAnalyses AM(*M);
-  MemEffects &ME = AM.memEffects();
+  AnalysisManager AM(*M);
+  MemEffects &ME = AM.get<MemEffects>();
   EXPECT_TRUE(ME.mayWrite(M->findFunction("writer")).test(0));
   EXPECT_TRUE(ME.mayWrite(M->findFunction("caller")).test(0));
   EXPECT_TRUE(ME.mayWrite(M->findFunction("main")).test(0));
@@ -227,9 +230,9 @@ exit:
 TEST(LoopVars, DetectsInductionVariable) {
   auto M = parse(ArraySweep);
   Function *F = M->findFunction("main");
-  FunctionAnalyses FA(F);
-  Loop *L = FA.LI.loop(0);
-  LoopVarAnalysis Vars(F, L, FA.DT);
+  AnalysisManager AM(*M);
+  Loop *L = AM.get<LoopInfo>(F).loop(0);
+  LoopVarAnalysis Vars(F, L, AM.get<DominatorTree>(F));
   const InductionVar *IV = Vars.inductionVar(0);
   ASSERT_NE(IV, nullptr);
   EXPECT_EQ(IV->Stride, 1);
@@ -241,9 +244,9 @@ TEST(LoopVars, DetectsInductionVariable) {
 TEST(LoopVars, AffineAddressDecomposition) {
   auto M = parse(ArraySweep);
   Function *F = M->findFunction("main");
-  FunctionAnalyses FA(F);
-  Loop *L = FA.LI.loop(0);
-  LoopVarAnalysis Vars(F, L, FA.DT);
+  AnalysisManager AM(*M);
+  Loop *L = AM.get<LoopInfo>(F).loop(0);
+  LoopVarAnalysis Vars(F, L, AM.get<DominatorTree>(F));
   AffineAddr A = Vars.affineAddr(Operand::reg(2)); // @a + i
   ASSERT_TRUE(A.Valid);
   EXPECT_EQ(A.Base, AffineAddr::BaseKind::Global);
@@ -254,13 +257,14 @@ TEST(LoopVars, AffineAddressDecomposition) {
 
 TEST(Dependence, ArraySweepHasNoCarriedDeps) {
   auto M = parse(ArraySweep);
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *F = M->findFunction("main");
-  FunctionAnalyses &FA = AM.on(F);
-  Loop *L = FA.LI.loop(0);
-  LoopVarAnalysis Vars(F, L, FA.DT);
-  LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
-                             AM.pointsTo(), AM.memEffects());
+  Loop *L = AM.get<LoopInfo>(F).loop(0);
+  LoopVarAnalysis Vars(F, L, AM.get<DominatorTree>(F));
+  LoopDependenceAnalysis DDA(F, L, AM.get<CFGInfo>(F),
+                             AM.get<DominatorTree>(F), AM.get<Liveness>(F),
+                             Vars, AM.get<PointsToAnalysis>(),
+                             AM.get<MemEffects>());
   EXPECT_TRUE(DDA.toSynchronize().empty());
   EXPECT_GE(DDA.stats().NumExcludedInduction, 1u);
 }
@@ -288,13 +292,14 @@ exit:
   ret 0
 }
 )");
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *F = M->findFunction("main");
-  FunctionAnalyses &FA = AM.on(F);
-  Loop *L = FA.LI.loop(0);
-  LoopVarAnalysis Vars(F, L, FA.DT);
-  LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
-                             AM.pointsTo(), AM.memEffects());
+  Loop *L = AM.get<LoopInfo>(F).loop(0);
+  LoopVarAnalysis Vars(F, L, AM.get<DominatorTree>(F));
+  LoopDependenceAnalysis DDA(F, L, AM.get<CFGInfo>(F),
+                             AM.get<DominatorTree>(F), AM.get<Liveness>(F),
+                             Vars, AM.get<PointsToAnalysis>(),
+                             AM.get<MemEffects>());
   bool FoundMem = false;
   for (const DataDependence &D : DDA.toSynchronize())
     FoundMem |= D.ViaMemory;
@@ -323,13 +328,14 @@ exit:
   ret r7
 }
 )");
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *F = M->findFunction("main");
-  FunctionAnalyses &FA = AM.on(F);
-  Loop *L = FA.LI.loop(0);
-  LoopVarAnalysis Vars(F, L, FA.DT);
-  LoopDependenceAnalysis DDA(F, L, FA.CFG, FA.DT, FA.LV, Vars,
-                             AM.pointsTo(), AM.memEffects());
+  Loop *L = AM.get<LoopInfo>(F).loop(0);
+  LoopVarAnalysis Vars(F, L, AM.get<DominatorTree>(F));
+  LoopDependenceAnalysis DDA(F, L, AM.get<CFGInfo>(F),
+                             AM.get<DominatorTree>(F), AM.get<Liveness>(F),
+                             Vars, AM.get<PointsToAnalysis>(),
+                             AM.get<MemEffects>());
   bool FoundReg = false;
   for (const DataDependence &D : DDA.toSynchronize())
     if (!D.ViaMemory && D.Reg == 7)
@@ -368,7 +374,7 @@ exit:
   ret 0
 }
 )");
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   LoopNestGraph LNG(*M, AM);
   ASSERT_EQ(LNG.numNodes(), 2u);
   // main's loop must have kernel's loop as a child.

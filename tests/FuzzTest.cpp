@@ -47,10 +47,10 @@ TEST(Generator, ModulesVerifyAndHaveLoops) {
     auto M = generateProgram(Seed);
     EXPECT_EQ(verifyModule(*M), "") << "seed " << Seed;
     ASSERT_NE(M->findFunction("main"), nullptr);
-    ModuleAnalyses AM(*M);
+    AnalysisManager AM(*M);
     for (Function *F : *M) {
       ++TotalFuncs;
-      TotalLoops += AM.on(F).LI.numLoops();
+      TotalLoops += AM.get<LoopInfo>(F).numLoops();
     }
     if (M->findGlobal("list") != ~0u)
       ++WithLists;
@@ -60,6 +60,29 @@ TEST(Generator, ModulesVerifyAndHaveLoops) {
   EXPECT_GT(TotalLoops, 80u);
   EXPECT_GT(TotalFuncs, 120u);
   EXPECT_GT(WithLists, 5u);
+}
+
+TEST(Generator, EmitsAllocaAndHeapBackedData) {
+  // The points-to stressor: across a modest seed range the generator must
+  // produce HeapAlloc-backed kernel scratch buffers and Alloca-backed
+  // leaf spills (Stack/Heap abstract locations, not just globals) — and
+  // none at all when the knob is off.
+  unsigned WithHeap = 0, WithAlloca = 0;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    std::string T = generateProgram(Seed)->toString();
+    WithHeap += T.find("halloc") != std::string::npos;
+    WithAlloca += T.find("alloca") != std::string::npos;
+  }
+  EXPECT_GT(WithHeap, 5u);
+  EXPECT_GT(WithAlloca, 5u);
+
+  GeneratorConfig Off;
+  Off.LocalBufferProb = 0.0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    std::string T = generateProgram(Seed, Off)->toString();
+    EXPECT_EQ(T.find("halloc"), std::string::npos) << "seed " << Seed;
+    EXPECT_EQ(T.find("alloca"), std::string::npos) << "seed " << Seed;
+  }
 }
 
 TEST(Generator, ProgramsRunAndReturnChecksum) {
@@ -97,10 +120,10 @@ TEST(RoundTrip, TransformedModulesAreAFixedPoint) {
   for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
     auto M = generateProgram(Seed);
     auto TM = cloneModule(*M);
-    ModuleAnalyses AM(*TM);
+    AnalysisManager AM(*TM);
     std::vector<std::pair<Function *, BasicBlock *>> Targets;
     for (Function *F : *TM)
-      for (Loop *L : AM.on(F).LI.topLevelLoops())
+      for (Loop *L : AM.get<LoopInfo>(F).topLevelLoops())
         Targets.push_back({F, L->header()});
     HelixOptions Opts;
     for (auto &[F, H] : Targets)

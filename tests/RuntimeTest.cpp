@@ -31,13 +31,13 @@ Prepared prepare(const Module &Original) {
   Prepared Out;
   CloneMap Map;
   Out.M = cloneModule(Original, &Map);
-  ModuleAnalyses AM(*Out.M);
+  AnalysisManager AM(*Out.M);
   HelixOptions Opts;
   std::vector<std::pair<Function *, BasicBlock *>> Targets;
   for (Function *F : *Out.M) {
     if (F->name().find(".k") == std::string::npos)
       continue;
-    LoopInfo &LI = AM.on(F).LI;
+    LoopInfo &LI = AM.get<LoopInfo>(F);
     // Outermost loops only (the pipeline's selection never nests choices).
     for (Loop *L : LI.topLevelLoops())
       Targets.push_back({F, L->header()});

@@ -20,7 +20,7 @@ namespace {
 /// an inner DOALL loop, and profiles it.
 struct Fixture {
   std::unique_ptr<Module> M;
-  std::unique_ptr<ModuleAnalyses> AM;
+  std::unique_ptr<AnalysisManager> AM;
   std::unique_ptr<LoopNestGraph> LNG;
   ProgramProfile Profile;
 };
@@ -33,7 +33,7 @@ Fixture makeSetup() {
   Spec.MainRepeat = 2;
   Spec.Phases = {{2, false, {{KernelIdiom::DoAll, 64, 16, 8}}}};
   S.M = buildWorkload(Spec);
-  S.AM = std::make_unique<ModuleAnalyses>(*S.M);
+  S.AM = std::make_unique<AnalysisManager>(*S.M);
   S.LNG = std::make_unique<LoopNestGraph>(*S.M, *S.AM);
   ExecResult R;
   S.Profile = profileProgram(*S.M, *S.LNG, *S.AM, &R);

@@ -56,7 +56,7 @@ exit:
 
 TEST(Normalize, PrologueIsHeaderForWhileLoops) {
   auto M = parse(AccumLoop);
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *F = M->findFunction("main");
   NormalizedLoop NL = normalizeLoop(AM, F, F->findBlock("hdr"));
   ASSERT_TRUE(NL.Valid);
@@ -86,7 +86,7 @@ exit:
   ret r0
 }
 )");
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *F = M->findFunction("main");
   NormalizedLoop NL = normalizeLoop(AM, F, F->findBlock("hdr"));
   ASSERT_TRUE(NL.Valid);
@@ -114,7 +114,7 @@ exit:
   ret r0
 }
 )");
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *F = M->findFunction("main");
   NormalizedLoop NL = normalizeLoop(AM, F, F->findBlock("body"));
   ASSERT_TRUE(NL.Valid);
@@ -124,7 +124,7 @@ exit:
 
 TEST(Transform, AccumulatorLoopGetsOneSegment) {
   auto M = parse(AccumLoop);
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *F = M->findFunction("main");
   HelixOptions Opts;
   auto PLI = parallelizeLoop(AM, F, F->findBlock("hdr"), Opts);
@@ -139,7 +139,7 @@ TEST(Transform, AccumulatorLoopGetsOneSegment) {
 
 TEST(Transform, WaitBeforeSignalOnEveryPath) {
   auto M = parse(AccumLoop);
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *F = M->findFunction("main");
   HelixOptions Opts;
   auto PLI = parallelizeLoop(AM, F, F->findBlock("hdr"), Opts);
@@ -191,14 +191,14 @@ exit:
   auto Clone = cloneModule(*M);
 
   HelixOptions WithOpt;
-  ModuleAnalyses AM1(*M);
+  AnalysisManager AM1(*M);
   Function *F1 = M->findFunction("main");
   auto P1 = parallelizeLoop(AM1, F1, F1->findBlock("hdr"), WithOpt);
   ASSERT_TRUE(P1.has_value());
 
   HelixOptions NoOpt;
   NoOpt.EnableSignalOpt = false;
-  ModuleAnalyses AM2(*Clone);
+  AnalysisManager AM2(*Clone);
   Function *F2 = Clone->findFunction("main");
   auto P2 = parallelizeLoop(AM2, F2, F2->findBlock("hdr"), NoOpt);
   ASSERT_TRUE(P2.has_value());
@@ -231,7 +231,7 @@ exit:
   ret r7
 }
 )");
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *F = M->findFunction("main");
   HelixOptions Opts;
   auto PLI = parallelizeLoop(AM, F, F->findBlock("hdr"), Opts);
@@ -331,15 +331,15 @@ TEST_P(SequentialEquivalence, TransformPreservesResult) {
   ASSERT_TRUE(Ref.Ok) << Ref.Error;
 
   // Transform every loop of the kernel function.
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   Function *Kernel = nullptr;
   for (Function *F : *M)
     if (F->name().find(".k0.") != std::string::npos)
       Kernel = F;
   ASSERT_NE(Kernel, nullptr);
   std::vector<BasicBlock *> Headers;
-  for (unsigned L = 0; L != AM.on(Kernel).LI.numLoops(); ++L)
-    Headers.push_back(AM.on(Kernel).LI.loop(L)->header());
+  for (unsigned L = 0; L != AM.get<LoopInfo>(Kernel).numLoops(); ++L)
+    Headers.push_back(AM.get<LoopInfo>(Kernel).loop(L)->header());
   HelixOptions Opts;
   unsigned Transformed = 0;
   for (BasicBlock *H : Headers)
@@ -387,13 +387,13 @@ TEST_P(OptionSweep, AnyStepCombinationIsSound) {
   Opts.EnableSignalOpt = Mask & 4;
   Opts.EnableBalancing = Mask & 8;
 
-  ModuleAnalyses AM(*M);
+  AnalysisManager AM(*M);
   unsigned Count = 0;
   for (Function *F : *M) {
     if (F->name().find(".k") == std::string::npos)
       continue;
     std::vector<BasicBlock *> Headers;
-    LoopInfo &LI = AM.on(F).LI;
+    LoopInfo &LI = AM.get<LoopInfo>(F);
     for (unsigned L = 0; L != LI.numLoops(); ++L)
       Headers.push_back(LI.loop(L)->header());
     for (BasicBlock *H : Headers)

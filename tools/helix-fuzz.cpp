@@ -6,12 +6,14 @@
 ///
 ///   helix-fuzz --seed 1 --runs 500 --corpus fuzz-corpus
 ///   helix-fuzz --case-seed 0xec779c3693f88501     # replay one case
+///   helix-fuzz --replay fuzz-corpus/div-0003-....shrunk.ir
 ///
 /// Each case generates a random loop program, executes it sequentially,
 /// transformed-sequentially and threaded (2/4/6 workers by default), and
 /// reports any checksum/trap divergence. Failing cases are shrunk and
 /// written to the corpus directory as parseable .ir repro files; replay a
-/// printed case seed with --case-seed.
+/// printed case seed with --case-seed, or run the differential oracle
+/// directly on a saved .ir repro with --replay.
 ///
 /// Exit codes: 0 = all cases differentially clean, 1 = divergence found,
 /// 2 = bad usage, 3 = no divergence but some cases were inconclusive
@@ -20,12 +22,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "ir/IRParser.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 using namespace helix;
 
@@ -38,6 +44,8 @@ void usage() {
       "  --runs N          number of generated programs (default 100)\n"
       "  --case-seed X     replay exactly this generator seed (repeatable;\n"
       "                    overrides --seed/--runs)\n"
+      "  --replay FILE     run the differential oracle on a saved .ir repro\n"
+      "                    (repeatable; overrides seed-based generation)\n"
       "  --jobs N          worker threads (0 = hardware, default)\n"
       "  --threads A,B,..  thread counts of the threaded leg (default "
       "2,4,6)\n"
@@ -55,10 +63,61 @@ bool parseUnsigned(const char *S, uint64_t &Out) {
   return End && *End == '\0' && End != S;
 }
 
+void printAnalysisCounters(const std::vector<AnalysisCounterReport> &Counters) {
+  if (Counters.empty())
+    return;
+  std::printf("analysis cache:");
+  for (const AnalysisCounterReport &C : Counters)
+    if (C.Built || C.Hits || C.Invalidated)
+      std::printf(" %s=%llu/%llu/%llu", C.Analysis.c_str(),
+                  (unsigned long long)C.Built, (unsigned long long)C.Hits,
+                  (unsigned long long)C.Invalidated);
+  std::printf(" (built/hits/invalidated)\n");
+}
+
+/// Runs the oracle directly on saved .ir repro files ('#' comment lines
+/// are part of the IR grammar, so campaign repros load unmodified).
+/// \returns the process exit code.
+int replayFiles(const std::vector<std::string> &Files, const DiffConfig &C) {
+  unsigned Divergent = 0, Inconclusive = 0;
+  std::vector<AnalysisCounterReport> Counters;
+  for (const std::string &Path : Files) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "helix-fuzz: cannot read '%s'\n", Path.c_str());
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    ParseResult P = parseModule(SS.str());
+    if (!P.succeeded()) {
+      std::fprintf(stderr, "helix-fuzz: '%s' does not parse: %s\n",
+                   Path.c_str(), P.Error.c_str());
+      return 2;
+    }
+    DiffOutcome O = runDifferential(*P.M, C);
+    mergeAnalysisCounters(Counters, O.AnalysisCounters);
+    const char *Verdict = O.Divergence      ? "DIVERGENCE"
+                          : O.Inconclusive  ? "INCONCLUSIVE"
+                                            : "clean";
+    std::printf("%s: %s (%u/%u loops transformed, seq checksum %lld)%s%s\n",
+                Path.c_str(), Verdict, O.LoopsTransformed, O.LoopsAttempted,
+                (long long)O.SeqChecksum, O.Detail.empty() ? "" : ": ",
+                O.Detail.c_str());
+    Divergent += O.Divergence;
+    Inconclusive += O.Inconclusive;
+  }
+  printAnalysisCounters(Counters);
+  if (Divergent)
+    return 1;
+  return Inconclusive ? 3 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   FuzzOptions Opt;
+  std::vector<std::string> ReplayFilesList;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto NeedValue = [&]() -> const char * {
@@ -113,6 +172,8 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "helix-fuzz: empty --threads list\n");
         return 2;
       }
+    } else if (Arg == "--replay") {
+      ReplayFilesList.push_back(NeedValue());
     } else if (Arg == "--corpus") {
       Opt.CorpusDir = NeedValue();
     } else if (Arg == "--shrink") {
@@ -143,6 +204,12 @@ int main(int argc, char **argv) {
       usage();
       return 2;
     }
+  }
+
+  if (!ReplayFilesList.empty()) {
+    std::printf("helix-fuzz: replaying %zu repro file(s)\n",
+                ReplayFilesList.size());
+    return replayFiles(ReplayFilesList, Opt.Diff);
   }
 
   if (!Opt.CaseSeeds.empty())
@@ -176,6 +243,7 @@ int main(int argc, char **argv) {
       std::printf(" %s=%.0fms", T.Pass.c_str(), T.Millis);
     std::printf("\n");
   }
+  printAnalysisCounters(S.AnalysisCounters);
   for (const FuzzFailure &F : S.Failures) {
     std::printf("%s case %u (case seed 0x%llx, replay with "
                 "--case-seed 0x%llx): %s\n",
