@@ -13,6 +13,8 @@
 #include "helix/HelixTransform.h"
 #include "ir/Clone.h"
 #include "pipeline/PipelineBuilder.h"
+#include "sim/Interpreter.h"
+#include "sim/TreeWalkInterpreter.h"
 #include "workloads/WorkloadBuilder.h"
 
 #include <benchmark/benchmark.h>
@@ -148,6 +150,55 @@ void BM_AnalysisPreservation(benchmark::State &State) {
 BENCHMARK(BM_AnalysisPreservation)
     ->Arg(0) // preservation-aware (the shipping configuration)
     ->Arg(1) // conservative invalidate-all baseline
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExecEngineDecode(benchmark::State &State) {
+  // Cost of lowering the suite module into the flat pre-resolved
+  // instruction stream — what the decode cache saves on every reuse.
+  auto M = suiteModule();
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    ExecProgram Prog(*M);
+    Instrs = 0;
+    for (unsigned F = 0; F != Prog.numFunctions(); ++F)
+      Instrs += Prog.function(F).Code.size();
+    benchmark::DoNotOptimize(Instrs);
+  }
+  State.counters["instrs"] = double(Instrs);
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(Instrs));
+}
+BENCHMARK(BM_ExecEngineDecode);
+
+/// The engine acceptance gate: per-instruction dispatch cost of the
+/// decoded engine (Arg 1) against the retained tree-walk reference
+/// (Arg 0), executing the whole suite module sequentially with no
+/// observer. items_per_second is executed instructions per second — the
+/// decoded row must beat the tree-walk row. CI prints both.
+void BM_ExecEngineVsTreeWalk(benchmark::State &State) {
+  auto M = suiteModule();
+  bool Decoded = State.range(0) != 0;
+  uint64_t Instructions = 0;
+  for (auto _ : State) {
+    ExecResult R;
+    if (Decoded) {
+      Interpreter I(*M); // decode served from the cache after run one
+      R = I.run();
+    } else {
+      TreeWalkInterpreter I(*M);
+      R = I.run();
+    }
+    if (!R.Ok)
+      State.SkipWithError("suite module failed to execute");
+    Instructions = R.Instructions;
+    benchmark::DoNotOptimize(R.ReturnValue.asInt());
+  }
+  State.counters["instrs"] = double(Instructions);
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(Instructions));
+}
+BENCHMARK(BM_ExecEngineVsTreeWalk)
+    ->Arg(0) // tree-walk baseline
+    ->Arg(1) // decoded engine
     ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineStringParse(benchmark::State &State) {

@@ -1,0 +1,5 @@
+#include "exec/ExecEngine.h"
+
+using namespace helix;
+
+ExecObserver::~ExecObserver() = default;

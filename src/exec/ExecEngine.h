@@ -1,0 +1,557 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared execution engine: one tight dispatch loop over the decoded
+/// instruction stream (exec/ExecProgram.h), parameterized over a memory
+/// model and a hook set so the three drivers stay thin:
+///
+///   - sim/Interpreter: private growable memory, optional observer hooks
+///     (the profiler and the trace collector attach here);
+///   - runtime/ThreadedRuntime: a pre-sized shared arena, edge-watch hooks
+///     for loop entry/back-edge/exit detection and sync-op hooks for the
+///     Signal/Wait release/acquire protocol;
+///   - differential tests and benches drive all of the above against the
+///     retained tree-walk reference (sim/TreeWalkInterpreter.h).
+///
+/// Hooks are compile-time: a driver that wants no observation instantiates
+/// the engine with the default hooks and the callbacks (and the edge
+/// bookkeeping feeding them) vanish entirely from the hot loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_EXEC_EXECENGINE_H
+#define HELIX_EXEC_EXECENGINE_H
+
+#include "exec/ExecLimits.h"
+#include "exec/ExecProgram.h"
+#include "support/Compiler.h"
+#include "support/Format.h"
+
+#include <atomic>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace helix {
+
+//===----------------------------------------------------------------------===//
+// Results and observation
+//===----------------------------------------------------------------------===//
+
+/// Outcome of a run.
+struct ExecResult {
+  bool Ok = false;
+  std::string Error;      ///< set when Ok is false
+  /// The run stopped on an instruction/step cap rather than a trap.
+  /// Structural (not derived from Error text): the differential oracle
+  /// classifies hang-shaped failures through this flag.
+  bool BudgetExhausted = false;
+  Value ReturnValue;      ///< main's return value
+  uint64_t Cycles = 0;    ///< accumulated cost-model cycles
+  uint64_t Instructions = 0;
+};
+
+/// Introspection handle observers receive. Implemented by every engine an
+/// observer can attach to (the decoded sequential driver and the tree-walk
+/// reference), so one observer — the profiler, the trace collector —
+/// serves both.
+class ExecState {
+public:
+  virtual unsigned callDepth() const = 0;
+  virtual const Function *currentFunction() const = 0;
+  /// Value of an operand in the current (innermost) frame.
+  virtual Value operandValue(const Operand &O) const = 0;
+  /// Base address of global \p Idx.
+  virtual uint64_t globalBase(unsigned Idx) const = 0;
+
+protected:
+  ~ExecState() = default;
+};
+
+/// Receives execution events. All callbacks are invoked synchronously
+/// during the run, in the same order the tree-walk interpreter always
+/// used: non-control instructions report after executing, control
+/// instructions report before transferring, edges report after the
+/// transfer.
+class ExecObserver {
+public:
+  virtual ~ExecObserver();
+  /// After \p I executed, costing \p Cycles.
+  virtual void onInstruction(const Instruction *I, unsigned Cycles,
+                             ExecState &State) {
+    (void)I;
+    (void)Cycles;
+    (void)State;
+  }
+  /// Control transferred along the CFG edge \p From -> \p To (same frame).
+  virtual void onEdge(const BasicBlock *From, const BasicBlock *To,
+                      ExecState &State) {
+    (void)From;
+    (void)To;
+    (void)State;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Execution context and memory models
+//===----------------------------------------------------------------------===//
+
+/// Stack (Alloca) addresses live in a high range disjoint from the
+/// globals+heap segment — the layout every engine shares.
+inline constexpr uint64_t ExecStackBase = uint64_t(1) << 40;
+
+/// One thread of execution: a frame stack plus the private Alloca region.
+/// The globals+heap segment lives in the memory model (private to the
+/// context for sequential runs, shared across contexts for threaded ones).
+struct ExecContext {
+  struct Frame {
+    const DecodedFunction *F = nullptr;
+    uint32_t PC = 0;
+    uint64_t SavedSP = 0;
+    uint32_t DestRegInCaller = ~0u;
+    bool WantsResult = false;
+    std::vector<Value> Regs;
+  };
+
+  std::vector<Frame> Frames;
+  std::vector<Value> Stack; ///< alloca region
+  uint64_t StackPtr = 0;
+  Value Returned;
+  std::string Error;
+  bool BudgetExhausted = false;
+  uint64_t Steps = 0;
+  uint64_t MaxSteps = ExecLimits::DefaultMaxSteps;
+  uint64_t Cycles = 0;
+
+  /// Pushes a fresh base/call frame for \p DF starting at its entry PC.
+  Frame &pushFrame(const DecodedFunction &DF) {
+    Frame Fr;
+    Fr.F = &DF;
+    Fr.SavedSP = StackPtr;
+    Fr.Regs.assign(DF.NumRegs, Value());
+    Frames.push_back(std::move(Fr));
+    return Frames.back();
+  }
+};
+
+/// Growable private memory of a sequential execution. Loads outside the
+/// populated region read zero; stores extend it.
+class PrivateExecMemory {
+public:
+  explicit PrivateExecMemory(const ExecProgram &P) {
+    Low.assign(P.globalEnd(), Value());
+    P.initGlobals(Low);
+    HeapPtr = P.globalEnd();
+  }
+
+  Value load(uint64_t Addr) const {
+    return Addr < Low.size() ? Low[Addr] : Value();
+  }
+  void store(uint64_t Addr, Value V) {
+    if (Addr >= Low.size())
+      Low.resize(Addr + 1);
+    Low[Addr] = V;
+  }
+  uint64_t heapAlloc(uint64_t N) {
+    uint64_t Base = HeapPtr;
+    HeapPtr += N;
+    if (Low.size() < HeapPtr)
+      Low.resize(HeapPtr);
+    return Base;
+  }
+
+  std::vector<Value> Low; ///< globals + heap
+  uint64_t HeapPtr = 0;
+};
+
+/// Shared program memory of a threaded execution: globals + heap in one
+/// pre-sized arena (so worker threads never race a reallocation), with an
+/// atomic heap bump allocator. Per-context stacks live elsewhere.
+class SharedExecMemory {
+public:
+  explicit SharedExecMemory(const ExecProgram &P,
+                            uint64_t HeapHeadroom = uint64_t(1) << 22) {
+    Low.assign(P.globalEnd() + HeapHeadroom, Value());
+    P.initGlobals(Low);
+    HeapPtr.store(P.globalEnd(), std::memory_order_relaxed);
+  }
+
+  Value load(uint64_t Addr) const {
+    return Addr < Low.size() ? Low[Addr] : Value();
+  }
+  void store(uint64_t Addr, Value V) {
+    if (Addr >= Low.size())
+      reportFatalError("threaded runtime store out of arena");
+    Low[Addr] = V;
+  }
+  uint64_t heapAlloc(uint64_t N) {
+    uint64_t Base = HeapPtr.fetch_add(N);
+    if (Base + N > Low.size())
+      reportFatalError("threaded runtime heap exhausted");
+    return Base;
+  }
+
+  std::vector<Value> Low;
+  std::atomic<uint64_t> HeapPtr{0};
+  /// Set by any context that hit the step cap, so the final ExecResult can
+  /// report budget exhaustion structurally even when the failing context
+  /// was a worker whose message is summarized away.
+  std::atomic<bool> BudgetExhausted{false};
+};
+
+//===----------------------------------------------------------------------===//
+// Hooks
+//===----------------------------------------------------------------------===//
+
+/// What stopped a runEngine call.
+enum class ExecStop {
+  Returned,    ///< base frame returned (ExecContext::Returned is set)
+  EdgeStopped, ///< an edge hook stopped execution *before* the edge was
+               ///< taken; the frame's PC stays on the terminator
+  Abandoned,   ///< a sync hook asked to abandon the context (dead parallel
+               ///< iteration); no error
+  Trapped,     ///< runtime error or budget exhaustion (Error is set)
+};
+
+/// The no-op hook set: everything compiles away. Drivers derive from this
+/// and override what they need; the two `Wants*` constants gate the edge
+/// bookkeeping and the instruction callbacks at compile time.
+struct DefaultExecHooks {
+  static constexpr bool WantsInstruction = false;
+  static constexpr bool WantsEdges = false;
+
+  void onInstruction(const DecodedInst &I, unsigned Cycles) {
+    (void)I;
+    (void)Cycles;
+  }
+  /// \returns false to stop execution before the edge is taken.
+  bool onEdge(const BasicBlock *From, const BasicBlock *To) {
+    (void)From;
+    (void)To;
+    return true;
+  }
+  /// Wait / SignalOp / IterStart. \returns false to abandon the context.
+  bool sync(const DecodedInst &I) {
+    (void)I;
+    return true;
+  }
+  void fence() {}
+};
+
+/// Hooks forwarding to an ExecObserver (sequential driver with observer).
+struct ObserverExecHooks : DefaultExecHooks {
+  static constexpr bool WantsInstruction = true;
+  static constexpr bool WantsEdges = true;
+
+  ObserverExecHooks(ExecObserver &Obs, ExecState &State)
+      : Obs(Obs), State(State) {}
+
+  void onInstruction(const DecodedInst &I, unsigned Cycles) {
+    Obs.onInstruction(I.Src, Cycles, State);
+  }
+  bool onEdge(const BasicBlock *From, const BasicBlock *To) {
+    Obs.onEdge(From, To, State);
+    return true;
+  }
+
+  ExecObserver &Obs;
+  ExecState &State;
+};
+
+//===----------------------------------------------------------------------===//
+// The dispatch loop
+//===----------------------------------------------------------------------===//
+
+/// Runs \p Ctx until its base frame returns, a hook stops it, or it traps.
+/// The context must have at least one frame. Instantiated per
+/// (memory model, hook set) pair so unwanted observation costs nothing.
+template <typename MemoryT, typename HooksT>
+ExecStop runEngine(const ExecProgram &P, MemoryT &Mem, ExecContext &Ctx,
+                   HooksT &&Hooks) {
+  const Value *Consts = P.constants().data();
+
+  while (!Ctx.Frames.empty()) {
+    // Cache the hot frame state; re-acquired after every frame change.
+    ExecContext::Frame &Fr = Ctx.Frames.back();
+    const DecodedFunction *DF = Fr.F;
+    const DecodedInst *Code = DF->Code.data();
+    Value *Regs = Fr.Regs.data();
+    uint32_t PC = Fr.PC;
+
+    auto Val = [&](OperandRef R) -> Value {
+      return (R & ConstOperandBit) ? Consts[R & ~ConstOperandBit] : Regs[R];
+    };
+    auto CallArg = [&](const DecodedInst &I, unsigned K) -> Value {
+      return Val(K < 2 ? I.Ops[K] : DF->ExtraOperands[I.ExtraOps + (K - 2)]);
+    };
+    auto Trap = [&](const char *Msg) {
+      Ctx.Error = formatStr("@%s/%s: %s", DF->Src->name().c_str(),
+                            DF->BlockOf[PC]->name().c_str(), Msg);
+      Fr.PC = PC;
+      return ExecStop::Trapped;
+    };
+
+    bool FrameChanged = false;
+    while (!FrameChanged) {
+      assert(PC < DF->Code.size() && "ran off the decoded code");
+      if (Ctx.Steps >= Ctx.MaxSteps) {
+        Ctx.Error = formatStr("instruction budget exhausted (%llu)",
+                              (unsigned long long)Ctx.MaxSteps);
+        Ctx.BudgetExhausted = true;
+        Fr.PC = PC;
+        return ExecStop::Trapped;
+      }
+      ++Ctx.Steps;
+      const DecodedInst &I = Code[PC];
+      Ctx.Cycles += I.Cycles;
+
+      switch (I.Op) {
+      case Opcode::Add:
+        Regs[I.Dest] = Value::ofInt(int64_t(uint64_t(Val(I.Ops[0]).asInt()) +
+                                            uint64_t(Val(I.Ops[1]).asInt())));
+        break;
+      case Opcode::Sub:
+        Regs[I.Dest] = Value::ofInt(int64_t(uint64_t(Val(I.Ops[0]).asInt()) -
+                                            uint64_t(Val(I.Ops[1]).asInt())));
+        break;
+      case Opcode::Mul:
+        Regs[I.Dest] = Value::ofInt(int64_t(uint64_t(Val(I.Ops[0]).asInt()) *
+                                            uint64_t(Val(I.Ops[1]).asInt())));
+        break;
+      case Opcode::Div: {
+        int64_t B = Val(I.Ops[1]).asInt();
+        if (B == 0)
+          return Trap("integer division by zero");
+        Regs[I.Dest] = Value::ofInt(Val(I.Ops[0]).asInt() / B);
+        break;
+      }
+      case Opcode::Rem: {
+        int64_t B = Val(I.Ops[1]).asInt();
+        if (B == 0)
+          return Trap("integer remainder by zero");
+        Regs[I.Dest] = Value::ofInt(Val(I.Ops[0]).asInt() % B);
+        break;
+      }
+      case Opcode::And:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asInt() & Val(I.Ops[1]).asInt());
+        break;
+      case Opcode::Or:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asInt() | Val(I.Ops[1]).asInt());
+        break;
+      case Opcode::Xor:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asInt() ^ Val(I.Ops[1]).asInt());
+        break;
+      case Opcode::Shl:
+        Regs[I.Dest] = Value::ofInt(int64_t(uint64_t(Val(I.Ops[0]).asInt())
+                                            << (Val(I.Ops[1]).asInt() & 63)));
+        break;
+      case Opcode::Shr:
+        Regs[I.Dest] = Value::ofInt(int64_t(uint64_t(Val(I.Ops[0]).asInt()) >>
+                                            (Val(I.Ops[1]).asInt() & 63)));
+        break;
+      case Opcode::FAdd:
+        Regs[I.Dest] =
+            Value::ofFloat(Val(I.Ops[0]).asFloat() + Val(I.Ops[1]).asFloat());
+        break;
+      case Opcode::FSub:
+        Regs[I.Dest] =
+            Value::ofFloat(Val(I.Ops[0]).asFloat() - Val(I.Ops[1]).asFloat());
+        break;
+      case Opcode::FMul:
+        Regs[I.Dest] =
+            Value::ofFloat(Val(I.Ops[0]).asFloat() * Val(I.Ops[1]).asFloat());
+        break;
+      case Opcode::FDiv:
+        Regs[I.Dest] =
+            Value::ofFloat(Val(I.Ops[0]).asFloat() / Val(I.Ops[1]).asFloat());
+        break;
+      case Opcode::IntToFP:
+        Regs[I.Dest] = Value::ofFloat(Val(I.Ops[0]).asFloat());
+        break;
+      case Opcode::FPToInt:
+        Regs[I.Dest] = Value::ofInt(Val(I.Ops[0]).asInt());
+        break;
+      case Opcode::CmpEQ:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asInt() == Val(I.Ops[1]).asInt());
+        break;
+      case Opcode::CmpNE:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asInt() != Val(I.Ops[1]).asInt());
+        break;
+      case Opcode::CmpLT:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asInt() < Val(I.Ops[1]).asInt());
+        break;
+      case Opcode::CmpLE:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asInt() <= Val(I.Ops[1]).asInt());
+        break;
+      case Opcode::CmpGT:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asInt() > Val(I.Ops[1]).asInt());
+        break;
+      case Opcode::CmpGE:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asInt() >= Val(I.Ops[1]).asInt());
+        break;
+      case Opcode::FCmpEQ:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asFloat() == Val(I.Ops[1]).asFloat());
+        break;
+      case Opcode::FCmpNE:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asFloat() != Val(I.Ops[1]).asFloat());
+        break;
+      case Opcode::FCmpLT:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asFloat() < Val(I.Ops[1]).asFloat());
+        break;
+      case Opcode::FCmpLE:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asFloat() <= Val(I.Ops[1]).asFloat());
+        break;
+      case Opcode::FCmpGT:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asFloat() > Val(I.Ops[1]).asFloat());
+        break;
+      case Opcode::FCmpGE:
+        Regs[I.Dest] =
+            Value::ofInt(Val(I.Ops[0]).asFloat() >= Val(I.Ops[1]).asFloat());
+        break;
+      case Opcode::Mov:
+        Regs[I.Dest] = Val(I.Ops[0]);
+        break;
+      case Opcode::Load: {
+        int64_t Addr = Val(I.Ops[0]).asInt();
+        if (Addr <= 0)
+          return Trap("load from null/negative address");
+        uint64_t A = uint64_t(Addr);
+        if (A >= ExecStackBase) {
+          uint64_t Idx = A - ExecStackBase;
+          Regs[I.Dest] = Idx < Ctx.Stack.size() ? Ctx.Stack[Idx] : Value();
+        } else {
+          Regs[I.Dest] = Mem.load(A);
+        }
+        break;
+      }
+      case Opcode::Store: {
+        int64_t Addr = Val(I.Ops[1]).asInt();
+        if (Addr <= 0)
+          return Trap("store to null/negative address");
+        uint64_t A = uint64_t(Addr);
+        if (A >= ExecStackBase) {
+          uint64_t Idx = A - ExecStackBase;
+          if (Idx >= Ctx.Stack.size())
+            Ctx.Stack.resize(Idx + 1);
+          Ctx.Stack[Idx] = Val(I.Ops[0]);
+        } else {
+          Mem.store(A, Val(I.Ops[0]));
+        }
+        break;
+      }
+      case Opcode::Alloca: {
+        uint64_t Base = ExecStackBase + Ctx.StackPtr;
+        Ctx.StackPtr += uint64_t(I.Imm);
+        if (Ctx.Stack.size() < Ctx.StackPtr)
+          Ctx.Stack.resize(Ctx.StackPtr);
+        Regs[I.Dest] = Value::ofInt(int64_t(Base));
+        break;
+      }
+      case Opcode::HeapAlloc: {
+        int64_t N = Val(I.Ops[0]).asInt();
+        if (N <= 0)
+          return Trap("heap allocation of non-positive size");
+        Regs[I.Dest] = Value::ofInt(int64_t(Mem.heapAlloc(uint64_t(N))));
+        break;
+      }
+      case Opcode::Br: {
+        if constexpr (std::remove_reference_t<HooksT>::WantsInstruction)
+          Hooks.onInstruction(I, I.Cycles);
+        if constexpr (std::remove_reference_t<HooksT>::WantsEdges) {
+          if (!Hooks.onEdge(DF->BlockOf[PC], DF->BlockOf[I.Succ1])) {
+            Fr.PC = PC;
+            return ExecStop::EdgeStopped;
+          }
+        }
+        PC = I.Succ1;
+        continue;
+      }
+      case Opcode::CondBr: {
+        if constexpr (std::remove_reference_t<HooksT>::WantsInstruction)
+          Hooks.onInstruction(I, I.Cycles);
+        uint32_t Target = Val(I.Ops[0]).asInt() != 0 ? I.Succ1 : I.Succ2;
+        if constexpr (std::remove_reference_t<HooksT>::WantsEdges) {
+          if (!Hooks.onEdge(DF->BlockOf[PC], DF->BlockOf[Target])) {
+            Fr.PC = PC;
+            return ExecStop::EdgeStopped;
+          }
+        }
+        PC = Target;
+        continue;
+      }
+      case Opcode::Call: {
+        if constexpr (std::remove_reference_t<HooksT>::WantsInstruction)
+          Hooks.onInstruction(I, I.Cycles);
+        const DecodedFunction &CF = P.function(I.Callee);
+        ExecContext::Frame NewFr;
+        NewFr.F = &CF;
+        NewFr.SavedSP = Ctx.StackPtr;
+        NewFr.DestRegInCaller = I.Dest;
+        NewFr.WantsResult = I.Dest != ~0u;
+        NewFr.Regs.assign(CF.NumRegs, Value());
+        for (unsigned K = 0, E = I.NumOperands; K != E; ++K)
+          NewFr.Regs[K] = CallArg(I, K);
+        Fr.PC = PC + 1; // resume after the call upon return
+        Ctx.Frames.push_back(std::move(NewFr));
+        FrameChanged = true;
+        continue;
+      }
+      case Opcode::Ret: {
+        if constexpr (std::remove_reference_t<HooksT>::WantsInstruction)
+          Hooks.onInstruction(I, I.Cycles);
+        Value RV = I.NumOperands == 1 ? Val(I.Ops[0]) : Value();
+        Ctx.StackPtr = Fr.SavedSP;
+        uint32_t DestReg = Fr.DestRegInCaller;
+        bool Wants = Fr.WantsResult;
+        Ctx.Frames.pop_back();
+        if (Ctx.Frames.empty()) {
+          Ctx.Returned = RV;
+          return ExecStop::Returned;
+        }
+        if (Wants && DestReg != ~0u)
+          Ctx.Frames.back().Regs[DestReg] = RV;
+        FrameChanged = true;
+        continue;
+      }
+      case Opcode::Wait:
+      case Opcode::SignalOp:
+      case Opcode::IterStart:
+        // Sequentially these are no-ops; the threaded driver's hooks give
+        // them their synchronization semantics.
+        if (!Hooks.sync(I)) {
+          Fr.PC = PC;
+          return ExecStop::Abandoned;
+        }
+        break;
+      case Opcode::MemFence:
+        Hooks.fence();
+        break;
+      case Opcode::Nop:
+        break;
+      }
+
+      if constexpr (std::remove_reference_t<HooksT>::WantsInstruction)
+        Hooks.onInstruction(I, I.Cycles);
+      ++PC;
+    }
+  }
+  return ExecStop::Returned;
+}
+
+} // namespace helix
+
+#endif // HELIX_EXEC_EXECENGINE_H

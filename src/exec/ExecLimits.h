@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared execution-budget constants. Every execution engine (the decoded
+/// ExecEngine drivers, the retained tree-walk reference interpreter and the
+/// threaded runtime) defends against runaway programs with the same default
+/// step cap, and the fuzz hang classifier derives its per-leg budgets from
+/// the same headroom formula — one definition instead of a value restated
+/// per call site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_EXEC_EXECLIMITS_H
+#define HELIX_EXEC_EXECLIMITS_H
+
+#include <cstdint>
+
+namespace helix {
+
+struct ExecLimits {
+  /// Default per-context instruction/step cap: defence against accidental
+  /// endless loops when the caller did not choose a budget.
+  static constexpr uint64_t DefaultMaxSteps = 400ull * 1000 * 1000;
+
+  /// Budget of a non-reference leg of a differential run whose sequential
+  /// reference used \p SeqBudget instructions (or was budgeted at it):
+  /// 4x headroom for the sync ops the transform adds, plus a floor so
+  /// tiny references don't starve their legs. Saturating — an effectively
+  /// unlimited reference budget must not wrap into a tiny leg budget and
+  /// classify clean programs as hangs.
+  static constexpr uint64_t hangBudget(uint64_t SeqBudget) {
+    return SeqBudget > (UINT64_MAX - 10000) / 4 ? UINT64_MAX
+                                                : SeqBudget * 4 + 10000;
+  }
+};
+
+} // namespace helix
+
+#endif // HELIX_EXEC_EXECLIMITS_H

@@ -1,0 +1,169 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decode-once program representation of the execution engine.
+///
+/// A Module is lowered exactly once into a flat, pre-resolved instruction
+/// stream per function: operands are pre-bound to virtual-register slots or
+/// constant-pool entries (immediates and global base addresses resolve at
+/// decode time), branch targets become flat code indices, and call targets
+/// become direct decoded-function indices. The drivers in sim/ (sequential
+/// interpretation, trace collection) and runtime/ (the threaded runtime)
+/// all dispatch over this one representation — the IR tree is never walked
+/// again after decode.
+///
+/// The IR carries cross-iteration values in registers and storage slots
+/// rather than phi nodes, so no phi-move tables are needed: the successor
+/// table alone fully describes control flow.
+///
+/// Decoded programs keep pointers into their source Module (instruction
+/// identity for observers and sync-op ownership, block identity for loop
+/// metadata), so the Module must outlive the ExecProgram and must not be
+/// mutated while one is in use. DecodeCache enforces that contract with a
+/// structural fingerprint: a cached decode is only served while the module
+/// still hashes to the value it was decoded at.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_EXEC_EXECPROGRAM_H
+#define HELIX_EXEC_EXECPROGRAM_H
+
+#include "ir/Module.h"
+#include "sim/Value.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace helix {
+
+/// A pre-bound data operand: either a frame register slot or an index into
+/// the program's constant pool (bit 31). Decode resolves immediates *and*
+/// global addresses into pool constants, so the dispatch loop never
+/// switches over operand kinds.
+using OperandRef = uint32_t;
+inline constexpr OperandRef ConstOperandBit = OperandRef(1) << 31;
+
+/// One pre-decoded instruction. Fixed two inline operand slots cover every
+/// opcode except wide calls, whose extra arguments spill into the owning
+/// function's side table.
+struct DecodedInst {
+  Opcode Op = Opcode::Nop;
+  uint8_t NumOperands = 0;
+  uint16_t Cycles = 1;    ///< opcodeCycles(Op), resolved at decode time
+  uint32_t Dest = ~0u;    ///< NoReg when the instruction has no destination
+  OperandRef Ops[2] = {0, 0};
+  uint32_t ExtraOps = 0;  ///< index into DecodedFunction::ExtraOperands for
+                          ///< operands beyond the inline two (calls only)
+  uint32_t Succ1 = 0;     ///< flat PC of target1 (Br, CondBr)
+  uint32_t Succ2 = 0;     ///< flat PC of target2 (CondBr)
+  uint32_t Callee = ~0u;  ///< decoded-function index (Call)
+  int64_t Imm = 0;        ///< Alloca size, Wait/Signal segment id
+  const Instruction *Src = nullptr; ///< identity for observers / sync sets
+};
+
+/// One decoded function: its blocks' instructions laid out back to back in
+/// block-layout order (the entry block first, so the entry PC is 0).
+struct DecodedFunction {
+  const Function *Src = nullptr;
+  uint32_t NumRegs = 0;
+  uint32_t NumParams = 0;
+  std::vector<DecodedInst> Code;
+  /// Owning basic block per PC (for edge hooks and trap diagnostics).
+  std::vector<const BasicBlock *> BlockOf;
+  /// First PC of each block, indexed by BasicBlock::id(); ~0u for ids of
+  /// erased blocks.
+  std::vector<uint32_t> BlockStart;
+  /// Spill area for call operands beyond the two inline slots.
+  std::vector<OperandRef> ExtraOperands;
+
+  uint32_t startOf(const BasicBlock *BB) const { return BlockStart[BB->id()]; }
+};
+
+/// A fully decoded module plus the memory layout every engine shares:
+/// address 0 reserved, globals from address 1, heap after the globals,
+/// stack addresses in a disjoint high range.
+class ExecProgram {
+public:
+  explicit ExecProgram(const Module &M);
+
+  const Module &module() const { return *M; }
+
+  unsigned numFunctions() const { return unsigned(Functions.size()); }
+  const DecodedFunction &function(uint32_t Idx) const {
+    return Functions[Idx];
+  }
+  /// \returns the decoded function for \p F, or null for foreign functions.
+  const DecodedFunction *function(const Function *F) const;
+  /// \returns the decoded function named \p Name, or null.
+  const DecodedFunction *findFunction(const std::string &Name) const;
+
+  // --- Memory layout ------------------------------------------------------
+  uint64_t globalBase(unsigned Idx) const { return GlobalBase[Idx]; }
+  /// One past the last global slot == the initial heap pointer.
+  uint64_t globalEnd() const { return GlobalEnd; }
+  /// Writes the global initializers into \p Low (which must have at least
+  /// globalEnd() slots).
+  void initGlobals(std::vector<Value> &Low) const;
+
+  const std::vector<Value> &constants() const { return Consts; }
+
+  /// The structural fingerprint of the module at decode time.
+  uint64_t fingerprint() const { return Fingerprint; }
+
+  /// Hashes everything execution semantics depend on: globals (sizes,
+  /// initializers), function signatures, block layout, and per instruction
+  /// the opcode, destination, immediate, operands, branch targets and
+  /// callee. Cheap relative to a decode — no allocation, one linear walk.
+  static uint64_t fingerprintModule(const Module &M);
+
+private:
+  const Module *M;
+  std::vector<DecodedFunction> Functions;
+  std::unordered_map<const Function *, uint32_t> FunctionIndex;
+  std::vector<Value> Consts;
+  std::vector<uint64_t> GlobalBase;
+  uint64_t GlobalEnd = 1;
+  uint64_t Fingerprint = 0;
+};
+
+/// Process-wide decode cache: one decoded program per live Module. Keyed on
+/// the module's address *and* unique id (so a recycled allocation never
+/// resurrects a stale decode) and guarded by the structural fingerprint (so
+/// in-place mutation forces a re-decode). Bounded; eviction only drops the
+/// cache's own reference — running engines keep their program alive through
+/// the shared_ptr.
+class DecodeCache {
+public:
+  /// The process-wide instance every driver uses by default.
+  static DecodeCache &global();
+
+  /// \returns the decoded program of \p M, decoding at most once per
+  /// (module, fingerprint). Thread-safe.
+  std::shared_ptr<const ExecProgram> get(const Module &M);
+
+  /// Drops any entry for \p M (call after mutating a module an engine ran).
+  void invalidate(const Module &M);
+  void clear();
+
+  uint64_t decodes() const { return Decodes.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+
+private:
+  struct Entry {
+    uint64_t Uid = 0;
+    uint64_t Fingerprint = 0;
+    std::shared_ptr<const ExecProgram> Prog;
+  };
+  static constexpr size_t MaxEntries = 64;
+
+  mutable std::mutex Mutex;
+  std::unordered_map<const Module *, Entry> Entries;
+  std::atomic<uint64_t> Decodes{0}, Hits{0};
+};
+
+} // namespace helix
+
+#endif // HELIX_EXEC_EXECPROGRAM_H

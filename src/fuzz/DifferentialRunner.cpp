@@ -1,6 +1,7 @@
 #include "fuzz/DifferentialRunner.h"
 
 #include "analysis/LoopInfo.h"
+#include "exec/ExecLimits.h"
 #include "helix/HelixTransform.h"
 #include "ir/Clone.h"
 #include "runtime/ThreadedRuntime.h"
@@ -194,11 +195,11 @@ DiffOutcome helix::runDifferential(const Module &M, const DiffConfig &C) {
   std::vector<ParallelLoopInfo> Loops = transformAll(*TM, C, Out);
   Out.InjectionApplied = injectBug(*TM, C.Inject, Loops);
 
-  // Saturating: a huge --max-instrs ("unlimited") must not wrap into a
-  // tiny leg budget and report clean programs as hangs.
-  uint64_t LegBudget = C.MaxInstructions > (UINT64_MAX - 10000) / 4
-                           ? UINT64_MAX
-                           : C.MaxInstructions * 4 + 10000;
+  // The hang classifier's leg budget: 4x headroom over the sequential
+  // budget (shared formula in exec/ExecLimits.h — saturating, so a huge
+  // --max-instrs "unlimited" does not wrap into a tiny leg budget and
+  // report clean programs as hangs).
+  uint64_t LegBudget = ExecLimits::hangBudget(C.MaxInstructions);
 
   // --- Leg 2: transformed module, sequential semantics (Step 9), with
   // --- traces for the simulator sanity check. ----------------------------

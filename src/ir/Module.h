@@ -11,6 +11,7 @@
 
 #include "ir/Function.h"
 
+#include <atomic>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -30,6 +31,12 @@ struct GlobalVariable {
 /// A whole program: functions plus global variables.
 class Module {
 public:
+  /// Process-unique identity of this module object, never reused even
+  /// after destruction. The execution-engine decode cache keys on it so a
+  /// recycled allocation can never be mistaken for the module that was
+  /// decoded there before.
+  uint64_t uid() const { return Uid; }
+
   /// Creates a function. Names must be unique within the module.
   Function *createFunction(std::string Name, unsigned NumParams);
   Function *findFunction(const std::string &Name) const;
@@ -72,6 +79,8 @@ public:
   std::string toString() const;
 
 private:
+  inline static std::atomic<uint64_t> NextUid{1};
+  uint64_t Uid = NextUid.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::unique_ptr<Function>> Funcs;
   std::vector<GlobalVariable> Globals;
 };

@@ -21,6 +21,7 @@
 #ifndef HELIX_PIPELINE_PIPELINECONFIG_H
 #define HELIX_PIPELINE_PIPELINECONFIG_H
 
+#include "exec/ExecLimits.h"
 #include "helix/HelixOptions.h"
 #include "sim/ParallelSim.h"
 
@@ -74,7 +75,7 @@ struct PipelineConfig {
   bool DoAcross = false;
 
   /// Interpreter run-length cap for profiling and validation runs.
-  uint64_t MaxInterpInstructions = 400ull * 1000 * 1000;
+  uint64_t MaxInterpInstructions = ExecLimits::DefaultMaxSteps;
 
   /// Worker threads of the model-profile stage's per-candidate fan-out.
   /// 0 = hardware concurrency, 1 = forced single-thread execution. Pure

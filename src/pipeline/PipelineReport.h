@@ -62,6 +62,12 @@ struct PipelineReport {
   /// next to the timings above.
   std::vector<AnalysisCounterReport> TransformAnalysisCounters;
 
+  /// The same counters for the model-profile stage's per-candidate
+  /// transforms, merged in candidate order. Persisted in the stage's disk
+  /// payload, so a sweep served from the cache still reports the analysis
+  /// behaviour of the run that produced the entry.
+  std::vector<AnalysisCounterReport> ModelProfileAnalysisCounters;
+
   // Figure 11 breakdown, percent of sequential execution time.
   double PctParallel = 0, PctSeqData = 0, PctSeqControl = 0, PctOutside = 100;
 

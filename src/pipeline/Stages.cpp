@@ -53,6 +53,10 @@ public:
   void u32(uint32_t V) { raw(&V, sizeof(V)); }
   void u64(uint64_t V) { raw(&V, sizeof(V)); }
   void f64(double V) { raw(&V, sizeof(V)); }
+  void str(const std::string &S) {
+    u32(uint32_t(S.size()));
+    raw(S.data(), S.size());
+  }
 
 private:
   void raw(const void *P, size_t N) {
@@ -84,6 +88,16 @@ public:
     double V = 0;
     raw(&V, sizeof(V));
     return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (Failed || In.size() - Pos < N) {
+      Failed = true;
+      return std::string();
+    }
+    std::string S(In.data() + Pos, N);
+    Pos += N;
+    return S;
   }
 
   /// True when every read so far succeeded and the payload was consumed
@@ -452,21 +466,26 @@ bool CandidateStage::deserializeResult(PipelineContext &Ctx,
 
 std::string ModelProfilingStage::cacheKey(const PipelineConfig &Config) const {
   // A forced nesting level skips model profiling entirely, so all forced
-  // configurations share one key. The leading "p1" is a code-version
+  // configurations share one key. The leading "p2" is a code-version
   // token (results persist to disk): bump it when the model-input
-  // extraction, the transform, or the interpreter cost model changes
-  // semantically.
+  // extraction, the transform, the interpreter cost model, or the payload
+  // layout changes (p1 -> p2: analysis counters joined the payload).
   if (Config.Selection.ForceNestingLevel >= 1)
-    return "p1;forced";
+    return "p2;forced";
   char Buf[48];
-  std::snprintf(Buf, sizeof(Buf), "p1;n%u,m%llu;", Config.NumCores,
+  std::snprintf(Buf, sizeof(Buf), "p2;n%u,m%llu;", Config.NumCores,
                 (unsigned long long)Config.MaxInterpInstructions);
   return Buf + transformKey(Config.Helix);
+}
+
+void ModelProfilingStage::resetReport(PipelineReport &Report) const {
+  Report.ModelProfileAnalysisCounters.clear();
 }
 
 bool ModelProfilingStage::run(PipelineContext &Ctx) {
   const PipelineConfig &Config = Ctx.config();
   Ctx.ModelInputs.assign(Ctx.LNG->numNodes(), std::nullopt);
+  Ctx.Report.ModelProfileAnalysisCounters.clear();
   if (Config.Selection.ForceNestingLevel >= 1)
     return true; // selection will not consult the model
 
@@ -483,6 +502,7 @@ bool ModelProfilingStage::run(PipelineContext &Ctx) {
   struct CandidateEval {
     std::optional<LoopModelInputs> In;
     uint64_t Instructions = 0;
+    std::vector<AnalysisCounterReport> Counters;
   };
   std::vector<CandidateEval> Evals(Ctx.Candidates.size());
   parallelForEach(
@@ -492,6 +512,7 @@ bool ModelProfilingStage::run(PipelineContext &Ctx) {
             transformChosen(*Ctx.Pristine, *Ctx.LNG, {Node}, Config.Helix,
                             nullptr,
                             Config.ConservativeAnalysisInvalidation);
+        Evals[K].Counters = TP.AM->counterReport();
         if (TP.Loops.empty())
           return;
         std::vector<const ParallelLoopInfo *> PLIs = {&TP.Loops[0].second};
@@ -510,6 +531,8 @@ bool ModelProfilingStage::run(PipelineContext &Ctx) {
 
   for (size_t K = 0; K != Evals.size(); ++K) {
     Ctx.noteInterpreted(Evals[K].Instructions);
+    mergeAnalysisCounters(Ctx.Report.ModelProfileAnalysisCounters,
+                          Evals[K].Counters);
     if (Evals[K].In)
       Ctx.ModelInputs[Ctx.Candidates[K]] = *Evals[K].In;
   }
@@ -534,6 +557,18 @@ bool ModelProfilingStage::serializeResult(const PipelineContext &Ctx,
     W.u64(In->WordsForwarded);
     W.f64(In->EffSignalCycles);
     W.u8(In->SelfStarting ? 1 : 0);
+  }
+  // The analysis behaviour of the per-candidate transforms rides along, so
+  // a sweep served from this entry still reports the original run's
+  // counters instead of silently dropping them.
+  const std::vector<AnalysisCounterReport> &Counters =
+      Ctx.Report.ModelProfileAnalysisCounters;
+  W.u32(uint32_t(Counters.size()));
+  for (const AnalysisCounterReport &C : Counters) {
+    W.str(C.Analysis);
+    W.u64(C.Built);
+    W.u64(C.Hits);
+    W.u64(C.Invalidated);
   }
   return true;
 }
@@ -563,9 +598,20 @@ bool ModelProfilingStage::deserializeResult(PipelineContext &Ctx,
     LMI.SelfStarting = R.u8() != 0;
     Slot = LMI;
   }
+  uint32_t NumCounters = R.u32();
+  if (!R.ok() || NumCounters > In.size())
+    return false;
+  std::vector<AnalysisCounterReport> Counters(NumCounters);
+  for (AnalysisCounterReport &C : Counters) {
+    C.Analysis = R.str();
+    C.Built = R.u64();
+    C.Hits = R.u64();
+    C.Invalidated = R.u64();
+  }
   if (!R.done())
     return false;
   Ctx.ModelInputs = std::move(Inputs);
+  Ctx.Report.ModelProfileAnalysisCounters = std::move(Counters);
   return true;
 }
 

@@ -66,6 +66,7 @@ public:
   }
   std::string cacheKey(const PipelineConfig &Config) const override;
   bool run(PipelineContext &Ctx) override;
+  void resetReport(PipelineReport &Report) const override;
   bool serializeResult(const PipelineContext &Ctx,
                        std::string &Out) const override;
   bool deserializeResult(PipelineContext &Ctx,

@@ -14,22 +14,22 @@ public:
       : LNG(LNG), AM(AM), Out(Out) {}
 
   void onInstruction(const Instruction *I, unsigned Cycles,
-                     Interpreter &Interp) override {
+                     ExecState &State) override {
     Out.TotalCycles += Cycles;
     for (const StackEntry &E : Stack)
       Out.Loops[E.Node].Cycles += Cycles;
     if (I->opcode() == Opcode::Ret) {
-      unsigned Depth = Interp.callDepth();
+      unsigned Depth = State.callDepth();
       while (!Stack.empty() && Stack.back().Depth == Depth)
         Stack.pop_back();
     }
   }
 
   void onEdge(const BasicBlock *From, const BasicBlock *To,
-              Interpreter &Interp) override {
-    const Function *F = Interp.currentFunction();
+              ExecState &State) override {
+    const Function *F = State.currentFunction();
     LoopInfo &LI = AM.get<LoopInfo>(const_cast<Function *>(F));
-    unsigned Depth = Interp.callDepth();
+    unsigned Depth = State.callDepth();
 
     // Pop loops of this frame that the edge leaves.
     while (!Stack.empty() && Stack.back().Depth == Depth) {

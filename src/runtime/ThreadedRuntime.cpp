@@ -1,56 +1,17 @@
 #include "runtime/ThreadedRuntime.h"
 
+#include "exec/ExecEngine.h"
 #include "support/Compiler.h"
-#include "support/Format.h"
 
 #include <atomic>
 #include <deque>
 #include <mutex>
-#include <set>
 #include <thread>
+#include <unordered_set>
 
 using namespace helix;
 
 namespace {
-
-constexpr uint64_t StackBase = uint64_t(1) << 40;
-
-/// Shared program memory: globals + heap in one pre-sized arena (so worker
-/// threads never race a reallocation), per-context stacks elsewhere.
-struct SharedMemory {
-  std::vector<Value> Low;
-  std::atomic<uint64_t> HeapPtr{0};
-  std::vector<uint64_t> GlobalBase;
-  /// Per-context step cap (defence against endless loops); every Context
-  /// created against this memory inherits it.
-  uint64_t MaxSteps = 400ull * 1000 * 1000;
-  /// Set by any context (main or worker) that hit the step cap, so the
-  /// final ExecResult can report budget exhaustion structurally even when
-  /// the failing context was a worker whose message is summarized away.
-  std::atomic<bool> BudgetExhausted{false};
-
-  explicit SharedMemory(Module &M) {
-    uint64_t Next = 1;
-    for (unsigned I = 0, E = M.numGlobals(); I != E; ++I) {
-      GlobalBase.push_back(Next);
-      Next += M.global(I).Size;
-    }
-    HeapPtr = Next;
-    Low.assign(Next + (1u << 22), Value()); // 4M heap slots headroom
-    for (unsigned I = 0, E = M.numGlobals(); I != E; ++I) {
-      const GlobalVariable &G = M.global(I);
-      for (size_t K = 0; K != G.Init.size(); ++K)
-        Low[GlobalBase[I] + K] = Value::ofInt(G.Init[K]);
-    }
-  }
-
-  uint64_t heapAlloc(uint64_t N) {
-    uint64_t Base = HeapPtr.fetch_add(N);
-    if (Base + N > Low.size())
-      reportFatalError("threaded runtime heap exhausted");
-    return Base;
-  }
-};
 
 /// Per-iteration synchronization row (the thread memory buffer).
 struct IterRow {
@@ -62,14 +23,16 @@ struct IterRow {
 struct Invocation {
   const ParallelLoopInfo *PLI = nullptr;
   /// Sync/IterStart instructions belonging to this loop (a nested
-  /// parallelized loop's operations are sequential no-ops here).
-  std::set<const Instruction *> OwnedSync;
+  /// parallelized loop's operations are sequential no-ops here). Decoded
+  /// instructions keep their Instruction identity, so membership tests
+  /// work unchanged on the engine.
+  std::unordered_set<const Instruction *> OwnedSync;
   std::deque<IterRow> Rows; // deque: growth never moves existing rows
   std::mutex RowsMutex;
   std::atomic<int64_t> ExitIter{-1};
+  std::atomic<bool> Failed{false};
   // Exit continuation (filled by the exiting iteration's worker).
   const BasicBlock *ExitBlock = nullptr;
-  unsigned ExitPos = 0;
   std::vector<Value> ExitRegs;
   std::atomic<uint64_t> Signals{0};
 
@@ -81,331 +44,115 @@ struct Invocation {
   }
 };
 
-/// One execution context (main thread, or one loop iteration).
-struct Context {
-  SharedMemory *Mem = nullptr;
-  std::vector<Value> Stack;
-  uint64_t StackPtr = 0;
+/// Engine hooks of one worker iteration: detect the back edge and loop
+/// exits in the base frame, and give Wait/Signal/IterStart the
+/// release/acquire semantics of Section 2.3 (Signal is a release store,
+/// Wait an acquire spin on the predecessor iteration's segment flags).
+struct WorkerHooks : DefaultExecHooks {
+  static constexpr bool WantsEdges = true;
 
-  struct Frame {
-    const Function *F;
-    std::vector<Value> Regs;
-    const BasicBlock *BB;
-    unsigned Pos;
-    uint64_t SavedSP;
-    unsigned DestRegInCaller;
-    bool WantsResult;
-  };
-  std::vector<Frame> Frames;
-  Value Returned;
-  std::string Error;
-  uint64_t Steps = 0, MaxSteps = 400ull * 1000 * 1000;
+  WorkerHooks(ExecContext &Ctx, Invocation &Inv, uint64_t IterIdx)
+      : Ctx(Ctx), Inv(Inv), IterIdx(IterIdx) {}
 
-  Value load(uint64_t Addr) {
-    if (Addr >= StackBase) {
-      uint64_t Idx = Addr - StackBase;
-      return Idx < Stack.size() ? Stack[Idx] : Value();
+  bool onEdge(const BasicBlock *From, const BasicBlock *To) {
+    if (Ctx.Frames.size() != 1)
+      return true; // edges inside called functions are opaque
+    const ParallelLoopInfo *PLI = Inv.PLI;
+    if (From == PLI->Latch && To == PLI->Header) {
+      IterationEnded = true;
+      return false; // back edge: this iteration is done
     }
-    return Addr < Mem->Low.size() ? Mem->Low[Addr] : Value();
-  }
-  void store(uint64_t Addr, Value V) {
-    if (Addr >= StackBase) {
-      uint64_t Idx = Addr - StackBase;
-      if (Idx >= Stack.size())
-        Stack.resize(Idx + 1);
-      Stack[Idx] = V;
-      return;
+    if (PLI->contains(From) && !PLI->contains(To)) {
+      TookExit = true;
+      ExitTo = To;
+      return false;
     }
-    if (Addr >= Mem->Low.size())
-      reportFatalError("threaded runtime store out of arena");
-    Mem->Low[Addr] = V;
-  }
-};
-
-/// What stopped a stepInstruction/runContext call.
-enum class StopReason {
-  Running,      ///< keep going
-  Returned,     ///< base frame returned
-  EdgeTaken,    ///< control moved along an edge the caller watches
-  Failed,
-};
-
-/// The worker/main instruction engine. Edge watching: before following a
-/// branch in the *base frame*, the supplied callback may redirect or stop
-/// execution (used to detect loop entry, back edges and exits).
-class Engine {
-public:
-  Engine(Module &M, SharedMemory &Mem) : M(M), Mem(Mem) {}
-
-  /// Runs \p Ctx until the base frame returns or EdgeWatch stops it.
-  /// EdgeWatch(from, to) is consulted for every same-frame control edge;
-  /// returning false stops execution *before* the edge is taken (the
-  /// frame's position stays on the terminator).
-  template <typename EdgeWatchT>
-  StopReason run(Context &Ctx, EdgeWatchT EdgeWatch,
-                 Invocation *Inv = nullptr, uint64_t IterIdx = 0) {
-    while (true) {
-      if (Ctx.Frames.empty())
-        return StopReason::Returned;
-      if (++Ctx.Steps > Ctx.MaxSteps) {
-        Ctx.Error = "threaded runtime step budget exhausted";
-        Mem.BudgetExhausted.store(true, std::memory_order_relaxed);
-        return StopReason::Failed;
-      }
-      Context::Frame &Fr = Ctx.Frames.back();
-      assert(Fr.Pos < Fr.BB->size() && "fell off block end");
-      Instruction *I =
-          const_cast<BasicBlock *>(Fr.BB)->instr(Fr.Pos);
-      StopReason R = step(Ctx, Fr, I, EdgeWatch, Inv, IterIdx);
-      if (R != StopReason::Running)
-        return R;
-    }
+    return true;
   }
 
-private:
-  template <typename EdgeWatchT>
-  StopReason step(Context &Ctx, Context::Frame &Fr, Instruction *I,
-                  EdgeWatchT &EdgeWatch, Invocation *Inv, uint64_t IterIdx) {
-    auto Val = [&](unsigned K) -> Value {
-      const Operand &O = I->operand(K);
-      switch (O.kind()) {
-      case Operand::Kind::Reg:
-        return Fr.Regs[O.regId()];
-      case Operand::Kind::ImmInt:
-        return Value::ofInt(O.intValue());
-      case Operand::Kind::ImmFloat:
-        return Value::ofFloat(O.floatValue());
-      case Operand::Kind::Global:
-        return Value::ofInt(int64_t(Mem.GlobalBase[O.globalIndex()]));
-      }
-      HELIX_UNREACHABLE("unknown operand");
-    };
-    auto SetDest = [&](Value V) { Fr.Regs[I->dest()] = V; };
-    auto TakeEdge = [&](const BasicBlock *To) -> StopReason {
-      if (!EdgeWatch(Fr.BB, To))
-        return StopReason::EdgeTaken;
-      Fr.BB = To;
-      Fr.Pos = 0;
-      return StopReason::Running;
-    };
-
-    switch (I->opcode()) {
-    case Opcode::Add:
-      SetDest(Value::ofInt(int64_t(uint64_t(Val(0).asInt()) +
-                                   uint64_t(Val(1).asInt()))));
-      break;
-    case Opcode::Sub:
-      SetDest(Value::ofInt(int64_t(uint64_t(Val(0).asInt()) -
-                                   uint64_t(Val(1).asInt()))));
-      break;
-    case Opcode::Mul:
-      SetDest(Value::ofInt(int64_t(uint64_t(Val(0).asInt()) *
-                                   uint64_t(Val(1).asInt()))));
-      break;
-    case Opcode::Div: {
-      int64_t B = Val(1).asInt();
-      if (B == 0) {
-        Ctx.Error = "division by zero";
-        return StopReason::Failed;
-      }
-      SetDest(Value::ofInt(Val(0).asInt() / B));
-      break;
-    }
-    case Opcode::Rem: {
-      int64_t B = Val(1).asInt();
-      if (B == 0) {
-        Ctx.Error = "remainder by zero";
-        return StopReason::Failed;
-      }
-      SetDest(Value::ofInt(Val(0).asInt() % B));
-      break;
-    }
-    case Opcode::And:
-      SetDest(Value::ofInt(Val(0).asInt() & Val(1).asInt()));
-      break;
-    case Opcode::Or:
-      SetDest(Value::ofInt(Val(0).asInt() | Val(1).asInt()));
-      break;
-    case Opcode::Xor:
-      SetDest(Value::ofInt(Val(0).asInt() ^ Val(1).asInt()));
-      break;
-    case Opcode::Shl:
-      SetDest(Value::ofInt(
-          int64_t(uint64_t(Val(0).asInt()) << (Val(1).asInt() & 63))));
-      break;
-    case Opcode::Shr:
-      SetDest(Value::ofInt(
-          int64_t(uint64_t(Val(0).asInt()) >> (Val(1).asInt() & 63))));
-      break;
-    case Opcode::FAdd:
-      SetDest(Value::ofFloat(Val(0).asFloat() + Val(1).asFloat()));
-      break;
-    case Opcode::FSub:
-      SetDest(Value::ofFloat(Val(0).asFloat() - Val(1).asFloat()));
-      break;
-    case Opcode::FMul:
-      SetDest(Value::ofFloat(Val(0).asFloat() * Val(1).asFloat()));
-      break;
-    case Opcode::FDiv:
-      SetDest(Value::ofFloat(Val(0).asFloat() / Val(1).asFloat()));
-      break;
-    case Opcode::IntToFP:
-      SetDest(Value::ofFloat(Val(0).asFloat()));
-      break;
-    case Opcode::FPToInt:
-      SetDest(Value::ofInt(Val(0).asInt()));
-      break;
-    case Opcode::CmpEQ:
-      SetDest(Value::ofInt(Val(0).asInt() == Val(1).asInt()));
-      break;
-    case Opcode::CmpNE:
-      SetDest(Value::ofInt(Val(0).asInt() != Val(1).asInt()));
-      break;
-    case Opcode::CmpLT:
-      SetDest(Value::ofInt(Val(0).asInt() < Val(1).asInt()));
-      break;
-    case Opcode::CmpLE:
-      SetDest(Value::ofInt(Val(0).asInt() <= Val(1).asInt()));
-      break;
-    case Opcode::CmpGT:
-      SetDest(Value::ofInt(Val(0).asInt() > Val(1).asInt()));
-      break;
-    case Opcode::CmpGE:
-      SetDest(Value::ofInt(Val(0).asInt() >= Val(1).asInt()));
-      break;
-    case Opcode::FCmpEQ:
-      SetDest(Value::ofInt(Val(0).asFloat() == Val(1).asFloat()));
-      break;
-    case Opcode::FCmpNE:
-      SetDest(Value::ofInt(Val(0).asFloat() != Val(1).asFloat()));
-      break;
-    case Opcode::FCmpLT:
-      SetDest(Value::ofInt(Val(0).asFloat() < Val(1).asFloat()));
-      break;
-    case Opcode::FCmpLE:
-      SetDest(Value::ofInt(Val(0).asFloat() <= Val(1).asFloat()));
-      break;
-    case Opcode::FCmpGT:
-      SetDest(Value::ofInt(Val(0).asFloat() > Val(1).asFloat()));
-      break;
-    case Opcode::FCmpGE:
-      SetDest(Value::ofInt(Val(0).asFloat() >= Val(1).asFloat()));
-      break;
-    case Opcode::Mov:
-      SetDest(Val(0));
-      break;
-    case Opcode::Load: {
-      int64_t Addr = Val(0).asInt();
-      if (Addr <= 0) {
-        Ctx.Error = "load from null address";
-        return StopReason::Failed;
-      }
-      SetDest(Ctx.load(uint64_t(Addr)));
-      break;
-    }
-    case Opcode::Store: {
-      int64_t Addr = Val(1).asInt();
-      if (Addr <= 0) {
-        Ctx.Error = "store to null address";
-        return StopReason::Failed;
-      }
-      Ctx.store(uint64_t(Addr), Val(0));
-      break;
-    }
-    case Opcode::Alloca: {
-      uint64_t Base = StackBase + Ctx.StackPtr;
-      Ctx.StackPtr += uint64_t(I->imm());
-      if (Ctx.Stack.size() < Ctx.StackPtr)
-        Ctx.Stack.resize(Ctx.StackPtr);
-      SetDest(Value::ofInt(int64_t(Base)));
-      break;
-    }
-    case Opcode::HeapAlloc: {
-      int64_t N = Val(0).asInt();
-      if (N <= 0) {
-        Ctx.Error = "bad heap allocation size";
-        return StopReason::Failed;
-      }
-      SetDest(Value::ofInt(int64_t(Mem.heapAlloc(uint64_t(N)))));
-      break;
-    }
-    case Opcode::Br:
-      return TakeEdge(I->target1());
-    case Opcode::CondBr:
-      return TakeEdge(Val(0).asInt() != 0 ? I->target1() : I->target2());
-    case Opcode::Call: {
-      Context::Frame NewFr;
-      NewFr.F = I->callee();
-      NewFr.Regs.assign(I->callee()->numRegs(), Value());
-      for (unsigned K = 0, E = I->numOperands(); K != E; ++K)
-        NewFr.Regs[K] = Val(K);
-      NewFr.BB = I->callee()->entry();
-      NewFr.Pos = 0;
-      NewFr.SavedSP = Ctx.StackPtr;
-      NewFr.DestRegInCaller = I->hasDest() ? I->dest() : NoReg;
-      NewFr.WantsResult = I->hasDest();
-      ++Fr.Pos;
-      Ctx.Frames.push_back(std::move(NewFr));
-      return StopReason::Running;
-    }
-    case Opcode::Ret: {
-      Value RV = I->numOperands() == 1 ? Val(0) : Value();
-      Ctx.StackPtr = Fr.SavedSP;
-      unsigned DestReg = Fr.DestRegInCaller;
-      bool Wants = Fr.WantsResult;
-      Ctx.Frames.pop_back();
-      if (Ctx.Frames.empty()) {
-        Ctx.Returned = RV;
-        return StopReason::Returned;
-      }
-      if (Wants && DestReg != NoReg)
-        Ctx.Frames.back().Regs[DestReg] = RV;
-      return StopReason::Running;
-    }
+  bool sync(const DecodedInst &I) {
+    // Only meaningful in the base frame for sync ops this loop owns.
+    if (Ctx.Frames.size() != 1 || !Inv.OwnedSync.count(I.Src))
+      return true;
+    switch (I.Op) {
     case Opcode::Wait: {
-      // Only meaningful inside a parallel iteration in the base frame.
-      if (Inv && Ctx.Frames.size() == 1 && Inv->OwnedSync.count(I) &&
-          IterIdx > 0) {
-        uint64_t Bit = uint64_t(1) << (I->imm() & 63);
-        IterRow &Prev = Inv->row(IterIdx - 1);
-        while (!(Prev.SegMask.load(std::memory_order_acquire) & Bit))
-          std::this_thread::yield();
+      if (IterIdx == 0)
+        break;
+      uint64_t Bit = uint64_t(1) << (I.Imm & 63);
+      IterRow &Prev = Inv.row(IterIdx - 1);
+      while (!(Prev.SegMask.load(std::memory_order_acquire) & Bit)) {
+        // A predecessor that trapped or exited will never publish this
+        // flag; abandoning here (instead of spinning forever) is how dead
+        // iterations past the exit unwind.
+        int64_t Exit = Inv.ExitIter.load(std::memory_order_acquire);
+        if ((Exit >= 0 && int64_t(IterIdx) > Exit) ||
+            Inv.Failed.load(std::memory_order_relaxed))
+          return false;
+        std::this_thread::yield();
       }
       break;
     }
     case Opcode::SignalOp: {
-      if (Inv && Ctx.Frames.size() == 1 && Inv->OwnedSync.count(I)) {
-        uint64_t Bit = uint64_t(1) << (I->imm() & 63);
-        Inv->row(IterIdx).SegMask.fetch_or(Bit, std::memory_order_release);
-        Inv->Signals.fetch_add(1, std::memory_order_relaxed);
-      }
+      uint64_t Bit = uint64_t(1) << (I.Imm & 63);
+      Inv.row(IterIdx).SegMask.fetch_or(Bit, std::memory_order_release);
+      Inv.Signals.fetch_add(1, std::memory_order_relaxed);
       break;
     }
-    case Opcode::IterStart: {
-      if (Inv && Ctx.Frames.size() == 1 && Inv->OwnedSync.count(I))
-        Inv->row(IterIdx).IterStartDone.store(1, std::memory_order_release);
+    case Opcode::IterStart:
+      Inv.row(IterIdx).IterStartDone.store(1, std::memory_order_release);
+      break;
+    default:
       break;
     }
-    case Opcode::MemFence:
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      break;
-    case Opcode::Nop:
-      break;
-    }
-    ++Fr.Pos;
-    return StopReason::Running;
+    return true;
   }
 
-  Module &M;
-  SharedMemory &Mem;
+  void fence() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+
+  ExecContext &Ctx;
+  Invocation &Inv;
+  uint64_t IterIdx;
+  bool IterationEnded = false;
+  bool TookExit = false;
+  const BasicBlock *ExitTo = nullptr;
 };
 
-/// Runs iterations Worker, Worker+N, ... of one invocation.
-void workerMain(Module &M, SharedMemory &Mem, Invocation &Inv,
-                const std::vector<Value> &Snapshot, unsigned Worker,
-                unsigned NumThreads, std::atomic<bool> &Failed) {
+/// Engine hooks of the main context between invocations: watch for edges
+/// entering a parallelized loop's header from outside it.
+struct LoopEntryHooks : DefaultExecHooks {
+  static constexpr bool WantsEdges = true;
+
+  LoopEntryHooks(ExecContext &Ctx,
+                 const std::vector<const ParallelLoopInfo *> &Loops)
+      : Ctx(Ctx), Loops(Loops) {}
+
+  bool onEdge(const BasicBlock *From, const BasicBlock *To) {
+    for (const ParallelLoopInfo *PLI : Loops) {
+      if (PLI->F == Ctx.Frames.back().F->Src && To == PLI->Header &&
+          !PLI->contains(From)) {
+        Entered = PLI;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void fence() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+
+  ExecContext &Ctx;
+  const std::vector<const ParallelLoopInfo *> &Loops;
+  const ParallelLoopInfo *Entered = nullptr;
+};
+
+/// Runs iterations Worker, Worker+N, ... of one invocation over the
+/// decoded program.
+void workerMain(const ExecProgram &Prog, SharedExecMemory &Mem,
+                Invocation &Inv, const std::vector<Value> &Snapshot,
+                unsigned Worker, unsigned NumThreads, uint64_t MaxSteps) {
   const ParallelLoopInfo *PLI = Inv.PLI;
-  Engine Eng(M, Mem);
+  const DecodedFunction *DF = Prog.function(PLI->F);
+  assert(DF && "parallel loop in an undecoded function");
+  uint32_t HeaderPC = DF->startOf(PLI->Header);
 
   for (uint64_t Iter = Worker;; Iter += NumThreads) {
     // Control chain: iteration Iter may start once its predecessor passed
@@ -416,63 +163,40 @@ void workerMain(Module &M, SharedMemory &Mem, Invocation &Inv,
       while (!Prev.IterStartDone.load(std::memory_order_acquire)) {
         int64_t Exit = Inv.ExitIter.load(std::memory_order_acquire);
         if ((Exit >= 0 && int64_t(Iter) > Exit) ||
-            Failed.load(std::memory_order_relaxed))
+            Inv.Failed.load(std::memory_order_relaxed))
           return;
         std::this_thread::yield();
       }
     }
 
-    Context Ctx;
-    Ctx.Mem = &Mem;
-    Ctx.MaxSteps = Mem.MaxSteps;
-    Context::Frame Fr;
-    Fr.F = PLI->F;
+    ExecContext Ctx;
+    Ctx.MaxSteps = MaxSteps;
+    ExecContext::Frame &Fr = Ctx.pushFrame(*DF);
+    Fr.PC = HeaderPC;
     Fr.Regs = Snapshot;
-    Fr.BB = PLI->Header;
-    Fr.Pos = 0;
-    Fr.SavedSP = 0;
-    Fr.DestRegInCaller = NoReg;
-    Fr.WantsResult = false;
-    Ctx.Frames.push_back(std::move(Fr));
     // Materialize induction variables: Reg = snapshot + Iter * stride.
     for (const MaterializedIV &IV : PLI->IVs)
-      Ctx.Frames[0].Regs[IV.Reg] = Value::ofInt(
-          Snapshot[IV.Reg].asInt() + int64_t(Iter) * IV.Stride);
+      Fr.Regs[IV.Reg] =
+          Value::ofInt(Snapshot[IV.Reg].asInt() + int64_t(Iter) * IV.Stride);
 
-    bool IterationEnded = false;
-    bool TookExit = false;
-    const BasicBlock *ExitTo = nullptr;
-    StopReason R = Eng.run(
-        Ctx,
-        [&](const BasicBlock *From, const BasicBlock *To) {
-          if (Ctx.Frames.size() != 1)
-            return true; // edges inside called functions are opaque
-          if (From == PLI->Latch && To == PLI->Header) {
-            IterationEnded = true;
-            return false; // back edge: this iteration is done
-          }
-          if (PLI->contains(From) && !PLI->contains(To)) {
-            TookExit = true;
-            ExitTo = To;
-            return false;
-          }
-          return true;
-        },
-        &Inv, Iter);
+    WorkerHooks Hooks(Ctx, Inv, Iter);
+    ExecStop R = runEngine(Prog, Mem, Ctx, Hooks);
 
-    if (R == StopReason::Failed || R == StopReason::Returned) {
+    if (Ctx.BudgetExhausted)
+      Mem.BudgetExhausted.store(true, std::memory_order_relaxed);
+    if (R == ExecStop::Abandoned)
+      return; // dead iteration past the exit (or after a failure)
+    if (R == ExecStop::Trapped || R == ExecStop::Returned) {
       // Returning out of the loop's function mid-iteration would be a
       // malformed loop; treat as failure.
-      Failed.store(true, std::memory_order_relaxed);
+      Inv.Failed.store(true, std::memory_order_relaxed);
       Inv.ExitIter.store(int64_t(Iter), std::memory_order_release);
       return;
     }
-    (void)IterationEnded;
 
-    if (TookExit) {
+    if (Hooks.TookExit) {
       // First (and only) exit: Step 9's exit bookkeeping.
-      Inv.ExitBlock = ExitTo;
-      Inv.ExitPos = 0;
+      Inv.ExitBlock = Hooks.ExitTo;
       Inv.ExitRegs = Ctx.Frames[0].Regs;
       Inv.ExitIter.store(int64_t(Iter), std::memory_order_release);
       return;
@@ -481,7 +205,7 @@ void workerMain(Module &M, SharedMemory &Mem, Invocation &Inv,
     // Completed an iteration; defensively publish all segment flags (every
     // path signalled every segment already, by construction).
     Inv.row(Iter).SegMask.store(~uint64_t(0), std::memory_order_release);
-    if (Failed.load(std::memory_order_relaxed))
+    if (Inv.Failed.load(std::memory_order_relaxed))
       return;
   }
 }
@@ -492,55 +216,39 @@ ExecResult helix::runThreaded(
     Module &M, const std::vector<const ParallelLoopInfo *> &Loops,
     unsigned NumThreads, RuntimeStats *Stats, uint64_t MaxSteps) {
   ExecResult Result;
-  SharedMemory Mem(M);
-  if (MaxSteps)
-    Mem.MaxSteps = MaxSteps;
-  Engine Eng(M, Mem);
+  std::shared_ptr<const ExecProgram> Prog = DecodeCache::global().get(M);
+  SharedExecMemory Mem(*Prog);
+  uint64_t StepCap = MaxSteps ? MaxSteps : ExecLimits::DefaultMaxSteps;
   RuntimeStats LocalStats;
 
-  Function *Main = M.findFunction("main");
+  const DecodedFunction *Main = Prog->findFunction("main");
   if (!Main) {
     Result.Error = "no @main";
     return Result;
   }
 
-  Context Ctx;
-  Ctx.Mem = &Mem;
-  Ctx.MaxSteps = Mem.MaxSteps;
-  Context::Frame Fr;
-  Fr.F = Main;
-  Fr.Regs.assign(Main->numRegs(), Value());
-  Fr.BB = Main->entry();
-  Fr.Pos = 0;
-  Fr.SavedSP = 0;
-  Fr.DestRegInCaller = NoReg;
-  Fr.WantsResult = false;
-  Ctx.Frames.push_back(std::move(Fr));
+  ExecContext Ctx;
+  Ctx.MaxSteps = StepCap;
+  Ctx.pushFrame(*Main);
 
   while (true) {
-    const ParallelLoopInfo *Entered = nullptr;
-    StopReason R = Eng.run(Ctx, [&](const BasicBlock *From,
-                                    const BasicBlock *To) {
-      for (const ParallelLoopInfo *PLI : Loops) {
-        if (PLI->F == Ctx.Frames.back().F && To == PLI->Header &&
-            !PLI->contains(From)) {
-          Entered = PLI;
-          return false;
-        }
-      }
-      return true;
-    });
+    LoopEntryHooks Hooks(Ctx, Loops);
+    ExecStop R = runEngine(*Prog, Mem, Ctx, Hooks);
 
-    if (R == StopReason::Returned) {
+    if (Ctx.BudgetExhausted)
+      Mem.BudgetExhausted.store(true, std::memory_order_relaxed);
+    if (R == ExecStop::Returned) {
       Result.Ok = true;
       Result.ReturnValue = Ctx.Returned;
       break;
     }
-    if (R == StopReason::Failed) {
+    if (R == ExecStop::Trapped) {
       Result.Error = Ctx.Error;
       break;
     }
-    assert(Entered && "engine stopped without reason");
+    assert(R == ExecStop::EdgeStopped && Hooks.Entered &&
+           "engine stopped without reason");
+    const ParallelLoopInfo *Entered = Hooks.Entered;
 
     // ----- Parallel invocation (Figure 3(b)). ---------------------------
     Invocation Inv;
@@ -552,19 +260,18 @@ ExecResult helix::runThreaded(
     Inv.OwnedSync.insert(Entered->IterStarts.begin(),
                          Entered->IterStarts.end());
     std::vector<Value> Snapshot = Ctx.Frames.back().Regs;
-    std::atomic<bool> Failed{false};
 
     {
       std::vector<std::thread> Workers;
       for (unsigned W = 0; W != NumThreads; ++W)
-        Workers.emplace_back(workerMain, std::ref(M), std::ref(Mem),
+        Workers.emplace_back(workerMain, std::cref(*Prog), std::ref(Mem),
                              std::ref(Inv), std::cref(Snapshot), W,
-                             NumThreads, std::ref(Failed));
+                             NumThreads, StepCap);
       for (std::thread &T : Workers)
         T.join();
     }
 
-    if (Failed.load() || Inv.ExitIter.load() < 0) {
+    if (Inv.Failed.load() || Inv.ExitIter.load() < 0) {
       Result.Error = "parallel invocation failed or never exited";
       break;
     }
@@ -574,9 +281,9 @@ ExecResult helix::runThreaded(
 
     // Continue after the loop with the exiting iteration's registers
     // (boundary values are re-loaded from storage by the exit-edge blocks).
-    Ctx.Frames.back().Regs = Inv.ExitRegs;
-    Ctx.Frames.back().BB = Inv.ExitBlock;
-    Ctx.Frames.back().Pos = 0;
+    ExecContext::Frame &Fr = Ctx.Frames.back();
+    Fr.Regs = Inv.ExitRegs;
+    Fr.PC = Fr.F->startOf(Inv.ExitBlock);
   }
 
   Result.BudgetExhausted = Mem.BudgetExhausted.load();

@@ -1,12 +1,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A real multi-threaded runtime for HELIX-parallelized loops.
+/// A real multi-threaded runtime for HELIX-parallelized loops — the
+/// threaded driver of the decoded execution engine (src/exec/).
 ///
 /// Where the timing simulator (src/sim) predicts performance, this runtime
 /// validates *correctness under true concurrency*: iterations of a
-/// parallelized loop execute in actual std::thread workers, round-robin as
-/// in the paper (Figure 3(b)), communicating through
+/// parallelized loop execute in actual std::thread workers over the shared
+/// decoded program, round-robin as in the paper (Figure 3(b)),
+/// communicating through
 ///   - per-iteration segment flags (the thread memory buffers): Signal is
 ///     a release store, Wait an acquire spin — the load/store
 ///     implementation Section 2.3 describes for a TSO machine, expressed
@@ -49,7 +51,7 @@ struct RuntimeStats {
 /// equal the sequential interpretation of the same module).
 /// \p MaxSteps caps the instruction steps of each execution context
 /// (defence against endless loops, e.g. fuzz-reduced candidates);
-/// 0 keeps the default cap of 400M steps.
+/// 0 keeps the shared default cap (ExecLimits::DefaultMaxSteps).
 ExecResult runThreaded(Module &M,
                        const std::vector<const ParallelLoopInfo *> &Loops,
                        unsigned NumThreads, RuntimeStats *Stats = nullptr,

@@ -1,69 +1,43 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A sequential interpreter for the HELIX IR with a cycle cost model and an
-/// observer interface. The profiler, the trace collector feeding the CMP
-/// timing simulator, and the differential-correctness tests are all built
-/// on it. Wait/Signal/IterStart execute as (cheap) no-ops in sequential
+/// The sequential driver of the decoded execution engine (src/exec/): a
+/// thin wrapper that decodes its module once (through the process-wide
+/// DecodeCache) and runs the shared dispatch loop over private memory. The
+/// profiler, the trace collector feeding the CMP timing simulator, and the
+/// differential-correctness tests all attach here as ExecObservers.
+/// Wait/Signal/IterStart execute as (cheap) no-ops in sequential
 /// interpretation, which is exactly the sequential-version semantics that
 /// HELIX Step 9 relies on.
+///
+/// The original tree-walking implementation is retained as
+/// sim/TreeWalkInterpreter.h — the reference the differential tests and
+/// the BM_ExecEngineVsTreeWalk benchmark compare against.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HELIX_SIM_INTERPRETER_H
 #define HELIX_SIM_INTERPRETER_H
 
+#include "exec/ExecEngine.h"
 #include "ir/Module.h"
 #include "sim/Value.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace helix {
 
-class Interpreter;
-
-/// Receives execution events. All callbacks are invoked synchronously
-/// during Interpreter::run.
-class ExecObserver {
+/// Interprets a module over the decoded program representation. Memory
+/// layout: address 0 is reserved; globals get consecutive base addresses
+/// from 1; the heap grows after the globals; stack (Alloca) addresses live
+/// in a disjoint high range.
+class Interpreter : public ExecState {
 public:
-  virtual ~ExecObserver();
-  /// After \p I executed, costing \p Cycles. The interpreter argument can
-  /// be queried for current register values and call depth.
-  virtual void onInstruction(const Instruction *I, unsigned Cycles,
-                             Interpreter &Interp) {
-    (void)I;
-    (void)Cycles;
-    (void)Interp;
-  }
-  /// Control transferred along the CFG edge \p From -> \p To (same frame).
-  virtual void onEdge(const BasicBlock *From, const BasicBlock *To,
-                      Interpreter &Interp) {
-    (void)From;
-    (void)To;
-    (void)Interp;
-  }
-};
-
-/// Outcome of a run.
-struct ExecResult {
-  bool Ok = false;
-  std::string Error;      ///< set when Ok is false
-  /// The run stopped on an instruction/step cap rather than a trap.
-  /// Structural (not derived from Error text): the differential oracle
-  /// classifies hang-shaped failures through this flag.
-  bool BudgetExhausted = false;
-  Value ReturnValue;      ///< main's return value
-  uint64_t Cycles = 0;    ///< accumulated cost-model cycles
-  uint64_t Instructions = 0;
-};
-
-/// Interprets a module. Memory layout: address 0 is reserved; globals get
-/// consecutive base addresses from 1; the heap grows after the globals;
-/// stack (Alloca) addresses live in a disjoint high range.
-class Interpreter {
-public:
+  /// Decodes \p M (or reuses the process-wide decode cache). The module
+  /// must not be mutated for the interpreter's lifetime.
   explicit Interpreter(Module &M);
 
   /// Caps run length (defence against accidental endless loops).
@@ -74,13 +48,16 @@ public:
   ExecResult run(const std::string &Name = "main",
                  const std::vector<Value> &Args = {});
 
-  // --- Introspection for observers --------------------------------------
-  unsigned callDepth() const { return unsigned(Frames.size()); }
-  const Function *currentFunction() const;
+  // --- Introspection for observers (ExecState) ---------------------------
+  unsigned callDepth() const override { return unsigned(Ctx.Frames.size()); }
+  const Function *currentFunction() const override;
   /// Value of an operand in the current (innermost) frame.
-  Value operandValue(const Operand &O) const;
+  Value operandValue(const Operand &O) const override;
   /// Base address of global \p Idx.
-  uint64_t globalBase(unsigned Idx) const { return GlobalBase[Idx]; }
+  uint64_t globalBase(unsigned Idx) const override {
+    return Prog->globalBase(Idx);
+  }
+
   /// Direct memory access (used by tests to inspect final state).
   Value loadSlot(uint64_t Addr) const;
   void storeSlot(uint64_t Addr, Value V);
@@ -88,34 +65,15 @@ public:
   /// Reads register \p Reg of the current frame.
   Value regValue(unsigned Reg) const;
 
+  /// The decoded program this interpreter runs.
+  const ExecProgram &program() const { return *Prog; }
+
 private:
-  struct Frame {
-    const Function *F = nullptr;
-    std::vector<Value> Regs;
-    const BasicBlock *BB = nullptr;
-    unsigned Pos = 0;
-    uint64_t SavedStackPtr = 0;
-    unsigned DestRegInCaller = NoReg;
-    bool WantsResult = false;
-  };
-
-  bool step(ExecResult &R); // executes one instruction
-  Value evalOperand(const Frame &Fr, const Operand &O) const;
-
-  Module &M;
+  std::shared_ptr<const ExecProgram> Prog;
+  PrivateExecMemory Mem;
+  ExecContext Ctx;
   ExecObserver *Obs = nullptr;
-  uint64_t MaxInstructions = 200ull * 1000 * 1000;
-
-  static constexpr uint64_t StackBase = uint64_t(1) << 40;
-  std::vector<Value> Low;   ///< globals + heap
-  std::vector<Value> Stack; ///< alloca region
-  uint64_t HeapPtr = 0;
-  uint64_t StackPtr = 0;
-  std::vector<uint64_t> GlobalBase;
-
-  std::vector<Frame> Frames;
-  Value Returned;
-  bool HasReturned = false;
+  uint64_t MaxInstructions = ExecLimits::DefaultMaxSteps;
 };
 
 } // namespace helix

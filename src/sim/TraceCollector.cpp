@@ -53,7 +53,7 @@ void TraceCollector::endInvocation() {
 }
 
 void TraceCollector::onInstruction(const Instruction *I, unsigned Cycles,
-                                   Interpreter &Interp) {
+                                   ExecState &State) {
   if (Active < 0) {
     OutsideCycles += Cycles;
     return;
@@ -62,8 +62,8 @@ void TraceCollector::onInstruction(const Instruction *I, unsigned Cycles,
 
   // Structured events only fire in the loop's own frame.
   const ParallelLoopInfo *PLI = Traces[Active].PLI;
-  if (Interp.callDepth() != ActiveDepth ||
-      Interp.currentFunction() != PLI->F)
+  if (State.callDepth() != ActiveDepth ||
+      State.currentFunction() != PLI->F)
     return;
 
   switch (I->opcode()) {
@@ -89,7 +89,7 @@ void TraceCollector::onInstruction(const Instruction *I, unsigned Cycles,
     break;
   }
   case Opcode::Load: {
-    uint64_t Addr = uint64_t(Interp.operandValue(I->operand(0)).asInt());
+    uint64_t Addr = uint64_t(State.operandValue(I->operand(0)).asInt());
     if (StorageBase && Addr >= StorageBase && Addr < StorageEnd) {
       flushCycles();
       iter().Events.push_back(
@@ -100,7 +100,7 @@ void TraceCollector::onInstruction(const Instruction *I, unsigned Cycles,
     break;
   }
   case Opcode::Store: {
-    uint64_t Addr = uint64_t(Interp.operandValue(I->operand(1)).asInt());
+    uint64_t Addr = uint64_t(State.operandValue(I->operand(1)).asInt());
     if (StorageBase && Addr >= StorageBase && Addr < StorageEnd) {
       flushCycles();
       iter().Events.push_back(
@@ -114,11 +114,11 @@ void TraceCollector::onInstruction(const Instruction *I, unsigned Cycles,
 }
 
 void TraceCollector::onEdge(const BasicBlock *From, const BasicBlock *To,
-                            Interpreter &Interp) {
+                            ExecState &State) {
   if (Active >= 0) {
     const ParallelLoopInfo *PLI = Traces[Active].PLI;
-    if (Interp.callDepth() != ActiveDepth ||
-        Interp.currentFunction() != PLI->F)
+    if (State.callDepth() != ActiveDepth ||
+        State.currentFunction() != PLI->F)
       return;
     if (From == PLI->Latch && To == PLI->Header) {
       // Back edge: next iteration of the active invocation.
@@ -136,19 +136,19 @@ void TraceCollector::onEdge(const BasicBlock *From, const BasicBlock *To,
   // No active invocation: does this edge enter a parallelized loop?
   for (unsigned K = 0, E = unsigned(Traces.size()); K != E; ++K) {
     const ParallelLoopInfo *PLI = Traces[K].PLI;
-    if (Interp.currentFunction() != PLI->F)
+    if (State.currentFunction() != PLI->F)
       continue;
     if (To != PLI->Header || PLI->contains(From))
       continue;
     Active = int(K);
-    ActiveDepth = Interp.callDepth();
+    ActiveDepth = State.callDepth();
     Traces[K].Invocations.emplace_back();
     Traces[K].Invocations.back().Iterations.emplace_back();
     PendingCycles = 0;
     InPrologue = true;
     OpenSegments = 0;
     if (PLI->StorageGlobal != ~0u) {
-      StorageBase = Interp.globalBase(PLI->StorageGlobal);
+      StorageBase = State.globalBase(PLI->StorageGlobal);
       StorageEnd =
           StorageBase +
           PLI->F->parent()->global(PLI->StorageGlobal).Size;

@@ -1,9 +1,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// An interpreter observer that extracts per-invocation traces for a set of
-/// HELIX-parallelized loops during one whole-program run, attributing every
-/// cycle either to an active parallel-loop invocation or to "outside" time.
+/// The tracing driver of the execution engine: an ExecObserver that
+/// extracts per-invocation traces for a set of HELIX-parallelized loops
+/// during one whole-program run, attributing every cycle either to an
+/// active parallel-loop invocation or to "outside" time. It attaches to
+/// any engine implementing the ExecState contract — the decoded
+/// sequential driver in production, the tree-walk reference in the
+/// differential tests.
 ///
 /// Only the *outermost* active parallelized loop collects a trace at any
 /// moment: invocations dynamically nested inside it run sequentially within
@@ -47,9 +51,9 @@ public:
   explicit TraceCollector(const std::vector<const ParallelLoopInfo *> &Loops);
 
   void onInstruction(const Instruction *I, unsigned Cycles,
-                     Interpreter &Interp) override;
+                     ExecState &State) override;
   void onEdge(const BasicBlock *From, const BasicBlock *To,
-              Interpreter &Interp) override;
+              ExecState &State) override;
 
   const std::vector<LoopTraces> &traces() const { return Traces; }
   /// Cycles spent outside any parallel-loop invocation.

@@ -1,0 +1,340 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential tests of the decoded execution engine against the retained
+/// tree-walk reference: ExecResult fields, observer event streams, loop
+/// traces and runtime statistics must match instruction-for-instruction on
+/// every workload idiom, plus decode/cache semantics and a fuzz smoke
+/// running all three oracle legs on the engine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "fuzz/Fuzzer.h"
+#include "helix/HelixTransform.h"
+#include "ir/Clone.h"
+#include "ir/IRParser.h"
+#include "runtime/ThreadedRuntime.h"
+#include "sim/Interpreter.h"
+#include "sim/TraceCollector.h"
+#include "sim/TreeWalkInterpreter.h"
+#include "workloads/WorkloadBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace helix;
+
+namespace {
+
+void expectResultsEqual(const ExecResult &Ref, const ExecResult &Got) {
+  EXPECT_EQ(Ref.Ok, Got.Ok) << Ref.Error << " vs " << Got.Error;
+  EXPECT_EQ(Ref.Error, Got.Error);
+  EXPECT_EQ(Ref.BudgetExhausted, Got.BudgetExhausted);
+  EXPECT_TRUE(Ref.ReturnValue == Got.ReturnValue);
+  EXPECT_EQ(Ref.Cycles, Got.Cycles);
+  EXPECT_EQ(Ref.Instructions, Got.Instructions);
+}
+
+void expectTracesEqual(const TraceCollector &Ref, const TraceCollector &Got) {
+  EXPECT_EQ(Ref.outsideCycles(), Got.outsideCycles());
+  ASSERT_EQ(Ref.traces().size(), Got.traces().size());
+  for (size_t L = 0; L != Ref.traces().size(); ++L) {
+    const LoopTraces &RT = Ref.traces()[L];
+    const LoopTraces &GT = Got.traces()[L];
+    ASSERT_EQ(RT.Invocations.size(), GT.Invocations.size()) << "loop " << L;
+    for (size_t V = 0; V != RT.Invocations.size(); ++V) {
+      const InvocationTrace &RI = RT.Invocations[V];
+      const InvocationTrace &GI = GT.Invocations[V];
+      EXPECT_EQ(RI.SeqCycles, GI.SeqCycles);
+      ASSERT_EQ(RI.Iterations.size(), GI.Iterations.size())
+          << "loop " << L << " invocation " << V;
+      for (size_t I = 0; I != RI.Iterations.size(); ++I) {
+        const IterationTrace &RIt = RI.Iterations[I];
+        const IterationTrace &GIt = GI.Iterations[I];
+        EXPECT_EQ(RIt.TotalCycles, GIt.TotalCycles);
+        EXPECT_EQ(RIt.PrologueCycles, GIt.PrologueCycles);
+        EXPECT_EQ(RIt.SegmentCycles, GIt.SegmentCycles);
+        EXPECT_EQ(RIt.NumLoads, GIt.NumLoads);
+        ASSERT_EQ(RIt.Events.size(), GIt.Events.size())
+            << "loop " << L << " invocation " << V << " iteration " << I;
+        for (size_t E = 0; E != RIt.Events.size(); ++E) {
+          EXPECT_EQ(RIt.Events[E].K, GIt.Events[E].K);
+          EXPECT_EQ(RIt.Events[E].A, GIt.Events[E].A);
+          EXPECT_EQ(RIt.Events[E].C, GIt.Events[E].C);
+        }
+      }
+    }
+  }
+}
+
+/// Transforms every loop of every kernel function of \p M (in a clone) and
+/// returns the clone plus loop metadata.
+struct Prepared {
+  std::unique_ptr<Module> M;
+  std::vector<ParallelLoopInfo> Loops;
+};
+
+Prepared prepare(const Module &Original) {
+  Prepared Out;
+  CloneMap Map;
+  Out.M = cloneModule(Original, &Map);
+  AnalysisManager AM(*Out.M);
+  HelixOptions Opts;
+  std::vector<std::pair<Function *, BasicBlock *>> Targets;
+  for (Function *F : *Out.M) {
+    if (F->name().find(".k") == std::string::npos)
+      continue;
+    for (Loop *L : AM.get<LoopInfo>(F).topLevelLoops())
+      Targets.push_back({F, L->header()});
+  }
+  for (auto &[F, H] : Targets) {
+    auto PLI = parallelizeLoop(AM, F, H, Opts);
+    if (PLI)
+      Out.Loops.push_back(std::move(*PLI));
+  }
+  return Out;
+}
+
+std::unique_ptr<Module> idiomWorkload(KernelIdiom Idiom) {
+  WorkloadSpec Spec;
+  Spec.Name = "exec";
+  Spec.Seed = 11;
+  Spec.MainRepeat = 2;
+  Spec.Phases = {{2, false, {{Idiom, 80, 30, 16}}}};
+  return buildWorkload(Spec);
+}
+
+class DecodedIdiom : public ::testing::TestWithParam<KernelIdiom> {};
+
+/// Plain sequential execution: decoded run must match the tree-walk run in
+/// result, error, cycle and instruction accounting.
+TEST_P(DecodedIdiom, SequentialMatchesTreeWalk) {
+  auto M = idiomWorkload(GetParam());
+  TreeWalkInterpreter Ref(*M);
+  ExecResult RefR = Ref.run();
+  Interpreter Dec(*M);
+  ExecResult DecR = Dec.run();
+  ASSERT_TRUE(RefR.Ok) << RefR.Error;
+  expectResultsEqual(RefR, DecR);
+}
+
+/// The tracing driver: run the transformed module under a TraceCollector
+/// on both engines; every invocation, iteration and event must agree.
+TEST_P(DecodedIdiom, TracesMatchTreeWalk) {
+  auto M = idiomWorkload(GetParam());
+  Prepared P = prepare(*M);
+  ASSERT_FALSE(P.Loops.empty());
+  std::vector<const ParallelLoopInfo *> Ptrs;
+  for (auto &L : P.Loops)
+    Ptrs.push_back(&L);
+
+  TraceCollector RefTC(Ptrs);
+  TreeWalkInterpreter Ref(*P.M);
+  Ref.setObserver(&RefTC);
+  ExecResult RefR = Ref.run();
+  ASSERT_TRUE(RefR.Ok) << RefR.Error;
+
+  TraceCollector DecTC(Ptrs);
+  Interpreter Dec(*P.M);
+  Dec.setObserver(&DecTC);
+  ExecResult DecR = Dec.run();
+
+  expectResultsEqual(RefR, DecR);
+  expectTracesEqual(RefTC, DecTC);
+}
+
+/// The threaded driver: decoded workers must compute the sequential
+/// checksum, and the runtime statistics (invocations, iterations, signals)
+/// must be thread-count invariant — every iteration executes the same
+/// decoded code no matter which worker runs it.
+TEST_P(DecodedIdiom, ThreadedMatchesSequentialAndStatsAreStable) {
+  auto M = idiomWorkload(GetParam());
+  TreeWalkInterpreter Ref(*M);
+  ExecResult RefR = Ref.run();
+  ASSERT_TRUE(RefR.Ok) << RefR.Error;
+
+  Prepared P = prepare(*M);
+  ASSERT_FALSE(P.Loops.empty());
+  std::vector<const ParallelLoopInfo *> Ptrs;
+  for (auto &L : P.Loops)
+    Ptrs.push_back(&L);
+
+  RuntimeStats First;
+  for (unsigned Threads : {2u, 4u, 6u}) {
+    RuntimeStats Stats;
+    ExecResult R = runThreaded(*P.M, Ptrs, Threads, &Stats);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.ReturnValue == RefR.ReturnValue) << "threads " << Threads;
+    EXPECT_GT(Stats.ParallelInvocations, 0u);
+    EXPECT_GT(Stats.ParallelIterations, 0u);
+    if (Threads == 2u) {
+      First = Stats;
+      continue;
+    }
+    EXPECT_EQ(Stats.ParallelInvocations, First.ParallelInvocations);
+    EXPECT_EQ(Stats.ParallelIterations, First.ParallelIterations);
+    EXPECT_EQ(Stats.SignalsSent, First.SignalsSent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIdioms, DecodedIdiom,
+    ::testing::Values(KernelIdiom::DoAll, KernelIdiom::DoAllFP,
+                      KernelIdiom::Reduction, KernelIdiom::PointerChase,
+                      KernelIdiom::Histogram, KernelIdiom::Stencil,
+                      KernelIdiom::Branchy, KernelIdiom::Nested2D,
+                      KernelIdiom::TwoAccum));
+
+/// Observer event streams must be identical element-for-element: same
+/// instructions in the same order with the same costs, same edges.
+TEST(ExecEngine, ObserverStreamMatchesTreeWalk) {
+  struct Recorder : ExecObserver {
+    std::vector<std::pair<const Instruction *, unsigned>> Instrs;
+    std::vector<std::pair<const BasicBlock *, const BasicBlock *>> Edges;
+    std::vector<unsigned> Depths;
+    void onInstruction(const Instruction *I, unsigned Cycles,
+                       ExecState &S) override {
+      Instrs.push_back({I, Cycles});
+      Depths.push_back(S.callDepth());
+    }
+    void onEdge(const BasicBlock *From, const BasicBlock *To,
+                ExecState &) override {
+      Edges.push_back({From, To});
+    }
+  };
+
+  auto M = buildSpecWorkload("mcf");
+  Recorder Ref, Dec;
+  TreeWalkInterpreter RefI(*M);
+  RefI.setObserver(&Ref);
+  ASSERT_TRUE(RefI.run().Ok);
+  Interpreter DecI(*M);
+  DecI.setObserver(&Dec);
+  ASSERT_TRUE(DecI.run().Ok);
+
+  ASSERT_EQ(Ref.Instrs.size(), Dec.Instrs.size());
+  EXPECT_TRUE(Ref.Instrs == Dec.Instrs);
+  EXPECT_TRUE(Ref.Edges == Dec.Edges);
+  EXPECT_TRUE(Ref.Depths == Dec.Depths);
+}
+
+TEST(ExecEngine, TrapsMatchTreeWalk) {
+  ParseResult P = parseModule(
+      "func @main(0) {\nentry:\n  r0 = mov 5\n  r1 = div r0, 0\n  ret r1\n}\n");
+  ASSERT_TRUE(P.succeeded());
+  TreeWalkInterpreter Ref(*P.M);
+  Interpreter Dec(*P.M);
+  expectResultsEqual(Ref.run(), Dec.run());
+}
+
+TEST(ExecEngine, BudgetMatchesTreeWalk) {
+  ParseResult P = parseModule("func @main(0) {\nentry:\n  br entry\n}\n");
+  ASSERT_TRUE(P.succeeded());
+  TreeWalkInterpreter Ref(*P.M);
+  Ref.setMaxInstructions(1234);
+  Interpreter Dec(*P.M);
+  Dec.setMaxInstructions(1234);
+  ExecResult RefR = Ref.run(), DecR = Dec.run();
+  EXPECT_TRUE(RefR.BudgetExhausted);
+  expectResultsEqual(RefR, DecR);
+}
+
+TEST(ExecEngine, FunctionArgumentsAndNamedEntryPoints) {
+  ParseResult P = parseModule("func @addmul(2) {\nentry:\n  r2 = add r0, r1\n"
+                              "  r3 = mul r2, r0\n  ret r3\n}\n"
+                              "func @main(0) {\nentry:\n  ret 0\n}\n");
+  ASSERT_TRUE(P.succeeded());
+  Interpreter Dec(*P.M);
+  ExecResult R = Dec.run("addmul", {Value::ofInt(3), Value::ofInt(4)});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), 21);
+  EXPECT_FALSE(Dec.run("nosuch").Ok);
+  EXPECT_FALSE(Dec.run("addmul", {Value::ofInt(1)}).Ok); // arity mismatch
+}
+
+TEST(ExecEngine, DecodeCacheHitsAndInvalidation) {
+  ParseResult P = parseModule(
+      "func @main(0) {\nentry:\n  r0 = add 40, 2\n  ret r0\n}\n");
+  ASSERT_TRUE(P.succeeded());
+  Module &M = *P.M;
+
+  DecodeCache &Cache = DecodeCache::global();
+  Cache.invalidate(M);
+  uint64_t Decodes0 = Cache.decodes(), Hits0 = Cache.hits();
+
+  auto A = Cache.get(M);
+  auto B = Cache.get(M);
+  EXPECT_EQ(A.get(), B.get()); // same decode served twice
+  EXPECT_EQ(Cache.decodes(), Decodes0 + 1);
+  EXPECT_EQ(Cache.hits(), Hits0 + 1);
+
+  // Engines running the same module share the decode...
+  Interpreter I1(M), I2(M);
+  EXPECT_EQ(&I1.program(), &I2.program());
+  EXPECT_EQ(Cache.decodes(), Decodes0 + 1);
+
+  // ...until the module is mutated: the structural fingerprint changes and
+  // the cache re-decodes instead of serving stale code.
+  uint64_t FPBefore = ExecProgram::fingerprintModule(M);
+  Module &Mut = M;
+  Mut.function(0)->block(0)->instr(0)->setImm(7); // any semantic change
+  EXPECT_NE(ExecProgram::fingerprintModule(M), FPBefore);
+  auto C = Cache.get(M);
+  EXPECT_NE(A.get(), C.get());
+  EXPECT_EQ(Cache.decodes(), Decodes0 + 2);
+}
+
+TEST(ExecEngine, DecodePreResolvesOperandsAndTargets) {
+  ParseResult P = parseModule(R"(
+global @g 4 = {10, 20, 30}
+
+func @main(0) {
+entry:
+  r0 = add @g, 1
+  r1 = load r0
+  br next
+next:
+  ret r1
+}
+)");
+  ASSERT_TRUE(P.succeeded());
+  ExecProgram Prog(*P.M);
+  const DecodedFunction *Main = Prog.findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  ASSERT_EQ(Main->Code.size(), 4u);
+  // The global operand became a pooled constant holding its base address.
+  EXPECT_TRUE(Main->Code[0].Ops[0] & ConstOperandBit);
+  EXPECT_EQ(Prog.constants()[Main->Code[0].Ops[0] & ~ConstOperandBit].asInt(),
+            int64_t(Prog.globalBase(0)));
+  // The branch target is a flat PC, pointing at the ret.
+  EXPECT_EQ(Main->Code[2].Op, Opcode::Br);
+  EXPECT_EQ(Main->Code[2].Succ1, 3u);
+  EXPECT_EQ(Main->Code[3].Op, Opcode::Ret);
+}
+
+/// All three fuzz-oracle legs (sequential, transform-then-sequential,
+/// threaded 2/4/6) run on the decoded engine: a campaign must stay
+/// divergence-free. Smaller under TSan, where each case costs ~10x.
+#if defined(__SANITIZE_THREAD__)
+constexpr unsigned SmokeRuns = 60;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr unsigned SmokeRuns = 60;
+#else
+constexpr unsigned SmokeRuns = 500;
+#endif
+#else
+constexpr unsigned SmokeRuns = 500;
+#endif
+
+TEST(ExecEngine, FuzzSmokeAllLegsDivergenceFree) {
+  FuzzOptions Opt;
+  Opt.Seed = 0xEC0DE;
+  Opt.Runs = SmokeRuns;
+  Opt.Shrink = false;
+  FuzzSummary S = runFuzzCampaign(Opt);
+  EXPECT_EQ(S.Divergent, 0u);
+  EXPECT_EQ(S.Clean + S.Inconclusive, S.Runs);
+}
+
+} // namespace

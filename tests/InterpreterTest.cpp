@@ -234,11 +234,11 @@ TEST(Interpreter, ObserverSeesEveryInstruction) {
   struct Counter : ExecObserver {
     unsigned Instrs = 0, Edges = 0;
     void onInstruction(const Instruction *, unsigned,
-                       Interpreter &) override {
+                       ExecState &) override {
       ++Instrs;
     }
     void onEdge(const BasicBlock *, const BasicBlock *,
-                Interpreter &) override {
+                ExecState &) override {
       ++Edges;
     }
   };

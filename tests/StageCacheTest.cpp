@@ -192,6 +192,42 @@ TEST(StageCachePipeline, SecondContextRestoresTrainingStagesFromDisk) {
   }
 }
 
+TEST(StageCachePipeline, ModelProfileAnalysisCountersSurviveDiskRestore) {
+  // ROADMAP PR 4 follow-up: the analysis-cache counters of the
+  // model-profile stage's per-candidate transforms ride in the disk
+  // payload, so a sweep served entirely from the cache still reports the
+  // analysis behaviour of the run that produced the entry.
+  auto M = buildSpecWorkload("gzip");
+  ASSERT_NE(M, nullptr);
+  TempCacheDir Tmp;
+  DiskStageCache Cache(Tmp.str());
+  ASSERT_TRUE(Cache.ok());
+
+  PipelineContext Cold(*M);
+  Cold.setDiskCache(&Cache, "gzip");
+  PipelineReport R1 = PipelineBuilder::standard().run(Cold);
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_FALSE(R1.ModelProfileAnalysisCounters.empty());
+
+  PipelineContext Warm(*M);
+  Warm.setDiskCache(&Cache, "gzip");
+  PipelineReport R2 = PipelineBuilder::standard().run(Warm);
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(Warm.timesExecuted("model-profile"), 0u);
+  EXPECT_EQ(Warm.timesLoadedFromDisk("model-profile"), 1u);
+
+  ASSERT_EQ(R1.ModelProfileAnalysisCounters.size(),
+            R2.ModelProfileAnalysisCounters.size());
+  for (size_t K = 0; K != R1.ModelProfileAnalysisCounters.size(); ++K) {
+    const AnalysisCounterReport &A = R1.ModelProfileAnalysisCounters[K];
+    const AnalysisCounterReport &B = R2.ModelProfileAnalysisCounters[K];
+    EXPECT_EQ(A.Analysis, B.Analysis);
+    EXPECT_EQ(A.Built, B.Built);
+    EXPECT_EQ(A.Hits, B.Hits);
+    EXPECT_EQ(A.Invalidated, B.Invalidated);
+  }
+}
+
 TEST(StageCachePipeline, ConfigChangeMissesTheDiskCache) {
   auto M = buildSpecWorkload("gzip");
   TempCacheDir Tmp;

@@ -23,6 +23,7 @@
 
 #include "fuzz/Fuzzer.h"
 #include "ir/IRParser.h"
+#include "support/Format.h"
 
 #include <chrono>
 #include <cstdio>
@@ -44,6 +45,10 @@ void usage() {
       "  --runs N          number of generated programs (default 100)\n"
       "  --case-seed X     replay exactly this generator seed (repeatable;\n"
       "                    overrides --seed/--runs)\n"
+      "  --gen-variant N   generator variant for --case-seed replays (a\n"
+      "                    coverage-guided failure names its variant)\n"
+      "  --coverage-guided bias case scheduling toward generator variants\n"
+      "                    that historically produced untransformed loops\n"
       "  --replay FILE     run the differential oracle on a saved .ir repro\n"
       "                    (repeatable; overrides seed-based generation)\n"
       "  --jobs N          worker threads (0 = hardware, default)\n"
@@ -172,6 +177,14 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "helix-fuzz: empty --threads list\n");
         return 2;
       }
+    } else if (Arg == "--gen-variant") {
+      if (!parseUnsigned(NeedValue(), N)) {
+        std::fprintf(stderr, "helix-fuzz: bad --gen-variant\n");
+        return 2;
+      }
+      Opt.ReplayVariant = unsigned(N);
+    } else if (Arg == "--coverage-guided") {
+      Opt.CoverageGuided = true;
     } else if (Arg == "--replay") {
       ReplayFilesList.push_back(NeedValue());
     } else if (Arg == "--corpus") {
@@ -206,6 +219,17 @@ int main(int argc, char **argv) {
     }
   }
 
+  size_t NumVariants = fuzzScheduleVariants(Opt.Gen).size();
+  if (Opt.ReplayVariant >= NumVariants) {
+    // Falling back to the base config here would silently regenerate a
+    // different module than the failing case and report it "fixed".
+    std::fprintf(stderr,
+                 "helix-fuzz: --gen-variant %u out of range (the variant "
+                 "table has %zu entries, 0-%zu)\n",
+                 Opt.ReplayVariant, NumVariants, NumVariants - 1);
+    return 2;
+  }
+
   if (!ReplayFilesList.empty()) {
     std::printf("helix-fuzz: replaying %zu repro file(s)\n",
                 ReplayFilesList.size());
@@ -237,6 +261,14 @@ int main(int argc, char **argv) {
               "%u cases with no transformed loop\n",
               (unsigned long long)S.LoopsAttempted,
               (unsigned long long)S.LoopsTransformed, S.Untransformed);
+  if (Opt.CoverageGuided) {
+    std::printf("schedule:");
+    for (const FuzzSummary::VariantStats &V : S.Variants)
+      if (V.Cases)
+        std::printf(" %s=%u(%u untransformed)", V.Name.c_str(), V.Cases,
+                    V.Untransformed);
+    std::printf("\n");
+  }
   if (!S.PassTimings.empty()) {
     std::printf("transform pass time:");
     for (const LoopPassTiming &T : S.PassTimings)
@@ -246,10 +278,13 @@ int main(int argc, char **argv) {
   printAnalysisCounters(S.AnalysisCounters);
   for (const FuzzFailure &F : S.Failures) {
     std::printf("%s case %u (case seed 0x%llx, replay with "
-                "--case-seed 0x%llx): %s\n",
+                "--case-seed 0x%llx%s): %s\n",
                 F.Inconclusive ? "INCONCLUSIVE" : "DIVERGENCE", F.CaseIndex,
                 (unsigned long long)F.CaseSeed,
-                (unsigned long long)F.CaseSeed, F.Detail.c_str());
+                (unsigned long long)F.CaseSeed,
+                F.Variant ? formatStr(" --gen-variant %u", F.Variant).c_str()
+                          : "",
+                F.Detail.c_str());
     if (!F.ReproPath.empty())
       std::printf("  repro: %s\n", F.ReproPath.c_str());
     if (F.ShrunkInstrs)
