@@ -259,8 +259,10 @@ std::shared_ptr<const ExecProgram> DecodeCache::get(const Module &M) {
   auto Prog = std::make_shared<const ExecProgram>(M);
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Decodes;
-  if (Entries.size() >= MaxEntries && !Entries.count(&M))
+  if (Entries.size() >= MaxEntries && !Entries.count(&M)) {
     Entries.erase(Entries.begin()); // arbitrary victim; users hold shared_ptrs
+    ++Evictions;
+  }
   Entries[&M] = {M.uid(), FP, Prog};
   return Prog;
 }

@@ -137,6 +137,16 @@ private:
 /// the shared_ptr.
 class DecodeCache {
 public:
+  /// Counter snapshot: decodes are misses that built a program, hits
+  /// served an existing decode, evictions dropped the cache's reference to
+  /// make room (running engines keep theirs). Monotonic over the cache's
+  /// lifetime; subtract two snapshots for a per-run delta.
+  struct Counters {
+    uint64_t Decodes = 0;
+    uint64_t Hits = 0;
+    uint64_t Evictions = 0;
+  };
+
   /// The process-wide instance every driver uses by default.
   static DecodeCache &global();
 
@@ -150,6 +160,10 @@ public:
 
   uint64_t decodes() const { return Decodes.load(std::memory_order_relaxed); }
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+  Counters counters() const { return {decodes(), hits(), evictions()}; }
 
 private:
   struct Entry {
@@ -161,7 +175,7 @@ private:
 
   mutable std::mutex Mutex;
   std::unordered_map<const Module *, Entry> Entries;
-  std::atomic<uint64_t> Decodes{0}, Hits{0};
+  std::atomic<uint64_t> Decodes{0}, Hits{0}, Evictions{0};
 };
 
 } // namespace helix

@@ -1,5 +1,6 @@
 #include "pipeline/PipelineBuilder.h"
 
+#include "exec/ExecProgram.h"
 #include "pipeline/StageCache.h"
 #include "pipeline/Stages.h"
 
@@ -34,10 +35,23 @@ PipelineReport Pipeline::run(PipelineContext &Ctx) const {
     return Ctx.Report;
   }
 
-  DiskStageCache *Disk = Ctx.diskCache();
+  // Decode-cache delta across this run (surfaced in the report next to the
+  // analysis counters). The counters are process-wide, so with concurrent
+  // pipeline runs (the serve daemon) a delta attributes *some* other
+  // requests' decodes to this run — still exact for the warm-repeat
+  // assertion, which runs one request at a time.
+  const DecodeCache::Counters DecodeStart = DecodeCache::global().counters();
+  Ctx.Report.Decode = {};
+  auto RecordDecodeStats = [&] {
+    DecodeCache::Counters Now = DecodeCache::global().counters();
+    Ctx.Report.Decode.Decodes = Now.Decodes - DecodeStart.Decodes;
+    Ctx.Report.Decode.Hits = Now.Hits - DecodeStart.Hits;
+    Ctx.Report.Decode.Evictions = Now.Evictions - DecodeStart.Evictions;
+  };
+
+  StageCache *Disk = Ctx.stageCache();
   if (Disk && Ctx.moduleFingerprint().empty())
-    Ctx.setModuleFingerprint(
-        DiskStageCache::moduleFingerprint(Ctx.original()));
+    Ctx.setModuleFingerprint(StageCache::moduleFingerprint(Ctx.original()));
 
   // A cached result is trusted only when (a) its key matches the current
   // config and (b) its generation stamp is not older than any upstream
@@ -76,7 +90,7 @@ PipelineReport Pipeline::run(PipelineContext &Ctx) const {
     // execution, never to wrong results.
     if (Disk) {
       auto LoadStart = std::chrono::steady_clock::now();
-      std::string Entry = DiskStageCache::entryName(
+      std::string Entry = StageCache::entryName(
           Ctx.workloadKey(), S.name(), ChainKey, Ctx.moduleFingerprint());
       std::string Payload;
       if (Disk->load(Entry, Payload) && S.deserializeResult(Ctx, Payload)) {
@@ -132,15 +146,15 @@ PipelineReport Pipeline::run(PipelineContext &Ctx) const {
       }
       if (Ctx.Report.Error.empty())
         Ctx.Report.Error = std::string(S.name()) + " stage failed";
+      RecordDecodeStats();
       return Ctx.Report;
     }
     UpstreamGen = Ctx.recordStageResult(S.name(), Key);
     if (Disk) {
       std::string Payload;
       if (S.serializeResult(Ctx, Payload))
-        Disk->store(DiskStageCache::entryName(Ctx.workloadKey(), S.name(),
-                                              ChainKey,
-                                              Ctx.moduleFingerprint()),
+        Disk->store(StageCache::entryName(Ctx.workloadKey(), S.name(),
+                                          ChainKey, Ctx.moduleFingerprint()),
                     Payload);
     }
   }
@@ -176,6 +190,7 @@ PipelineReport Pipeline::run(PipelineContext &Ctx) const {
   }
 
   Ctx.Report.Ok = true;
+  RecordDecodeStats();
   return Ctx.Report;
 }
 

@@ -36,7 +36,7 @@
 
 namespace helix {
 
-class DiskStageCache;
+class StageCache;
 
 class PipelineContext {
 public:
@@ -113,18 +113,24 @@ public:
   }
   void clearStageResult(const std::string &Name) { StageKeys.erase(Name); }
 
-  // --- Disk-persistent stage cache ---------------------------------------
+  // --- Persistent / shared stage cache -----------------------------------
 
-  /// Attaches a disk cache (pipeline/StageCache.h). \p WorkloadKey names
-  /// this context's program in entry files — bench harnesses pass the
-  /// workload name. The cache must outlive the context. Pass nullptr to
-  /// detach. Subsequent Pipeline::run calls will satisfy persistence-aware
-  /// stages from disk (and populate it after executions).
-  void setDiskCache(DiskStageCache *Cache, std::string WorkloadKey) {
-    Disk = Cache;
+  /// Attaches a stage cache (pipeline/StageCache.h — disk-backed,
+  /// in-memory, or layered). \p WorkloadKey names this context's program
+  /// in entry files — bench harnesses pass the workload name, the serve
+  /// daemon a per-service label. The cache must outlive the context. Pass
+  /// nullptr to detach. Subsequent Pipeline::run calls will satisfy
+  /// persistence-aware stages from it (and populate it after executions).
+  void setStageCache(StageCache *Cache, std::string WorkloadKey) {
+    this->Cache = Cache;
     this->WorkloadKey = std::move(WorkloadKey);
   }
-  DiskStageCache *diskCache() const { return Disk; }
+  /// Compatibility spelling from when the only implementation was the disk
+  /// cache; bench harnesses and older tests still use it.
+  void setDiskCache(StageCache *Cache, std::string WorkloadKey) {
+    setStageCache(Cache, std::move(WorkloadKey));
+  }
+  StageCache *stageCache() const { return Cache; }
   const std::string &workloadKey() const { return WorkloadKey; }
 
   /// Fingerprint of the original module, computed lazily by Pipeline::run
@@ -192,7 +198,7 @@ private:
   std::vector<StageRun> History;
   std::map<std::string, unsigned> ExecutedCount, ReusedCount, DiskLoadCount;
   uint64_t PendingInstructions = 0;
-  DiskStageCache *Disk = nullptr;
+  StageCache *Cache = nullptr;
   std::string WorkloadKey;
   std::string Fingerprint;
 };

@@ -68,6 +68,19 @@ struct PipelineReport {
   /// behaviour of the run that produced the entry.
   std::vector<AnalysisCounterReport> ModelProfileAnalysisCounters;
 
+  /// Decode-once engine cache behaviour during this run: the delta of
+  /// DecodeCache::global()'s decode/hit/evict counters across
+  /// Pipeline::run. A warm repeat of an identical module shows zero
+  /// decodes here; an eviction jump flags a working set larger than the
+  /// cache. (Alongside the analysis counters above, this is the second
+  /// process-lifetime cache the resident service shares across requests.)
+  struct DecodeCacheStats {
+    uint64_t Decodes = 0;
+    uint64_t Hits = 0;
+    uint64_t Evictions = 0;
+  };
+  DecodeCacheStats Decode;
+
   // Figure 11 breakdown, percent of sequential execution time.
   double PctParallel = 0, PctSeqData = 0, PctSeqControl = 0, PctOutside = 100;
 

@@ -1,0 +1,335 @@
+#include "pipeline/ReportJson.h"
+
+using namespace helix;
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Json u64(uint64_t V) { return Json::integer(int64_t(V)); }
+
+Json simStatsToJson(const SimStats &S) {
+  Json O = Json::object();
+  O.set("parallel_cycles", u64(S.ParallelCycles));
+  O.set("seq_cycles", u64(S.SeqCycles));
+  O.set("wait_stall_cycles", u64(S.WaitStallCycles));
+  O.set("signals_sent", u64(S.SignalsSent));
+  O.set("data_transfers", u64(S.DataTransfers));
+  O.set("slot_reads", u64(S.SlotReads));
+  O.set("program_loads", u64(S.ProgramLoads));
+  O.set("invocations", u64(S.Invocations));
+  O.set("iterations", u64(S.Iterations));
+  return O;
+}
+
+Json modelInputsToJson(const LoopModelInputs &In) {
+  Json O = Json::object();
+  O.set("seq_cycles", u64(In.SeqCycles));
+  O.set("parallel_cycles", u64(In.ParallelCycles));
+  O.set("prologue_cycles", u64(In.PrologueCycles));
+  O.set("segment_cycles", u64(In.SegmentCycles));
+  O.set("invocations", u64(In.Invocations));
+  O.set("iterations", u64(In.Iterations));
+  O.set("data_signals", u64(In.DataSignals));
+  O.set("words_forwarded", u64(In.WordsForwarded));
+  O.set("eff_signal_cycles", Json::number(In.EffSignalCycles));
+  O.set("self_starting", Json::boolean(In.SelfStarting));
+  return O;
+}
+
+Json loopToJson(const LoopReport &L) {
+  Json O = Json::object();
+  O.set("name", Json::str(L.Name));
+  O.set("node", u64(L.Node));
+  O.set("nesting_level", u64(L.NestingLevel));
+  O.set("inputs", modelInputsToJson(L.Inputs));
+  O.set("sim", simStatsToJson(L.Sim));
+  O.set("deps_total", u64(L.NumDepsTotal));
+  O.set("deps_carried", u64(L.NumDepsCarried));
+  O.set("signals_inserted", u64(L.SignalsInserted));
+  O.set("signals_kept", u64(L.SignalsKept));
+  O.set("waits_inserted", u64(L.WaitsInserted));
+  O.set("waits_kept", u64(L.WaitsKept));
+  O.set("code_size_instrs", u64(L.CodeSizeInstrs));
+  O.set("num_segments", u64(L.NumSegments));
+  return O;
+}
+
+Json passTimingsToJson(const std::vector<LoopPassTiming> &Ts) {
+  Json A = Json::array();
+  for (const LoopPassTiming &T : Ts) {
+    Json O = Json::object();
+    O.set("pass", Json::str(T.Pass));
+    O.set("millis", Json::number(T.Millis));
+    O.set("invocations", u64(T.Invocations));
+    A.push(std::move(O));
+  }
+  return A;
+}
+
+Json analysisCountersToJson(const std::vector<AnalysisCounterReport> &Cs) {
+  Json A = Json::array();
+  for (const AnalysisCounterReport &C : Cs) {
+    Json O = Json::object();
+    O.set("analysis", Json::str(C.Analysis));
+    O.set("built", u64(C.Built));
+    O.set("hits", u64(C.Hits));
+    O.set("invalidated", u64(C.Invalidated));
+    A.push(std::move(O));
+  }
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Deserialization
+//===----------------------------------------------------------------------===//
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+/// Typed field readers: absent keys keep the default, present keys of the
+/// wrong kind are an error (a truncated or hand-edited message should not
+/// silently zero a statistic).
+bool readU64(const Json &O, const char *Key, uint64_t &Out,
+             std::string *Err) {
+  const Json *V = O.find(Key);
+  if (!V)
+    return true;
+  if (!V->isNumber())
+    return fail(Err, std::string(Key) + ": expected number");
+  Out = uint64_t(V->asInt());
+  return true;
+}
+
+template <class T>
+bool readUnsigned(const Json &O, const char *Key, T &Out, std::string *Err) {
+  uint64_t V = Out;
+  if (!readU64(O, Key, V, Err))
+    return false;
+  Out = T(V);
+  return true;
+}
+
+bool readDouble(const Json &O, const char *Key, double &Out,
+                std::string *Err) {
+  const Json *V = O.find(Key);
+  if (!V)
+    return true;
+  if (!V->isNumber())
+    return fail(Err, std::string(Key) + ": expected number");
+  Out = V->asDouble();
+  return true;
+}
+
+bool readBool(const Json &O, const char *Key, bool &Out, std::string *Err) {
+  const Json *V = O.find(Key);
+  if (!V)
+    return true;
+  if (!V->isBool())
+    return fail(Err, std::string(Key) + ": expected bool");
+  Out = V->asBool();
+  return true;
+}
+
+bool readString(const Json &O, const char *Key, std::string &Out,
+                std::string *Err) {
+  const Json *V = O.find(Key);
+  if (!V)
+    return true;
+  if (!V->isString())
+    return fail(Err, std::string(Key) + ": expected string");
+  Out = V->asString();
+  return true;
+}
+
+bool simStatsFromJson(const Json &V, SimStats &S, std::string *Err) {
+  if (!V.isObject())
+    return fail(Err, "sim: expected object");
+  return readU64(V, "parallel_cycles", S.ParallelCycles, Err) &&
+         readU64(V, "seq_cycles", S.SeqCycles, Err) &&
+         readU64(V, "wait_stall_cycles", S.WaitStallCycles, Err) &&
+         readU64(V, "signals_sent", S.SignalsSent, Err) &&
+         readU64(V, "data_transfers", S.DataTransfers, Err) &&
+         readU64(V, "slot_reads", S.SlotReads, Err) &&
+         readU64(V, "program_loads", S.ProgramLoads, Err) &&
+         readU64(V, "invocations", S.Invocations, Err) &&
+         readU64(V, "iterations", S.Iterations, Err);
+}
+
+bool modelInputsFromJson(const Json &V, LoopModelInputs &In,
+                         std::string *Err) {
+  if (!V.isObject())
+    return fail(Err, "inputs: expected object");
+  return readU64(V, "seq_cycles", In.SeqCycles, Err) &&
+         readU64(V, "parallel_cycles", In.ParallelCycles, Err) &&
+         readU64(V, "prologue_cycles", In.PrologueCycles, Err) &&
+         readU64(V, "segment_cycles", In.SegmentCycles, Err) &&
+         readU64(V, "invocations", In.Invocations, Err) &&
+         readU64(V, "iterations", In.Iterations, Err) &&
+         readU64(V, "data_signals", In.DataSignals, Err) &&
+         readU64(V, "words_forwarded", In.WordsForwarded, Err) &&
+         readDouble(V, "eff_signal_cycles", In.EffSignalCycles, Err) &&
+         readBool(V, "self_starting", In.SelfStarting, Err);
+}
+
+bool loopFromJson(const Json &V, LoopReport &L, std::string *Err) {
+  if (!V.isObject())
+    return fail(Err, "loops[]: expected object");
+  if (!readString(V, "name", L.Name, Err) ||
+      !readUnsigned(V, "node", L.Node, Err) ||
+      !readUnsigned(V, "nesting_level", L.NestingLevel, Err))
+    return false;
+  if (const Json *In = V.find("inputs"))
+    if (!modelInputsFromJson(*In, L.Inputs, Err))
+      return false;
+  if (const Json *S = V.find("sim"))
+    if (!simStatsFromJson(*S, L.Sim, Err))
+      return false;
+  return readUnsigned(V, "deps_total", L.NumDepsTotal, Err) &&
+         readUnsigned(V, "deps_carried", L.NumDepsCarried, Err) &&
+         readUnsigned(V, "signals_inserted", L.SignalsInserted, Err) &&
+         readUnsigned(V, "signals_kept", L.SignalsKept, Err) &&
+         readUnsigned(V, "waits_inserted", L.WaitsInserted, Err) &&
+         readUnsigned(V, "waits_kept", L.WaitsKept, Err) &&
+         readUnsigned(V, "code_size_instrs", L.CodeSizeInstrs, Err) &&
+         readUnsigned(V, "num_segments", L.NumSegments, Err);
+}
+
+bool passTimingsFromJson(const Json &V, std::vector<LoopPassTiming> &Out,
+                         std::string *Err) {
+  if (!V.isArray())
+    return fail(Err, "pass_timings: expected array");
+  for (const Json &E : V.elements()) {
+    if (!E.isObject())
+      return fail(Err, "pass_timings[]: expected object");
+    LoopPassTiming T;
+    if (!readString(E, "pass", T.Pass, Err) ||
+        !readDouble(E, "millis", T.Millis, Err) ||
+        !readUnsigned(E, "invocations", T.Invocations, Err))
+      return false;
+    Out.push_back(std::move(T));
+  }
+  return true;
+}
+
+bool analysisCountersFromJson(const Json &V,
+                              std::vector<AnalysisCounterReport> &Out,
+                              std::string *Err) {
+  if (!V.isArray())
+    return fail(Err, "analysis_counters: expected array");
+  for (const Json &E : V.elements()) {
+    if (!E.isObject())
+      return fail(Err, "analysis_counters[]: expected object");
+    AnalysisCounterReport C;
+    if (!readString(E, "analysis", C.Analysis, Err) ||
+        !readU64(E, "built", C.Built, Err) ||
+        !readU64(E, "hits", C.Hits, Err) ||
+        !readU64(E, "invalidated", C.Invalidated, Err))
+      return false;
+    Out.push_back(std::move(C));
+  }
+  return true;
+}
+
+} // namespace
+
+Json helix::reportToJson(const PipelineReport &R) {
+  Json O = Json::object();
+  O.set("ok", Json::boolean(R.Ok));
+  if (!R.Error.empty())
+    O.set("error", Json::str(R.Error));
+  O.set("seq_cycles", u64(R.SeqCycles));
+  O.set("par_cycles", u64(R.ParCycles));
+  O.set("speedup", Json::number(R.Speedup));
+  O.set("model_speedup", Json::number(R.ModelSpeedup));
+  O.set("outputs_match", Json::boolean(R.OutputsMatch));
+  O.set("num_candidates", u64(R.NumCandidates));
+  O.set("num_loops", u64(R.NumLoopsInProgram));
+
+  Json Loops = Json::array();
+  for (const LoopReport &L : R.Loops)
+    Loops.push(loopToJson(L));
+  O.set("loops", std::move(Loops));
+
+  O.set("pass_timings", passTimingsToJson(R.TransformPassTimings));
+  O.set("transform_analysis_counters",
+        analysisCountersToJson(R.TransformAnalysisCounters));
+  O.set("model_profile_analysis_counters",
+        analysisCountersToJson(R.ModelProfileAnalysisCounters));
+
+  Json D = Json::object();
+  D.set("decodes", u64(R.Decode.Decodes));
+  D.set("hits", u64(R.Decode.Hits));
+  D.set("evictions", u64(R.Decode.Evictions));
+  O.set("decode_cache", std::move(D));
+
+  O.set("pct_parallel", Json::number(R.PctParallel));
+  O.set("pct_seq_data", Json::number(R.PctSeqData));
+  O.set("pct_seq_control", Json::number(R.PctSeqControl));
+  O.set("pct_outside", Json::number(R.PctOutside));
+  O.set("loop_carried_pct", Json::number(R.LoopCarriedPct));
+  O.set("signals_removed_pct", Json::number(R.SignalsRemovedPct));
+  O.set("data_transfer_pct", Json::number(R.DataTransferPct));
+  O.set("max_code_instrs", u64(R.MaxCodeInstrs));
+  return O;
+}
+
+bool helix::reportFromJson(const Json &V, PipelineReport &R,
+                           std::string *Err) {
+  if (!V.isObject())
+    return fail(Err, "report: expected object");
+  R = PipelineReport();
+  if (!readBool(V, "ok", R.Ok, Err) || !readString(V, "error", R.Error, Err) ||
+      !readU64(V, "seq_cycles", R.SeqCycles, Err) ||
+      !readU64(V, "par_cycles", R.ParCycles, Err) ||
+      !readDouble(V, "speedup", R.Speedup, Err) ||
+      !readDouble(V, "model_speedup", R.ModelSpeedup, Err) ||
+      !readBool(V, "outputs_match", R.OutputsMatch, Err) ||
+      !readUnsigned(V, "num_candidates", R.NumCandidates, Err) ||
+      !readUnsigned(V, "num_loops", R.NumLoopsInProgram, Err))
+    return false;
+
+  if (const Json *Loops = V.find("loops")) {
+    if (!Loops->isArray())
+      return fail(Err, "loops: expected array");
+    for (const Json &E : Loops->elements()) {
+      LoopReport L;
+      if (!loopFromJson(E, L, Err))
+        return false;
+      R.Loops.push_back(std::move(L));
+    }
+  }
+
+  if (const Json *T = V.find("pass_timings"))
+    if (!passTimingsFromJson(*T, R.TransformPassTimings, Err))
+      return false;
+  if (const Json *C = V.find("transform_analysis_counters"))
+    if (!analysisCountersFromJson(*C, R.TransformAnalysisCounters, Err))
+      return false;
+  if (const Json *C = V.find("model_profile_analysis_counters"))
+    if (!analysisCountersFromJson(*C, R.ModelProfileAnalysisCounters, Err))
+      return false;
+
+  if (const Json *D = V.find("decode_cache")) {
+    if (!D->isObject())
+      return fail(Err, "decode_cache: expected object");
+    if (!readU64(*D, "decodes", R.Decode.Decodes, Err) ||
+        !readU64(*D, "hits", R.Decode.Hits, Err) ||
+        !readU64(*D, "evictions", R.Decode.Evictions, Err))
+      return false;
+  }
+
+  return readDouble(V, "pct_parallel", R.PctParallel, Err) &&
+         readDouble(V, "pct_seq_data", R.PctSeqData, Err) &&
+         readDouble(V, "pct_seq_control", R.PctSeqControl, Err) &&
+         readDouble(V, "pct_outside", R.PctOutside, Err) &&
+         readDouble(V, "loop_carried_pct", R.LoopCarriedPct, Err) &&
+         readDouble(V, "signals_removed_pct", R.SignalsRemovedPct, Err) &&
+         readDouble(V, "data_transfer_pct", R.DataTransferPct, Err) &&
+         readUnsigned(V, "max_code_instrs", R.MaxCodeInstrs, Err);
+}

@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON (de)serialization of PipelineReport, the wire form the serve
+/// protocol ships back to clients. Round-trippable: reportFromJson on the
+/// output of reportToJson reconstructs every field, so a remote client
+/// sees exactly the report an in-process run would have produced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_PIPELINE_REPORTJSON_H
+#define HELIX_PIPELINE_REPORTJSON_H
+
+#include "pipeline/PipelineReport.h"
+#include "support/Json.h"
+
+#include <string>
+
+namespace helix {
+
+/// Serializes \p R to a JSON object covering every report field.
+Json reportToJson(const PipelineReport &R);
+
+/// Rebuilds \p R from \p V. Unknown keys are ignored (newer servers may
+/// add fields); missing keys keep their default value. \returns false and
+/// sets \p Err only when \p V is not an object or a present field has the
+/// wrong type.
+bool reportFromJson(const Json &V, PipelineReport &R, std::string *Err);
+
+} // namespace helix
+
+#endif // HELIX_PIPELINE_REPORTJSON_H

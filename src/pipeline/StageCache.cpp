@@ -45,7 +45,7 @@ std::string hex64(uint64_t V) {
 
 } // namespace
 
-uint64_t DiskStageCache::fnv1a(const std::string &Data) {
+uint64_t StageCache::fnv1a(const std::string &Data) {
   uint64_t H = 1469598103934665603ull;
   for (unsigned char C : Data) {
     H ^= C;
@@ -54,11 +54,26 @@ uint64_t DiskStageCache::fnv1a(const std::string &Data) {
   return H;
 }
 
-std::string DiskStageCache::moduleFingerprint(const Module &M) {
+std::string StageCache::moduleFingerprint(const Module &M) {
   std::ostringstream OS;
   M.print(OS);
   return hex64(fnv1a(OS.str()));
 }
+
+std::string StageCache::entryName(const std::string &WorkloadKey,
+                                  const std::string &StageName,
+                                  const std::string &ChainKey,
+                                  const std::string &ModuleFingerprint) {
+  std::string Invalidators = std::to_string(FormatVersion) + '\0' +
+                             WorkloadKey + '\0' + ModuleFingerprint + '\0' +
+                             ChainKey;
+  return sanitize(WorkloadKey) + "-" + sanitize(StageName) + "-" +
+         hex64(fnv1a(Invalidators)) + ".stagecache";
+}
+
+//===----------------------------------------------------------------------===//
+// DiskStageCache
+//===----------------------------------------------------------------------===//
 
 DiskStageCache::DiskStageCache(std::string Directory)
     : Dir(std::move(Directory)) {
@@ -67,19 +82,16 @@ DiskStageCache::DiskStageCache(std::string Directory)
   Usable = !EC && std::filesystem::is_directory(Dir, EC);
 }
 
-std::string DiskStageCache::entryName(const std::string &WorkloadKey,
-                                      const std::string &StageName,
-                                      const std::string &ChainKey,
-                                      const std::string &ModuleFingerprint) {
-  std::string Invalidators = std::to_string(FormatVersion) + '\0' +
-                             WorkloadKey + '\0' + ModuleFingerprint + '\0' +
-                             ChainKey;
-  return sanitize(WorkloadKey) + "-" + sanitize(StageName) + "-" +
-         hex64(fnv1a(Invalidators)) + ".stagecache";
-}
-
 std::string DiskStageCache::entryPath(const std::string &EntryName) const {
   return Dir + "/" + EntryName;
+}
+
+StageCacheCounters DiskStageCache::counters() const {
+  StageCacheCounters C;
+  C.Hits = Hits.load(std::memory_order_relaxed);
+  C.Misses = Misses.load(std::memory_order_relaxed);
+  C.Stores = Stores.load(std::memory_order_relaxed);
+  return C;
 }
 
 bool DiskStageCache::load(const std::string &EntryName,
@@ -88,13 +100,16 @@ bool DiskStageCache::load(const std::string &EntryName,
     return false;
   std::string Path = entryPath(EntryName);
   std::ifstream In(Path, std::ios::binary);
-  if (!In)
+  if (!In) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
     return false;
+  }
 
   auto Reject = [&] {
     In.close();
     std::error_code EC;
     std::filesystem::remove(Path, EC); // corrupt: drop so it is rebuilt
+    Misses.fetch_add(1, std::memory_order_relaxed);
     return false;
   };
 
@@ -105,17 +120,24 @@ bool DiskStageCache::load(const std::string &EntryName,
       H.Version != FormatVersion)
     return Reject();
   // An absurd size field (corruption) must not trigger a huge allocation:
-  // compare against the actual file size first.
-  std::error_code EC;
-  uint64_t FileSize = std::filesystem::file_size(Path, EC);
-  if (EC || FileSize != sizeof(H) + H.PayloadSize)
+  // compare against the actual size first. Sized through the open stream,
+  // NOT through the path — a concurrent same-key writer renaming a new
+  // entry over this one would make a path stat describe a *different*
+  // inode than the one being read, and the spurious mismatch would delete
+  // the writer's fresh, valid entry.
+  In.seekg(0, std::ios::end);
+  std::streamoff FileSize = In.tellg();
+  if (FileSize < 0 ||
+      uint64_t(FileSize) != sizeof(H) + H.PayloadSize)
     return Reject();
+  In.seekg(std::streamoff(sizeof(H)), std::ios::beg);
   std::string Payload(size_t(H.PayloadSize), '\0');
   if (!In.read(Payload.data(), std::streamsize(Payload.size())))
     return Reject();
   if (fnv1a(Payload) != H.PayloadHash)
     return Reject();
   PayloadOut = std::move(Payload);
+  Hits.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -129,10 +151,10 @@ bool DiskStageCache::store(const std::string &EntryName,
   H.PayloadSize = Payload.size();
   H.PayloadHash = fnv1a(Payload);
 
-  // Unique temporary per writer (pid disambiguates concurrent harness
-  // processes sharing one cache directory), then an atomic rename:
-  // racing writers produce identical payloads, so last-rename-wins is
-  // correct.
+  // Unique temporary per writer (pid + thread disambiguate concurrent
+  // writers sharing one cache directory), then an atomic rename: racing
+  // same-key writers produce identical payloads, so last-rename-wins is
+  // correct, and no reader can ever open a partially written entry.
   std::string Path = entryPath(EntryName);
   std::string Tmp = Path + ".tmp." + std::to_string(uint64_t(::getpid())) +
                     "." +
@@ -153,5 +175,84 @@ bool DiskStageCache::store(const std::string &EntryName,
     std::filesystem::remove(Tmp, EC);
     return false;
   }
+  Stores.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// MemoryStageCache
+//===----------------------------------------------------------------------===//
+
+bool MemoryStageCache::load(const std::string &EntryName,
+                            std::string &PayloadOut) const {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Map.find(EntryName);
+    if (It != Map.end()) {
+      Order.splice(Order.begin(), Order, It->second); // touch: LRU front
+      PayloadOut = It->second->second;
+      ++Stats.Hits;
+      return true;
+    }
+    ++Stats.Misses;
+  }
+  // Fall through to the backing store outside the lock (disk I/O must not
+  // serialize every concurrent request), then promote the hit.
+  if (Backing && Backing->load(EntryName, PayloadOut)) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Map.count(EntryName))
+      insertLocked(EntryName, PayloadOut);
+    return true;
+  }
+  return false;
+}
+
+bool MemoryStageCache::store(const std::string &EntryName,
+                             const std::string &Payload) const {
+  if (Payload.size() > MaxBytes)
+    return false; // larger than the whole cache: refuse rather than thrash
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Map.find(EntryName);
+    if (It != Map.end()) {
+      // Same key means same payload (the entry name hashes every
+      // invalidator) — just refresh recency.
+      Order.splice(Order.begin(), Order, It->second);
+    } else {
+      insertLocked(EntryName, Payload);
+    }
+    ++Stats.Stores;
+  }
+  if (Backing)
+    Backing->store(EntryName, Payload);
+  return true;
+}
+
+void MemoryStageCache::insertLocked(const std::string &EntryName,
+                                    const std::string &Payload) const {
+  Order.emplace_front(EntryName, Payload);
+  Map[EntryName] = Order.begin();
+  Bytes += Payload.size();
+  while (Bytes > MaxBytes && Order.size() > 1) {
+    auto &Victim = Order.back();
+    Bytes -= Victim.second.size();
+    Map.erase(Victim.first);
+    Order.pop_back();
+    ++Stats.Evictions;
+  }
+}
+
+StageCacheCounters MemoryStageCache::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+size_t MemoryStageCache::entryCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Map.size();
+}
+
+size_t MemoryStageCache::byteSize() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Bytes;
 }

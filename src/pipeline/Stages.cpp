@@ -620,8 +620,10 @@ bool ModelProfilingStage::deserializeResult(PipelineContext &Ctx,
 //===----------------------------------------------------------------------===//
 
 std::string SelectionStage::cacheKey(const PipelineConfig &Config) const {
+  // "s1" is the persisted-payload version token (the chosen node-id list):
+  // bump it when the selection model's behaviour or the layout changes.
   char Buf[96];
-  std::snprintf(Buf, sizeof(Buf), "fl%d,s%.17g,n%u;",
+  std::snprintf(Buf, sizeof(Buf), "s1,fl%d,s%.17g,n%u;",
                 Config.Selection.ForceNestingLevel,
                 Config.Selection.SignalCycles, Config.NumCores);
   return Buf + machineKey(Config.Helix.Machine);
@@ -664,6 +666,35 @@ bool SelectionStage::run(PipelineContext &Ctx) {
   }
   SelectionResult Sel = selectLoops(*Ctx.LNG, Ctx.Profile, *Inputs, Params);
   Ctx.Chosen = Sel.Chosen;
+  return true;
+}
+
+bool SelectionStage::serializeResult(const PipelineContext &Ctx,
+                                     std::string &Out) const {
+  PayloadWriter W(Out);
+  W.u32(uint32_t(Ctx.Chosen.size()));
+  for (unsigned Node : Ctx.Chosen)
+    W.u32(Node);
+  return true;
+}
+
+bool SelectionStage::deserializeResult(PipelineContext &Ctx,
+                                       const std::string &In) const {
+  if (!Ctx.LNG)
+    return false; // upstream artifacts absent: cannot validate node ids
+  PayloadReader R(In);
+  uint32_t N = R.u32();
+  if (!R.ok() || N > Ctx.LNG->numNodes())
+    return false;
+  std::vector<unsigned> Chosen(N);
+  for (unsigned &Node : Chosen) {
+    Node = R.u32();
+    if (Node >= Ctx.LNG->numNodes())
+      return false;
+  }
+  if (!R.done())
+    return false;
+  Ctx.Chosen = std::move(Chosen);
   return true;
 }
 

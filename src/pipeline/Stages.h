@@ -81,6 +81,10 @@ public:
   }
   std::string cacheKey(const PipelineConfig &Config) const override;
   bool run(PipelineContext &Ctx) override;
+  bool serializeResult(const PipelineContext &Ctx,
+                       std::string &Out) const override;
+  bool deserializeResult(PipelineContext &Ctx,
+                         const std::string &In) const override;
 };
 
 class TransformStage : public Stage {

@@ -1,0 +1,78 @@
+#include "serve/ServeClient.h"
+
+using namespace helix;
+
+namespace {
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+} // namespace
+
+bool ServeClient::connect(const std::string &SocketPath, std::string *Err) {
+  Sock = Socket::connectTo(SocketPath, Err);
+  return Sock.valid();
+}
+
+bool ServeClient::roundTrip(const ServeRequest &Req, ServeResponse &Out,
+                            std::string *Err) {
+  if (!Sock.valid())
+    return fail(Err, "not connected");
+  std::string Line;
+  requestToJson(Req).print(Line);
+  Line += '\n';
+  if (!Sock.sendAll(Line))
+    return fail(Err, "send failed (daemon gone?)");
+
+  // The connection is used synchronously, so the next line is our answer;
+  // the id check guards against a desynchronized stream all the same.
+  std::string RespLine;
+  if (!Sock.recvLine(RespLine))
+    return fail(Err, "connection closed before a response arrived");
+  Json V;
+  std::string ParseErr;
+  if (!Json::parse(RespLine, V, &ParseErr))
+    return fail(Err, "unparseable response: " + ParseErr);
+  if (!responseFromJson(V, Out, &ParseErr))
+    return fail(Err, "malformed response: " + ParseErr);
+  if (Out.Id != Req.Id)
+    return fail(Err, "response id mismatch (stream desynchronized)");
+  return true;
+}
+
+bool ServeClient::run(const std::string &ModuleText,
+                      const std::string &PipelineText,
+                      const ConfigOverrides &Overrides, ServeResponse &Out,
+                      std::string *Err) {
+  ServeRequest Req;
+  Req.Id = NextId++;
+  Req.RequestKind = ServeRequest::Kind::Run;
+  Req.ModuleText = ModuleText;
+  Req.PipelineText = PipelineText;
+  Req.Overrides = Overrides;
+  return roundTrip(Req, Out, Err);
+}
+
+bool ServeClient::stats(ServeStats &Out, std::string *Err) {
+  ServeRequest Req;
+  Req.Id = NextId++;
+  Req.RequestKind = ServeRequest::Kind::Stats;
+  ServeResponse Resp;
+  if (!roundTrip(Req, Resp, Err))
+    return false;
+  if (!Resp.HasStats)
+    return fail(Err, "stats response carried no statistics");
+  Out = Resp.Stats;
+  return true;
+}
+
+bool ServeClient::shutdownServer(std::string *Err) {
+  ServeRequest Req;
+  Req.Id = NextId++;
+  Req.RequestKind = ServeRequest::Kind::Shutdown;
+  ServeResponse Resp;
+  return roundTrip(Req, Resp, Err) && Resp.Ok;
+}

@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocking client of the resident serve daemon: connect once, then issue
+/// run/stats/shutdown requests over the connection. One ServeClient is one
+/// socket and must not be shared between threads without external locking
+/// (concurrent clients each open their own — connections are cheap, the
+/// daemon multiplexes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SERVE_SERVECLIENT_H
+#define HELIX_SERVE_SERVECLIENT_H
+
+#include "serve/ServeProtocol.h"
+#include "support/Socket.h"
+
+#include <string>
+
+namespace helix {
+
+class ServeClient {
+public:
+  ServeClient() = default;
+
+  /// Connects to the daemon at \p SocketPath. \returns false with a
+  /// description in \p Err when the daemon is not there.
+  bool connect(const std::string &SocketPath, std::string *Err = nullptr);
+
+  bool connected() const { return Sock.valid(); }
+
+  /// Submits \p ModuleText for a pipeline run and blocks for the report.
+  /// \p PipelineText empty = the standard pipeline. \returns false only on
+  /// transport failure; a server-side rejection or pipeline failure comes
+  /// back as Out.Ok == false with Out.Error set.
+  bool run(const std::string &ModuleText, const std::string &PipelineText,
+           const ConfigOverrides &Overrides, ServeResponse &Out,
+           std::string *Err = nullptr);
+
+  /// Fetches the server-lifetime statistics.
+  bool stats(ServeStats &Out, std::string *Err = nullptr);
+
+  /// Asks the daemon to shut down (acknowledged before it stops).
+  bool shutdownServer(std::string *Err = nullptr);
+
+private:
+  /// Sends \p Req and blocks for the response with the matching id.
+  bool roundTrip(const ServeRequest &Req, ServeResponse &Out,
+                 std::string *Err);
+
+  Socket Sock;
+  int64_t NextId = 1;
+};
+
+} // namespace helix
+
+#endif // HELIX_SERVE_SERVECLIENT_H

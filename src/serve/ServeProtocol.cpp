@@ -1,0 +1,360 @@
+#include "serve/ServeProtocol.h"
+
+#include "pipeline/ReportJson.h"
+#include "support/Format.h"
+
+using namespace helix;
+
+//===----------------------------------------------------------------------===//
+// ConfigOverrides
+//===----------------------------------------------------------------------===//
+
+void ConfigOverrides::applyTo(PipelineConfig &C) const {
+  if (NumCores)
+    C.NumCores = unsigned(*NumCores);
+  if (SignalCycles)
+    C.Selection.SignalCycles = *SignalCycles;
+  if (ForceNestingLevel)
+    C.Selection.ForceNestingLevel = int(*ForceNestingLevel);
+  if (MaxInterpInstructions)
+    C.MaxInterpInstructions = uint64_t(*MaxInterpInstructions);
+  if (ModelProfileThreads)
+    C.ModelProfileThreads = unsigned(*ModelProfileThreads);
+  if (DoAcross)
+    C.DoAcross = *DoAcross;
+}
+
+std::string ConfigOverrides::cacheKey() const {
+  std::string Key;
+  if (NumCores)
+    Key += formatStr("nc=%lld;", (long long)*NumCores);
+  if (SignalCycles)
+    Key += formatStr("sc=%.17g;", *SignalCycles);
+  if (ForceNestingLevel)
+    Key += formatStr("fnl=%lld;", (long long)*ForceNestingLevel);
+  if (MaxInterpInstructions)
+    Key += formatStr("mii=%lld;", (long long)*MaxInterpInstructions);
+  if (ModelProfileThreads)
+    Key += formatStr("mpt=%lld;", (long long)*ModelProfileThreads);
+  if (DoAcross)
+    Key += formatStr("da=%d;", *DoAcross ? 1 : 0);
+  return Key;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Json u64(uint64_t V) { return Json::integer(int64_t(V)); }
+
+const char *kindName(ServeRequest::Kind K) {
+  switch (K) {
+  case ServeRequest::Kind::Run:
+    return "run";
+  case ServeRequest::Kind::Stats:
+    return "stats";
+  case ServeRequest::Kind::Shutdown:
+    return "shutdown";
+  }
+  return "run";
+}
+
+Json overridesToJson(const ConfigOverrides &O) {
+  Json V = Json::object();
+  if (O.NumCores)
+    V.set("num_cores", Json::integer(*O.NumCores));
+  if (O.SignalCycles)
+    V.set("signal_cycles", Json::number(*O.SignalCycles));
+  if (O.ForceNestingLevel)
+    V.set("force_nesting_level", Json::integer(*O.ForceNestingLevel));
+  if (O.MaxInterpInstructions)
+    V.set("max_interp_instructions", Json::integer(*O.MaxInterpInstructions));
+  if (O.ModelProfileThreads)
+    V.set("model_profile_threads", Json::integer(*O.ModelProfileThreads));
+  if (O.DoAcross)
+    V.set("doacross", Json::boolean(*O.DoAcross));
+  return V;
+}
+
+} // namespace
+
+Json helix::requestToJson(const ServeRequest &R) {
+  Json V = Json::object();
+  V.set("id", Json::integer(R.Id));
+  V.set("kind", Json::str(kindName(R.RequestKind)));
+  if (R.RequestKind == ServeRequest::Kind::Run) {
+    V.set("module", Json::str(R.ModuleText));
+    if (!R.PipelineText.empty())
+      V.set("pipeline", Json::str(R.PipelineText));
+    if (!R.Overrides.empty())
+      V.set("config", overridesToJson(R.Overrides));
+  }
+  return V;
+}
+
+Json helix::statsToJson(const ServeStats &S) {
+  Json V = Json::object();
+  V.set("received", u64(S.Received));
+  V.set("served", u64(S.Served));
+  V.set("failed", u64(S.Failed));
+  V.set("rejected", u64(S.Rejected));
+  V.set("coalesced", u64(S.Coalesced));
+  Json Cache = Json::object();
+  Cache.set("hits", u64(S.CacheHits));
+  Cache.set("misses", u64(S.CacheMisses));
+  Cache.set("stores", u64(S.CacheStores));
+  Cache.set("evictions", u64(S.CacheEvictions));
+  V.set("stage_cache", std::move(Cache));
+  Json Decode = Json::object();
+  Decode.set("decodes", u64(S.DecodeDecodes));
+  Decode.set("hits", u64(S.DecodeHits));
+  Decode.set("evictions", u64(S.DecodeEvictions));
+  V.set("decode_cache", std::move(Decode));
+  Json Stages = Json::array();
+  for (const ServeStats::StageAgg &A : S.Stages) {
+    Json O = Json::object();
+    O.set("name", Json::str(A.Name));
+    O.set("executions", u64(A.Executions));
+    O.set("reuses", u64(A.Reuses));
+    O.set("millis", Json::number(A.Millis));
+    Stages.push(std::move(O));
+  }
+  V.set("stages", std::move(Stages));
+  return V;
+}
+
+Json helix::responseToJson(const ServeResponse &R) {
+  Json V = Json::object();
+  V.set("id", Json::integer(R.Id));
+  V.set("ok", Json::boolean(R.Ok));
+  if (!R.Error.empty())
+    V.set("error", Json::str(R.Error));
+  if (R.Coalesced)
+    V.set("coalesced", Json::boolean(true));
+  if (R.HasReport) {
+    V.set("report", reportToJson(R.Report));
+    Json Stages = Json::array();
+    for (const StageSummary &S : R.Stages) {
+      Json O = Json::object();
+      O.set("name", Json::str(S.Name));
+      O.set("source", Json::str(S.Source));
+      O.set("wall_millis", Json::number(S.WallMillis));
+      O.set("interpreted_instructions", u64(S.InterpretedInstructions));
+      Stages.push(std::move(O));
+    }
+    V.set("stages", std::move(Stages));
+  }
+  if (R.HasStats)
+    V.set("stats", statsToJson(R.Stats));
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+bool overridesFromJson(const Json &V, ConfigOverrides &O, std::string *Err) {
+  if (!V.isObject())
+    return fail(Err, "config: expected object");
+  for (const auto &[Key, Val] : V.members()) {
+    if (Key == "num_cores" || Key == "force_nesting_level" ||
+        Key == "max_interp_instructions" || Key == "model_profile_threads") {
+      if (!Val.isInt())
+        return fail(Err, "config." + Key + ": expected integer");
+      int64_t I = Val.asInt();
+      if (Key == "num_cores")
+        O.NumCores = I;
+      else if (Key == "force_nesting_level")
+        O.ForceNestingLevel = I;
+      else if (Key == "max_interp_instructions")
+        O.MaxInterpInstructions = I;
+      else
+        O.ModelProfileThreads = I;
+    } else if (Key == "signal_cycles") {
+      if (!Val.isNumber())
+        return fail(Err, "config.signal_cycles: expected number");
+      O.SignalCycles = Val.asDouble();
+    } else if (Key == "doacross") {
+      if (!Val.isBool())
+        return fail(Err, "config.doacross: expected bool");
+      O.DoAcross = Val.asBool();
+    } else {
+      return fail(Err, "config: unknown key '" + Key + "'");
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool helix::requestFromJson(const Json &V, ServeRequest &R, std::string *Err) {
+  if (!V.isObject())
+    return fail(Err, "request: expected object");
+  R = ServeRequest();
+
+  const Json *Id = V.find("id");
+  if (!Id || !Id->isInt())
+    return fail(Err, "request: missing integer 'id'");
+  R.Id = Id->asInt();
+
+  const Json *Kind = V.find("kind");
+  if (!Kind || !Kind->isString())
+    return fail(Err, "request: missing string 'kind'");
+  const std::string &K = Kind->asString();
+  if (K == "run")
+    R.RequestKind = ServeRequest::Kind::Run;
+  else if (K == "stats")
+    R.RequestKind = ServeRequest::Kind::Stats;
+  else if (K == "shutdown")
+    R.RequestKind = ServeRequest::Kind::Shutdown;
+  else
+    return fail(Err, "request: unknown kind '" + K + "'");
+
+  if (R.RequestKind != ServeRequest::Kind::Run)
+    return true;
+
+  const Json *M = V.find("module");
+  if (!M || !M->isString() || M->asString().empty())
+    return fail(Err, "run request: missing non-empty string 'module'");
+  R.ModuleText = M->asString();
+
+  if (const Json *P = V.find("pipeline")) {
+    if (!P->isString())
+      return fail(Err, "run request: 'pipeline' must be a string");
+    R.PipelineText = P->asString();
+  }
+  if (const Json *C = V.find("config"))
+    if (!overridesFromJson(*C, R.Overrides, Err))
+      return false;
+  return true;
+}
+
+bool helix::parseRequestLine(const std::string &Line, ServeRequest &R,
+                             std::string *Err) {
+  Json V;
+  if (!Json::parse(Line, V, Err))
+    return false;
+  return requestFromJson(V, R, Err);
+}
+
+bool helix::statsFromJson(const Json &V, ServeStats &S, std::string *Err) {
+  if (!V.isObject())
+    return fail(Err, "stats: expected object");
+  S = ServeStats();
+  auto ReadU64 = [&](const Json &O, const char *Key, uint64_t &Out) {
+    const Json *F = O.find(Key);
+    if (!F)
+      return true;
+    if (!F->isNumber())
+      return fail(Err, std::string("stats.") + Key + ": expected number");
+    Out = uint64_t(F->asInt());
+    return true;
+  };
+  if (!ReadU64(V, "received", S.Received) || !ReadU64(V, "served", S.Served) ||
+      !ReadU64(V, "failed", S.Failed) || !ReadU64(V, "rejected", S.Rejected) ||
+      !ReadU64(V, "coalesced", S.Coalesced))
+    return false;
+  if (const Json *C = V.find("stage_cache")) {
+    if (!C->isObject())
+      return fail(Err, "stats.stage_cache: expected object");
+    if (!ReadU64(*C, "hits", S.CacheHits) ||
+        !ReadU64(*C, "misses", S.CacheMisses) ||
+        !ReadU64(*C, "stores", S.CacheStores) ||
+        !ReadU64(*C, "evictions", S.CacheEvictions))
+      return false;
+  }
+  if (const Json *D = V.find("decode_cache")) {
+    if (!D->isObject())
+      return fail(Err, "stats.decode_cache: expected object");
+    if (!ReadU64(*D, "decodes", S.DecodeDecodes) ||
+        !ReadU64(*D, "hits", S.DecodeHits) ||
+        !ReadU64(*D, "evictions", S.DecodeEvictions))
+      return false;
+  }
+  if (const Json *Stages = V.find("stages")) {
+    if (!Stages->isArray())
+      return fail(Err, "stats.stages: expected array");
+    for (const Json &E : Stages->elements()) {
+      if (!E.isObject())
+        return fail(Err, "stats.stages[]: expected object");
+      ServeStats::StageAgg A;
+      const Json *Name = E.find("name");
+      if (!Name || !Name->isString())
+        return fail(Err, "stats.stages[].name: expected string");
+      A.Name = Name->asString();
+      if (!ReadU64(E, "executions", A.Executions) ||
+          !ReadU64(E, "reuses", A.Reuses))
+        return false;
+      A.Millis = E.getDouble("millis", 0.0);
+      S.Stages.push_back(std::move(A));
+    }
+  }
+  return true;
+}
+
+bool helix::responseFromJson(const Json &V, ServeResponse &R,
+                             std::string *Err) {
+  if (!V.isObject())
+    return fail(Err, "response: expected object");
+  R = ServeResponse();
+
+  const Json *Id = V.find("id");
+  if (!Id || !Id->isInt())
+    return fail(Err, "response: missing integer 'id'");
+  R.Id = Id->asInt();
+
+  const Json *Ok = V.find("ok");
+  if (!Ok || !Ok->isBool())
+    return fail(Err, "response: missing bool 'ok'");
+  R.Ok = Ok->asBool();
+
+  if (const Json *E = V.find("error")) {
+    if (!E->isString())
+      return fail(Err, "response: 'error' must be a string");
+    R.Error = E->asString();
+  }
+  if (const Json *C = V.find("coalesced")) {
+    if (!C->isBool())
+      return fail(Err, "response: 'coalesced' must be a bool");
+    R.Coalesced = C->asBool();
+  }
+  if (const Json *Rep = V.find("report")) {
+    if (!reportFromJson(*Rep, R.Report, Err))
+      return false;
+    R.HasReport = true;
+    if (const Json *Stages = V.find("stages")) {
+      if (!Stages->isArray())
+        return fail(Err, "response: 'stages' must be an array");
+      for (const Json &E : Stages->elements()) {
+        if (!E.isObject())
+          return fail(Err, "response.stages[]: expected object");
+        StageSummary S;
+        const Json *Name = E.find("name");
+        if (!Name || !Name->isString())
+          return fail(Err, "response.stages[].name: expected string");
+        S.Name = Name->asString();
+        S.Source = E.getString("source", "executed");
+        S.WallMillis = E.getDouble("wall_millis", 0.0);
+        S.InterpretedInstructions =
+            uint64_t(E.getInt("interpreted_instructions", 0));
+        R.Stages.push_back(std::move(S));
+      }
+    }
+  }
+  if (const Json *St = V.find("stats")) {
+    if (!statsFromJson(*St, R.Stats, Err))
+      return false;
+    R.HasStats = true;
+  }
+  return true;
+}

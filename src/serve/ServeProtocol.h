@@ -1,0 +1,140 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the resident compile-and-simulate service: one
+/// JSON object per line in each direction over a local stream socket.
+///
+/// Requests name a kind ("run", "stats", "shutdown") and an id the client
+/// chose; the matching response echoes the id. A "run" carries a textual
+/// IR module, an optional pipeline string (stage names, comma separated;
+/// empty = the standard seven-stage pipeline) and an optional object of
+/// configuration overrides — only the knobs a remote caller may touch,
+/// each validated and clamped by the server's admission policy.
+///
+/// Parsing is strict: unknown request kinds, wrongly typed fields and
+/// unknown override keys are rejected with a description, never guessed
+/// at. The response of a failed request is a structured error, so a
+/// malformed or trapping submission can never take the daemon down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SERVE_SERVEPROTOCOL_H
+#define HELIX_SERVE_SERVEPROTOCOL_H
+
+#include "pipeline/PipelineConfig.h"
+#include "pipeline/PipelineReport.h"
+#include "support/Json.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace helix {
+
+/// The configuration knobs a request may override, all optional. Only
+/// execution-policy and experiment knobs are exposed; everything else is
+/// fixed by the server so cache entries stay comparable across clients.
+struct ConfigOverrides {
+  std::optional<int64_t> NumCores;
+  std::optional<double> SignalCycles;
+  std::optional<int64_t> ForceNestingLevel;
+  std::optional<int64_t> MaxInterpInstructions;
+  std::optional<int64_t> ModelProfileThreads;
+  std::optional<bool> DoAcross;
+
+  /// Folds the present overrides into \p C.
+  void applyTo(PipelineConfig &C) const;
+
+  /// Deterministic text of the present overrides — part of the server's
+  /// request-coalescing key, so two requests coalesce only when they would
+  /// run under the same configuration.
+  std::string cacheKey() const;
+
+  bool empty() const {
+    return !NumCores && !SignalCycles && !ForceNestingLevel &&
+           !MaxInterpInstructions && !ModelProfileThreads && !DoAcross;
+  }
+};
+
+struct ServeRequest {
+  enum class Kind { Run, Stats, Shutdown };
+
+  int64_t Id = 0;
+  Kind RequestKind = Kind::Run;
+  std::string ModuleText;   ///< textual IR (run only)
+  std::string PipelineText; ///< comma-separated stages; empty = standard
+  ConfigOverrides Overrides;
+};
+
+/// Where one stage slot of a run got its result from.
+struct StageSummary {
+  std::string Name;
+  std::string Source; ///< "executed", "context" (in-context reuse) or
+                      ///< "cache" (restored from the shared stage cache)
+  double WallMillis = 0.0;
+  uint64_t InterpretedInstructions = 0;
+};
+
+/// Server-lifetime statistics ("stats" responses and the daemon's exit
+/// summary).
+struct ServeStats {
+  uint64_t Received = 0;  ///< requests parsed off a connection
+  uint64_t Served = 0;    ///< run requests answered with a report
+  uint64_t Failed = 0;    ///< run requests answered with an error
+  uint64_t Rejected = 0;  ///< refused by admission control (queue full)
+  uint64_t Coalesced = 0; ///< runs that shared another request's execution
+
+  /// In-memory stage-cache front: hits/misses/stores/evictions.
+  uint64_t CacheHits = 0, CacheMisses = 0, CacheStores = 0,
+           CacheEvictions = 0;
+  /// Decode-once engine cache (process lifetime, shared with everything).
+  uint64_t DecodeDecodes = 0, DecodeHits = 0, DecodeEvictions = 0;
+
+  /// Per-stage execution aggregate across every served run.
+  struct StageAgg {
+    std::string Name;
+    uint64_t Executions = 0; ///< stage bodies actually run
+    uint64_t Reuses = 0;     ///< memory/disk/context reuses
+    double Millis = 0.0;     ///< wall time of the executions
+  };
+  std::vector<StageAgg> Stages;
+};
+
+struct ServeResponse {
+  int64_t Id = 0;
+  bool Ok = false;
+  std::string Error;
+  bool Coalesced = false; ///< this run shared another request's execution
+
+  bool HasReport = false;
+  PipelineReport Report;
+  std::vector<StageSummary> Stages;
+
+  bool HasStats = false;
+  ServeStats Stats;
+};
+
+// --- Serialization ---------------------------------------------------------
+
+Json requestToJson(const ServeRequest &R);
+Json responseToJson(const ServeResponse &R);
+Json statsToJson(const ServeStats &S);
+
+// --- Parsing (strict) ------------------------------------------------------
+
+/// Parses a request object. \returns false with a description in \p Err on
+/// any violation: missing/mistyped id or kind, unknown kind, missing
+/// module on a run, unknown or mistyped override key.
+bool requestFromJson(const Json &V, ServeRequest &R, std::string *Err);
+
+/// Parses a full request line (JSON text). Convenience for the server's
+/// connection loop.
+bool parseRequestLine(const std::string &Line, ServeRequest &R,
+                      std::string *Err);
+
+bool responseFromJson(const Json &V, ServeResponse &R, std::string *Err);
+bool statsFromJson(const Json &V, ServeStats &S, std::string *Err);
+
+} // namespace helix
+
+#endif // HELIX_SERVE_SERVEPROTOCOL_H

@@ -1,0 +1,402 @@
+#include "serve/ServeServer.h"
+
+#include "exec/ExecProgram.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "pipeline/PipelineBuilder.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <ctime>
+#include <sys/socket.h>
+
+using namespace helix;
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+ServeServer::ServeServer(ServeServerConfig Config)
+    : Config(std::move(Config)) {
+  if (!this->Config.DiskCachePath.empty())
+    Disk = std::make_unique<DiskStageCache>(this->Config.DiskCachePath);
+  Memory = std::make_unique<MemoryStageCache>(this->Config.MemoryCacheBytes,
+                                              Disk.get());
+  Pool = std::make_unique<ThreadPool>(this->Config.Workers);
+  if (!this->Config.LogPath.empty())
+    Log.open(this->Config.LogPath, std::ios::app);
+}
+
+ServeServer::~ServeServer() { stop(); }
+
+bool ServeServer::start(std::string *Err) {
+  if (Running.load())
+    return true;
+  Listener = ListenSocket::listenOn(Config.SocketPath, /*Backlog=*/128, Err);
+  if (!Listener.valid())
+    return false;
+  StopRequested.store(false);
+  Running.store(true);
+  Acceptor = std::thread([this] { acceptLoop(); });
+  logLine(formatStr("listening on %s (workers=%u, max_in_flight=%u)",
+                    Config.SocketPath.c_str(), Pool->numThreads(),
+                    Config.MaxInFlight));
+  return true;
+}
+
+void ServeServer::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(StopMutex);
+    StopRequested.store(true);
+  }
+  StopCond.notify_all();
+  if (!Running.exchange(false))
+    return;
+  if (Acceptor.joinable())
+    Acceptor.join();
+  {
+    // Unblock every connection thread stuck in recvLine. shutdown() (not
+    // close) so the descriptor stays valid until its owner thread exits.
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (auto &C : Connections)
+      if (C->Sock.valid())
+        ::shutdown(C->Sock.fd(), SHUT_RDWR);
+  }
+  for (;;) {
+    std::unique_ptr<Connection> C;
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      if (Connections.empty())
+        break;
+      C = std::move(Connections.back());
+      Connections.pop_back();
+    }
+    if (C->Thread.joinable())
+      C->Thread.join();
+  }
+  Pool->wait();
+  Listener.close();
+  logLine("stopped");
+}
+
+void ServeServer::waitForShutdownRequest() {
+  std::unique_lock<std::mutex> Lock(StopMutex);
+  StopCond.wait(Lock, [this] { return StopRequested.load(); });
+}
+
+//===----------------------------------------------------------------------===//
+// Accept / connection loops
+//===----------------------------------------------------------------------===//
+
+void ServeServer::acceptLoop() {
+  while (!StopRequested.load()) {
+    Socket S = Listener.acceptWithTimeout(/*TimeoutMillis=*/100);
+    // Reap finished connection threads so a long-lived daemon does not
+    // accumulate one joinable thread per past client.
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      for (size_t I = 0; I != Connections.size();) {
+        if (Connections[I]->Finished.load()) {
+          if (Connections[I]->Thread.joinable())
+            Connections[I]->Thread.join();
+          Connections.erase(Connections.begin() + long(I));
+        } else {
+          ++I;
+        }
+      }
+    }
+    if (!S.valid())
+      continue;
+    auto Conn = std::make_unique<Connection>();
+    Conn->Sock = std::move(S);
+    Connection *Raw = Conn.get();
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      Connections.push_back(std::move(Conn));
+    }
+    Raw->Thread = std::thread([this, Raw] { connectionLoop(Raw); });
+  }
+}
+
+void ServeServer::connectionLoop(Connection *Conn) {
+  std::string Line;
+  while (!StopRequested.load() && Conn->Sock.recvLine(Line)) {
+    if (Line.empty())
+      continue;
+    ServeResponse Resp = handleRequest(Line);
+    std::string Out;
+    responseToJson(Resp).print(Out);
+    Out += '\n';
+    if (!Conn->Sock.sendAll(Out))
+      break;
+  }
+  Conn->Finished.store(true);
+}
+
+//===----------------------------------------------------------------------===//
+// Request handling
+//===----------------------------------------------------------------------===//
+
+ServeResponse ServeServer::handleRequest(const std::string &Line) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Stats.Received;
+  }
+
+  ServeResponse Resp;
+  Json V;
+  std::string Err;
+  if (!Json::parse(Line, V, &Err)) {
+    Resp.Error = "malformed request: " + Err;
+    logLine("rejecting unparseable request: " + Err);
+    return Resp;
+  }
+  // Echo the id even when validation below fails, so the client can match
+  // the error to its request.
+  if (const Json *Id = V.find("id"); Id && Id->isInt())
+    Resp.Id = Id->asInt();
+
+  ServeRequest Req;
+  if (!requestFromJson(V, Req, &Err)) {
+    Resp.Error = "malformed request: " + Err;
+    logLine("rejecting malformed request: " + Err);
+    return Resp;
+  }
+  Resp.Id = Req.Id;
+
+  switch (Req.RequestKind) {
+  case ServeRequest::Kind::Stats:
+    Resp.Ok = true;
+    Resp.HasStats = true;
+    fillStats(Resp.Stats);
+    return Resp;
+  case ServeRequest::Kind::Shutdown:
+    Resp.Ok = true;
+    logLine("shutdown requested");
+    {
+      std::lock_guard<std::mutex> Lock(StopMutex);
+      StopRequested.store(true);
+    }
+    StopCond.notify_all();
+    return Resp;
+  case ServeRequest::Kind::Run:
+    return handleRun(Req);
+  }
+  Resp.Error = "unhandled request kind";
+  return Resp;
+}
+
+ServeResponse ServeServer::handleRun(const ServeRequest &Req) {
+  ServeResponse Resp;
+  Resp.Id = Req.Id;
+
+  // Admission control: a bounded count of in-flight runs. Beyond it the
+  // request fails fast — the client sees a structured rejection instead of
+  // an unbounded queue delay.
+  unsigned Before = InFlight.fetch_add(1);
+  if (Before >= Config.MaxInFlight) {
+    InFlight.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> Lock(StatsMutex);
+      ++Stats.Rejected;
+    }
+    Resp.Error = formatStr("rejected: %u runs in flight (limit %u)",
+                           Before, Config.MaxInFlight);
+    logLine(Resp.Error);
+    return Resp;
+  }
+  struct InFlightGuard {
+    std::atomic<unsigned> &N;
+    ~InFlightGuard() { N.fetch_sub(1); }
+  } Guard{InFlight};
+
+  // Parse eagerly (cheap next to a pipeline run): the module fingerprint
+  // keys coalescing, and a syntax error must not occupy a worker.
+  ParseResult Parsed = parseModule(Req.ModuleText);
+  if (!Parsed.M) {
+    Resp.Error = "module parse error: " + Parsed.Error;
+    recordRunOutcome(Resp);
+    return Resp;
+  }
+  std::string VerifyErr = verifyModule(*Parsed.M);
+  if (!VerifyErr.empty()) {
+    Resp.Error = "module verification failed: " + VerifyErr;
+    recordRunOutcome(Resp);
+    return Resp;
+  }
+  std::string Fingerprint = StageCache::moduleFingerprint(*Parsed.M);
+
+  // Coalescing: requests for the same (module, pipeline, overrides) point
+  // share one pipeline execution — under a thundering herd of identical
+  // submissions the daemon does the work once.
+  std::string JobKey =
+      Fingerprint + "|" + Req.PipelineText + "|" + Req.Overrides.cacheKey();
+  std::shared_ptr<Job> J;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Lock(JobsMutex);
+    auto It = Jobs.find(JobKey);
+    if (It != Jobs.end()) {
+      J = It->second;
+    } else {
+      J = std::make_shared<Job>();
+      Jobs.emplace(JobKey, J);
+      Owner = true;
+    }
+  }
+
+  if (!Owner) {
+    std::unique_lock<std::mutex> Lock(J->M);
+    J->Ready.wait(Lock, [&] { return J->Done; });
+    int64_t Id = Resp.Id;
+    Resp = J->Resp;
+    Resp.Id = Id;
+    Resp.Coalesced = true;
+    logLine(formatStr("run id=%lld coalesced %s",
+                      static_cast<long long>(Resp.Id),
+                      Resp.Ok ? "ok" : "failed"));
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Stats.Coalesced;
+      ++(Resp.Ok ? Stats.Served : Stats.Failed);
+    }
+    return Resp;
+  }
+
+  // Owner path: run on the worker pool, publish to every waiter, then
+  // retire the job key so later identical requests start fresh.
+  const Module *M = Parsed.M.get();
+  Pool->submit([this, J, &Req, M, &Fingerprint] {
+    ServeResponse R = executeRun(Req, *M, Fingerprint);
+    {
+      std::lock_guard<std::mutex> Lock(J->M);
+      J->Resp = std::move(R);
+      J->Done = true;
+    }
+    J->Ready.notify_all();
+  });
+  {
+    std::unique_lock<std::mutex> Lock(J->M);
+    J->Ready.wait(Lock, [&] { return J->Done; });
+    int64_t Id = Resp.Id;
+    Resp = J->Resp;
+    Resp.Id = Id;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(JobsMutex);
+    Jobs.erase(JobKey);
+  }
+  recordRunOutcome(Resp);
+  return Resp;
+}
+
+ServeResponse ServeServer::executeRun(const ServeRequest &Req,
+                                      const Module &M,
+                                      const std::string &Fingerprint) {
+  ServeResponse Resp;
+
+  Pipeline P;
+  if (Req.PipelineText.empty()) {
+    P = PipelineBuilder::standard();
+  } else {
+    std::string BuildErr;
+    P = PipelineBuilder().parse(Req.PipelineText).build(&BuildErr);
+    if (P.empty()) {
+      Resp.Error = "pipeline build error: " + BuildErr;
+      return Resp;
+    }
+  }
+
+  PipelineConfig C;
+  // The pool is already parallel across requests; per-request fan-out on
+  // top of it oversubscribes, so model-profile defaults to single-thread
+  // here (a request may still override it).
+  C.ModelProfileThreads = 1;
+  Req.Overrides.applyTo(C);
+  C.MaxInterpInstructions =
+      std::min(C.MaxInterpInstructions, Config.MaxInterpInstructions);
+
+  PipelineContext Ctx(M, C);
+  Ctx.setStageCache(Memory.get(), "serve");
+  Ctx.setModuleFingerprint(Fingerprint);
+
+  Resp.Report = P.run(Ctx);
+  Resp.HasReport = true;
+  Resp.Ok = Resp.Report.Ok;
+  Resp.Error = Resp.Report.Error;
+
+  for (const PipelineContext::StageRun &Run : Ctx.history()) {
+    StageSummary S;
+    S.Name = Run.Name;
+    S.Source = Run.Cached ? "context" : Run.FromDisk ? "cache" : "executed";
+    S.WallMillis = Run.WallMillis;
+    S.InterpretedInstructions = Run.InterpretedInstructions;
+    Resp.Stages.push_back(std::move(S));
+  }
+  return Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics / logging
+//===----------------------------------------------------------------------===//
+
+void ServeServer::recordRunOutcome(const ServeResponse &Resp) {
+  if (Resp.Ok)
+    logLine(formatStr("run id=%lld ok (%zu stages)",
+                      static_cast<long long>(Resp.Id), Resp.Stages.size()));
+  else
+    logLine(formatStr("run id=%lld failed: %s",
+                      static_cast<long long>(Resp.Id), Resp.Error.c_str()));
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  ++(Resp.Ok ? Stats.Served : Stats.Failed);
+  for (const StageSummary &S : Resp.Stages) {
+    auto It = std::find_if(
+        Stats.Stages.begin(), Stats.Stages.end(),
+        [&](const ServeStats::StageAgg &A) { return A.Name == S.Name; });
+    if (It == Stats.Stages.end()) {
+      Stats.Stages.push_back({S.Name, 0, 0, 0.0});
+      It = std::prev(Stats.Stages.end());
+    }
+    if (S.Source == "executed") {
+      ++It->Executions;
+      It->Millis += S.WallMillis;
+    } else {
+      ++It->Reuses;
+    }
+  }
+}
+
+void ServeServer::fillStats(ServeStats &Out) const {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Out = Stats;
+  }
+  StageCacheCounters C = Memory->counters();
+  Out.CacheHits = C.Hits;
+  Out.CacheMisses = C.Misses;
+  Out.CacheStores = C.Stores;
+  Out.CacheEvictions = C.Evictions;
+  DecodeCache::Counters D = DecodeCache::global().counters();
+  Out.DecodeDecodes = D.Decodes;
+  Out.DecodeHits = D.Hits;
+  Out.DecodeEvictions = D.Evictions;
+}
+
+ServeStats ServeServer::stats() const {
+  ServeStats S;
+  fillStats(S);
+  return S;
+}
+
+void ServeServer::logLine(const std::string &Msg) {
+  std::lock_guard<std::mutex> Lock(LogMutex);
+  if (!Log.is_open())
+    return;
+  std::time_t Now = std::time(nullptr);
+  struct tm TM;
+  localtime_r(&Now, &TM);
+  char Stamp[32];
+  std::strftime(Stamp, sizeof(Stamp), "%F %T", &TM);
+  Log << Stamp << " " << Msg << "\n";
+  Log.flush();
+}

@@ -1,0 +1,160 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident compile-and-simulate service. One ServeServer owns a
+/// listening local socket, a worker ThreadPool, and the process-lifetime
+/// warm caches every request shares:
+///
+///   - a MemoryStageCache front (optionally layered over a DiskStageCache),
+///     so a repeated module+configuration skips every training run;
+///   - DecodeCache::global(), shared with everything else in the process.
+///
+/// Request lifecycle: a connection thread reads one JSON line, parses it
+/// strictly, and for a "run" request passes through admission control (a
+/// bounded count of in-flight runs — beyond it the request is *rejected
+/// with a structured error*, never queued unboundedly), then either joins
+/// an identical in-flight run (coalescing: same module fingerprint,
+/// pipeline and overrides share one execution and both get its report) or
+/// executes the pipeline on the worker pool. Failures of any kind — parse
+/// errors, verifier rejections, trapping modules, stage failures — produce
+/// an error response on that request only; the daemon keeps serving.
+///
+/// Shutdown: stop() (or a "shutdown" request) stops the accept loop,
+/// shuts down every live connection, drains in-flight runs and joins all
+/// threads. The socket file is unlinked on close.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SERVE_SERVESERVER_H
+#define HELIX_SERVE_SERVESERVER_H
+
+#include "pipeline/StageCache.h"
+#include "serve/ServeProtocol.h"
+#include "support/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace helix {
+
+class Module;
+
+struct ServeServerConfig {
+  std::string SocketPath;
+
+  /// Pipeline worker threads. 0 = hardware concurrency.
+  unsigned Workers = 0;
+
+  /// Admission bound: maximum runs in flight (executing or waiting for a
+  /// worker). A run arriving beyond it is rejected with a structured
+  /// error, so a burst degrades into fast failures instead of an unbounded
+  /// queue.
+  unsigned MaxInFlight = 64;
+
+  /// Per-request interpreter budget cap. A request asking for more is
+  /// clamped; a request asking for less gets what it asked for.
+  uint64_t MaxInterpInstructions = ExecLimits::DefaultMaxSteps;
+
+  /// Byte bound of the in-memory stage-cache front.
+  size_t MemoryCacheBytes = size_t(256) << 20;
+
+  /// When non-empty, a DiskStageCache at this directory backs the memory
+  /// front: memory misses fall through, stores write through.
+  std::string DiskCachePath;
+
+  /// When non-empty, one line per server event is appended here.
+  std::string LogPath;
+};
+
+class ServeServer {
+public:
+  explicit ServeServer(ServeServerConfig Config);
+  ~ServeServer();
+
+  ServeServer(const ServeServer &) = delete;
+  ServeServer &operator=(const ServeServer &) = delete;
+
+  /// Binds the socket and starts the accept loop. \returns false (with a
+  /// description in \p Err) when the socket cannot be bound.
+  bool start(std::string *Err = nullptr);
+
+  /// Graceful shutdown: stop accepting, unblock every connection, drain
+  /// in-flight runs, join all threads. Idempotent.
+  void stop();
+
+  /// Blocks until a client sent a "shutdown" request or stop() was called.
+  void waitForShutdownRequest();
+
+  /// True once a client sent "shutdown" (or stop() began) — the daemon's
+  /// main loop polls this next to its signal flag.
+  bool shutdownRequested() const { return StopRequested.load(); }
+
+  bool running() const { return Running.load(); }
+  const std::string &socketPath() const { return Config.SocketPath; }
+
+  /// Snapshot of the server-lifetime statistics.
+  ServeStats stats() const;
+
+private:
+  /// One coalesced execution: every request with the same job key blocks
+  /// on Done and shares Resp (id and coalesced flag are per-request).
+  struct Job {
+    std::mutex M;
+    std::condition_variable Ready;
+    bool Done = false;
+    ServeResponse Resp;
+  };
+
+  struct Connection {
+    Socket Sock;
+    std::thread Thread;
+    std::atomic<bool> Finished{false};
+  };
+
+  void acceptLoop();
+  void connectionLoop(Connection *Conn);
+  ServeResponse handleRequest(const std::string &Line);
+  ServeResponse handleRun(const ServeRequest &Req);
+  /// Executes the pipeline for \p Req (worker-pool side of handleRun).
+  ServeResponse executeRun(const ServeRequest &Req, const Module &M,
+                           const std::string &Fingerprint);
+  void fillStats(ServeStats &Out) const;
+  void recordRunOutcome(const ServeResponse &Resp);
+  void logLine(const std::string &Msg);
+
+  ServeServerConfig Config;
+  std::unique_ptr<DiskStageCache> Disk;   ///< null without a disk path
+  std::unique_ptr<MemoryStageCache> Memory;
+  std::unique_ptr<ThreadPool> Pool;
+
+  ListenSocket Listener;
+  std::thread Acceptor;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> StopRequested{false};
+  std::mutex StopMutex;
+  std::condition_variable StopCond;
+
+  std::mutex ConnMutex;
+  std::vector<std::unique_ptr<Connection>> Connections;
+
+  std::atomic<unsigned> InFlight{0};
+  std::mutex JobsMutex;
+  std::map<std::string, std::shared_ptr<Job>> Jobs;
+
+  mutable std::mutex StatsMutex;
+  ServeStats Stats; ///< request counters + per-stage aggregates
+
+  std::mutex LogMutex;
+  std::ofstream Log;
+};
+
+} // namespace helix
+
+#endif // HELIX_SERVE_SERVESERVER_H

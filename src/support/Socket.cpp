@@ -1,0 +1,172 @@
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace helix;
+
+namespace {
+
+/// Fills \p Addr for \p Path; false when the path exceeds sun_path.
+bool makeAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Socket
+//===----------------------------------------------------------------------===//
+
+Socket &Socket::operator=(Socket &&O) noexcept {
+  if (this != &O) {
+    close();
+    FD = O.FD;
+    Buffer = std::move(O.Buffer);
+    O.FD = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (FD >= 0) {
+    ::close(FD);
+    FD = -1;
+  }
+  Buffer.clear();
+}
+
+Socket Socket::connectTo(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  if (!makeAddr(Path, Addr)) {
+    if (Err)
+      *Err = "socket path empty or too long: '" + Path + "'";
+    return Socket();
+  }
+  int FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (FD < 0) {
+    if (Err)
+      *Err = std::string("socket(): ") + std::strerror(errno);
+    return Socket();
+  }
+  if (::connect(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Err)
+      *Err = "connect('" + Path + "'): " + std::strerror(errno);
+    ::close(FD);
+    return Socket();
+  }
+  if (Err)
+    Err->clear();
+  return Socket(FD);
+}
+
+bool Socket::sendAll(const std::string &Data) {
+  if (FD < 0)
+    return false;
+  size_t Sent = 0;
+  while (Sent < Data.size()) {
+    // MSG_NOSIGNAL: a vanished peer must surface as an error return, not
+    // kill the daemon with SIGPIPE.
+    ssize_t N = ::send(FD, Data.data() + Sent, Data.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += size_t(N);
+  }
+  return true;
+}
+
+bool Socket::recvLine(std::string &LineOut) {
+  if (FD < 0)
+    return false;
+  for (;;) {
+    size_t NL = Buffer.find('\n');
+    if (NL != std::string::npos) {
+      LineOut.assign(Buffer, 0, NL);
+      Buffer.erase(0, NL + 1);
+      return true;
+    }
+    char Chunk[4096];
+    ssize_t N = ::recv(FD, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // EOF with no complete line
+    Buffer.append(Chunk, size_t(N));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ListenSocket
+//===----------------------------------------------------------------------===//
+
+void ListenSocket::close() {
+  if (FD >= 0) {
+    ::close(FD);
+    FD = -1;
+    if (!Path.empty())
+      ::unlink(Path.c_str());
+  }
+}
+
+ListenSocket ListenSocket::listenOn(const std::string &Path, int Backlog,
+                                    std::string *Err) {
+  ListenSocket L;
+  sockaddr_un Addr;
+  if (!makeAddr(Path, Addr)) {
+    if (Err)
+      *Err = "socket path empty or too long: '" + Path + "'";
+    return L;
+  }
+  int FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (FD < 0) {
+    if (Err)
+      *Err = std::string("socket(): ") + std::strerror(errno);
+    return L;
+  }
+  ::unlink(Path.c_str()); // the daemon owns its path; drop a stale file
+  if (::bind(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Err)
+      *Err = "bind('" + Path + "'): " + std::strerror(errno);
+    ::close(FD);
+    return L;
+  }
+  if (::listen(FD, Backlog) != 0) {
+    if (Err)
+      *Err = "listen('" + Path + "'): " + std::strerror(errno);
+    ::close(FD);
+    ::unlink(Path.c_str());
+    return L;
+  }
+  L.FD = FD;
+  L.Path = Path;
+  if (Err)
+    Err->clear();
+  return L;
+}
+
+Socket ListenSocket::acceptWithTimeout(int TimeoutMillis) {
+  if (FD < 0)
+    return Socket();
+  pollfd PFD{FD, POLLIN, 0};
+  int R = ::poll(&PFD, 1, TimeoutMillis);
+  if (R <= 0 || !(PFD.revents & POLLIN))
+    return Socket();
+  int C = ::accept(FD, nullptr, nullptr);
+  return C < 0 ? Socket() : Socket(C);
+}

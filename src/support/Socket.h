@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin RAII wrappers over local (AF_UNIX) stream sockets — the transport
+/// of the resident serve daemon. Two classes:
+///
+///   - Socket: one connected byte stream with sendAll() and a buffered
+///     recvLine() (the protocol is newline-delimited, so "one line" is the
+///     receive unit);
+///   - ListenSocket: a bound+listening server socket whose accept takes a
+///     timeout, so an accept loop can poll a stop flag without relying on
+///     close()-from-another-thread semantics.
+///
+/// All operations are quiet on error (return false / invalid) — the serve
+/// layer turns failures into structured responses or log lines; nothing
+/// here exits or throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_SUPPORT_SOCKET_H
+#define HELIX_SUPPORT_SOCKET_H
+
+#include <string>
+
+namespace helix {
+
+class Socket {
+public:
+  Socket() = default;
+  /// Adopts a connected file descriptor.
+  explicit Socket(int FD) : FD(FD) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&O) noexcept : FD(O.FD), Buffer(std::move(O.Buffer)) {
+    O.FD = -1;
+  }
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return FD >= 0; }
+  int fd() const { return FD; }
+  void close();
+
+  /// Connects to the local socket at \p Path. On failure the returned
+  /// socket is invalid and \p Err (when non-null) describes why.
+  static Socket connectTo(const std::string &Path, std::string *Err = nullptr);
+
+  /// Writes all of \p Data (retrying short writes). \returns false when
+  /// the peer is gone or the descriptor is invalid.
+  bool sendAll(const std::string &Data);
+
+  /// Reads until one full '\n'-terminated line is buffered and returns it
+  /// without the newline. \returns false on EOF/error with no complete
+  /// line. Bytes after the newline stay buffered for the next call.
+  bool recvLine(std::string &LineOut);
+
+private:
+  int FD = -1;
+  std::string Buffer;
+};
+
+class ListenSocket {
+public:
+  ListenSocket() = default;
+  ~ListenSocket() { close(); }
+
+  ListenSocket(ListenSocket &&O) noexcept : FD(O.FD), Path(std::move(O.Path)) {
+    O.FD = -1;
+  }
+  ListenSocket &operator=(ListenSocket &&O) noexcept {
+    if (this != &O) {
+      close();
+      FD = O.FD;
+      Path = std::move(O.Path);
+      O.FD = -1;
+    }
+    return *this;
+  }
+  ListenSocket(const ListenSocket &) = delete;
+  ListenSocket &operator=(const ListenSocket &) = delete;
+
+  bool valid() const { return FD >= 0; }
+  const std::string &path() const { return Path; }
+
+  /// Binds and listens on \p Path (removing a stale socket file first —
+  /// the daemon owns its path). Invalid on failure, \p Err says why.
+  static ListenSocket listenOn(const std::string &Path, int Backlog = 64,
+                               std::string *Err = nullptr);
+
+  /// Waits up to \p TimeoutMillis for a connection. The returned socket is
+  /// invalid on timeout or error — callers poll this in a loop and check
+  /// their own stop flag between calls.
+  Socket acceptWithTimeout(int TimeoutMillis);
+
+  /// Closes the descriptor and unlinks the socket file.
+  void close();
+
+private:
+  int FD = -1;
+  std::string Path;
+};
+
+} // namespace helix
+
+#endif // HELIX_SUPPORT_SOCKET_H

@@ -11,6 +11,7 @@
 #include "analysis/LoopNestGraph.h"
 #include "helix/HelixTransform.h"
 #include "ir/Clone.h"
+#include "ir/IRParser.h"
 #include "runtime/ThreadedRuntime.h"
 #include "workloads/WorkloadBuilder.h"
 
@@ -143,6 +144,88 @@ TEST(ThreadedRuntime, NoLoopsMeansPlainExecution) {
   ExecResult R = runThreaded(*M, {}, 4, nullptr);
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_EQ(R.ReturnValue.asInt(), Ref);
+}
+
+/// A reduction loop whose iteration 40 divides by zero (divisor = 40 - i).
+/// The loop-carried accumulator forces a sequential segment, so workers past
+/// the trapping iteration are parked in the Wait spin when the trap lands —
+/// they must observe Invocation::Failed and abandon, not spin forever.
+std::unique_ptr<Module> trappingModule() {
+  const char *Text = "global @trapstress.A 64\n"
+                     "\n"
+                     "func @trapstress.k(1) {\n"
+                     "entry:\n"
+                     "  r1 = mov 0\n"
+                     "  r2 = mov r0\n"
+                     "  br header\n"
+                     "header:\n"
+                     "  r3 = cmplt r1, 64\n"
+                     "  condbr r3, body, exit\n"
+                     "body:\n"
+                     "  r4 = add @trapstress.A, r1\n"
+                     "  r5 = load r4\n"
+                     "  r6 = mov 40\n"
+                     "  r7 = sub r6, r1\n"
+                     "  r8 = div r5, r7\n"
+                     "  r2 = add r2, r8\n"
+                     "  r1 = add r1, 1\n"
+                     "  br header\n"
+                     "exit:\n"
+                     "  ret r2\n"
+                     "}\n"
+                     "\n"
+                     "func @main(0) {\n"
+                     "entry:\n"
+                     "  r0 = mov 0\n"
+                     "  br hdr\n"
+                     "hdr:\n"
+                     "  r1 = cmplt r0, 64\n"
+                     "  condbr r1, fill, go\n"
+                     "fill:\n"
+                     "  r2 = add @trapstress.A, r0\n"
+                     "  r3 = add r0, 7\n"
+                     "  store r3, r2\n"
+                     "  r0 = add r0, 1\n"
+                     "  br hdr\n"
+                     "go:\n"
+                     "  r4 = call @trapstress.k(0)\n"
+                     "  ret r4\n"
+                     "}\n";
+  ParseResult R = parseModule(Text);
+  EXPECT_TRUE(R.succeeded()) << R.Error;
+  return std::move(R.M);
+}
+
+TEST(ThreadedRuntime, TrappingIterationAbandonsDeadIterations) {
+  auto M = trappingModule();
+  ASSERT_NE(M, nullptr);
+
+  Prepared P = prepare(*M);
+  ASSERT_FALSE(P.Loops.empty());
+  // The point of the test is the Wait-spin abandonment path: the reduction
+  // must actually have produced a sequential segment with Waits for later
+  // iterations to park on.
+  bool HasWaits = false;
+  for (const ParallelLoopInfo &L : P.Loops)
+    for (const SequentialSegment &S : L.Segments)
+      HasWaits |= !S.Waits.empty();
+  ASSERT_TRUE(HasWaits) << "reduction produced no sequential segment";
+
+  std::vector<const ParallelLoopInfo *> Ptrs;
+  for (auto &L : P.Loops)
+    Ptrs.push_back(&L);
+
+  // Stress the failure path across thread counts and repetitions: with more
+  // threads than remaining live iterations, several workers are guaranteed
+  // to be spinning (on Wait or on the IterStart chain) when iteration 40
+  // traps. Every run must terminate with a failure, never hang or crash.
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    for (int Rep = 0; Rep != 8; ++Rep) {
+      ExecResult R = runThreaded(*P.M, Ptrs, Threads, nullptr);
+      EXPECT_FALSE(R.Ok) << Threads << " threads, repetition " << Rep;
+      EXPECT_FALSE(R.Error.empty());
+    }
+  }
 }
 
 } // namespace

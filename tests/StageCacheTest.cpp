@@ -12,10 +12,12 @@
 #include "pipeline/StageCache.h"
 #include "workloads/WorkloadBuilder.h"
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <thread>
 
 using namespace helix;
 namespace fs = std::filesystem;
@@ -369,6 +371,172 @@ TEST(StageCachePipeline, SweepSharesDiskAndMemoryCaches) {
   EXPECT_EQ(B.timesReused("profile"), 2u);
   EXPECT_EQ(B.timesExecuted("model-profile"), 0u);
   EXPECT_EQ(B.timesLoadedFromDisk("model-profile"), 1u);
+}
+
+
+//===----------------------------------------------------------------------===//
+// Concurrency: same-key writers and readers.
+//===----------------------------------------------------------------------===//
+
+TEST(DiskStageCacheConcurrent, TwoWritersOneKeyNeverTearAnEntry) {
+  TempCacheDir Tmp;
+  DiskStageCache Cache(Tmp.str());
+  ASSERT_TRUE(Cache.ok());
+
+  // Two threads repeatedly store *different-length* payloads under one
+  // key while two more load it. The reader validates the size of the
+  // inode it opened (not of whatever the path points at by then), so the
+  // only legal outcomes are a clean miss or one of the two exact
+  // payloads — never a mix, never a spurious rejection that deletes the
+  // writer's fresh entry.
+  const std::string Key = "race-key.stagecache";
+  const std::string PayloadA(4096, 'a');
+  const std::string PayloadB(9000, 'b');
+  constexpr int Rounds = 300;
+
+  std::atomic<bool> Stop{false};
+  std::atomic<int> TornReads{0};
+
+  auto Writer = [&](const std::string &Payload) {
+    for (int I = 0; I != Rounds; ++I)
+      Cache.store(Key, Payload);
+  };
+  auto Reader = [&] {
+    std::string Back;
+    while (!Stop.load()) {
+      if (!Cache.load(Key, Back))
+        continue; // clean miss: acceptable before the first store lands
+      if (Back != PayloadA && Back != PayloadB)
+        TornReads.fetch_add(1);
+    }
+  };
+
+  std::thread R1(Reader), R2(Reader);
+  std::thread W1(Writer, PayloadA), W2(Writer, PayloadB);
+  W1.join();
+  W2.join();
+  Stop.store(true);
+  R1.join();
+  R2.join();
+
+  EXPECT_EQ(TornReads.load(), 0);
+  // The last rename won: the entry is intact and loadable afterwards.
+  std::string Back;
+  ASSERT_TRUE(Cache.load(Key, Back));
+  EXPECT_TRUE(Back == PayloadA || Back == PayloadB);
+}
+
+TEST(DiskStageCacheConcurrent, LoadOfFreshEntryNeverSpuriouslyRejects) {
+  TempCacheDir Tmp;
+  DiskStageCache Cache(Tmp.str());
+  ASSERT_TRUE(Cache.ok());
+
+  // Regression shape for the torn-read window: the loader used to size
+  // the *path* while reading the *originally opened* file, so a store
+  // renaming a different-length payload over the key mid-load made the
+  // sizes disagree — the load failed AND deleted the brand-new valid
+  // entry. With per-inode sizing every load of an existing entry must
+  // succeed once stores have quiesced, and no store may be lost.
+  const std::string Key = "fresh-key.stagecache";
+  for (int Round = 0; Round != 50; ++Round) {
+    const std::string Small(128, char('a' + Round % 26));
+    const std::string Large(8192, char('A' + Round % 26));
+    std::thread W([&] { Cache.store(Key, Large); });
+    std::string Back;
+    Cache.store(Key, Small);
+    Cache.load(Key, Back); // racing load; outcome content-checked above
+    W.join();
+    // Quiesced: the entry must exist and hold one writer's exact bytes.
+    ASSERT_TRUE(Cache.load(Key, Back)) << "fresh entry lost in round "
+                                       << Round;
+    EXPECT_TRUE(Back == Small || Back == Large);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MemoryStageCache.
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryStageCache, HitMissStoreCounters) {
+  MemoryStageCache Cache;
+  std::string Back;
+  EXPECT_FALSE(Cache.load("a", Back));
+  ASSERT_TRUE(Cache.store("a", "payload"));
+  ASSERT_TRUE(Cache.load("a", Back));
+  EXPECT_EQ(Back, "payload");
+  StageCacheCounters C = Cache.counters();
+  EXPECT_EQ(C.Hits, 1u);
+  EXPECT_EQ(C.Misses, 1u);
+  EXPECT_EQ(C.Stores, 1u);
+  EXPECT_EQ(Cache.entryCount(), 1u);
+}
+
+TEST(MemoryStageCache, EvictsLeastRecentlyUsedUnderByteBound) {
+  // Bound fits two 100-byte payloads (plus names), not three.
+  MemoryStageCache Cache(/*MaxBytes=*/260);
+  ASSERT_TRUE(Cache.store("k1", std::string(100, '1')));
+  ASSERT_TRUE(Cache.store("k2", std::string(100, '2')));
+  std::string Back;
+  ASSERT_TRUE(Cache.load("k1", Back)); // k1 is now most recent
+  ASSERT_TRUE(Cache.store("k3", std::string(100, '3')));
+  EXPECT_FALSE(Cache.load("k2", Back)) << "LRU victim was not k2";
+  EXPECT_TRUE(Cache.load("k1", Back));
+  EXPECT_TRUE(Cache.load("k3", Back));
+  EXPECT_GT(Cache.counters().Evictions, 0u);
+}
+
+TEST(MemoryStageCache, WritesThroughAndPromotesFromBacking) {
+  TempCacheDir Tmp;
+  DiskStageCache Disk(Tmp.str());
+  ASSERT_TRUE(Disk.ok());
+  MemoryStageCache Front(size_t(1) << 20, &Disk);
+
+  // Store through the front: the disk sees it too.
+  ASSERT_TRUE(Front.store("wt.stagecache", "hello"));
+  std::string Back;
+  ASSERT_TRUE(Disk.load("wt.stagecache", Back));
+  EXPECT_EQ(Back, "hello");
+
+  // An entry only on disk is promoted into the front on first load.
+  ASSERT_TRUE(Disk.store("cold.stagecache", "promoted"));
+  ASSERT_TRUE(Front.load("cold.stagecache", Back));
+  EXPECT_EQ(Back, "promoted");
+  uint64_t DiskHitsBefore = Disk.counters().Hits;
+  ASSERT_TRUE(Front.load("cold.stagecache", Back)); // now served warm
+  EXPECT_EQ(Disk.counters().Hits, DiskHitsBefore)
+      << "second load should not reach the disk";
+}
+
+TEST(MemoryStageCache, ConcurrentSameKeyStoreLoad) {
+  MemoryStageCache Cache;
+  const std::string Key = "shared";
+  const std::string PayloadA(512, 'a');
+  const std::string PayloadB(2048, 'b');
+  std::atomic<int> Bad{0};
+  constexpr int Rounds = 2000;
+
+  std::thread T1([&] {
+    std::string Back;
+    for (int I = 0; I != Rounds; ++I) {
+      Cache.store(Key, PayloadA);
+      if (Cache.load(Key, Back) && Back != PayloadA && Back != PayloadB)
+        Bad.fetch_add(1);
+    }
+  });
+  std::thread T2([&] {
+    std::string Back;
+    for (int I = 0; I != Rounds; ++I) {
+      Cache.store(Key, PayloadB);
+      if (Cache.load(Key, Back) && Back != PayloadA && Back != PayloadB)
+        Bad.fetch_add(1);
+    }
+  });
+  T1.join();
+  T2.join();
+  EXPECT_EQ(Bad.load(), 0);
+  std::string Back;
+  ASSERT_TRUE(Cache.load(Key, Back));
+  EXPECT_TRUE(Back == PayloadA || Back == PayloadB);
 }
 
 } // namespace

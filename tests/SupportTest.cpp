@@ -8,6 +8,7 @@
 
 #include "support/BitSet.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/Graph.h"
 #include "support/Random.h"
 #include "support/ThreadPool.h"
@@ -237,6 +238,86 @@ TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
   for (size_t I = 0; I != N; ++I)
     Expected += I * I;
   EXPECT_EQ(Sum, Expected);
+}
+
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, BuildAndPrintDeterministic) {
+  Json O = Json::object();
+  O.set("b", Json::integer(2));
+  O.set("a", Json::str("x"));
+  Json Arr = Json::array();
+  Arr.push(Json::boolean(true));
+  Arr.push(Json::null());
+  Arr.push(Json::number(1.5));
+  O.set("list", std::move(Arr));
+  // Insertion order, not key order: printed bytes are stable and usable
+  // as a map key.
+  EXPECT_EQ(O.toString(), "{\"b\":2,\"a\":\"x\",\"list\":[true,null,1.5]}");
+}
+
+TEST(JsonTest, RoundTripThroughParse) {
+  Json O = Json::object();
+  O.set("neg", Json::integer(-42));
+  O.set("big", Json::integer(int64_t(1) << 62));
+  O.set("pi", Json::number(3.141592653589793));
+  O.set("esc", Json::str("line\n\"quoted\"\ttab\\"));
+  O.set("empty", Json::object());
+
+  Json Back;
+  std::string Err;
+  ASSERT_TRUE(Json::parse(O.toString(), Back, &Err)) << Err;
+  EXPECT_EQ(Back.getInt("neg"), -42);
+  EXPECT_EQ(Back.getInt("big"), int64_t(1) << 62);
+  EXPECT_DOUBLE_EQ(Back.getDouble("pi"), 3.141592653589793);
+  EXPECT_EQ(Back.getString("esc"), "line\n\"quoted\"\ttab\\");
+  ASSERT_NE(Back.find("empty"), nullptr);
+  EXPECT_TRUE(Back.find("empty")->isObject());
+  // Printing the parse is byte-identical to the original print.
+  EXPECT_EQ(Back.toString(), O.toString());
+}
+
+TEST(JsonTest, IntVersusDoubleClassification) {
+  Json V;
+  ASSERT_TRUE(Json::parse("7", V, nullptr));
+  EXPECT_TRUE(V.isInt());
+  ASSERT_TRUE(Json::parse("7.0", V, nullptr));
+  EXPECT_FALSE(V.isInt());
+  EXPECT_TRUE(V.isNumber());
+  ASSERT_TRUE(Json::parse("1e3", V, nullptr));
+  EXPECT_FALSE(V.isInt());
+  EXPECT_DOUBLE_EQ(V.asDouble(), 1000.0);
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  Json V;
+  ASSERT_TRUE(Json::parse("\"\\u0041\\u00e9\"", V, nullptr));
+  EXPECT_EQ(V.asString(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  Json V;
+  std::string Err;
+  EXPECT_FALSE(Json::parse("", V, &Err));
+  EXPECT_FALSE(Json::parse("{", V, &Err));
+  EXPECT_FALSE(Json::parse("{\"a\":}", V, &Err));
+  EXPECT_FALSE(Json::parse("[1,]", V, &Err));
+  EXPECT_FALSE(Json::parse("tru", V, &Err));
+  EXPECT_FALSE(Json::parse("\"unterminated", V, &Err));
+  EXPECT_FALSE(Json::parse("1 2", V, &Err)) << "trailing garbage";
+  EXPECT_FALSE(Json::parse("{\"a\":1}x", V, &Err)) << "trailing garbage";
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(JsonTest, DepthBounded) {
+  // A pathological nesting depth is a parse error, not a stack overflow.
+  std::string Deep(100000, '[');
+  Json V;
+  std::string Err;
+  EXPECT_FALSE(Json::parse(Deep, V, &Err));
 }
 
 } // namespace

@@ -1,0 +1,437 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// helix-serve: the resident compile-and-simulate service.
+///
+/// Daemon (default mode) — listen on a local socket, serve pipeline runs
+/// with process-lifetime warm caches:
+///
+///   helix-serve --socket /tmp/helix.sock --workers 4 --queue 64
+///               --disk-cache .stagecache-serve --log serve.log
+///
+/// Client mode — talk to a running daemon:
+///
+///   helix-serve --client --socket /tmp/helix.sock --run prog.ir
+///               [--pipeline profile,simulate] [--cores 4] [--stats]
+///   helix-serve --client --socket /tmp/helix.sock --shutdown
+///
+/// Self-stress mode (the CI smoke): start an in-process daemon on a fresh
+/// socket, hammer it with N submissions from K concurrent client threads
+/// (mixing repeated and distinct modules), verify every response, print
+/// the daemon statistics and exit non-zero on any failure:
+///
+///   helix-serve --self-stress 100 --clients 8
+///
+/// Exit codes: 0 = success, 1 = request/verification failure, 2 = usage
+/// or connection error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeClient.h"
+#include "serve/ServeServer.h"
+#include "support/Format.h"
+#include "workloads/WorkloadBuilder.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace helix;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: helix-serve [options]\n"
+      "daemon mode (default):\n"
+      "  --socket PATH     listen here (default /tmp/helix-serve.sock)\n"
+      "  --workers N       pipeline worker threads (0 = hardware)\n"
+      "  --queue N         max runs in flight before rejection (default "
+      "64)\n"
+      "  --max-instrs N    per-request interpreter budget cap\n"
+      "  --cache-bytes N   in-memory stage cache bound (default 256 MiB)\n"
+      "  --disk-cache DIR  back the memory cache with this directory\n"
+      "  --log FILE        append one line per server event\n"
+      "client mode:\n"
+      "  --client          talk to a running daemon instead\n"
+      "  --run FILE        submit this .ir module ('-' = stdin)\n"
+      "  --pipeline STR    stage list for --run (default: standard)\n"
+      "  --cores N         override NumCores for --run\n"
+      "  --signal-cycles S override the selection signal latency\n"
+      "  --stats           print the daemon statistics\n"
+      "  --shutdown        ask the daemon to stop\n"
+      "self-stress mode (CI smoke):\n"
+      "  --self-stress N   submit N runs against an in-process daemon\n"
+      "  --clients K       from K concurrent client threads (default 8)\n");
+}
+
+bool parseUnsigned(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 0);
+  return End && *End == '\0' && End != S;
+}
+
+std::atomic<bool> GInterrupted{false};
+void onSignal(int) { GInterrupted.store(true); }
+
+//===----------------------------------------------------------------------===//
+// Daemon
+//===----------------------------------------------------------------------===//
+
+int runDaemon(const ServeServerConfig &Config) {
+  ServeServer Server(Config);
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "helix-serve: %s\n", Err.c_str());
+    return 2;
+  }
+  std::printf("helix-serve: listening on %s\n", Config.SocketPath.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  while (!GInterrupted.load() && !Server.shutdownRequested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Server.stop();
+
+  ServeStats S = Server.stats();
+  std::printf("helix-serve: served=%llu failed=%llu rejected=%llu "
+              "coalesced=%llu cache=%llu/%llu (hits/misses)\n",
+              (unsigned long long)S.Served, (unsigned long long)S.Failed,
+              (unsigned long long)S.Rejected,
+              (unsigned long long)S.Coalesced,
+              (unsigned long long)S.CacheHits,
+              (unsigned long long)S.CacheMisses);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+void printStats(const ServeStats &S) {
+  std::printf("requests: received=%llu served=%llu failed=%llu "
+              "rejected=%llu coalesced=%llu\n",
+              (unsigned long long)S.Received, (unsigned long long)S.Served,
+              (unsigned long long)S.Failed, (unsigned long long)S.Rejected,
+              (unsigned long long)S.Coalesced);
+  std::printf("stage cache: hits=%llu misses=%llu stores=%llu "
+              "evictions=%llu\n",
+              (unsigned long long)S.CacheHits,
+              (unsigned long long)S.CacheMisses,
+              (unsigned long long)S.CacheStores,
+              (unsigned long long)S.CacheEvictions);
+  std::printf("decode cache: decodes=%llu hits=%llu evictions=%llu\n",
+              (unsigned long long)S.DecodeDecodes,
+              (unsigned long long)S.DecodeHits,
+              (unsigned long long)S.DecodeEvictions);
+  for (const ServeStats::StageAgg &A : S.Stages)
+    std::printf("stage %-14s executions=%llu reuses=%llu millis=%.1f\n",
+                A.Name.c_str(), (unsigned long long)A.Executions,
+                (unsigned long long)A.Reuses, A.Millis);
+}
+
+int runClient(const std::string &SocketPath, const std::string &RunFile,
+              const std::string &PipelineText,
+              const ConfigOverrides &Overrides, bool WantStats,
+              bool WantShutdown) {
+  ServeClient Client;
+  std::string Err;
+  if (!Client.connect(SocketPath, &Err)) {
+    std::fprintf(stderr, "helix-serve: %s\n", Err.c_str());
+    return 2;
+  }
+
+  if (!RunFile.empty()) {
+    std::string ModuleText;
+    if (RunFile == "-") {
+      std::ostringstream SS;
+      SS << std::cin.rdbuf();
+      ModuleText = SS.str();
+    } else {
+      std::ifstream In(RunFile);
+      if (!In) {
+        std::fprintf(stderr, "helix-serve: cannot read %s\n",
+                     RunFile.c_str());
+        return 2;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      ModuleText = SS.str();
+    }
+    ServeResponse Resp;
+    if (!Client.run(ModuleText, PipelineText, Overrides, Resp, &Err)) {
+      std::fprintf(stderr, "helix-serve: %s\n", Err.c_str());
+      return 2;
+    }
+    if (!Resp.Ok) {
+      std::fprintf(stderr, "helix-serve: run failed: %s\n",
+                   Resp.Error.c_str());
+      return 1;
+    }
+    std::printf("speedup=%.3f model=%.3f outputs_match=%d%s\n",
+                Resp.Report.Speedup, Resp.Report.ModelSpeedup,
+                Resp.Report.OutputsMatch ? 1 : 0,
+                Resp.Coalesced ? " (coalesced)" : "");
+    for (const StageSummary &S : Resp.Stages)
+      std::printf("  %-14s %-8s %8.1f ms  %llu instrs\n", S.Name.c_str(),
+                  S.Source.c_str(), S.WallMillis,
+                  (unsigned long long)S.InterpretedInstructions);
+  }
+
+  if (WantStats) {
+    ServeStats S;
+    if (!Client.stats(S, &Err)) {
+      std::fprintf(stderr, "helix-serve: %s\n", Err.c_str());
+      return 2;
+    }
+    printStats(S);
+  }
+
+  if (WantShutdown) {
+    if (!Client.shutdownServer(&Err)) {
+      std::fprintf(stderr, "helix-serve: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("helix-serve: daemon acknowledged shutdown\n");
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Self-stress (CI smoke)
+//===----------------------------------------------------------------------===//
+
+/// A small workload family: variant 0 is the repeated module (the warm
+/// cache target); other variants differ in trip count, so they fingerprint
+/// differently and keep the cache honest.
+std::string stressModule(unsigned Variant) {
+  WorkloadSpec Spec;
+  Spec.Name = formatStr("stress%u", Variant);
+  Spec.MainRepeat = 1;
+  PhaseSpec Phase;
+  Phase.Repeat = 1;
+  KernelSpec K;
+  K.Idiom = KernelIdiom::Reduction;
+  K.N = 48 + Variant * 8;
+  K.Work = 2;
+  Phase.Kernels.push_back(K);
+  Spec.Phases.push_back(Phase);
+  return buildWorkload(Spec)->toString();
+}
+
+int runSelfStress(ServeServerConfig Config, unsigned Submissions,
+                  unsigned NumClients) {
+  if (Config.SocketPath.empty())
+    Config.SocketPath =
+        formatStr("/tmp/helix-serve-stress-%d.sock", (int)getpid());
+  ServeServer Server(Config);
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "helix-serve: %s\n", Err.c_str());
+    return 2;
+  }
+
+  // Pre-render the module family once; clients pick per-submission.
+  std::vector<std::string> Modules;
+  for (unsigned V = 0; V != 4; ++V)
+    Modules.push_back(stressModule(V));
+
+  ConfigOverrides Overrides;
+  Overrides.NumCores = 4;
+  Overrides.ModelProfileThreads = 1;
+
+  std::atomic<unsigned> NextSubmission{0};
+  std::atomic<unsigned> Failures{0};
+  std::atomic<unsigned> OkRuns{0};
+  auto ClientBody = [&](unsigned ClientIdx) {
+    ServeClient Client;
+    std::string CErr;
+    if (!Client.connect(Config.SocketPath, &CErr)) {
+      std::fprintf(stderr, "client %u: connect: %s\n", ClientIdx,
+                   CErr.c_str());
+      Failures.fetch_add(1);
+      return;
+    }
+    for (;;) {
+      unsigned I = NextSubmission.fetch_add(1);
+      if (I >= Submissions)
+        break;
+      // Every other submission repeats variant 0 so the warm cache and the
+      // coalescer both see heavy traffic on one key.
+      const std::string &Mod = Modules[(I % 2) ? 0 : (I % Modules.size())];
+      ServeResponse Resp;
+      if (!Client.run(Mod, "", Overrides, Resp, &CErr)) {
+        std::fprintf(stderr, "client %u: submission %u: %s\n", ClientIdx, I,
+                     CErr.c_str());
+        Failures.fetch_add(1);
+        return; // transport is gone; this client is done
+      }
+      if (!Resp.Ok || !Resp.HasReport || !Resp.Report.OutputsMatch) {
+        std::fprintf(stderr, "client %u: submission %u failed: %s\n",
+                     ClientIdx, I, Resp.Error.c_str());
+        Failures.fetch_add(1);
+        continue;
+      }
+      OkRuns.fetch_add(1);
+    }
+  };
+
+  std::vector<std::thread> Clients;
+  for (unsigned C = 0; C != NumClients; ++C)
+    Clients.emplace_back(ClientBody, C);
+  for (std::thread &T : Clients)
+    T.join();
+
+  // A repeated identical request must now be fully warm: every training
+  // stage (profile, candidates, model-profile — the persisted ones whose
+  // execution interprets the program) restored from the cache with zero
+  // training-interpreter instructions. Validation re-executes by design.
+  {
+    ServeClient Client;
+    ServeResponse Resp;
+    std::string CErr;
+    if (!Client.connect(Config.SocketPath, &CErr) ||
+        !Client.run(Modules[0], "", Overrides, Resp, &CErr) || !Resp.Ok) {
+      std::fprintf(stderr, "warm-repeat check failed: %s %s\n", CErr.c_str(),
+                   Resp.Error.c_str());
+      Failures.fetch_add(1);
+    } else {
+      for (const StageSummary &S : Resp.Stages) {
+        if (S.Name != "profile" && S.Name != "candidates" &&
+            S.Name != "model-profile")
+          continue;
+        if (S.Source == "executed" || S.InterpretedInstructions != 0) {
+          std::fprintf(
+              stderr,
+              "warm-repeat check: stage %s not served warm (source=%s, "
+              "%llu interpreted instructions)\n",
+              S.Name.c_str(), S.Source.c_str(),
+              (unsigned long long)S.InterpretedInstructions);
+          Failures.fetch_add(1);
+        }
+      }
+    }
+  }
+
+  ServeStats S = Server.stats();
+  Server.stop();
+  printStats(S);
+  std::printf("self-stress: %u submissions, %u clients, ok=%u failures=%u\n",
+              Submissions, NumClients, OkRuns.load(), Failures.load());
+  if (Failures.load() || OkRuns.load() != Submissions)
+    return 1;
+  return 0;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// main
+//===----------------------------------------------------------------------===//
+
+int main(int Argc, char **Argv) {
+  ServeServerConfig Config;
+  Config.SocketPath = "/tmp/helix-serve.sock";
+
+  bool ClientMode = false, WantStats = false, WantShutdown = false;
+  bool SocketGiven = false;
+  std::string RunFile, PipelineText;
+  ConfigOverrides Overrides;
+  uint64_t SelfStress = 0, NumClients = 8;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    uint64_t N = 0;
+    if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (Arg == "--client") {
+      ClientMode = true;
+    } else if (Arg == "--stats") {
+      WantStats = true;
+    } else if (Arg == "--shutdown") {
+      WantShutdown = true;
+    } else if (Arg == "--socket") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      Config.SocketPath = V;
+      SocketGiven = true;
+    } else if (Arg == "--run" || Arg == "--pipeline" || Arg == "--disk-cache" ||
+               Arg == "--log") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      if (Arg == "--run")
+        RunFile = V;
+      else if (Arg == "--pipeline")
+        PipelineText = V;
+      else if (Arg == "--disk-cache")
+        Config.DiskCachePath = V;
+      else
+        Config.LogPath = V;
+    } else if (Arg == "--workers" || Arg == "--queue" || Arg == "--max-instrs" ||
+               Arg == "--cache-bytes" || Arg == "--cores" ||
+               Arg == "--self-stress" || Arg == "--clients") {
+      const char *V = Next();
+      if (!V || !parseUnsigned(V, N)) {
+        usage();
+        return 2;
+      }
+      if (Arg == "--workers")
+        Config.Workers = unsigned(N);
+      else if (Arg == "--queue")
+        Config.MaxInFlight = unsigned(N);
+      else if (Arg == "--max-instrs")
+        Config.MaxInterpInstructions = N;
+      else if (Arg == "--cache-bytes")
+        Config.MemoryCacheBytes = size_t(N);
+      else if (Arg == "--cores")
+        Overrides.NumCores = int64_t(N);
+      else if (Arg == "--self-stress")
+        SelfStress = N;
+      else
+        NumClients = N;
+    } else if (Arg == "--signal-cycles") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 2;
+      }
+      Overrides.SignalCycles = std::atof(V);
+    } else {
+      std::fprintf(stderr, "helix-serve: unknown option %s\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (SelfStress) {
+    if (!SocketGiven)
+      Config.SocketPath.clear(); // pick a pid-unique stress path
+    if (NumClients < 1)
+      NumClients = 1;
+    return runSelfStress(Config, unsigned(SelfStress), unsigned(NumClients));
+  }
+  if (ClientMode)
+    return runClient(Config.SocketPath, RunFile, PipelineText, Overrides,
+                     WantStats, WantShutdown);
+  return runDaemon(Config);
+}
