@@ -1,0 +1,535 @@
+#include "check/SyncChecker.h"
+
+#include "analysis/DataDependence.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace helix;
+
+const char *helix::syncDiagKindName(SyncDiagKind K) {
+  switch (K) {
+  case SyncDiagKind::CoverageNoWait:
+    return "coverage-no-wait";
+  case SyncDiagKind::CoverageNoSignal:
+    return "coverage-no-signal";
+  case SyncDiagKind::DeadlockSignalSkipped:
+    return "deadlock-signal-skipped";
+  case SyncDiagKind::DuplicateSignal:
+    return "duplicate-signal";
+  case SyncDiagKind::WaitWithoutSignal:
+    return "wait-without-signal";
+  case SyncDiagKind::SignalWithoutWait:
+    return "signal-without-wait";
+  case SyncDiagKind::SharedAccessOutsideSegment:
+    return "shared-access-outside-segment";
+  case SyncDiagKind::UnknownSegmentId:
+    return "unknown-segment-id";
+  case SyncDiagKind::IVStrideMismatch:
+    return "iv-stride-mismatch";
+  case SyncDiagKind::BodyMutated:
+    return "body-mutated";
+  }
+  return "unknown";
+}
+
+std::string SyncDiag::str() const {
+  std::string S = syncDiagKindName(Kind);
+  S += formatStr(" @%s/%s", Function.c_str(),
+                 Block.empty() ? "<loop>" : Block.c_str());
+  if (InstrIndex != ~0u)
+    S += formatStr("#%u", InstrIndex);
+  if (SegmentId >= 0)
+    S += formatStr(" seg=%lld", (long long)SegmentId);
+  if (!Detail.empty())
+    S += ": " + Detail;
+  return S;
+}
+
+unsigned SyncCheckResult::count(SyncDiagKind K) const {
+  unsigned N = 0;
+  for (const SyncDiag &D : Diags)
+    N += D.Kind == K;
+  return N;
+}
+
+void SyncCheckResult::merge(const SyncCheckResult &Other) {
+  Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+  LoopsChecked += Other.LoopsChecked;
+  DepsChecked += Other.DepsChecked;
+  EndpointsChecked += Other.EndpointsChecked;
+  SegmentsChecked += Other.SegmentsChecked;
+  SharedAccessesChecked += Other.SharedAccessesChecked;
+}
+
+namespace {
+
+/// The loop-local CFG view every dataflow below runs on: membership and
+/// in-loop edges with the back edge cut. The back edge (marked HasBack on
+/// the latch) ends the iteration; edges leaving the loop are exits — the
+/// runtime tears the parallel loop down there, so the synchronization
+/// contract only binds paths that complete the iteration.
+struct LoopGraph {
+  const ParallelLoopInfo &PLI;
+  unsigned NumIds;
+  std::vector<char> InLoop;                    // by block id
+  std::vector<std::vector<BasicBlock *>> Preds; // in-loop, back edge cut
+  std::vector<std::vector<BasicBlock *>> Succs; // in-loop, back edge cut
+  std::vector<char> HasBack;                    // sources of the back edge
+
+  explicit LoopGraph(const ParallelLoopInfo &PLI)
+      : PLI(PLI), NumIds(PLI.F->numBlockIds()), InLoop(NumIds, 0),
+        Preds(NumIds), Succs(NumIds), HasBack(NumIds, 0) {
+    for (BasicBlock *BB : PLI.LoopBlocks)
+      if (BB->id() < NumIds)
+        InLoop[BB->id()] = 1;
+    for (BasicBlock *BB : PLI.LoopBlocks) {
+      for (BasicBlock *Succ : BB->successors()) {
+        if (BB == PLI.Latch && Succ == PLI.Header) {
+          HasBack[BB->id()] = 1;
+          continue;
+        }
+        if (!InLoop[Succ->id()])
+          continue; // loop exit
+        Succs[BB->id()].push_back(Succ);
+        Preds[Succ->id()].push_back(BB);
+      }
+    }
+  }
+};
+
+SyncDiag diagAt(SyncDiagKind K, const Instruction *I, int64_t Seg,
+                std::string Detail) {
+  SyncDiag D;
+  D.Kind = K;
+  D.SegmentId = Seg;
+  D.Detail = std::move(Detail);
+  if (I && I->parent()) {
+    D.Block = I->parent()->name();
+    D.InstrIndex = I->parent()->indexOf(I);
+    if (I->parent()->parent())
+      D.Function = I->parent()->parent()->name();
+  }
+  return D;
+}
+
+SyncDiag diagLoop(SyncDiagKind K, const ParallelLoopInfo &PLI, int64_t Seg,
+                  std::string Detail) {
+  SyncDiag D;
+  D.Kind = K;
+  D.SegmentId = Seg;
+  D.Detail = std::move(Detail);
+  D.Function = PLI.F ? PLI.F->name() : "";
+  D.Block = PLI.Header ? PLI.Header->name() : "";
+  return D;
+}
+
+} // namespace
+
+SyncCheckResult helix::checkLoopSync(AnalysisManager &AM,
+                                     const ParallelLoopInfo &PLI,
+                                     bool CheckSeal) {
+  SyncCheckResult R;
+  Function *F = PLI.F;
+  if (!F || !PLI.Header || !PLI.Latch || PLI.LoopBlocks.empty())
+    return R;
+  R.LoopsChecked = 1;
+  R.SegmentsChecked = unsigned(PLI.Segments.size());
+
+  // --- Integrity: the loop body must still hash to the transform's seal.
+  if (CheckSeal && PLI.BodySeal != 0 &&
+      computeLoopBodySeal(PLI) != PLI.BodySeal)
+    R.Diags.push_back(diagLoop(
+        SyncDiagKind::BodyMutated, PLI, -1,
+        "loop-body hash differs from the seal recorded at transform time"));
+
+  LoopGraph G(PLI);
+  unsigned NumSegs = unsigned(PLI.Segments.size());
+
+  // Ownership mirrors the runtime exactly: a sync op acts on this loop's
+  // segments iff the loop's Segments lists record it (ThreadedRuntime's
+  // OwnedSync set). Anything else in the body — e.g. sync ops the inliner
+  // cloned in from an already-transformed callee — is inert there, so the
+  // dataflows treat it as opaque.
+  std::map<const Instruction *, unsigned> Owned;
+  for (unsigned Idx = 0; Idx != NumSegs; ++Idx) {
+    for (Instruction *W : PLI.Segments[Idx].Waits)
+      Owned[W] = Idx;
+    for (Instruction *Sig : PLI.Segments[Idx].Signals)
+      Owned[Sig] = Idx;
+  }
+  auto OwnedSeg = [&](const Instruction *I) -> unsigned {
+    if (!I->isSync())
+      return ~0u;
+    auto It = Owned.find(I);
+    return It == Owned.end() ? ~0u : It->second;
+  };
+
+  // --- Pairing hygiene + IR/metadata id agreement, one IR scan. -----------
+  std::vector<const Instruction *> FirstWait(NumSegs, nullptr),
+      FirstSignal(NumSegs, nullptr);
+  std::vector<unsigned> WaitCount(NumSegs, 0), SignalCount(NumSegs, 0);
+  for (BasicBlock *BB : PLI.LoopBlocks)
+    for (Instruction *I : *BB) {
+      unsigned S = OwnedSeg(I);
+      if (S == ~0u)
+        continue;
+      // The runtime publishes/awaits the bit named by the *instruction's*
+      // immediate; ownership comes from the metadata. If the two disagree
+      // the iteration synchronizes on the wrong segment.
+      if (I->imm() != int64_t(PLI.Segments[S].Id))
+        R.Diags.push_back(
+            diagAt(SyncDiagKind::UnknownSegmentId, I, I->imm(),
+                   formatStr("%s immediate disagrees with its recorded "
+                             "segment id %lld",
+                             opcodeName(I->opcode()),
+                             (long long)PLI.Segments[S].Id)));
+      if (I->opcode() == Opcode::Wait) {
+        if (!FirstWait[S])
+          FirstWait[S] = I;
+        ++WaitCount[S];
+      } else {
+        if (!FirstSignal[S])
+          FirstSignal[S] = I;
+        ++SignalCount[S];
+      }
+    }
+  for (unsigned S = 0; S != NumSegs; ++S) {
+    if (WaitCount[S] && !SignalCount[S])
+      R.Diags.push_back(diagAt(SyncDiagKind::WaitWithoutSignal, FirstWait[S],
+                               PLI.Segments[S].Id,
+                               "segment is waited on but never signaled"));
+    if (SignalCount[S] && !WaitCount[S])
+      R.Diags.push_back(diagAt(SyncDiagKind::SignalWithoutWait, FirstSignal[S],
+                               PLI.Segments[S].Id,
+                               "segment is signaled but never waited on"));
+  }
+
+  // --- Dataflow 1 (forward, intersection): must-open segments. ------------
+  // Bit s at a point: Wait(s) executed on every path from the header with
+  // no later Signal(s) — the point runs inside segment s.
+  std::vector<BitSet> OpenIn(G.NumIds, BitSet(NumSegs));
+  std::vector<BitSet> OpenOut(G.NumIds, BitSet(NumSegs));
+  std::vector<char> OpenInit(G.NumIds, 0);
+  auto OpenTransfer = [&](BasicBlock *BB, BitSet S) {
+    for (Instruction *I : *BB) {
+      unsigned Seg = OwnedSeg(I);
+      if (Seg == ~0u)
+        continue;
+      if (I->opcode() == Opcode::Wait)
+        S.set(Seg);
+      else
+        S.reset(Seg);
+    }
+    return S;
+  };
+  OpenInit[PLI.Header->id()] = 1;
+  OpenOut[PLI.Header->id()] = OpenTransfer(PLI.Header, BitSet(NumSegs));
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (BasicBlock *BB : PLI.LoopBlocks) {
+      if (BB == PLI.Header)
+        continue;
+      BitSet NewIn(NumSegs);
+      bool First = true;
+      for (BasicBlock *Pred : G.Preds[BB->id()]) {
+        if (!OpenInit[Pred->id()])
+          continue; // uninitialized = top
+        if (First) {
+          NewIn = OpenOut[Pred->id()];
+          First = false;
+        } else {
+          NewIn.intersectWith(OpenOut[Pred->id()]);
+        }
+      }
+      if (First)
+        continue;
+      if (!OpenInit[BB->id()] || NewIn != OpenIn[BB->id()]) {
+        OpenIn[BB->id()] = NewIn;
+        OpenOut[BB->id()] = OpenTransfer(BB, std::move(NewIn));
+        OpenInit[BB->id()] = 1;
+        Changed = true;
+      }
+    }
+  }
+
+  // --- Dataflow 2 (backward, intersection): must-signal-ahead. ------------
+  // Bit s at a point: Signal(s) executes on every path from the point that
+  // completes the iteration (reaches the back edge). Paths that exit the
+  // loop are exempt — the transform never places Signals on exit edges;
+  // the runtime tears the parallel loop down there instead.
+  std::vector<BitSet> MSIn(G.NumIds, BitSet(NumSegs));
+  std::vector<BitSet> MSOut(G.NumIds, BitSet(NumSegs));
+  std::vector<char> MSInit(G.NumIds, 0);
+  auto MSTransfer = [&](BasicBlock *BB, BitSet S) {
+    for (unsigned Idx = BB->size(); Idx-- > 0;) {
+      Instruction *I = BB->instr(Idx);
+      unsigned Seg = OwnedSeg(I);
+      if (Seg != ~0u && I->opcode() == Opcode::SignalOp)
+        S.set(Seg);
+    }
+    return S;
+  };
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (BasicBlock *BB : PLI.LoopBlocks) {
+      BitSet NewOut(NumSegs);
+      bool First = true;
+      if (G.HasBack[BB->id()])
+        First = false; // iteration completes here: meet with the empty set
+      for (BasicBlock *Succ : G.Succs[BB->id()]) {
+        if (!MSInit[Succ->id()])
+          continue;
+        if (First) {
+          NewOut = MSIn[Succ->id()];
+          First = false;
+        } else {
+          NewOut.intersectWith(MSIn[Succ->id()]);
+        }
+      }
+      if (First) {
+        if (!G.Succs[BB->id()].empty())
+          continue; // in-loop successors not yet initialized
+        // Every successor leaves the loop: no path completes the
+        // iteration from here, so the obligation is vacuously met.
+        NewOut.setAll();
+      }
+      if (!MSInit[BB->id()] || NewOut != MSOut[BB->id()]) {
+        MSOut[BB->id()] = NewOut;
+        MSIn[BB->id()] = MSTransfer(BB, std::move(NewOut));
+        MSInit[BB->id()] = 1;
+        Changed = true;
+      }
+    }
+  }
+
+  // --- Deadlock-freedom: every waited-on segment signals on all paths. ----
+  for (unsigned S = 0; S != NumSegs; ++S) {
+    if (!WaitCount[S] || !SignalCount[S])
+      continue; // fully missing pairs already reported above
+    if (MSInit[PLI.Header->id()] && !MSIn[PLI.Header->id()].test(S))
+      R.Diags.push_back(diagAt(
+          SyncDiagKind::DeadlockSignalSkipped, FirstWait[S], PLI.Segments[S].Id,
+          "some path from the header through the back edge skips the Signal; "
+          "the next iteration's Wait can block forever"));
+  }
+
+  // --- Dataflow 3 (forward, union): may-signaled-without-rearm. -----------
+  // Bit s: some path already signaled s with no later Wait(s). A Signal
+  // executing under that fact may release the successor iteration twice.
+  std::vector<BitSet> SigIn(G.NumIds, BitSet(NumSegs));
+  auto SigTransfer = [&](BasicBlock *BB, BitSet S) {
+    for (Instruction *I : *BB) {
+      unsigned Seg = OwnedSeg(I);
+      if (Seg == ~0u)
+        continue;
+      if (I->opcode() == Opcode::SignalOp)
+        S.set(Seg);
+      else
+        S.reset(Seg);
+    }
+    return S;
+  };
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (BasicBlock *BB : PLI.LoopBlocks) {
+      if (BB == PLI.Header)
+        continue;
+      BitSet NewIn(NumSegs);
+      for (BasicBlock *Pred : G.Preds[BB->id()])
+        NewIn.unionWith(SigTransfer(Pred, SigIn[Pred->id()]));
+      if (NewIn != SigIn[BB->id()]) {
+        SigIn[BB->id()] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+  for (BasicBlock *BB : PLI.LoopBlocks) {
+    BitSet S = SigIn[BB->id()];
+    for (Instruction *I : *BB) {
+      unsigned Seg = OwnedSeg(I);
+      if (Seg == ~0u)
+        continue;
+      if (I->opcode() == Opcode::SignalOp) {
+        if (S.test(Seg))
+          R.Diags.push_back(
+              diagAt(SyncDiagKind::DuplicateSignal, I, PLI.Segments[Seg].Id,
+                     "a path reaches this Signal having already signaled the "
+                     "segment without an intervening Wait"));
+        S.set(Seg);
+      } else {
+        S.reset(Seg);
+      }
+    }
+  }
+
+  // --- Coverage: re-derive the dependence set and verify each endpoint. ---
+  LoopInfo &LI = AM.get<LoopInfo>(F);
+  Loop *L = nullptr;
+  for (unsigned Idx = 0, E = LI.numLoops(); Idx != E; ++Idx)
+    if (LI.loop(Idx)->header() == PLI.Header)
+      L = LI.loop(Idx);
+  if (!L)
+    return R; // header no longer heads a loop; the seal check saw any edit
+
+  const CFGInfo &CFG = AM.get<CFGInfo>(F);
+  const DominatorTree &DT = AM.get<DominatorTree>(F);
+  const Liveness &LV = AM.get<Liveness>(F);
+  LoopVarAnalysis Vars(F, L, DT);
+  const PointsToAnalysis &PT = AM.get<PointsToAnalysis>();
+  const MemEffects &ME = AM.get<MemEffects>();
+  LoopDependenceAnalysis DDA(F, L, CFG, DT, LV, Vars, PT, ME);
+  const std::vector<DataDependence> &Deps = DDA.toSynchronize();
+  R.DepsChecked = unsigned(Deps.size());
+
+  // Induction-variable strides must agree with the published metadata —
+  // the engines materialize Reg = Base + i*Stride from it, so a body edit
+  // that changes a stride desynchronizes every parallel iteration.
+  for (const MaterializedIV &MIV : PLI.IVs)
+    if (const InductionVar *IV = Vars.inductionVar(MIV.Reg))
+      if (IV->Stride != MIV.Stride)
+        R.Diags.push_back(diagAt(
+            SyncDiagKind::IVStrideMismatch, IV->Update, -1,
+            formatStr("induction r%u now steps by %lld, metadata says %lld",
+                      MIV.Reg, (long long)IV->Stride,
+                      (long long)MIV.Stride)));
+
+  // Per-endpoint facts: segment-open before the endpoint, must-signal
+  // after it. Gathered in one extra walk per loop block.
+  std::map<const Instruction *, std::pair<BitSet, BitSet>> Facts;
+  for (const DataDependence &D : Deps)
+    for (Instruction *E : D.allEndpoints())
+      if (E->parent() && E->parent()->id() < G.NumIds &&
+          G.InLoop[E->parent()->id()])
+        Facts.emplace(E, std::pair<BitSet, BitSet>(BitSet(NumSegs),
+                                                   BitSet(NumSegs)));
+  for (BasicBlock *BB : PLI.LoopBlocks) {
+    bool Any = false;
+    for (Instruction *I : *BB)
+      Any |= Facts.count(I) != 0;
+    if (!Any)
+      continue;
+    BitSet Open = OpenIn[BB->id()];
+    for (Instruction *I : *BB) {
+      auto It = Facts.find(I);
+      if (It != Facts.end())
+        It->second.first = Open;
+      unsigned Seg = OwnedSeg(I);
+      if (Seg != ~0u) {
+        if (I->opcode() == Opcode::Wait)
+          Open.set(Seg);
+        else
+          Open.reset(Seg);
+      }
+    }
+    BitSet MS = MSOut[BB->id()];
+    for (unsigned Idx = BB->size(); Idx-- > 0;) {
+      Instruction *I = BB->instr(Idx);
+      auto It = Facts.find(I);
+      if (It != Facts.end())
+        It->second.second = MS;
+      unsigned Seg = OwnedSeg(I);
+      if (Seg != ~0u && I->opcode() == Opcode::SignalOp)
+        MS.set(Seg);
+    }
+  }
+
+  // Does this endpoint touch memory the iterations actually share —
+  // a heap or global abstract location (stack frames and registers are
+  // per-core private)? Unknown addresses alias everything: shared.
+  auto TouchesShared = [&](Instruction *E) {
+    auto AnyShared = [&](const BitSet &Locs) {
+      if (Locs.empty())
+        return true; // no pointer information = may alias anything
+      bool Shared = false;
+      Locs.forEach([&](unsigned Loc) {
+        AbstractLocation::Kind K = PT.location(Loc).K;
+        Shared |= K == AbstractLocation::Kind::Global ||
+                  K == AbstractLocation::Kind::Heap;
+      });
+      return Shared;
+    };
+    if (E->opcode() == Opcode::Load && E->numOperands() >= 1)
+      return AnyShared(PT.operandPointsTo(F, E->operand(0)));
+    if (E->opcode() == Opcode::Store && E->numOperands() >= 2)
+      return AnyShared(PT.operandPointsTo(F, E->operand(1)));
+    if (E->isCall()) {
+      Function *Callee = E->callee();
+      if (!Callee || ME.readsUnknown(Callee) || ME.writesUnknown(Callee))
+        return true;
+      BitSet Touched = ME.mayRead(Callee);
+      Touched.unionWith(ME.mayWrite(Callee));
+      return AnyShared(Touched);
+    }
+    return false;
+  };
+
+  const char *KindName[] = {"RAW", "WAR", "WAW"};
+  for (const DataDependence &D : Deps) {
+    BitSet CommonCover(NumSegs);
+    CommonCover.setAll();
+    bool AllCovered = true;
+    unsigned InLoopEndpoints = 0;
+    for (Instruction *E : D.allEndpoints()) {
+      auto It = Facts.find(E);
+      if (It == Facts.end())
+        continue;
+      ++R.EndpointsChecked;
+      ++InLoopEndpoints;
+      const BitSet &Open = It->second.first;
+      BitSet Cover = Open;
+      Cover.intersectWith(It->second.second);
+      std::string Where =
+          formatStr("%s %s endpoint of dep %u", KindName[unsigned(D.Kind)],
+                    D.ViaMemory ? "memory" : formatStr("r%u", D.Reg).c_str(),
+                    D.Id);
+      if (Open.empty()) {
+        AllCovered = false;
+        R.Diags.push_back(diagAt(SyncDiagKind::CoverageNoWait, E, -1,
+                                 Where + " is not dominated by any Wait"));
+      } else if (Cover.empty()) {
+        AllCovered = false;
+        R.Diags.push_back(diagAt(
+            SyncDiagKind::CoverageNoSignal, E, -1,
+            Where + ": no open segment is signaled on every later path"));
+      }
+      CommonCover.intersectWith(Cover);
+      if (D.ViaMemory) {
+        ++R.SharedAccessesChecked;
+        if (Open.empty() && TouchesShared(E))
+          R.Diags.push_back(diagAt(
+              SyncDiagKind::SharedAccessOutsideSegment, E, -1,
+              Where + " touches heap/global memory outside every segment"));
+      }
+    }
+    if (AllCovered && InLoopEndpoints > 1 && CommonCover.empty())
+      R.Diags.push_back(diagLoop(
+          SyncDiagKind::CoverageNoWait, PLI, -1,
+          formatStr("no single segment covers all %u endpoints of dep %u",
+                    InLoopEndpoints, D.Id)));
+  }
+  return R;
+}
+
+SyncCheckResult
+helix::checkModuleSync(AnalysisManager &AM,
+                       const std::vector<const ParallelLoopInfo *> &Loops) {
+  SyncCheckResult R;
+  for (const ParallelLoopInfo *PLI : Loops) {
+    if (!PLI || !PLI->F)
+      continue;
+    bool Overlaps = false;
+    for (const ParallelLoopInfo *Other : Loops) {
+      if (!Other || Other == PLI || Other->F != PLI->F)
+        continue;
+      for (const BasicBlock *BB : Other->LoopBlocks)
+        Overlaps |= PLI->contains(BB);
+    }
+    // Overlapping block sets would double-hash shared blocks into both
+    // seals; loop selection never nests chosen loops, so this is purely
+    // defensive for hand-built metadata.
+    R.merge(checkLoopSync(AM, *PLI, /*CheckSeal=*/!Overlaps));
+  }
+  return R;
+}

@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static Signal/Wait synchronization verifier for HELIX-transformed
+/// parallel IR. Given a transformed function plus its ParallelLoopInfo,
+/// the checker re-derives the loop-carried dependence set from the same
+/// analyses the transform used (LoopDependenceAnalysis over points-to)
+/// and proves three properties against the *actual* instructions:
+///
+///   1. Coverage — every loop-carried dependence endpoint executes inside
+///      a sequential segment: some segment's Wait must have executed on
+///      every path from the header to the endpoint (with no intervening
+///      Signal of that segment), and that same segment's Signal must
+///      execute on every path from the endpoint to the end of the
+///      iteration.
+///   2. Deadlock-freedom — every segment that is Waited on is Signaled on
+///      every path from the header to the latch or a loop exit. A
+///      conditionally-skipped Signal is a statically provable hang: the
+///      next iteration's Wait can block forever.
+///   3. Hygiene — duplicate Signals on a path without a re-arming Wait,
+///      Waits never paired with any Signal (and vice versa), sync
+///      operations whose immediate disagrees with their recorded segment
+///      id, shared-memory dependence endpoints (heap/global points-to
+///      locations) running outside any segment, induction-variable
+///      strides disagreeing with the published metadata, and loop bodies
+///      whose instructions no longer hash to the seal recorded at
+///      transform time.
+///
+/// Sync-op ownership mirrors the runtime exactly: an instruction acts on
+/// a loop's segments iff that loop's Segments lists record it (the
+/// ThreadedRuntime's OwnedSync set). Sync ops in the body that no
+/// metadata owns — e.g. clones the inliner copied in from an
+/// already-transformed callee — are inert at runtime and opaque here.
+///
+/// All facts are computed by intersection/union dataflow over the loop
+/// blocks with the back edge cut, mirroring the transform's own
+/// SequentialSegments/SignalOpt machinery — so a clean transform is
+/// checker-clean by construction, and any later mutation of the loop
+/// (a dropped Wait, a flipped update, a skipped Signal) is refutable
+/// without executing an instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_CHECK_SYNCCHECKER_H
+#define HELIX_CHECK_SYNCCHECKER_H
+
+#include "analysis/AnalysisManager.h"
+#include "helix/ParallelLoopInfo.h"
+
+#include <string>
+#include <vector>
+
+namespace helix {
+
+/// The distinct diagnostic classes the checker reports.
+enum class SyncDiagKind : uint8_t {
+  CoverageNoWait,      ///< dependence endpoint not dominated by any Wait
+  CoverageNoSignal,    ///< endpoint's open segments never Signal after it
+  DeadlockSignalSkipped, ///< some path header->latch/exit skips a Signal
+  DuplicateSignal,     ///< Signal may re-fire without a re-arming Wait
+  WaitWithoutSignal,   ///< segment is Waited on but never Signaled
+  SignalWithoutWait,   ///< segment is Signaled but never Waited on
+  SharedAccessOutsideSegment, ///< heap/global dep endpoint outside segments
+  UnknownSegmentId,    ///< owned sync op's immediate != its segment's id
+  IVStrideMismatch,    ///< recomputed induction stride != published stride
+  BodyMutated,         ///< loop body hash != seal recorded by the transform
+};
+
+const char *syncDiagKindName(SyncDiagKind K);
+
+/// One finding, located at instruction granularity.
+struct SyncDiag {
+  SyncDiagKind Kind = SyncDiagKind::CoverageNoWait;
+  std::string Function;
+  std::string Block;       ///< empty for loop-level findings
+  unsigned InstrIndex = ~0u; ///< position within Block; ~0u for loop-level
+  int64_t SegmentId = -1;  ///< offending segment, when one is implicated
+  std::string Detail;
+
+  /// "kind @func/block#idx seg=N: detail" human-readable line.
+  std::string str() const;
+};
+
+/// Findings plus the work counters the pipeline/serve/fuzz layers report.
+struct SyncCheckResult {
+  std::vector<SyncDiag> Diags;
+  unsigned LoopsChecked = 0;
+  unsigned DepsChecked = 0;      ///< re-derived dependences verified
+  unsigned EndpointsChecked = 0; ///< dependence endpoints verified
+  unsigned SegmentsChecked = 0;
+  unsigned SharedAccessesChecked = 0; ///< heap/global endpoints examined
+
+  bool clean() const { return Diags.empty(); }
+  unsigned count(SyncDiagKind K) const;
+  void merge(const SyncCheckResult &Other);
+};
+
+/// Checks one transformed loop. \p AM must manage the module containing
+/// PLI.F (any manager works; the checker only reads). With \p CheckSeal
+/// the loop-body hash is compared against PLI.BodySeal (skipped when the
+/// seal was never recorded, i.e. is zero).
+SyncCheckResult checkLoopSync(AnalysisManager &AM, const ParallelLoopInfo &PLI,
+                              bool CheckSeal = true);
+
+/// Checks every loop. Seal checking is disabled defensively for loops
+/// whose block sets overlap (loop selection never nests chosen loops, so
+/// this only triggers on hand-built metadata).
+SyncCheckResult
+checkModuleSync(AnalysisManager &AM,
+                const std::vector<const ParallelLoopInfo *> &Loops);
+
+} // namespace helix
+
+#endif // HELIX_CHECK_SYNCCHECKER_H

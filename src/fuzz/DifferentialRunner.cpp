@@ -1,6 +1,7 @@
 #include "fuzz/DifferentialRunner.h"
 
 #include "analysis/LoopInfo.h"
+#include "check/SyncChecker.h"
 #include "exec/ExecLimits.h"
 #include "helix/HelixTransform.h"
 #include "ir/Clone.h"
@@ -194,6 +195,21 @@ DiffOutcome helix::runDifferential(const Module &M, const DiffConfig &C) {
   std::unique_ptr<Module> TM = cloneModule(M);
   std::vector<ParallelLoopInfo> Loops = transformAll(*TM, C, Out);
   Out.InjectionApplied = injectBug(*TM, C.Inject, Loops);
+
+  // --- Static leg: verify the synchronization contract before executing
+  // --- anything. A fresh manager keeps the transform leg's analysis
+  // --- counters (asserted by tests) untouched. ----------------------------
+  {
+    AnalysisManager CheckAM(*TM);
+    std::vector<const ParallelLoopInfo *> CheckPLIs;
+    for (ParallelLoopInfo &L : Loops)
+      CheckPLIs.push_back(&L);
+    SyncCheckResult SC = checkModuleSync(CheckAM, CheckPLIs);
+    Out.StaticFindings = unsigned(SC.Diags.size());
+    Out.StaticLoopsChecked = SC.LoopsChecked;
+    for (const SyncDiag &D : SC.Diags)
+      Out.StaticDiags.push_back(D.str());
+  }
 
   // The hang classifier's leg budget: 4x headroom over the sequential
   // budget (shared formula in exec/ExecLimits.h — saturating, so a huge

@@ -92,6 +92,14 @@ struct DiffOutcome {
   unsigned LoopsAttempted = 0;   ///< top-level loops offered to HELIX
   bool InjectionApplied = false; ///< requested corruption found a target
 
+  /// Pre-execution leg: SyncChecker findings on the transformed (and
+  /// possibly bug-injected) module, before any dynamic leg runs. A static
+  /// finding the dynamic oracle confirms is corroboration; one the oracle
+  /// misses is the checker's value-add — the campaign counts both.
+  unsigned StaticFindings = 0;
+  unsigned StaticLoopsChecked = 0;
+  std::vector<std::string> StaticDiags; ///< rendered findings, in order
+
   bool SeqOk = false;
   int64_t SeqChecksum = 0;
   uint64_t SeqCycles = 0;

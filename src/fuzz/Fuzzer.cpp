@@ -146,7 +146,11 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
       std::unique_ptr<Module> M =
           generateProgram(CaseSeed, Variants[VariantOf[Index]].Config);
       R.Outcome = runDifferential(*M, Options.Diff);
-      if (!R.Outcome.Divergence && !R.Outcome.Inconclusive)
+      // On an uninjected campaign a static finding fails the case even
+      // when every dynamic leg was clean, so its repro is needed too.
+      bool StaticAlarm = Options.Diff.Inject == BugInjection::None &&
+                         R.Outcome.StaticFindings != 0;
+      if (!R.Outcome.Divergence && !R.Outcome.Inconclusive && !StaticAlarm)
         return;
       R.ReproText = M->toString();
       if (R.Outcome.Divergence && Options.Shrink) {
@@ -193,7 +197,25 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
     mergePassTimings(Summary.PassTimings, R.Outcome.PassTimings);
     mergeAnalysisCounters(Summary.AnalysisCounters, R.Outcome.AnalysisCounters);
 
-    if (!R.Outcome.Divergence && !R.Outcome.Inconclusive) {
+    Summary.StaticLoopsChecked += R.Outcome.StaticLoopsChecked;
+    Summary.StaticFindings += R.Outcome.StaticFindings;
+    if (R.Outcome.StaticFindings) {
+      ++Summary.StaticFlagged;
+      if (R.Outcome.Divergence)
+        ++Summary.StaticConfirmed;
+      else
+        ++Summary.StaticOnly;
+    }
+    if (R.Outcome.InjectionApplied) {
+      ++Summary.InjectedCases;
+      if (R.Outcome.StaticFindings)
+        ++Summary.InjectedStaticFlagged;
+    }
+
+    bool StaticAlarm = Options.Diff.Inject == BugInjection::None &&
+                       R.Outcome.StaticFindings != 0 &&
+                       !R.Outcome.Divergence && !R.Outcome.Inconclusive;
+    if (!R.Outcome.Divergence && !R.Outcome.Inconclusive && !StaticAlarm) {
       ++Summary.Clean;
       continue;
     }
@@ -202,12 +224,24 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
     F.CaseSeed = CaseSeedOf(Index);
     F.Variant = VariantOf[Index];
     F.Inconclusive = R.Outcome.Inconclusive;
+    F.StaticAlarm = StaticAlarm;
     F.Detail = R.Outcome.Detail;
+    if (StaticAlarm) {
+      F.Detail = formatStr("static sync check: %s",
+                           R.Outcome.StaticDiags.empty()
+                               ? "finding"
+                               : R.Outcome.StaticDiags.front().c_str());
+      if (R.Outcome.StaticDiags.size() > 1)
+        F.Detail +=
+            formatStr(" (+%zu more)", R.Outcome.StaticDiags.size() - 1);
+    }
     F.ReproText = R.ReproText;
     F.ShrunkText = R.ShrunkText;
     F.ShrunkInstrs = R.ShrunkInstrs;
     if (R.Outcome.Inconclusive)
       ++Summary.Inconclusive;
+    else if (StaticAlarm)
+      ++Summary.StaticAlarms;
     else
       ++Summary.Divergent;
 
@@ -215,9 +249,10 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
     // (the CLI exits nonzero), so CI's artifact upload must have the
     // module, not just a case seed in the log.
     if (!Options.CorpusDir.empty()) {
-      std::string Base =
-          formatStr("%s-%04u-%016llx", R.Outcome.Divergence ? "div" : "inc",
-                    Index, (unsigned long long)F.CaseSeed);
+      std::string Base = formatStr(
+          "%s-%04u-%016llx",
+          R.Outcome.Divergence ? "div" : F.StaticAlarm ? "static" : "inc",
+          Index, (unsigned long long)F.CaseSeed);
       writeRepro(Options.CorpusDir, Base + ".ir", F.CaseSeed, F.Detail,
                  F.ReproText, F.ReproPath);
       if (!F.ShrunkText.empty())

@@ -81,6 +81,11 @@ struct FuzzFailure {
   uint64_t CaseSeed = 0;
   unsigned Variant = 0; ///< generator variant the case was built with
   bool Inconclusive = false;
+  /// The dynamic legs were clean but the static SyncChecker reported
+  /// findings on an *uninjected* campaign — either a transform bug the
+  /// oracle's schedules missed or a checker false positive; both demand a
+  /// look, so the case fails the campaign.
+  bool StaticAlarm = false;
   std::string Detail;
   std::string ReproText;        ///< original failing module
   std::string ShrunkText;       ///< reduced module ("" when not shrunk)
@@ -98,6 +103,18 @@ struct FuzzSummary {
   unsigned Untransformed = 0;
   uint64_t LoopsAttempted = 0;
   uint64_t LoopsTransformed = 0;
+
+  /// Static-checker leg (runs before any dynamic execution, per case).
+  uint64_t StaticLoopsChecked = 0; ///< loops the SyncChecker verified
+  uint64_t StaticFindings = 0;     ///< diagnostics across all cases
+  unsigned StaticFlagged = 0;      ///< cases with >= 1 static finding
+  unsigned StaticConfirmed = 0;    ///< flagged cases the oracle also caught
+  unsigned StaticOnly = 0;         ///< flagged cases the oracle missed
+  unsigned StaticAlarms = 0;       ///< StaticOnly cases on an uninjected
+                                   ///< campaign (reported as failures)
+  unsigned InjectedCases = 0;      ///< cases where the injection applied
+  unsigned InjectedStaticFlagged = 0; ///< of those, flagged statically
+
   std::vector<FuzzFailure> Failures;
   /// Transform pass timing aggregated over every case.
   std::vector<LoopPassTiming> PassTimings;

@@ -288,6 +288,9 @@ public:
       S.PLI.Segments[SegId].SlotsRead = Slots;
     for (BasicBlock *BB : S.NL.LoopBlocks)
       S.PLI.CodeSizeInstrs += BB->size();
+    // Seal the finished body so the static checker (src/check) can prove
+    // later that nothing rewrote the parallelized code behind its back.
+    S.PLI.BodySeal = computeLoopBodySeal(S.PLI);
     // The verifier always runs. Malformed IR is a compiler bug: debug
     // builds stop on it immediately (assert); release builds degrade
     // gracefully by aborting the pass sequence — the loop is dropped, and

@@ -66,6 +66,12 @@ struct ParallelLoopInfo {
   unsigned StorageGlobal = ~0u;
   std::map<unsigned, unsigned> SlotOfReg;
 
+  /// Content hash of LoopBlocks recorded when the transform finished
+  /// (see computeLoopBodySeal). The static checker recomputes it to prove
+  /// nothing rewrote the parallelized body after the fact; zero = never
+  /// recorded.
+  uint64_t BodySeal = 0;
+
   /// Statistics for Table 1.
   unsigned NumWaitsInserted = 0;   ///< after naive Step 4 insertion
   unsigned NumWaitsKept = 0;       ///< after Step 6
@@ -97,6 +103,13 @@ struct ParallelLoopInfo {
     return nullptr;
   }
 };
+
+/// Deterministic, pointer-free FNV-1a hash of the loop body: per block its
+/// name, per instruction the opcode, immediate, destination, operands
+/// (kind + payload) and the names of branch targets / callees. Stable
+/// across runs and across module clones (names and register numbering
+/// survive cloning; instruction ids and addresses do not participate).
+uint64_t computeLoopBodySeal(const ParallelLoopInfo &PLI);
 
 } // namespace helix
 

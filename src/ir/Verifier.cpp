@@ -2,6 +2,9 @@
 
 #include "support/Format.h"
 
+#include <set>
+#include <vector>
+
 using namespace helix;
 
 namespace {
@@ -69,8 +72,14 @@ std::string checkInstr(const Function &F, const BasicBlock &BB,
     break;
   case Opcode::Wait:
   case Opcode::SignalOp:
-    if (I.imm() < 0)
-      return Fail("negative segment id");
+    // The segment id is the immediate; a register operand would make it
+    // runtime-varying, which no engine supports.
+    if (I.numOperands() != 0 || I.hasDest())
+      return Fail("sync op takes no operands and no destination");
+    // The runtime publishes segment flags in one 64-bit mask per
+    // iteration; an id past 63 would silently alias another segment.
+    if (I.imm() < 0 || I.imm() > 63)
+      return Fail("segment id out of range [0, 63]");
     break;
   case Opcode::IterStart:
   case Opcode::MemFence:
@@ -98,6 +107,24 @@ std::string checkInstr(const Function &F, const BasicBlock &BB,
   return "";
 }
 
+/// Is \p BB on a CFG cycle, i.e. can it reach itself through at least one
+/// edge? Iterative DFS over successors; no allocation beyond the visit set.
+bool onCycle(const BasicBlock *BB) {
+  std::vector<BasicBlock *> Start = BB->successors();
+  std::vector<const BasicBlock *> Stack(Start.begin(), Start.end());
+  std::set<const BasicBlock *> Seen(Stack.begin(), Stack.end());
+  while (!Stack.empty()) {
+    const BasicBlock *Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur == BB)
+      return true;
+    for (const BasicBlock *Succ : Cur->successors())
+      if (Seen.insert(Succ).second)
+        Stack.push_back(Succ);
+  }
+  return false;
+}
+
 } // namespace
 
 std::string helix::verifyFunction(const Function &F) {
@@ -122,6 +149,12 @@ std::string helix::verifyFunction(const Function &F) {
       std::string Err = checkInstr(F, *BB, *I);
       if (!Err.empty())
         return Err;
+      // A Wait/Signal outside every loop can never pair two iterations;
+      // its only possible runtime effect is a first-iteration hang.
+      if (I->isSync() && !onCycle(BB))
+        return formatStr("@%s/%s: %s outside any loop body",
+                         F.name().c_str(), BB->name().c_str(),
+                         opcodeName(I->opcode()));
     }
   }
   return "";

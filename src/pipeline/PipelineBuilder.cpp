@@ -225,6 +225,8 @@ std::unique_ptr<Stage> PipelineBuilder::createStage(const std::string &Name) {
     return std::make_unique<SelectionStage>();
   if (Name == "transform")
     return std::make_unique<TransformStage>();
+  if (Name == "check")
+    return std::make_unique<CheckStage>();
   if (Name == "validate")
     return std::make_unique<ValidateStage>();
   if (Name == "simulate")
@@ -235,7 +237,7 @@ std::unique_ptr<Stage> PipelineBuilder::createStage(const std::string &Name) {
 const std::vector<std::string> &PipelineBuilder::standardStageNames() {
   static const std::vector<std::string> Names = {
       "profile", "candidates", "model-profile", "select",
-      "transform", "validate", "simulate"};
+      "transform", "check", "validate", "simulate"};
   return Names;
 }
 

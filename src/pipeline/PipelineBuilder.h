@@ -12,7 +12,7 @@
 ///
 /// Shorthand strings are allowed: build() completes missing dependencies
 /// by inserting them before their dependents, so "profile,select,simulate"
-/// builds the full seven-stage pipeline. Ordering violations (a stage
+/// builds the full eight-stage pipeline. Ordering violations (a stage
 /// listed after one that depends on it) and duplicates are build errors.
 ///
 //===----------------------------------------------------------------------===//
@@ -72,7 +72,7 @@ public:
   static std::unique_ptr<Stage> createStage(const std::string &Name);
   /// Names of all registered standard stages, in canonical order.
   static const std::vector<std::string> &standardStageNames();
-  /// The full seven-stage pipeline (what runHelixPipeline runs).
+  /// The full eight-stage pipeline (what runHelixPipeline runs).
   static Pipeline standard();
 
   /// Appends a custom stage instance.

@@ -81,6 +81,23 @@ struct PipelineReport {
   };
   DecodeCacheStats Decode;
 
+  /// The check stage's static verification of the transformed program's
+  /// Wait/Signal contract (src/check/SyncChecker.h). Findings abort the
+  /// pipeline before the validate stage executes a single instruction;
+  /// the counters survive so reports show how much was proven.
+  struct SyncCheckStats {
+    unsigned LoopsChecked = 0;
+    unsigned DepsChecked = 0;
+    unsigned EndpointsChecked = 0;
+    unsigned SegmentsChecked = 0;
+    unsigned Findings = 0;  ///< total diagnostics
+    unsigned Coverage = 0;  ///< coverage-no-wait/-no-signal, shared-access
+    unsigned Deadlock = 0;  ///< deadlock-signal-skipped
+    unsigned Hygiene = 0;   ///< duplicate/unpaired signals, unknown ids
+    unsigned Integrity = 0; ///< body-mutated, iv-stride-mismatch
+  };
+  SyncCheckStats SyncCheck;
+
   // Figure 11 breakdown, percent of sequential execution time.
   double PctParallel = 0, PctSeqData = 0, PctSeqControl = 0, PctOutside = 100;
 

@@ -268,6 +268,18 @@ Json helix::reportToJson(const PipelineReport &R) {
   D.set("evictions", u64(R.Decode.Evictions));
   O.set("decode_cache", std::move(D));
 
+  Json SC = Json::object();
+  SC.set("loops_checked", u64(R.SyncCheck.LoopsChecked));
+  SC.set("deps_checked", u64(R.SyncCheck.DepsChecked));
+  SC.set("endpoints_checked", u64(R.SyncCheck.EndpointsChecked));
+  SC.set("segments_checked", u64(R.SyncCheck.SegmentsChecked));
+  SC.set("findings", u64(R.SyncCheck.Findings));
+  SC.set("coverage", u64(R.SyncCheck.Coverage));
+  SC.set("deadlock", u64(R.SyncCheck.Deadlock));
+  SC.set("hygiene", u64(R.SyncCheck.Hygiene));
+  SC.set("integrity", u64(R.SyncCheck.Integrity));
+  O.set("sync_check", std::move(SC));
+
   O.set("pct_parallel", Json::number(R.PctParallel));
   O.set("pct_seq_data", Json::number(R.PctSeqData));
   O.set("pct_seq_control", Json::number(R.PctSeqControl));
@@ -321,6 +333,23 @@ bool helix::reportFromJson(const Json &V, PipelineReport &R,
     if (!readU64(*D, "decodes", R.Decode.Decodes, Err) ||
         !readU64(*D, "hits", R.Decode.Hits, Err) ||
         !readU64(*D, "evictions", R.Decode.Evictions, Err))
+      return false;
+  }
+
+  if (const Json *SC = V.find("sync_check")) {
+    if (!SC->isObject())
+      return fail(Err, "sync_check: expected object");
+    if (!readUnsigned(*SC, "loops_checked", R.SyncCheck.LoopsChecked, Err) ||
+        !readUnsigned(*SC, "deps_checked", R.SyncCheck.DepsChecked, Err) ||
+        !readUnsigned(*SC, "endpoints_checked", R.SyncCheck.EndpointsChecked,
+                      Err) ||
+        !readUnsigned(*SC, "segments_checked", R.SyncCheck.SegmentsChecked,
+                      Err) ||
+        !readUnsigned(*SC, "findings", R.SyncCheck.Findings, Err) ||
+        !readUnsigned(*SC, "coverage", R.SyncCheck.Coverage, Err) ||
+        !readUnsigned(*SC, "deadlock", R.SyncCheck.Deadlock, Err) ||
+        !readUnsigned(*SC, "hygiene", R.SyncCheck.Hygiene, Err) ||
+        !readUnsigned(*SC, "integrity", R.SyncCheck.Integrity, Err))
       return false;
   }
 

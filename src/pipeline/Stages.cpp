@@ -1,5 +1,6 @@
 #include "pipeline/Stages.h"
 
+#include "check/SyncChecker.h"
 #include "helix/HelixTransform.h"
 #include "helix/LoopSelection.h"
 #include "ir/Clone.h"
@@ -732,6 +733,71 @@ bool TransformStage::run(PipelineContext &Ctx) {
   Ctx.TransformedAM = std::move(Final.AM);
   Ctx.TransformedLoops = std::move(Final.Loops);
   Ctx.Report.TransformAnalysisCounters = Ctx.TransformedAM->counterReport();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// check
+//===----------------------------------------------------------------------===//
+
+std::string CheckStage::cacheKey(const PipelineConfig &Config) const {
+  // The checker verifies the transform's output, so its key covers the
+  // same configuration slice. "k1" is the checker code-version token:
+  // bump it when the diagnostics or the dataflows change semantically.
+  return transformKey(Config.Helix) + ";k1";
+}
+
+void CheckStage::resetReport(PipelineReport &Report) const {
+  Report.SyncCheck = {};
+}
+
+bool CheckStage::run(PipelineContext &Ctx) {
+  std::vector<const ParallelLoopInfo *> PLIs;
+  for (auto &[Node, PLI] : Ctx.TransformedLoops) {
+    (void)Node;
+    PLIs.push_back(&PLI);
+  }
+  SyncCheckResult SC = checkModuleSync(*Ctx.TransformedAM, PLIs);
+
+  PipelineReport::SyncCheckStats &St = Ctx.Report.SyncCheck;
+  St = {};
+  St.LoopsChecked = SC.LoopsChecked;
+  St.DepsChecked = SC.DepsChecked;
+  St.EndpointsChecked = SC.EndpointsChecked;
+  St.SegmentsChecked = SC.SegmentsChecked;
+  St.Findings = unsigned(SC.Diags.size());
+  for (const SyncDiag &D : SC.Diags) {
+    switch (D.Kind) {
+    case SyncDiagKind::CoverageNoWait:
+    case SyncDiagKind::CoverageNoSignal:
+    case SyncDiagKind::SharedAccessOutsideSegment:
+      ++St.Coverage;
+      break;
+    case SyncDiagKind::DeadlockSignalSkipped:
+      ++St.Deadlock;
+      break;
+    case SyncDiagKind::DuplicateSignal:
+    case SyncDiagKind::WaitWithoutSignal:
+    case SyncDiagKind::SignalWithoutWait:
+    case SyncDiagKind::UnknownSegmentId:
+      ++St.Hygiene;
+      break;
+    case SyncDiagKind::BodyMutated:
+    case SyncDiagKind::IVStrideMismatch:
+      ++St.Integrity;
+      break;
+    }
+  }
+  if (!SC.clean()) {
+    Ctx.Report.Error = "sync check: " + SC.Diags.front().str();
+    if (SC.Diags.size() > 1) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), " (+%u more)",
+                    unsigned(SC.Diags.size() - 1));
+      Ctx.Report.Error += Buf;
+    }
+    return false;
+  }
   return true;
 }
 

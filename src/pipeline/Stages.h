@@ -1,7 +1,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The seven standard stages of the HELIX pipeline, mapping the paper's
+/// The eight standard stages of the HELIX pipeline, mapping the paper's
 /// structure onto the Stage interface:
 ///
 ///   profile        Section 2.2/3.1: training run of the original program,
@@ -12,6 +12,10 @@
 ///   select         Section 2.2: analytical loop selection (or a forced
 ///                  nesting level for the Figure 11/13 experiments).
 ///   transform      Section 2.1, Steps 1-8: parallelize the chosen set.
+///   check          static verification of the transformed IR: the
+///                  SyncChecker (src/check) re-derives the loop-carried
+///                  dependences and proves coverage, deadlock-freedom and
+///                  sync hygiene before anything executes.
 ///   validate       run the transformed program sequentially; outputs must
 ///                  match; collect the traces the simulator replays.
 ///   simulate       Section 3: CMP timing simulation and report
@@ -98,11 +102,22 @@ public:
   void resetReport(PipelineReport &Report) const override;
 };
 
+class CheckStage : public Stage {
+public:
+  const char *name() const override { return "check"; }
+  std::vector<const char *> dependencies() const override {
+    return {"transform"};
+  }
+  std::string cacheKey(const PipelineConfig &Config) const override;
+  bool run(PipelineContext &Ctx) override;
+  void resetReport(PipelineReport &Report) const override;
+};
+
 class ValidateStage : public Stage {
 public:
   const char *name() const override { return "validate"; }
   std::vector<const char *> dependencies() const override {
-    return {"transform"};
+    return {"check"};
   }
   std::string cacheKey(const PipelineConfig &Config) const override;
   bool run(PipelineContext &Ctx) override;

@@ -112,6 +112,10 @@ Json helix::statsToJson(const ServeStats &S) {
   Decode.set("hits", u64(S.DecodeHits));
   Decode.set("evictions", u64(S.DecodeEvictions));
   V.set("decode_cache", std::move(Decode));
+  Json Sync = Json::object();
+  Sync.set("loops_checked", u64(S.SyncLoopsChecked));
+  Sync.set("findings", u64(S.SyncFindings));
+  V.set("sync_check", std::move(Sync));
   Json Stages = Json::array();
   for (const ServeStats::StageAgg &A : S.Stages) {
     Json O = Json::object();
@@ -279,6 +283,13 @@ bool helix::statsFromJson(const Json &V, ServeStats &S, std::string *Err) {
     if (!ReadU64(*D, "decodes", S.DecodeDecodes) ||
         !ReadU64(*D, "hits", S.DecodeHits) ||
         !ReadU64(*D, "evictions", S.DecodeEvictions))
+      return false;
+  }
+  if (const Json *SC = V.find("sync_check")) {
+    if (!SC->isObject())
+      return fail(Err, "stats.sync_check: expected object");
+    if (!ReadU64(*SC, "loops_checked", S.SyncLoopsChecked) ||
+        !ReadU64(*SC, "findings", S.SyncFindings))
       return false;
   }
   if (const Json *Stages = V.find("stages")) {

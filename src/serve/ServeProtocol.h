@@ -7,7 +7,7 @@
 /// Requests name a kind ("run", "stats", "shutdown") and an id the client
 /// chose; the matching response echoes the id. A "run" carries a textual
 /// IR module, an optional pipeline string (stage names, comma separated;
-/// empty = the standard seven-stage pipeline) and an optional object of
+/// empty = the standard eight-stage pipeline) and an optional object of
 /// configuration overrides — only the knobs a remote caller may touch,
 /// each validated and clamped by the server's admission policy.
 ///
@@ -89,6 +89,11 @@ struct ServeStats {
            CacheEvictions = 0;
   /// Decode-once engine cache (process lifetime, shared with everything).
   uint64_t DecodeDecodes = 0, DecodeHits = 0, DecodeEvictions = 0;
+
+  /// Static sync-check aggregate over every run whose report carried the
+  /// check stage's counters: loops proven clean vs. findings (a finding
+  /// fails the run before anything executes).
+  uint64_t SyncLoopsChecked = 0, SyncFindings = 0;
 
   /// Per-stage execution aggregate across every served run.
   struct StageAgg {

@@ -349,6 +349,10 @@ void ServeServer::recordRunOutcome(const ServeResponse &Resp) {
                       static_cast<long long>(Resp.Id), Resp.Error.c_str()));
   std::lock_guard<std::mutex> Lock(StatsMutex);
   ++(Resp.Ok ? Stats.Served : Stats.Failed);
+  if (Resp.HasReport) {
+    Stats.SyncLoopsChecked += Resp.Report.SyncCheck.LoopsChecked;
+    Stats.SyncFindings += Resp.Report.SyncCheck.Findings;
+  }
   for (const StageSummary &S : Resp.Stages) {
     auto It = std::find_if(
         Stats.Stages.begin(), Stats.Stages.end(),

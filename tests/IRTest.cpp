@@ -131,6 +131,62 @@ TEST(IR, VerifierCatchesForeignBranchTarget) {
   EXPECT_NE(verifyFunction(*F), "");
 }
 
+/// Plants one sync op right before the loop body's terminator.
+Instruction *plantSyncInBody(Module &M, Opcode Op, int64_t SegId) {
+  Function *F = M.findFunction("main");
+  BasicBlock *Body = F->findBlock("body");
+  Instruction *I = Body->insertBefore(Body->terminator(), Op);
+  I->setImm(SegId);
+  return I;
+}
+
+TEST(IR, VerifierAcceptsSyncInLoopBody) {
+  auto M = buildLoopModule();
+  plantSyncInBody(*M, Opcode::Wait, 0);
+  plantSyncInBody(*M, Opcode::SignalOp, 63);
+  EXPECT_EQ(verifyFunction(*M->findFunction("main")), "");
+}
+
+TEST(IR, VerifierCatchesSyncOpWithOperands) {
+  auto M = buildLoopModule();
+  Function *F = M->findFunction("main");
+  Instruction *W = plantSyncInBody(*M, Opcode::Wait, 0);
+  W->addOperand(Op::reg(0)); // a runtime-varying segment id
+  EXPECT_NE(verifyFunction(*F), "");
+}
+
+TEST(IR, VerifierCatchesSyncOpWithDestination) {
+  auto M = buildLoopModule();
+  Function *F = M->findFunction("main");
+  Instruction *S = plantSyncInBody(*M, Opcode::SignalOp, 0);
+  S->setDest(F->allocReg());
+  EXPECT_NE(verifyFunction(*F), "");
+}
+
+TEST(IR, VerifierCatchesSegmentIdOutOfRange) {
+  {
+    auto M = buildLoopModule();
+    plantSyncInBody(*M, Opcode::Wait, -1);
+    EXPECT_NE(verifyFunction(*M->findFunction("main")), "");
+  }
+  {
+    // 64 would alias segment 0 in the runtime's 64-bit flag mask.
+    auto M = buildLoopModule();
+    plantSyncInBody(*M, Opcode::SignalOp, 64);
+    EXPECT_NE(verifyFunction(*M->findFunction("main")), "");
+  }
+}
+
+TEST(IR, VerifierCatchesSyncOutsideLoop) {
+  auto M = buildLoopModule();
+  Function *F = M->findFunction("main");
+  // The exit block never reaches itself: a Wait there can only hang.
+  BasicBlock *Exit = F->findBlock("exit");
+  Instruction *W = Exit->insertBefore(Exit->terminator(), Opcode::Wait);
+  W->setImm(0);
+  EXPECT_NE(verifyFunction(*F), "");
+}
+
 TEST(CFG, RPOStartsAtEntryAndCoversReachable) {
   auto M = buildLoopModule();
   Function *F = M->findFunction("main");

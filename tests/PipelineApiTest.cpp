@@ -25,8 +25,8 @@ using namespace helix;
 
 namespace {
 
-const char *FullPipeline =
-    "profile,candidates,model-profile,select,transform,validate,simulate";
+const char *FullPipeline = "profile,candidates,model-profile,select,transform,"
+                           "check,validate,simulate";
 
 //===----------------------------------------------------------------------===//
 // Composition and pipeline strings.
@@ -52,7 +52,7 @@ TEST(PipelineString, ParsePrintRoundTrip) {
 
 TEST(PipelineString, ShorthandCompletesDependencies) {
   // The builder inserts missing dependencies before their dependents, so
-  // the issue-style shorthand builds the full seven-stage pipeline.
+  // the issue-style shorthand builds the full eight-stage pipeline.
   std::string Err;
   Pipeline P = PipelineBuilder()
                    .parse("profile,select,transform,validate,simulate")
@@ -142,7 +142,7 @@ TEST(PipelineRun, InstrumentationSeesEveryStageSlot) {
   ASSERT_TRUE(Err.empty()) << Err;
 
   ASSERT_TRUE(P.run(Ctx).Ok);
-  ASSERT_EQ(Seen.size(), 7u);
+  ASSERT_EQ(Seen.size(), 8u);
   EXPECT_EQ(Seen.front(), "profile");
   EXPECT_EQ(Seen.back(), "simulate");
   for (bool C : Cached)
@@ -158,7 +158,7 @@ TEST(PipelineRun, InstrumentationSeesEveryStageSlot) {
   Seen.clear();
   Cached.clear();
   ASSERT_TRUE(P.run(Ctx).Ok);
-  ASSERT_EQ(Cached.size(), 7u);
+  ASSERT_EQ(Cached.size(), 8u);
   for (bool C : Cached)
     EXPECT_TRUE(C);
 }

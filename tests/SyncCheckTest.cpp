@@ -1,0 +1,414 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the static Signal/Wait synchronization verifier (src/check).
+/// Three layers:
+///   - soundness on real transforms: every generator idiom, with and
+///     without SignalOpt, must come out checker-clean (zero findings);
+///   - sensitivity: the fuzz driver's two bug injections (dropped Waits,
+///     flipped body op) must be flagged with the right diagnostic kinds;
+///   - precision of individual diagnostics on hand-built loops whose
+///     defects are known by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "check/SyncChecker.h"
+
+#include "analysis/LoopInfo.h"
+#include "fuzz/DifferentialRunner.h"
+#include "fuzz/Fuzzer.h"
+#include "helix/HelixTransform.h"
+#include "ir/Clone.h"
+#include "ir/IRBuilder.h"
+#include "pipeline/ReportJson.h"
+#include "workloads/WorkloadBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace helix;
+using Op = Operand;
+
+namespace {
+
+/// Transforms every top-level loop of every function of \p M in place.
+std::vector<ParallelLoopInfo> transformAll(Module &M, AnalysisManager &AM,
+                                           const HelixOptions &Opts) {
+  std::vector<std::pair<Function *, BasicBlock *>> Targets;
+  for (Function *F : M)
+    for (Loop *L : AM.get<LoopInfo>(F).topLevelLoops())
+      Targets.push_back({F, L->header()});
+  std::vector<ParallelLoopInfo> Loops;
+  for (auto &[F, H] : Targets)
+    if (auto PLI = parallelizeLoop(AM, F, H, Opts))
+      Loops.push_back(std::move(*PLI));
+  return Loops;
+}
+
+SyncCheckResult checkAll(AnalysisManager &AM,
+                         std::vector<ParallelLoopInfo> &Loops) {
+  std::vector<const ParallelLoopInfo *> Ptrs;
+  for (ParallelLoopInfo &L : Loops)
+    Ptrs.push_back(&L);
+  return checkModuleSync(AM, Ptrs);
+}
+
+std::unique_ptr<Module> idiomWorkload(KernelIdiom Idiom) {
+  WorkloadSpec Spec;
+  Spec.Name = "synccheck";
+  Spec.Seed = 7;
+  Spec.MainRepeat = 2;
+  Spec.Phases = {{2, false, {{Idiom, 60, 24, 16}}}};
+  return buildWorkload(Spec);
+}
+
+std::string allDiags(const SyncCheckResult &R) {
+  std::string S;
+  for (const SyncDiag &D : R.Diags)
+    S += D.str() + "\n";
+  return S;
+}
+
+class CleanIdiom : public ::testing::TestWithParam<KernelIdiom> {};
+
+/// Every transformed idiom is checker-clean: the transform's own output
+/// satisfies the synchronization contract the checker enforces, so any
+/// finding on it would be a false positive.
+TEST_P(CleanIdiom, TransformIsCheckerClean) {
+  auto M = idiomWorkload(GetParam());
+  AnalysisManager AM(*M);
+  HelixOptions Opts;
+  auto Loops = transformAll(*M, AM, Opts);
+  SyncCheckResult R = checkAll(AM, Loops);
+  EXPECT_TRUE(R.clean()) << allDiags(R);
+  EXPECT_EQ(R.LoopsChecked, Loops.size());
+}
+
+/// SignalOpt must not perturb what the checker sees: the unoptimized
+/// placement is clean too, and the surviving segment ids are the same ids
+/// SignalOpt started from (stability across the rewrite).
+TEST_P(CleanIdiom, CleanWithoutSignalOptAndIdsStable) {
+  auto Orig = idiomWorkload(GetParam());
+
+  auto MOpt = cloneModule(*Orig);
+  AnalysisManager AMOpt(*MOpt);
+  HelixOptions WithOpt;
+  auto LoopsOpt = transformAll(*MOpt, AMOpt, WithOpt);
+  SyncCheckResult ROpt = checkAll(AMOpt, LoopsOpt);
+  EXPECT_TRUE(ROpt.clean()) << allDiags(ROpt);
+
+  auto MRaw = cloneModule(*Orig);
+  AnalysisManager AMRaw(*MRaw);
+  HelixOptions NoOpt;
+  NoOpt.EnableSignalOpt = false;
+  auto LoopsRaw = transformAll(*MRaw, AMRaw, NoOpt);
+  SyncCheckResult RRaw = checkAll(AMRaw, LoopsRaw);
+  EXPECT_TRUE(RRaw.clean()) << allDiags(RRaw);
+
+  // SignalOpt merges segments but never renames one: every id surviving
+  // the optimized transform exists in the unoptimized segment set.
+  ASSERT_EQ(LoopsOpt.size(), LoopsRaw.size());
+  for (size_t L = 0; L != LoopsOpt.size(); ++L) {
+    std::set<unsigned> RawIds;
+    for (const SequentialSegment &S : LoopsRaw[L].Segments)
+      RawIds.insert(S.Id);
+    for (const SequentialSegment &S : LoopsOpt[L].Segments)
+      EXPECT_TRUE(RawIds.count(S.Id))
+          << "segment id " << S.Id << " appeared only after SignalOpt";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIdioms, CleanIdiom,
+    ::testing::Values(KernelIdiom::DoAll, KernelIdiom::DoAllFP,
+                      KernelIdiom::Reduction, KernelIdiom::PointerChase,
+                      KernelIdiom::Histogram, KernelIdiom::Stencil,
+                      KernelIdiom::Branchy, KernelIdiom::Nested2D,
+                      KernelIdiom::TwoAccum));
+
+/// A loop body with a conditional break (two distinct exit edges) must be
+/// clean: exit paths carry no Signals by design, and the checker's
+/// must-signal dataflow exempts them.
+TEST(SyncCheck, MultiExitLoopBodyIsClean) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("main", 0);
+  IRBuilder B(F);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Hdr = F->createBlock("hdr");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Cont = F->createBlock("cont");
+  BasicBlock *Brk = F->createBlock("brk");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  unsigned I = B.mov(Op::immInt(0));
+  unsigned Acc = B.mov(Op::immInt(0));
+  B.br(Hdr);
+  B.setInsertPoint(Hdr);
+  unsigned C = B.cmpLT(Op::reg(I), Op::immInt(20));
+  B.condBr(Op::reg(C), Body, Exit);
+  B.setInsertPoint(Body);
+  B.binaryTo(Acc, Opcode::Add, Op::reg(Acc), Op::reg(I));
+  unsigned C2 = B.cmpLT(Op::reg(Acc), Op::immInt(100));
+  B.condBr(Op::reg(C2), Cont, Brk); // conditional break: a second exit
+  B.setInsertPoint(Cont);
+  B.binaryTo(I, Opcode::Add, Op::reg(I), Op::immInt(1));
+  B.br(Hdr);
+  B.setInsertPoint(Brk);
+  B.ret(Op::reg(Acc));
+  B.setInsertPoint(Exit);
+  B.ret(Op::reg(Acc));
+
+  AnalysisManager AM(*M);
+  HelixOptions Opts;
+  auto PLI = parallelizeLoop(AM, F, Hdr, Opts);
+  ASSERT_TRUE(PLI.has_value());
+  std::vector<ParallelLoopInfo> Loops;
+  Loops.push_back(std::move(*PLI));
+  SyncCheckResult R = checkAll(AM, Loops);
+  EXPECT_TRUE(R.clean()) << allDiags(R);
+}
+
+/// The fuzz driver's drop-waits injection: every Wait of one segment turns
+/// into a Nop. The checker must see both the orphaned Signals and the
+/// body-hash change.
+TEST(SyncCheck, DroppedWaitsAreFlagged) {
+  auto M = idiomWorkload(KernelIdiom::Reduction);
+  AnalysisManager AM(*M);
+  HelixOptions Opts;
+  auto Loops = transformAll(*M, AM, Opts);
+  bool Dropped = false;
+  for (ParallelLoopInfo &PLI : Loops) {
+    for (SequentialSegment &S : PLI.Segments)
+      if (!S.Waits.empty()) {
+        for (Instruction *W : S.Waits)
+          W->setOpcode(Opcode::Nop);
+        Dropped = true;
+        break;
+      }
+    if (Dropped)
+      break;
+  }
+  ASSERT_TRUE(Dropped) << "no segment with Waits to drop";
+  SyncCheckResult R = checkAll(AM, Loops);
+  EXPECT_GE(R.count(SyncDiagKind::SignalWithoutWait), 1u) << allDiags(R);
+  EXPECT_GE(R.count(SyncDiagKind::BodyMutated), 1u) << allDiags(R);
+}
+
+/// The flip injection: one carried Add becomes a Sub. Synchronization
+/// stays intact, so the body seal is what refutes the module statically.
+TEST(SyncCheck, FlippedBodyOpIsFlagged) {
+  auto M = idiomWorkload(KernelIdiom::Reduction);
+  AnalysisManager AM(*M);
+  HelixOptions Opts;
+  auto Loops = transformAll(*M, AM, Opts);
+  bool Flipped = false;
+  for (ParallelLoopInfo &PLI : Loops) {
+    for (BasicBlock *BB : PLI.BodyBlocks) {
+      for (Instruction *I : *BB)
+        if (I->opcode() == Opcode::Add && I->hasDest()) {
+          I->setOpcode(Opcode::Sub);
+          Flipped = true;
+          break;
+        }
+      if (Flipped)
+        break;
+    }
+    if (Flipped)
+      break;
+  }
+  ASSERT_TRUE(Flipped) << "no Add in any transformed body";
+  SyncCheckResult R = checkAll(AM, Loops);
+  EXPECT_GE(R.count(SyncDiagKind::BodyMutated), 1u) << allDiags(R);
+}
+
+/// End-to-end through the differential runner: an injected campaign case
+/// must carry static findings next to its dynamic verdict.
+TEST(SyncCheck, DifferentialRunnerReportsStaticFindings) {
+  GeneratorConfig Gen;
+  auto M = generateProgram(fuzzCaseSeed(1, 0), Gen);
+  DiffConfig C;
+  C.Inject = BugInjection::DropFirstSegmentWaits;
+  C.ThreadCounts.clear(); // static + sequential legs are enough here
+  DiffOutcome O = runDifferential(*M, C);
+  ASSERT_TRUE(O.InjectionApplied);
+  EXPECT_GE(O.StaticFindings, 1u);
+  EXPECT_GE(O.StaticLoopsChecked, 1u);
+  EXPECT_FALSE(O.StaticDiags.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-built loops: one known defect each, checked at diagnostic-kind
+// granularity. The helper builds
+//   entry -> hdr -> body -> {arm1, arm2} -> latch -> hdr / exit
+// and the caller plants sync ops before running the checker.
+//===----------------------------------------------------------------------===//
+
+struct HandLoop {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  BasicBlock *Hdr = nullptr;
+  BasicBlock *Body = nullptr;
+  BasicBlock *Arm1 = nullptr;
+  BasicBlock *Arm2 = nullptr;
+  BasicBlock *Latch = nullptr;
+  ParallelLoopInfo PLI;
+
+  Instruction *plant(BasicBlock *BB, Opcode Op, int64_t SegId) {
+    Instruction *I = BB->insertBefore(BB->terminator(), Op);
+    I->setImm(SegId);
+    return I;
+  }
+};
+
+HandLoop buildHandLoop() {
+  HandLoop H;
+  H.M = std::make_unique<Module>();
+  H.F = H.M->createFunction("main", 0);
+  IRBuilder B(H.F);
+  BasicBlock *Entry = H.F->createBlock("entry");
+  H.Hdr = H.F->createBlock("hdr");
+  H.Body = H.F->createBlock("body");
+  H.Arm1 = H.F->createBlock("arm1");
+  H.Arm2 = H.F->createBlock("arm2");
+  H.Latch = H.F->createBlock("latch");
+  BasicBlock *Exit = H.F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  unsigned I = B.mov(Op::immInt(0));
+  B.br(H.Hdr);
+  B.setInsertPoint(H.Hdr);
+  unsigned C = B.cmpLT(Op::reg(I), Op::immInt(10));
+  B.condBr(Op::reg(C), H.Body, Exit);
+  B.setInsertPoint(H.Body);
+  unsigned C2 = B.cmpLT(Op::reg(I), Op::immInt(5));
+  B.condBr(Op::reg(C2), H.Arm1, H.Arm2);
+  B.setInsertPoint(H.Arm1);
+  B.br(H.Latch);
+  B.setInsertPoint(H.Arm2);
+  B.br(H.Latch);
+  B.setInsertPoint(H.Latch);
+  B.binaryTo(I, Opcode::Add, Op::reg(I), Op::immInt(1));
+  B.br(H.Hdr);
+  B.setInsertPoint(Exit);
+  B.ret(Op::reg(I));
+
+  H.PLI.F = H.F;
+  H.PLI.Header = H.Hdr;
+  H.PLI.Latch = H.Latch;
+  H.PLI.LoopBlocks = {H.Hdr, H.Body, H.Arm1, H.Arm2, H.Latch};
+  H.PLI.BodyBlocks = {H.Body, H.Arm1, H.Arm2, H.Latch};
+  return H; // BodySeal stays 0: hand-built metadata records no seal
+}
+
+SyncCheckResult checkHand(HandLoop &H) {
+  AnalysisManager AM(*H.M);
+  return checkLoopSync(AM, H.PLI);
+}
+
+/// Signal present in only one condbr arm: some completing path skips it,
+/// so the next iteration's Wait blocks forever.
+TEST(SyncCheck, SignalInOneArmIsDeadlock) {
+  HandLoop H = buildHandLoop();
+  SequentialSegment Seg;
+  Seg.Id = 0;
+  Seg.Waits.push_back(H.plant(H.Body, Opcode::Wait, 0));
+  Seg.Signals.push_back(H.plant(H.Arm1, Opcode::SignalOp, 0));
+  H.PLI.Segments.push_back(Seg);
+  SyncCheckResult R = checkHand(H);
+  EXPECT_GE(R.count(SyncDiagKind::DeadlockSignalSkipped), 1u) << allDiags(R);
+}
+
+/// Signaling in both arms fixes the skip; the same loop is then clean.
+TEST(SyncCheck, SignalInBothArmsIsClean) {
+  HandLoop H = buildHandLoop();
+  SequentialSegment Seg;
+  Seg.Id = 0;
+  Seg.Waits.push_back(H.plant(H.Body, Opcode::Wait, 0));
+  Seg.Signals.push_back(H.plant(H.Arm1, Opcode::SignalOp, 0));
+  Seg.Signals.push_back(H.plant(H.Arm2, Opcode::SignalOp, 0));
+  H.PLI.Segments.push_back(Seg);
+  SyncCheckResult R = checkHand(H);
+  EXPECT_TRUE(R.clean()) << allDiags(R);
+}
+
+/// Two Signals in sequence with no re-arming Wait between them: the
+/// second may release the successor iteration twice.
+TEST(SyncCheck, BackToBackSignalsAreDuplicate) {
+  HandLoop H = buildHandLoop();
+  SequentialSegment Seg;
+  Seg.Id = 0;
+  Seg.Waits.push_back(H.plant(H.Body, Opcode::Wait, 0));
+  Seg.Signals.push_back(H.plant(H.Latch, Opcode::SignalOp, 0));
+  Seg.Signals.push_back(H.plant(H.Latch, Opcode::SignalOp, 0));
+  H.PLI.Segments.push_back(Seg);
+  SyncCheckResult R = checkHand(H);
+  EXPECT_GE(R.count(SyncDiagKind::DuplicateSignal), 1u) << allDiags(R);
+}
+
+/// A Wait whose segment never Signals anywhere in the loop.
+TEST(SyncCheck, WaitAloneIsUnpaired) {
+  HandLoop H = buildHandLoop();
+  SequentialSegment Seg;
+  Seg.Id = 0;
+  Seg.Waits.push_back(H.plant(H.Body, Opcode::Wait, 0));
+  H.PLI.Segments.push_back(Seg);
+  SyncCheckResult R = checkHand(H);
+  EXPECT_GE(R.count(SyncDiagKind::WaitWithoutSignal), 1u) << allDiags(R);
+}
+
+/// An owned sync op whose immediate names a different segment than the
+/// metadata records: the runtime would synchronize on the wrong flag bit.
+TEST(SyncCheck, ImmediateMetadataDesyncIsFlagged) {
+  HandLoop H = buildHandLoop();
+  SequentialSegment Seg;
+  Seg.Id = 0;
+  Seg.Waits.push_back(H.plant(H.Body, Opcode::Wait, 5)); // imm says 5
+  Seg.Signals.push_back(H.plant(H.Latch, Opcode::SignalOp, 0));
+  H.PLI.Segments.push_back(Seg);
+  SyncCheckResult R = checkHand(H);
+  EXPECT_GE(R.count(SyncDiagKind::UnknownSegmentId), 1u) << allDiags(R);
+}
+
+/// Sync ops in the body that no loop's metadata owns (the shape the
+/// inliner produces when it copies an already-transformed callee into an
+/// outer loop) are runtime no-ops and must not trip the checker.
+TEST(SyncCheck, UnownedSyncOpsAreOpaque) {
+  HandLoop H = buildHandLoop();
+  SequentialSegment Seg;
+  Seg.Id = 0;
+  Seg.Waits.push_back(H.plant(H.Body, Opcode::Wait, 0));
+  Seg.Signals.push_back(H.plant(H.Latch, Opcode::SignalOp, 0));
+  H.PLI.Segments.push_back(Seg);
+  // Unowned clones, deliberately nonsensical: wrong ids, wrong order.
+  H.plant(H.Arm1, Opcode::SignalOp, 0);
+  H.plant(H.Arm2, Opcode::Wait, 7);
+  SyncCheckResult R = checkHand(H);
+  EXPECT_TRUE(R.clean()) << allDiags(R);
+}
+
+/// The pipeline report's sync_check counters survive the JSON round-trip.
+TEST(SyncCheck, ReportJsonRoundTripsCounters) {
+  PipelineReport R;
+  R.SyncCheck.LoopsChecked = 3;
+  R.SyncCheck.DepsChecked = 11;
+  R.SyncCheck.EndpointsChecked = 29;
+  R.SyncCheck.SegmentsChecked = 5;
+  R.SyncCheck.Findings = 4;
+  R.SyncCheck.Coverage = 1;
+  R.SyncCheck.Deadlock = 1;
+  R.SyncCheck.Hygiene = 1;
+  R.SyncCheck.Integrity = 1;
+  Json J = reportToJson(R);
+  PipelineReport Back;
+  std::string Err;
+  ASSERT_TRUE(reportFromJson(J, Back, &Err)) << Err;
+  EXPECT_EQ(Back.SyncCheck.LoopsChecked, 3u);
+  EXPECT_EQ(Back.SyncCheck.DepsChecked, 11u);
+  EXPECT_EQ(Back.SyncCheck.EndpointsChecked, 29u);
+  EXPECT_EQ(Back.SyncCheck.SegmentsChecked, 5u);
+  EXPECT_EQ(Back.SyncCheck.Findings, 4u);
+  EXPECT_EQ(Back.SyncCheck.Coverage, 1u);
+  EXPECT_EQ(Back.SyncCheck.Deadlock, 1u);
+  EXPECT_EQ(Back.SyncCheck.Hygiene, 1u);
+  EXPECT_EQ(Back.SyncCheck.Integrity, 1u);
+}
+
+} // namespace

@@ -59,7 +59,12 @@ void usage() {
       "  --no-shrink       keep failing cases unreduced\n"
       "  --max-instrs N    interpreter budget per sequential run\n"
       "  --inject-bug K    deliberately corrupt the transform to prove the\n"
-      "                    oracle works; K = flip | drop-waits\n");
+      "                    oracle works; K = flip | drop-waits\n"
+      "  --require-static-catch\n"
+      "                    with --inject-bug: exit 0 iff the static sync\n"
+      "                    checker flagged every case the injection hit\n"
+      "                    (the injected divergences themselves are\n"
+      "                    expected and do not fail the run)\n");
 }
 
 bool parseUnsigned(const char *S, uint64_t &Out) {
@@ -109,6 +114,18 @@ int replayFiles(const std::vector<std::string> &Files, const DiffConfig &C) {
                 Path.c_str(), Verdict, O.LoopsTransformed, O.LoopsAttempted,
                 (long long)O.SeqChecksum, O.Detail.empty() ? "" : ": ",
                 O.Detail.c_str());
+    // The static verdict next to the dynamic one: a confirmed finding
+    // points straight at the broken Wait/Signal, and a static-only
+    // finding is the repro to triage first.
+    if (O.StaticFindings) {
+      std::printf("  static: %u finding(s) on %u checked loop(s)\n",
+                  O.StaticFindings, O.StaticLoopsChecked);
+      for (const std::string &D : O.StaticDiags)
+        std::printf("    %s\n", D.c_str());
+    } else if (O.StaticLoopsChecked) {
+      std::printf("  static: clean (%u loop(s) checked)\n",
+                  O.StaticLoopsChecked);
+    }
     Divergent += O.Divergence;
     Inconclusive += O.Inconclusive;
   }
@@ -123,6 +140,7 @@ int replayFiles(const std::vector<std::string> &Files, const DiffConfig &C) {
 int main(int argc, char **argv) {
   FuzzOptions Opt;
   std::vector<std::string> ReplayFilesList;
+  bool RequireStaticCatch = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto NeedValue = [&]() -> const char * {
@@ -209,6 +227,8 @@ int main(int argc, char **argv) {
                      Kind.c_str());
         return 2;
       }
+    } else if (Arg == "--require-static-catch") {
+      RequireStaticCatch = true;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -255,8 +275,17 @@ int main(int argc, char **argv) {
                     std::chrono::steady_clock::now() - Start)
                     .count();
 
-  std::printf("cases: %u clean, %u divergent, %u inconclusive (%.1fs)\n",
-              S.Clean, S.Divergent, S.Inconclusive, Secs);
+  std::printf("cases: %u clean, %u divergent, %u inconclusive, %u static "
+              "alarms (%.1fs)\n",
+              S.Clean, S.Divergent, S.Inconclusive, S.StaticAlarms, Secs);
+  std::printf("static check: %llu loops verified, %llu finding(s); %u cases "
+              "flagged (%u confirmed by the oracle, %u static-only)\n",
+              (unsigned long long)S.StaticLoopsChecked,
+              (unsigned long long)S.StaticFindings, S.StaticFlagged,
+              S.StaticConfirmed, S.StaticOnly);
+  if (Opt.Diff.Inject != BugInjection::None)
+    std::printf("injection: applied in %u case(s), %u flagged statically\n",
+                S.InjectedCases, S.InjectedStaticFlagged);
   std::printf("coverage: %llu loops offered, %llu parallelized, "
               "%u cases with no transformed loop\n",
               (unsigned long long)S.LoopsAttempted,
@@ -279,7 +308,10 @@ int main(int argc, char **argv) {
   for (const FuzzFailure &F : S.Failures) {
     std::printf("%s case %u (case seed 0x%llx, replay with "
                 "--case-seed 0x%llx%s): %s\n",
-                F.Inconclusive ? "INCONCLUSIVE" : "DIVERGENCE", F.CaseIndex,
+                F.Inconclusive    ? "INCONCLUSIVE"
+                : F.StaticAlarm   ? "STATIC-ALARM"
+                                  : "DIVERGENCE",
+                F.CaseIndex,
                 (unsigned long long)F.CaseSeed,
                 (unsigned long long)F.CaseSeed,
                 F.Variant ? formatStr(" --gen-variant %u", F.Variant).c_str()
@@ -291,7 +323,26 @@ int main(int argc, char **argv) {
       std::printf("  shrunk to %u instructions%s%s\n", F.ShrunkInstrs,
                   F.ShrunkPath.empty() ? "" : ": ", F.ShrunkPath.c_str());
   }
-  if (S.Divergent)
+  if (RequireStaticCatch) {
+    // Injected-bug validation mode: the injected divergences are the
+    // expected outcome; what's on trial is the static checker catching
+    // every one of them before execution.
+    if (Opt.Diff.Inject == BugInjection::None) {
+      std::fprintf(stderr,
+                   "helix-fuzz: --require-static-catch needs --inject-bug\n");
+      return 2;
+    }
+    unsigned Missed = S.InjectedCases - S.InjectedStaticFlagged;
+    if (Missed || S.InjectedCases == 0) {
+      std::printf("static catch: FAILED (%u/%u injected cases flagged)\n",
+                  S.InjectedStaticFlagged, S.InjectedCases);
+      return 1;
+    }
+    std::printf("static catch: OK (%u/%u injected cases flagged)\n",
+                S.InjectedStaticFlagged, S.InjectedCases);
+    return 0;
+  }
+  if (S.Divergent || S.StaticAlarms)
     return 1;
   return S.Inconclusive ? 3 : 0;
 }
