@@ -10,6 +10,7 @@
 #ifndef HELIX_BENCH_BENCHUTIL_H
 #define HELIX_BENCH_BENCHUTIL_H
 
+#include "obs/BenchJson.h"
 #include "pipeline/PipelineBuilder.h"
 #include "pipeline/StageCache.h"
 #include "workloads/WorkloadBuilder.h"

@@ -101,6 +101,7 @@ int main() {
               "transfers", "xfer/sync");
 
   const unsigned Mods[4] = {2, 4, 8, 16};
+  obs::BenchJsonWriter W("data_transfer_fraction");
   PipelineConfig Config;
   Config.Selection.MinLoopCycleFraction = 0.0;
   for (unsigned Mod : Mods) {
@@ -119,11 +120,12 @@ int main() {
           // Denominator: synchronizations (one Wait per iteration). The
           // paper's point is that the Wait always runs but data rarely
           // moves.
+          double XferPct =
+              Iters ? 100.0 * double(Transfers) / double(Iters) : 0.0;
           std::printf("1/%-11u %12llu %14llu %13.2f%%\n", Mod,
                       (unsigned long long)Reads,
-                      (unsigned long long)Transfers,
-                      Iters ? 100.0 * double(Transfers) / double(Iters)
-                            : 0.0);
+                      (unsigned long long)Transfers, XferPct);
+          W.add("xfer_pct_mod" + std::to_string(Mod), XferPct, "pct");
         },
         [](const PipelineContext &) {});
   }
@@ -133,5 +135,6 @@ int main() {
               "here the transfer-per-synchronization fraction equals the "
               "branch probability\nand falls with it — synchronization "
               "dominates transfers, the paper's claim.\n");
+  W.write();
   return 0;
 }

@@ -48,5 +48,12 @@ int main() {
   std::printf("\npaper: HELIX generalizes DOACROSS; overlapping distinct "
               "sequential segments\nand prefetching signals is where the "
               "advantage comes from\n");
+
+  obs::BenchJsonWriter W("doacross_baseline");
+  W.add("geomean_doacross", geoMean(DA), "x");
+  W.add("geomean_helix", geoMean(HE), "x");
+  if (geoMean(DA) > 0)
+    W.add("helix_vs_doacross", geoMean(HE) / geoMean(DA), "ratio");
+  W.write();
   return 0;
 }

@@ -67,5 +67,10 @@ int main() {
   std::printf("\n\npaper: only steps 6 and 8 together yield significant "
               "speedups;\nthe Figure-6 balancing scheduler adds the final "
               "margin (vs Figure 9)\n");
+
+  obs::BenchJsonWriter W("fig10_ablation");
+  for (unsigned K = 0; K != 5; ++K)
+    W.add(std::string("geomean_") + Specs[K].Label, geoMean(All[K]), "x");
+  W.write();
   return 0;
 }

@@ -34,6 +34,8 @@ int main() {
     Configs.push_back(C);
   }
 
+  double ParallelSum[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  unsigned Benches = 0;
   sweepEachBenchmark(
       Configs,
       [&](const WorkloadSpec &Spec, unsigned K, const PipelineReport &R) {
@@ -45,12 +47,22 @@ int main() {
           std::printf(" | %u", K + 1);
         std::printf(" P%2.0f D%2.0f C%2.0f O%2.0f", R.PctParallel,
                     R.PctSeqData, R.PctSeqControl, R.PctOutside);
+        ParallelSum[K] += R.PctParallel;
       },
-      [](const WorkloadSpec &, const PipelineContext &) {
+      [&](const WorkloadSpec &, const PipelineContext &) {
         std::printf("\n");
+        ++Benches;
       });
   std::printf("\npaper: no single fixed nesting level maximizes the "
               "parallel fraction on\nall benchmarks; HELIX's selection "
               "(H) consistently does\n");
+
+  obs::BenchJsonWriter W("fig11_time_breakdown");
+  if (Benches) {
+    W.add("mean_parallel_pct_l1", ParallelSum[0] / Benches, "pct");
+    W.add("mean_parallel_pct_l2", ParallelSum[1] / Benches, "pct");
+    W.add("mean_parallel_pct_H", ParallelSum[7] / Benches, "pct");
+  }
+  W.write();
   return 0;
 }

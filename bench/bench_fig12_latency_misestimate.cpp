@@ -51,5 +51,11 @@ int main() {
               geoMean(All[1]), geoMean(All[2]));
   std::printf("\npaper: underestimating S causes slowdowns (< 1x) on most "
               "benchmarks;\noverestimating forfeits speedup vs Figure 9\n");
+
+  obs::BenchJsonWriter W("fig12_latency_misestimate");
+  W.add("geomean_under", geoMean(All[0]), "x");
+  W.add("geomean_over", geoMean(All[1]), "x");
+  W.add("geomean_helix", geoMean(All[2]), "x");
+  W.write();
   return 0;
 }

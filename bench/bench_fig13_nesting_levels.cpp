@@ -36,12 +36,17 @@ int main() {
   }
 
   std::string Cols[2];
+  uint64_t LoopCount[2] = {0, 0};
+  uint64_t LevelSum[2] = {0, 0};
   sweepEachBenchmark(
       Configs,
       [&](const WorkloadSpec &, unsigned K, const PipelineReport &R) {
         unsigned Hist[8] = {0};
-        for (const LoopReport &L : R.Loops)
+        for (const LoopReport &L : R.Loops) {
           ++Hist[std::min(7u, L.NestingLevel)];
+          ++LoopCount[K];
+          LevelSum[K] += L.NestingLevel;
+        }
         std::string Col;
         for (unsigned Lv = 1; Lv <= 6; ++Lv)
           Col += formatStr("L%u:%u ", Lv, Hist[Lv]);
@@ -54,5 +59,16 @@ int main() {
   std::printf("\npaper: as latency grows 4 -> 110 cycles, selection "
               "shifts toward outermost\nlevels (and drops loops entirely "
               "where nothing profits, e.g. twolf)\n");
+
+  obs::BenchJsonWriter W("fig13_nesting_levels");
+  W.add("loops_s4", double(LoopCount[0]), "loops");
+  W.add("loops_s110", double(LoopCount[1]), "loops");
+  if (LoopCount[0])
+    W.add("mean_level_s4", double(LevelSum[0]) / double(LoopCount[0]),
+          "level");
+  if (LoopCount[1])
+    W.add("mean_level_s110", double(LevelSum[1]) / double(LoopCount[1]),
+          "level");
+  W.write();
   return 0;
 }

@@ -62,5 +62,12 @@ int main() {
   std::printf("\npaper: geoMean 2.25x, max 4.12x on 6 cores\n");
   std::printf("here : geoMean %.2fx, max %.2fx on 6 cores\n",
               geoMean(Speedups[2]), Max);
+
+  obs::BenchJsonWriter W("fig9_speedups");
+  W.add("geomean_c2", geoMean(Speedups[0]), "x");
+  W.add("geomean_c4", geoMean(Speedups[1]), "x");
+  W.add("geomean_c6", geoMean(Speedups[2]), "x");
+  W.add("max_c6", Max, "x");
+  W.write();
   return 0;
 }

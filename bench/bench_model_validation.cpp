@@ -32,5 +32,9 @@ int main() {
       [](const WorkloadSpec &, const PipelineContext &) {});
   std::printf("\npaper: error below 4%% on every benchmark\n");
   std::printf("here : worst-case error %.1f%%\n", WorstError);
+
+  obs::BenchJsonWriter W("model_validation");
+  W.add("worst_error_pct", WorstError, "pct");
+  W.write();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "analysis/LoopNestGraph.h"
 #include "helix/HelixTransform.h"
 #include "ir/Clone.h"
+#include "obs/BenchJson.h"
 #include "pipeline/PipelineBuilder.h"
 #include "sim/Interpreter.h"
 #include "sim/TreeWalkInterpreter.h"
@@ -274,6 +275,48 @@ void BM_SelectionSweepPointCached(benchmark::State &State) {
 }
 BENCHMARK(BM_SelectionSweepPointCached)->Unit(benchmark::kMillisecond);
 
+/// The usual console output plus one BENCH_pass_performance.json series
+/// per run: the adjusted real time (in the benchmark's declared unit) and
+/// every user counter (items_per_second, dom_built, ...). Series names are
+/// the benchmark names with '/' flattened to '_' so the baseline file can
+/// address them.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonCapturingReporter(obs::BenchJsonWriter &W) : Writer(W) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.run_type != Run::RT_Iteration || R.error_occurred)
+        continue;
+      std::string Name = R.benchmark_name();
+      for (char &Ch : Name)
+        if (Ch == '/')
+          Ch = '_';
+      Writer.add(Name + "_time", R.GetAdjustedRealTime(),
+                 benchmark::GetTimeUnitString(R.time_unit));
+      for (const auto &KV : R.counters) {
+        const char *Unit =
+            KV.first == "items_per_second" ? "items/s" : "count";
+        Writer.add(Name + "_" + KV.first, double(KV.second), Unit);
+      }
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  obs::BenchJsonWriter &Writer;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  obs::BenchJsonWriter W("pass_performance");
+  JsonCapturingReporter Reporter(W);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  W.write();
+  return 0;
+}

@@ -49,5 +49,12 @@ int main() {
               geoMean(All[3]));
   std::printf("\npaper: |HELIX - matched| ~ 0.1, |ideal - matched| ~ 0.4 "
               "(geomean)\n");
+
+  obs::BenchJsonWriter W("prefetch_limit_study");
+  W.add("geomean_none", geoMean(All[0]), "x");
+  W.add("geomean_matched", geoMean(All[1]), "x");
+  W.add("geomean_helix", geoMean(All[2]), "x");
+  W.add("geomean_ideal", geoMean(All[3]), "x");
+  W.write();
   return 0;
 }

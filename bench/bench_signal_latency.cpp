@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "helix/ParallelLoopInfo.h"
+#include "obs/BenchJson.h"
 #include "sim/ParallelSim.h"
 
 #include <cstdio>
@@ -91,5 +92,12 @@ int main() {
   std::printf("helper thread, back-to-back      : %6.0f cycles "
               "(transfer stays on the critical path)\n",
               HelperTight);
+
+  obs::BenchJsonWriter W("signal_latency");
+  W.add("unprefetched", NoPrefetch, "cycles");
+  W.add("ideal", Ideal, "cycles");
+  W.add("helper_spaced", HelperSpaced, "cycles");
+  W.add("helper_tight", HelperTight, "cycles");
+  W.write();
   return 0;
 }

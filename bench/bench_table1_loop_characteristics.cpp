@@ -18,19 +18,41 @@ int main() {
   std::printf("%-10s %6s %6s %9s %9s %9s %8s\n", "benchmark", "par",
               "cand", "carried%", "sigrem%", "xfer%", "code(KB)");
 
+  uint64_t Parallelized = 0, Candidates = 0;
+  std::vector<double> CarriedPcts, SigRemPcts;
   sweepEachBenchmark(
       {PipelineConfig()},
-      [](const WorkloadSpec &Spec, unsigned, const PipelineReport &R) {
+      [&](const WorkloadSpec &Spec, unsigned, const PipelineReport &R) {
         // Code size: ~8 bytes per IR instruction (one machine word each).
         double CodeKB = double(R.MaxCodeInstrs) * 8.0 / 1024.0;
         std::printf("%-10s %6zu %6u %8.1f%% %8.1f%% %8.2f%% %8.1f %s\n",
                     Spec.Name.c_str(), R.Loops.size(), R.NumCandidates,
                     R.LoopCarriedPct, R.SignalsRemovedPct, R.DataTransferPct,
                     CodeKB, R.OutputsMatch ? "" : "OUTPUT-MISMATCH");
+        Parallelized += R.Loops.size();
+        Candidates += R.NumCandidates;
+        if (!R.Loops.empty()) {
+          CarriedPcts.push_back(R.LoopCarriedPct);
+          SigRemPcts.push_back(R.SignalsRemovedPct);
+        }
       },
       [](const WorkloadSpec &, const PipelineContext &) {});
 
   std::printf("\npaper ranges: carried 12-54%%, signals removed 80-98%%,\n"
               "              data transfers 0.1-12%%, code 30-100KB\n");
+
+  obs::BenchJsonWriter W("table1_loop_characteristics");
+  W.add("loops_parallelized", double(Parallelized), "loops");
+  W.add("loop_candidates", double(Candidates), "loops");
+  double CarriedSum = 0, SigRemSum = 0;
+  for (double V : CarriedPcts)
+    CarriedSum += V;
+  for (double V : SigRemPcts)
+    SigRemSum += V;
+  if (!CarriedPcts.empty())
+    W.add("mean_carried_pct", CarriedSum / double(CarriedPcts.size()), "pct");
+  if (!SigRemPcts.empty())
+    W.add("mean_sigrem_pct", SigRemSum / double(SigRemPcts.size()), "pct");
+  W.write();
   return 0;
 }

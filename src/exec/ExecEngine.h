@@ -24,6 +24,7 @@
 
 #include "exec/ExecLimits.h"
 #include "exec/ExecProgram.h"
+#include "obs/Metrics.h"
 #include "support/Compiler.h"
 #include "support/Format.h"
 
@@ -269,6 +270,20 @@ template <typename MemoryT, typename HooksT>
 ExecStop runEngine(const ExecProgram &P, MemoryT &Mem, ExecContext &Ctx,
                    HooksT &&Hooks) {
   const Value *Consts = P.constants().data();
+
+  // Publish this call's dispatched-instruction count into the process-wide
+  // metrics registry ("exec.dispatch.steps") on every exit path: one
+  // relaxed atomic add per runEngine call, never per instruction, so the
+  // hot loop below is untouched. The registry lookup resolves once per
+  // template instantiation.
+  static obs::Counter &DispatchSteps =
+      obs::MetricsRegistry::global().counter("exec.dispatch.steps");
+  struct StepsPublisher {
+    ExecContext &Ctx;
+    uint64_t Start;
+    obs::Counter &C;
+    ~StepsPublisher() { C.add(Ctx.Steps - Start); }
+  } Publish{Ctx, Ctx.Steps, DispatchSteps};
 
   while (!Ctx.Frames.empty()) {
     // Cache the hot frame state; re-acquired after every frame change.

@@ -1,5 +1,6 @@
 #include "exec/ExecProgram.h"
 
+#include "obs/Trace.h"
 #include "sim/CostModel.h"
 #include "support/Compiler.h"
 
@@ -256,6 +257,7 @@ std::shared_ptr<const ExecProgram> DecodeCache::get(const Module &M) {
   // Decode outside the lock: concurrent fuzz workers decode distinct
   // modules in parallel; a racing duplicate decode of the same module is
   // harmless (last writer wins).
+  obs::TraceSpan DecodeSpan("decode", "exec");
   auto Prog = std::make_shared<const ExecProgram>(M);
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Decodes;

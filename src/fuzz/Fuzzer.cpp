@@ -2,6 +2,8 @@
 
 #include "exec/ExecLimits.h"
 #include "fuzz/TestCaseReducer.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Random.h"
 #include "support/ThreadPool.h"
@@ -141,6 +143,8 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
 
     parallelForEach(Options.Jobs, End - Begin, [&](size_t K) {
       unsigned Index = Begin + unsigned(K);
+      obs::TraceSpan CaseSpan("fuzz.case", "fuzz");
+      obs::MetricsRegistry::global().counter("fuzz.cases").add();
       CaseResult &R = Results[Index];
       uint64_t CaseSeed = CaseSeedOf(Index);
       std::unique_ptr<Module> M =
@@ -261,5 +265,9 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
     }
     Summary.Failures.push_back(std::move(F));
   }
+  obs::MetricsRegistry &MR = obs::MetricsRegistry::global();
+  MR.counter("fuzz.divergent").add(Summary.Divergent);
+  MR.counter("fuzz.inconclusive").add(Summary.Inconclusive);
+  MR.counter("fuzz.static_alarms").add(Summary.StaticAlarms);
   return Summary;
 }

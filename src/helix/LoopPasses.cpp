@@ -3,6 +3,7 @@
 #include "helix/Inliner.h"
 #include "helix/Scheduler.h"
 #include "ir/Verifier.h"
+#include "obs/Trace.h"
 #include "support/Compiler.h"
 
 #include <chrono>
@@ -318,7 +319,11 @@ LoopPassManager::run(AnalysisManager &AM, Function *F, BasicBlock *Header,
   bool MutatedSinceStart = false;
   for (const auto &P : Passes) {
     auto Start = std::chrono::steady_clock::now();
-    LoopPass::PassResult Res = P->run(AM, S);
+    LoopPass::PassResult Res;
+    {
+      obs::TraceSpan PassSpan(std::string("pass:") + P->name(), "pass");
+      Res = P->run(AM, S);
+    }
     if (Timings)
       accumulatePassTiming(
           *Timings, P->name(),

@@ -1,0 +1,169 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BENCH_*.json emission and the baseline comparison. See BenchJson.h for
+/// the schemas.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchJson.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
+
+using namespace helix;
+using namespace helix::obs;
+
+std::string helix::obs::gitDescribe() {
+#if defined(_WIN32)
+  return std::string();
+#else
+  std::FILE *P =
+      ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (!P)
+    return std::string();
+  char Buf[128];
+  std::string Out;
+  while (std::fgets(Buf, sizeof(Buf), P))
+    Out += Buf;
+  if (::pclose(P) != 0)
+    return std::string();
+  while (!Out.empty() && (Out.back() == '\n' || Out.back() == '\r'))
+    Out.pop_back();
+  return Out;
+#endif
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string Name)
+    : BenchName(std::move(Name)), Meta(Json::object()) {
+  unsigned HW = std::thread::hardware_concurrency();
+  Meta.set("threads", Json::integer(int64_t(HW)));
+  Meta.set("cores", Json::integer(int64_t(HW)));
+  Meta.set("git", Json::str(gitDescribe()));
+  Meta.set("unix_time", Json::integer(int64_t(std::time(nullptr))));
+}
+
+void BenchJsonWriter::setMeta(const std::string &Key, Json V) {
+  Meta.set(Key, std::move(V));
+}
+
+void BenchJsonWriter::add(const std::string &Name, double Value,
+                          const std::string &Unit) {
+  All.push_back({Name, Value, Unit});
+}
+
+Json BenchJsonWriter::toJson() const {
+  Json Doc = Json::object();
+  Doc.set("schema", Json::integer(1));
+  Doc.set("bench", Json::str(BenchName));
+  Doc.set("meta", Meta);
+  Json Arr = Json::array();
+  for (const Series &S : All) {
+    Json O = Json::object();
+    O.set("name", Json::str(S.Name));
+    O.set("value", Json::number(S.Value));
+    O.set("unit", Json::str(S.Unit));
+    Arr.push(std::move(O));
+  }
+  Doc.set("series", std::move(Arr));
+  return Doc;
+}
+
+bool BenchJsonWriter::write(std::string Dir) const {
+  if (Dir.empty()) {
+    const char *Env = std::getenv("HELIX_BENCH_JSON_DIR");
+    Dir = Env ? Env : ".";
+  }
+  if (Dir == "off" || Dir == "0")
+    return true;
+  std::string Path = Dir + "/BENCH_" + BenchName + ".json";
+  std::string Text = toJson().toString();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fputc('\n', F) != EOF;
+  Ok &= std::fclose(F) == 0;
+  if (Ok)
+    std::printf("\n[wrote %s: %zu series]\n", Path.c_str(), All.size());
+  else
+    std::fprintf(stderr, "warning: short write to %s\n", Path.c_str());
+  return Ok;
+}
+
+BenchDiffResult helix::obs::benchDiff(const Json &Baseline,
+                                      const std::vector<Json> &Current,
+                                      const BenchDiffOptions &Opts) {
+  BenchDiffResult R;
+  const Json *Series = Baseline.find("series");
+  if (!Baseline.isObject() || !Series || !Series->isArray()) {
+    R.Error = "baseline: expected an object with a 'series' array";
+    return R;
+  }
+
+  // (bench, name) -> value from the current run's documents.
+  auto FindCurrent = [&](const std::string &Bench, const std::string &Name,
+                         double &Out) {
+    for (const Json &Doc : Current) {
+      if (Doc.getString("bench") != Bench)
+        continue;
+      const Json *S = Doc.find("series");
+      if (!S || !S->isArray())
+        continue;
+      for (const Json &E : S->elements())
+        if (E.getString("name") == Name) {
+          const Json *V = E.find("value");
+          if (V && V->isNumber()) {
+            Out = V->asDouble();
+            return true;
+          }
+        }
+    }
+    return false;
+  };
+
+  for (const Json &B : Series->elements()) {
+    BenchDiffFinding F;
+    F.Bench = B.getString("bench");
+    F.Series = B.getString("name");
+    F.Gate = B.getString("gate", "warn");
+    F.Baseline = B.getDouble("value");
+    F.TolerancePct = B.getDouble("tolerance_pct", Opts.DefaultTolerancePct);
+    std::string Direction = B.getString("direction", "higher");
+    if (F.Bench.empty() || F.Series.empty()) {
+      R.Error = "baseline: series entry without bench/name";
+      return R;
+    }
+
+    if (!FindCurrent(F.Bench, F.Series, F.Current)) {
+      F.Missing = true;
+      ++R.MissingSeries;
+      if (Opts.MissingIsHard && F.Gate == "hard") {
+        F.Regression = true;
+        ++R.HardRegressions;
+      }
+      R.Findings.push_back(std::move(F));
+      continue;
+    }
+
+    F.DeltaPct = F.Baseline != 0
+                     ? 100.0 * (F.Current - F.Baseline) / std::fabs(F.Baseline)
+                     : (F.Current == 0 ? 0.0 : 100.0);
+    bool Worse = Direction == "lower" ? F.DeltaPct > F.TolerancePct
+                                      : F.DeltaPct < -F.TolerancePct;
+    if (Worse) {
+      F.Regression = true;
+      if (F.Gate == "hard")
+        ++R.HardRegressions;
+      else
+        ++R.WarnRegressions;
+    }
+    R.Findings.push_back(std::move(F));
+  }
+  return R;
+}

@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable bench output and the regression gate over it.
+///
+/// Every `bench_*` binary emits a `BENCH_<name>.json`:
+///
+///   {"schema":1,"bench":"fig9_speedups",
+///    "meta":{"threads":8,"cores":8,"git":"78cab49","unix_time":...},
+///    "series":[{"name":"geomean_c6","value":2.31,"unit":"x"},...]}
+///
+/// `bench/BENCH_baseline.json` pins expected values per series:
+///
+///   {"schema":1,"meta":{...},
+///    "series":[{"bench":"fig9_speedups","name":"geomean_c6","value":2.31,
+///               "unit":"x","direction":"higher","gate":"hard",
+///               "tolerance_pct":5},...]}
+///
+/// `direction` says which way is better; `gate` is "hard" (CI fails) or
+/// "warn" (logged only — thread-scaling series on a 1-core runner, noisy
+/// wall-clock series). `benchDiff` is the comparison as a library so the
+/// gate logic itself is unit-tested; `tools/bench-diff` is a thin CLI over
+/// it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_OBS_BENCHJSON_H
+#define HELIX_OBS_BENCHJSON_H
+
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace helix {
+namespace obs {
+
+/// `git describe --always --dirty` of the working tree, or "" when git is
+/// unavailable. Best-effort; never fails.
+std::string gitDescribe();
+
+/// Collects named series for one bench binary and writes
+/// `BENCH_<name>.json`. Meta starts with threads (hardware_concurrency),
+/// cores, git describe and a unix timestamp; `setMeta` adds or overrides.
+class BenchJsonWriter {
+public:
+  explicit BenchJsonWriter(std::string BenchName);
+
+  void setMeta(const std::string &Key, Json V);
+  void add(const std::string &Series, double Value, const std::string &Unit);
+
+  Json toJson() const;
+  /// Writes `<Dir>/BENCH_<name>.json` (one line + newline). The directory
+  /// defaults to $HELIX_BENCH_JSON_DIR, else the working directory; set
+  /// the variable to "off" to suppress emission (returns true, writes
+  /// nothing). Prints a note to stdout on success.
+  bool write(std::string Dir = std::string()) const;
+
+private:
+  std::string BenchName;
+  Json Meta;
+  struct Series {
+    std::string Name;
+    double Value;
+    std::string Unit;
+  };
+  std::vector<Series> All;
+};
+
+/// One baseline-vs-current comparison.
+struct BenchDiffFinding {
+  std::string Bench;
+  std::string Series;
+  std::string Gate;      ///< "hard" or "warn"
+  double Baseline = 0;
+  double Current = 0;
+  double DeltaPct = 0;   ///< signed, positive = current above baseline
+  double TolerancePct = 0;
+  bool Missing = false;   ///< series absent from the current run
+  bool Regression = false;
+};
+
+struct BenchDiffResult {
+  std::vector<BenchDiffFinding> Findings;
+  unsigned HardRegressions = 0;
+  unsigned WarnRegressions = 0;
+  unsigned MissingSeries = 0;
+  std::string Error; ///< non-empty when the baseline itself is malformed
+
+  bool ok() const { return Error.empty() && HardRegressions == 0; }
+};
+
+struct BenchDiffOptions {
+  /// Used when a baseline series carries no tolerance_pct of its own.
+  double DefaultTolerancePct = 10.0;
+  /// When set, a series missing from the current documents counts as a
+  /// hard regression (default: counted and reported, but not failing —
+  /// CI legitimately runs a subset of the benches).
+  bool MissingIsHard = false;
+};
+
+/// Compares \p Baseline (the BENCH_baseline.json document) against the
+/// current run's BENCH_*.json documents.
+BenchDiffResult benchDiff(const Json &Baseline,
+                          const std::vector<Json> &Current,
+                          const BenchDiffOptions &Opts = BenchDiffOptions());
+
+} // namespace obs
+} // namespace helix
+
+#endif // HELIX_OBS_BENCHJSON_H

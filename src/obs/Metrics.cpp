@@ -1,0 +1,273 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metrics registry implementation. See Metrics.h for the locking rules.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace helix;
+using namespace helix::obs;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<int64_t> UpperBounds)
+    : Bounds(std::move(UpperBounds)),
+      Buckets(new std::atomic<uint64_t>[Bounds.size() + 1]) {
+  assert(std::is_sorted(Bounds.begin(), Bounds.end()) &&
+         "histogram bounds must be increasing");
+  for (size_t I = 0; I != Bounds.size() + 1; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(int64_t Value) {
+  size_t I = std::lower_bound(Bounds.begin(), Bounds.end(), Value) -
+             Bounds.begin();
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricSample / MetricsSnapshot
+//===----------------------------------------------------------------------===//
+
+bool MetricSample::operator==(const MetricSample &O) const {
+  if (Name != O.Name || K != O.K || Value != O.Value || Sum != O.Sum ||
+      Buckets.size() != O.Buckets.size())
+    return false;
+  for (size_t I = 0; I != Buckets.size(); ++I)
+    if (Buckets[I].UpperBound != O.Buckets[I].UpperBound ||
+        Buckets[I].Count != O.Buckets[I].Count)
+      return false;
+  return true;
+}
+
+const MetricSample *MetricsSnapshot::find(const std::string &Name) const {
+  for (const MetricSample &S : Samples)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::value(const std::string &Name,
+                               int64_t Default) const {
+  const MetricSample *S = find(Name);
+  return S ? S->Value : Default;
+}
+
+MetricsSnapshot MetricsSnapshot::deltaFrom(const MetricsSnapshot &Before) const {
+  auto Clamped = [](int64_t After, int64_t Prior) {
+    return After > Prior ? After - Prior : 0;
+  };
+  auto ClampedU = [](uint64_t After, uint64_t Prior) {
+    return After > Prior ? After - Prior : 0;
+  };
+
+  MetricsSnapshot Out;
+  for (const MetricSample &S : Samples) {
+    MetricSample D = S;
+    const MetricSample *B = Before.find(S.Name);
+    if (B && B->K == S.K && S.K != MetricSample::Kind::Gauge) {
+      D.Value = Clamped(S.Value, B->Value);
+      D.Sum = Clamped(S.Sum, B->Sum);
+      if (B->Buckets.size() == S.Buckets.size())
+        for (size_t I = 0; I != D.Buckets.size(); ++I)
+          D.Buckets[I].Count = ClampedU(S.Buckets[I].Count,
+                                        B->Buckets[I].Count);
+    }
+    bool AllZero = D.Value == 0 && D.Sum == 0;
+    for (const MetricSample::Bucket &Bk : D.Buckets)
+      AllZero &= Bk.Count == 0;
+    if (!AllZero)
+      Out.Samples.push_back(std::move(D));
+  }
+  return Out;
+}
+
+Json MetricsSnapshot::toJson() const {
+  Json Arr = Json::array();
+  for (const MetricSample &S : Samples) {
+    Json O = Json::object();
+    O.set("name", Json::str(S.Name));
+    switch (S.K) {
+    case MetricSample::Kind::Counter:
+      O.set("kind", Json::str("counter"));
+      O.set("value", Json::integer(S.Value));
+      break;
+    case MetricSample::Kind::Gauge:
+      O.set("kind", Json::str("gauge"));
+      O.set("value", Json::integer(S.Value));
+      break;
+    case MetricSample::Kind::Histogram: {
+      O.set("kind", Json::str("histogram"));
+      O.set("count", Json::integer(S.Value));
+      O.set("sum", Json::integer(S.Sum));
+      Json Bs = Json::array();
+      for (const MetricSample::Bucket &B : S.Buckets) {
+        Json Pair = Json::array();
+        Pair.push(Json::integer(B.UpperBound));
+        Pair.push(Json::integer(int64_t(B.Count)));
+        Bs.push(std::move(Pair));
+      }
+      O.set("buckets", std::move(Bs));
+      break;
+    }
+    }
+    Arr.push(std::move(O));
+  }
+  return Arr;
+}
+
+bool MetricsSnapshot::fromJson(const Json &V, MetricsSnapshot &Out,
+                               std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (!V.isArray())
+    return Fail("metrics: expected array");
+  Out.Samples.clear();
+  for (const Json &E : V.elements()) {
+    if (!E.isObject())
+      return Fail("metrics: expected object element");
+    MetricSample S;
+    S.Name = E.getString("name");
+    if (S.Name.empty())
+      return Fail("metrics: element without name");
+    std::string Kind = E.getString("kind");
+    if (Kind == "counter" || Kind == "gauge") {
+      S.K = Kind == "counter" ? MetricSample::Kind::Counter
+                              : MetricSample::Kind::Gauge;
+      const Json *Val = E.find("value");
+      if (!Val || !Val->isInt())
+        return Fail("metrics: '" + S.Name + "' missing integer value");
+      S.Value = Val->asInt();
+    } else if (Kind == "histogram") {
+      S.K = MetricSample::Kind::Histogram;
+      S.Value = E.getInt("count");
+      S.Sum = E.getInt("sum");
+      const Json *Bs = E.find("buckets");
+      if (!Bs || !Bs->isArray())
+        return Fail("metrics: '" + S.Name + "' missing buckets");
+      for (const Json &P : Bs->elements()) {
+        if (!P.isArray() || P.size() != 2 || !P.at(0).isInt() ||
+            !P.at(1).isInt())
+          return Fail("metrics: '" + S.Name + "' malformed bucket");
+        MetricSample::Bucket B;
+        B.UpperBound = P.at(0).asInt();
+        B.Count = uint64_t(P.at(1).asInt());
+        S.Buckets.push_back(B);
+      }
+    } else {
+      return Fail("metrics: '" + S.Name + "' has unknown kind '" + Kind +
+                  "'");
+    }
+    Out.Samples.push_back(std::move(S));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  // A name already claimed by another kind gets a private sink: the bump
+  // still has somewhere to go, but never aliases the other instrument.
+  if (Gauges.count(Name) || Histograms.count(Name)) {
+    static Counter Sink;
+    return Sink;
+  }
+  std::unique_ptr<Counter> &C = Counters[Name];
+  if (!C)
+    C = std::make_unique<Counter>();
+  return *C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Counters.count(Name) || Histograms.count(Name)) {
+    static Gauge Sink;
+    return Sink;
+  }
+  std::unique_ptr<Gauge> &G = Gauges[Name];
+  if (!G)
+    G = std::make_unique<Gauge>();
+  return *G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<int64_t> UpperBounds) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Counters.count(Name) || Gauges.count(Name)) {
+    static Histogram Sink({});
+    return Sink;
+  }
+  std::unique_ptr<Histogram> &H = Histograms[Name];
+  if (!H)
+    H = std::make_unique<Histogram>(std::move(UpperBounds));
+  return *H;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  MetricsSnapshot Snap;
+  // The three maps are each name-sorted; merge keeps the whole snapshot
+  // sorted without a second pass.
+  auto CI = Counters.begin();
+  auto GI = Gauges.begin();
+  auto HI = Histograms.begin();
+  auto NextName = [&]() -> const std::string * {
+    const std::string *Best = nullptr;
+    if (CI != Counters.end())
+      Best = &CI->first;
+    if (GI != Gauges.end() && (!Best || GI->first < *Best))
+      Best = &GI->first;
+    if (HI != Histograms.end() && (!Best || HI->first < *Best))
+      Best = &HI->first;
+    return Best;
+  };
+  while (const std::string *Name = NextName()) {
+    MetricSample S;
+    S.Name = *Name;
+    if (CI != Counters.end() && CI->first == *Name) {
+      S.K = MetricSample::Kind::Counter;
+      S.Value = int64_t(CI->second->value());
+      ++CI;
+    } else if (GI != Gauges.end() && GI->first == *Name) {
+      S.K = MetricSample::Kind::Gauge;
+      S.Value = GI->second->value();
+      ++GI;
+    } else {
+      const Histogram &H = *HI->second;
+      S.K = MetricSample::Kind::Histogram;
+      S.Value = int64_t(H.count());
+      S.Sum = H.sum();
+      for (size_t I = 0; I != H.bounds().size() + 1; ++I) {
+        MetricSample::Bucket B;
+        B.UpperBound = I < H.bounds().size() ? H.bounds()[I] : -1;
+        B.Count = H.bucketCount(I);
+        S.Buckets.push_back(B);
+      }
+      ++HI;
+    }
+    Snap.Samples.push_back(std::move(S));
+  }
+  return Snap;
+}

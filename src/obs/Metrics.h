@@ -1,0 +1,157 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide, thread-safe metrics registry: counters, gauges and
+/// fixed-bucket histograms under hierarchical dotted names
+/// ("exec.dispatch.steps", "cache.stage.hits", "check.findings").
+///
+/// Design rules:
+///   - instruments have stable addresses for the life of the registry, so
+///     hot paths hold a `Counter &` and bump an atomic without ever
+///     touching the registry lock again;
+///   - the registry itself is only locked on first registration and on
+///     snapshot — never per increment;
+///   - process-lifetime instruments become per-run numbers via snapshot
+///     deltas: take a `MetricsSnapshot` before and after a run and call
+///     `deltaFrom` (counters and histograms subtract, gauges keep their
+///     current value).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_OBS_METRICS_H
+#define HELIX_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace helix {
+
+class Json;
+
+namespace obs {
+
+/// Monotonic counter. Bumps are relaxed atomics: totals are exact, but a
+/// snapshot taken while other threads are mid-run is only guaranteed to be
+/// some value each counter actually held.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, cache bytes).
+class Gauge {
+public:
+  void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
+  void add(int64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Fixed-bucket histogram: bucket I counts observations <= Bounds[I], the
+/// implicit final bucket counts the rest. Bounds are set at registration
+/// and immutable afterwards.
+class Histogram {
+public:
+  explicit Histogram(std::vector<int64_t> UpperBounds);
+
+  void observe(int64_t Value);
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  int64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  const std::vector<int64_t> &bounds() const { return Bounds; }
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::vector<int64_t> Bounds;
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets; // Bounds.size() + 1
+  std::atomic<uint64_t> N{0};
+  std::atomic<int64_t> Sum{0};
+};
+
+/// One instrument's value at snapshot time — also the unit the report
+/// serialization round-trips.
+struct MetricSample {
+  enum class Kind { Counter, Gauge, Histogram };
+  /// Histogram bucket: observations <= UpperBound (UpperBound < 0 means
+  /// +inf, the overflow bucket).
+  struct Bucket {
+    int64_t UpperBound = 0;
+    uint64_t Count = 0;
+  };
+
+  std::string Name;
+  Kind K = Kind::Counter;
+  int64_t Value = 0; ///< counter total / gauge value / histogram count
+  int64_t Sum = 0;   ///< histogram only
+  std::vector<Bucket> Buckets; ///< histogram only
+
+  bool operator==(const MetricSample &O) const;
+};
+
+/// A consistent-by-name, point-in-time copy of every registered
+/// instrument, sorted by name.
+class MetricsSnapshot {
+public:
+  std::vector<MetricSample> Samples;
+
+  /// Per-run view: counters and histograms subtract \p Before (clamped at
+  /// zero; instruments unknown to \p Before keep their full value), gauges
+  /// keep their current value. Samples that end up all-zero are dropped so
+  /// reports only carry what the run actually touched.
+  MetricsSnapshot deltaFrom(const MetricsSnapshot &Before) const;
+
+  const MetricSample *find(const std::string &Name) const;
+  int64_t value(const std::string &Name, int64_t Default = 0) const;
+
+  /// Array of one object per sample:
+  ///   {"name":N,"kind":"counter","value":V}
+  ///   {"name":N,"kind":"gauge","value":V}
+  ///   {"name":N,"kind":"histogram","count":C,"sum":S,
+  ///    "buckets":[[le,count],...]}   (le -1 = +inf)
+  Json toJson() const;
+  static bool fromJson(const Json &V, MetricsSnapshot &Out,
+                       std::string *Err = nullptr);
+};
+
+/// Name -> instrument map. `global()` is the process-wide registry every
+/// subsystem bumps into; separate instances exist for tests.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &global();
+
+  /// Returns the instrument registered under \p Name, creating it on first
+  /// use. A name registered as one kind stays that kind: asking for it as
+  /// another kind returns a distinct unregistered sink (so a naming clash
+  /// can't alias two subsystems' data or crash a hot path).
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  /// \p UpperBounds is used on first registration only and must be
+  /// strictly increasing; later calls return the existing histogram.
+  Histogram &histogram(const std::string &Name,
+                       std::vector<int64_t> UpperBounds);
+
+  MetricsSnapshot snapshot() const;
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+} // namespace obs
+} // namespace helix
+
+#endif // HELIX_OBS_METRICS_H

@@ -1,0 +1,129 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace recorder implementation: bounded ring, Chrome trace_event JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace helix;
+using namespace helix::obs;
+
+TraceRecorder &TraceRecorder::global() {
+  static TraceRecorder R;
+  return R;
+}
+
+TraceRecorder::TraceRecorder(size_t Cap) : Capacity(Cap ? Cap : 1) {}
+
+uint64_t TraceRecorder::nowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - Epoch)
+                      .count());
+}
+
+uint32_t TraceRecorder::currentThreadId() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+void TraceRecorder::record(TraceEvent E) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Ring.size() < Capacity) {
+    Ring.push_back(std::move(E));
+    return;
+  }
+  Ring[Head] = std::move(E);
+  Head = (Head + 1) % Capacity;
+  Dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() {
+  std::vector<TraceEvent> Out;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    // Unroll the ring: [Head, end) is older than [0, Head).
+    Out.reserve(Ring.size());
+    for (size_t I = 0; I != Ring.size(); ++I)
+      Out.push_back(std::move(Ring[(Head + I) % Ring.size()]));
+    Ring.clear();
+    Head = 0;
+  }
+  // Spans finish (and record) in nesting order, not start order; the
+  // viewer doesn't care, but tests and humans reading the JSON do.
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.StartMicros < B.StartMicros;
+                   });
+  return Out;
+}
+
+Json TraceRecorder::drainToChromeJson() {
+  std::vector<TraceEvent> Events = drain();
+  Json Arr = Json::array();
+  for (const TraceEvent &E : Events) {
+    Json O = Json::object();
+    O.set("name", Json::str(E.Name));
+    O.set("cat", Json::str(E.Cat));
+    O.set("ph", Json::str("X"));
+    O.set("ts", Json::integer(int64_t(E.StartMicros)));
+    O.set("dur", Json::integer(int64_t(E.DurMicros)));
+    O.set("pid", Json::integer(1));
+    O.set("tid", Json::integer(int64_t(E.Tid)));
+    Arr.push(std::move(O));
+  }
+  Json Doc = Json::object();
+  Doc.set("traceEvents", std::move(Arr));
+  Doc.set("displayTimeUnit", Json::str("ms"));
+  if (uint64_t N = Dropped.exchange(0, std::memory_order_relaxed))
+    Doc.set("droppedEvents", Json::integer(int64_t(N)));
+  return Doc;
+}
+
+bool TraceRecorder::drainToFile(const std::string &Path, std::string *Err) {
+  std::string Text = drainToChromeJson().toString();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fputc('\n', F) != EOF;
+  Ok &= std::fclose(F) == 0;
+  if (!Ok && Err)
+    *Err = "short write to '" + Path + "'";
+  return Ok;
+}
+
+TraceSpan::TraceSpan(std::string SpanName, const char *SpanCat,
+                     TraceRecorder &R) {
+  if (!R.enabled())
+    return;
+  Rec = &R;
+  Name = std::move(SpanName);
+  Cat = SpanCat;
+  Start = TraceRecorder::nowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Rec)
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Tid = TraceRecorder::currentThreadId();
+  E.StartMicros = Start;
+  E.DurMicros = TraceRecorder::nowMicros() - Start;
+  Rec->record(std::move(E));
+}

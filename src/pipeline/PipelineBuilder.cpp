@@ -1,6 +1,8 @@
 #include "pipeline/PipelineBuilder.h"
 
 #include "exec/ExecProgram.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "pipeline/StageCache.h"
 #include "pipeline/Stages.h"
 
@@ -35,18 +37,36 @@ PipelineReport Pipeline::run(PipelineContext &Ctx) const {
     return Ctx.Report;
   }
 
+  // Observability: the TraceSpans knob switches the process-wide recorder
+  // on (enable-only, see PipelineConfig); the whole run and each executed
+  // stage become nested spans.
+  if (Ctx.config().TraceSpans)
+    obs::TraceRecorder::global().setEnabled(true);
+  obs::TraceSpan RunSpan("pipeline.run", "pipeline");
+  obs::MetricsRegistry &MR = obs::MetricsRegistry::global();
+
   // Decode-cache delta across this run (surfaced in the report next to the
   // analysis counters). The counters are process-wide, so with concurrent
   // pipeline runs (the serve daemon) a delta attributes *some* other
   // requests' decodes to this run — still exact for the warm-repeat
-  // assertion, which runs one request at a time.
+  // assertion, which runs one request at a time. The metrics-registry
+  // delta below shares the caveat.
   const DecodeCache::Counters DecodeStart = DecodeCache::global().counters();
+  const obs::MetricsSnapshot MetricsStart = MR.snapshot();
+  MR.counter("pipeline.runs").add();
   Ctx.Report.Decode = {};
+  Ctx.Report.Metrics.clear();
   auto RecordDecodeStats = [&] {
     DecodeCache::Counters Now = DecodeCache::global().counters();
     Ctx.Report.Decode.Decodes = Now.Decodes - DecodeStart.Decodes;
     Ctx.Report.Decode.Hits = Now.Hits - DecodeStart.Hits;
     Ctx.Report.Decode.Evictions = Now.Evictions - DecodeStart.Evictions;
+    // Publish the delta into the registry first so the report's registry
+    // snapshot includes the decode numbers it sits next to.
+    MR.counter("exec.decode.decodes").add(Ctx.Report.Decode.Decodes);
+    MR.counter("exec.decode.hits").add(Ctx.Report.Decode.Hits);
+    MR.counter("exec.decode.evictions").add(Ctx.Report.Decode.Evictions);
+    Ctx.Report.Metrics = MR.snapshot().deltaFrom(MetricsStart).Samples;
   };
 
   StageCache *Disk = Ctx.stageCache();
@@ -72,6 +92,7 @@ PipelineReport Pipeline::run(PipelineContext &Ctx) const {
     const PipelineContext::StageRecord *Rec = Ctx.stageRecord(S.name());
     if (Rec && Rec->Key == Key && Rec->Generation >= UpstreamGen) {
       UpstreamGen = Rec->Generation;
+      MR.counter("cache.stage.hits").add();
       PipelineContext::StageRun R;
       R.Name = S.name();
       R.Cached = true;
@@ -95,6 +116,7 @@ PipelineReport Pipeline::run(PipelineContext &Ctx) const {
       std::string Payload;
       if (Disk->load(Entry, Payload) && S.deserializeResult(Ctx, Payload)) {
         auto LoadEnd = std::chrono::steady_clock::now();
+        MR.counter("cache.stage.disk_hits").add();
         PipelineContext::StageRun R;
         R.Name = S.name();
         R.FromDisk = true;
@@ -111,7 +133,11 @@ PipelineReport Pipeline::run(PipelineContext &Ctx) const {
     }
 
     auto Start = std::chrono::steady_clock::now();
-    bool Ok = S.run(Ctx);
+    bool Ok;
+    {
+      obs::TraceSpan StageSpan(std::string("stage:") + S.name(), "stage");
+      Ok = S.run(Ctx);
+    }
     auto End = std::chrono::steady_clock::now();
 
     PipelineContext::StageRun R;
@@ -119,6 +145,11 @@ PipelineReport Pipeline::run(PipelineContext &Ctx) const {
     R.WallMillis =
         std::chrono::duration<double, std::milli>(End - Start).count();
     R.InterpretedInstructions = Ctx.takePendingInterpreted();
+    MR.counter("cache.stage.misses").add();
+    MR.histogram("pipeline.stage.wall_ms", {1, 10, 100, 1000, 10000})
+        .observe(int64_t(R.WallMillis));
+    MR.counter("exec.interpreted.instructions")
+        .add(R.InterpretedInstructions);
     Ctx.addHistory(R);
     if (Callback)
       Callback(Ctx.history().back());

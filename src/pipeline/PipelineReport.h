@@ -13,6 +13,7 @@
 #include "analysis/AnalysisKinds.h"
 #include "helix/PassTiming.h"
 #include "helix/SpeedupModel.h"
+#include "obs/Metrics.h"
 #include "sim/ParallelSim.h"
 
 #include <string>
@@ -97,6 +98,13 @@ struct PipelineReport {
     unsigned Integrity = 0; ///< body-mutated, iv-stride-mismatch
   };
   SyncCheckStats SyncCheck;
+
+  /// Per-run delta of the process-wide metrics registry
+  /// (obs::MetricsRegistry::global()) across Pipeline::run: every counter
+  /// and histogram this run moved ("cache.stage.hits",
+  /// "exec.interpreted.instructions", ...), gauges at their current value.
+  /// Same attribution caveat as Decode above under concurrent runs.
+  std::vector<obs::MetricSample> Metrics;
 
   // Figure 11 breakdown, percent of sequential execution time.
   double PctParallel = 0, PctSeqData = 0, PctSeqControl = 0, PctOutside = 100;

@@ -280,6 +280,15 @@ Json helix::reportToJson(const PipelineReport &R) {
   SC.set("integrity", u64(R.SyncCheck.Integrity));
   O.set("sync_check", std::move(SC));
 
+  // Per-run metrics-registry delta: only emitted when the run carried any,
+  // so pre-telemetry consumers see byte-identical messages for reports
+  // built from JSON (which have no registry attached).
+  if (!R.Metrics.empty()) {
+    obs::MetricsSnapshot Snap;
+    Snap.Samples = R.Metrics;
+    O.set("metrics", Snap.toJson());
+  }
+
   O.set("pct_parallel", Json::number(R.PctParallel));
   O.set("pct_seq_data", Json::number(R.PctSeqData));
   O.set("pct_seq_control", Json::number(R.PctSeqControl));
@@ -351,6 +360,13 @@ bool helix::reportFromJson(const Json &V, PipelineReport &R,
         !readUnsigned(*SC, "hygiene", R.SyncCheck.Hygiene, Err) ||
         !readUnsigned(*SC, "integrity", R.SyncCheck.Integrity, Err))
       return false;
+  }
+
+  if (const Json *M = V.find("metrics")) {
+    obs::MetricsSnapshot Snap;
+    if (!obs::MetricsSnapshot::fromJson(*M, Snap, Err))
+      return false;
+    R.Metrics = std::move(Snap.Samples);
   }
 
   return readDouble(V, "pct_parallel", R.PctParallel, Err) &&

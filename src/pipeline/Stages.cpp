@@ -4,6 +4,7 @@
 #include "helix/HelixTransform.h"
 #include "helix/LoopSelection.h"
 #include "ir/Clone.h"
+#include "obs/Metrics.h"
 #include "pipeline/PipelineContext.h"
 #include "support/Compiler.h"
 #include "support/ThreadPool.h"
@@ -788,6 +789,9 @@ bool CheckStage::run(PipelineContext &Ctx) {
       break;
     }
   }
+  obs::MetricsRegistry &MR = obs::MetricsRegistry::global();
+  MR.counter("check.loops").add(St.LoopsChecked);
+  MR.counter("check.findings").add(St.Findings);
   if (!SC.clean()) {
     Ctx.Report.Error = "sync check: " + SC.Diags.front().str();
     if (SC.Diags.size() > 1) {

@@ -126,6 +126,11 @@ Json helix::statsToJson(const ServeStats &S) {
     Stages.push(std::move(O));
   }
   V.set("stages", std::move(Stages));
+  if (!S.Metrics.empty()) {
+    obs::MetricsSnapshot Snap;
+    Snap.Samples = S.Metrics;
+    V.set("metrics", Snap.toJson());
+  }
   return V;
 }
 
@@ -309,6 +314,13 @@ bool helix::statsFromJson(const Json &V, ServeStats &S, std::string *Err) {
       A.Millis = E.getDouble("millis", 0.0);
       S.Stages.push_back(std::move(A));
     }
+  }
+  if (const Json *M = V.find("metrics")) {
+    obs::MetricsSnapshot Snap;
+    std::string MetricsErr;
+    if (!obs::MetricsSnapshot::fromJson(*M, Snap, &MetricsErr))
+      return fail(Err, "stats." + MetricsErr);
+    S.Metrics = std::move(Snap.Samples);
   }
   return true;
 }

@@ -103,6 +103,11 @@ struct ServeStats {
     double Millis = 0.0;     ///< wall time of the executions
   };
   std::vector<StageAgg> Stages;
+
+  /// Snapshot of the process-wide metrics registry at stats time — the
+  /// daemon's full telemetry surface ("serve.requests", "pipeline.runs",
+  /// "exec.dispatch.steps", ...) in one place.
+  std::vector<obs::MetricSample> Metrics;
 };
 
 struct ServeResponse {

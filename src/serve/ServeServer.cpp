@@ -3,6 +3,8 @@
 #include "exec/ExecProgram.h"
 #include "ir/IRParser.h"
 #include "ir/Verifier.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "pipeline/PipelineBuilder.h"
 #include "support/Format.h"
 
@@ -138,6 +140,8 @@ void ServeServer::connectionLoop(Connection *Conn) {
 //===----------------------------------------------------------------------===//
 
 ServeResponse ServeServer::handleRequest(const std::string &Line) {
+  obs::TraceSpan RequestSpan("serve.request", "serve");
+  obs::MetricsRegistry::global().counter("serve.requests").add();
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Stats.Received;
@@ -293,6 +297,7 @@ ServeResponse ServeServer::handleRun(const ServeRequest &Req) {
 ServeResponse ServeServer::executeRun(const ServeRequest &Req,
                                       const Module &M,
                                       const std::string &Fingerprint) {
+  obs::TraceSpan RunSpan("serve.run", "serve");
   ServeResponse Resp;
 
   Pipeline P;
@@ -384,6 +389,7 @@ void ServeServer::fillStats(ServeStats &Out) const {
   Out.DecodeDecodes = D.Decodes;
   Out.DecodeHits = D.Hits;
   Out.DecodeEvictions = D.Evictions;
+  Out.Metrics = obs::MetricsRegistry::global().snapshot().Samples;
 }
 
 ServeStats ServeServer::stats() const {

@@ -271,6 +271,18 @@ TEST(ServeProtocol, ReportJsonRoundTripsEveryField) {
   R.SignalsRemovedPct = 44.4;
   R.DataTransferPct = 2.5;
   R.MaxCodeInstrs = 1234;
+  obs::MetricSample Steps;
+  Steps.Name = "exec.dispatch.steps";
+  Steps.K = obs::MetricSample::Kind::Counter;
+  Steps.Value = 987;
+  R.Metrics.push_back(Steps);
+  obs::MetricSample Wall;
+  Wall.Name = "pipeline.stage.wall_ms";
+  Wall.K = obs::MetricSample::Kind::Histogram;
+  Wall.Value = 3;
+  Wall.Sum = 120;
+  Wall.Buckets = {{10, 2}, {100, 1}, {-1, 0}};
+  R.Metrics.push_back(Wall);
 
   PipelineReport Back;
   std::string Err;
@@ -302,6 +314,9 @@ TEST(ServeProtocol, ReportJsonRoundTripsEveryField) {
   EXPECT_DOUBLE_EQ(Back.PctParallel, 60.5);
   EXPECT_DOUBLE_EQ(Back.LoopCarriedPct, 11.1);
   EXPECT_EQ(Back.MaxCodeInstrs, 1234u);
+  ASSERT_EQ(Back.Metrics.size(), 2u);
+  EXPECT_TRUE(Back.Metrics[0] == R.Metrics[0]);
+  EXPECT_TRUE(Back.Metrics[1] == R.Metrics[1]);
   // Byte-stable reprint.
   EXPECT_EQ(reportToJson(Back).toString(), reportToJson(R).toString());
 }

@@ -1,0 +1,157 @@
+//===----------------------------------------------------------------------===//
+///
+/// bench-diff: the CI regression gate over BENCH_*.json documents.
+///
+///   bench-diff --baseline bench/BENCH_baseline.json BENCH_*.json ...
+///   bench-diff --baseline bench/BENCH_baseline.json --dir build/
+///
+/// Compares every series the baseline pins against the current run's
+/// documents and prints one line per series. A "hard" series outside its
+/// tolerance in the bad direction fails the run; "warn" series are logged
+/// only (thread-scaling numbers on a 1-core runner, noisy wall-clock
+/// series). Missing series are reported but pass by default — CI
+/// legitimately runs a subset of the benches — unless --missing-is-hard.
+///
+/// Exit codes: 0 = within tolerance, 1 = hard regression, 2 = usage or
+/// I/O or parse error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchJson.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace helix;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench-diff --baseline FILE [options] [BENCH_*.json ...]\n"
+      "  --baseline FILE      the pinned expectations (required)\n"
+      "  --dir DIR            also read every BENCH_*.json under DIR\n"
+      "  --default-tolerance P  tolerance %% for series without their own\n"
+      "                       (default 10)\n"
+      "  --missing-is-hard    a missing hard-gated series fails the run\n"
+      "  -h, --help           this text\n");
+}
+
+bool readJsonFile(const std::string &Path, Json &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench-diff: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Err;
+  if (!Json::parse(SS.str(), Out, &Err)) {
+    std::fprintf(stderr, "bench-diff: %s: %s\n", Path.c_str(), Err.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string BaselinePath;
+  std::vector<std::string> CurrentPaths;
+  obs::BenchDiffOptions Opts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "-h" || A == "--help") {
+      usage();
+      return 0;
+    }
+    if (A == "--missing-is-hard") {
+      Opts.MissingIsHard = true;
+    } else if (A == "--baseline" || A == "--dir" ||
+               A == "--default-tolerance") {
+      if (++I == argc) {
+        usage();
+        return 2;
+      }
+      if (A == "--baseline") {
+        BaselinePath = argv[I];
+      } else if (A == "--default-tolerance") {
+        Opts.DefaultTolerancePct = std::atof(argv[I]);
+      } else {
+        std::error_code EC;
+        std::filesystem::directory_iterator It(argv[I], EC), End;
+        if (EC) {
+          std::fprintf(stderr, "bench-diff: cannot read %s: %s\n", argv[I],
+                       EC.message().c_str());
+          return 2;
+        }
+        for (; It != End; It.increment(EC)) {
+          if (EC)
+            break;
+          std::string Name = It->path().filename().string();
+          if (It->is_regular_file() && Name.rfind("BENCH_", 0) == 0 &&
+              It->path().extension() == ".json")
+            CurrentPaths.push_back(It->path().string());
+        }
+      }
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "bench-diff: unknown option %s\n", A.c_str());
+      usage();
+      return 2;
+    } else {
+      CurrentPaths.push_back(A);
+    }
+  }
+  if (BaselinePath.empty()) {
+    usage();
+    return 2;
+  }
+
+  Json Baseline;
+  if (!readJsonFile(BaselinePath, Baseline))
+    return 2;
+  std::vector<Json> Current;
+  for (const std::string &P : CurrentPaths) {
+    Json Doc;
+    if (!readJsonFile(P, Doc))
+      return 2;
+    Current.push_back(std::move(Doc));
+  }
+
+  obs::BenchDiffResult R = obs::benchDiff(Baseline, Current, Opts);
+  if (!R.Error.empty()) {
+    std::fprintf(stderr, "bench-diff: %s\n", R.Error.c_str());
+    return 2;
+  }
+
+  std::printf("%-26s %-28s %-4s %10s %10s %8s  %s\n", "bench", "series",
+              "gate", "baseline", "current", "delta", "verdict");
+  for (const obs::BenchDiffFinding &F : R.Findings) {
+    const char *Verdict = F.Missing ? (F.Regression ? "MISSING (hard)"
+                                                    : "missing")
+                          : F.Regression
+                              ? (F.Gate == "hard" ? "REGRESSION" : "warn")
+                              : "ok";
+    if (F.Missing)
+      std::printf("%-26s %-28s %-4s %10.3f %10s %8s  %s\n", F.Bench.c_str(),
+                  F.Series.c_str(), F.Gate.c_str(), F.Baseline, "-", "-",
+                  Verdict);
+    else
+      std::printf("%-26s %-28s %-4s %10.3f %10.3f %+7.1f%%  %s\n",
+                  F.Bench.c_str(), F.Series.c_str(), F.Gate.c_str(),
+                  F.Baseline, F.Current, F.DeltaPct, Verdict);
+  }
+  std::printf("\n%zu series: %u hard regression(s), %u warning(s), "
+              "%u missing\n",
+              R.Findings.size(), R.HardRegressions, R.WarnRegressions,
+              R.MissingSeries);
+  return R.ok() ? 0 : 1;
+}

@@ -21,8 +21,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/FuzzJson.h"
 #include "fuzz/Fuzzer.h"
 #include "ir/IRParser.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 
 #include <chrono>
@@ -60,6 +62,10 @@ void usage() {
       "  --max-instrs N    interpreter budget per sequential run\n"
       "  --inject-bug K    deliberately corrupt the transform to prove the\n"
       "                    oracle works; K = flip | drop-waits\n"
+      "  --json FILE       also write the campaign summary as JSON\n"
+      "  --trace-out FILE  record trace spans (one per fuzz case, plus the\n"
+      "                    pipeline stages and passes under each) and write\n"
+      "                    them as Chrome trace_event JSON on exit\n"
       "  --require-static-catch\n"
       "                    with --inject-bug: exit 0 iff the static sync\n"
       "                    checker flagged every case the injection hit\n"
@@ -141,6 +147,7 @@ int main(int argc, char **argv) {
   FuzzOptions Opt;
   std::vector<std::string> ReplayFilesList;
   bool RequireStaticCatch = false;
+  std::string JsonPath, TraceOutPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto NeedValue = [&]() -> const char * {
@@ -227,6 +234,10 @@ int main(int argc, char **argv) {
                      Kind.c_str());
         return 2;
       }
+    } else if (Arg == "--json") {
+      JsonPath = NeedValue();
+    } else if (Arg == "--trace-out") {
+      TraceOutPath = NeedValue();
     } else if (Arg == "--require-static-catch") {
       RequireStaticCatch = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -250,10 +261,24 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  if (!TraceOutPath.empty())
+    obs::TraceRecorder::global().setEnabled(true);
+  auto WriteTrace = [&] {
+    if (TraceOutPath.empty())
+      return;
+    std::string Err;
+    if (obs::TraceRecorder::global().drainToFile(TraceOutPath, &Err))
+      std::printf("trace: wrote %s\n", TraceOutPath.c_str());
+    else
+      std::fprintf(stderr, "helix-fuzz: %s\n", Err.c_str());
+  };
+
   if (!ReplayFilesList.empty()) {
     std::printf("helix-fuzz: replaying %zu repro file(s)\n",
                 ReplayFilesList.size());
-    return replayFiles(ReplayFilesList, Opt.Diff);
+    int Code = replayFiles(ReplayFilesList, Opt.Diff);
+    WriteTrace();
+    return Code;
   }
 
   if (!Opt.CaseSeeds.empty())
@@ -274,6 +299,21 @@ int main(int argc, char **argv) {
   double Secs = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - Start)
                     .count();
+  WriteTrace();
+
+  if (!JsonPath.empty()) {
+    Json Doc = fuzzSummaryToJson(S);
+    Doc.set("seed", Json::integer(int64_t(Opt.Seed)));
+    Doc.set("seconds", Json::number(Secs));
+    std::ofstream Out(JsonPath);
+    if (Out) {
+      Out << Doc.toString() << "\n";
+      std::printf("json: wrote %s\n", JsonPath.c_str());
+    } else {
+      std::fprintf(stderr, "helix-fuzz: cannot write '%s'\n",
+                   JsonPath.c_str());
+    }
+  }
 
   std::printf("cases: %u clean, %u divergent, %u inconclusive, %u static "
               "alarms (%.1fs)\n",

@@ -17,6 +17,7 @@
 #include "check/SyncChecker.h"
 #include "helix/HelixTransform.h"
 #include "ir/IRParser.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Json.h"
 
@@ -44,6 +45,8 @@ void usage() {
       "\n"
       "  --corpus-dir DIR   lint every .ir file under DIR (recursive)\n"
       "  --json             machine-readable report on stdout\n"
+      "  --trace-out FILE   write Chrome trace_event JSON of per-file and\n"
+      "                     per-pass spans at exit\n"
       "  --no-signal-opt    transform with Step 6 disabled\n"
       "  --no-scheduling    transform with Step 5 scheduling disabled\n"
       "  --no-inlining      transform with Step 5 inlining disabled\n"
@@ -59,6 +62,7 @@ struct FileReport {
 };
 
 FileReport lintFile(const std::string &Path, const HelixOptions &Opts) {
+  obs::TraceSpan FileSpan("lint:" + Path, "lint");
   FileReport FR;
   FR.Path = Path;
   std::ifstream In(Path);
@@ -141,6 +145,7 @@ Json reportToJson(const std::vector<FileReport> &Reports) {
 int main(int argc, char **argv) {
   std::vector<std::string> Paths;
   bool JsonOut = false;
+  std::string TraceOutPath;
   HelixOptions Opts;
 
   for (int I = 1; I < argc; ++I) {
@@ -157,6 +162,12 @@ int main(int argc, char **argv) {
       Opts.EnableScheduling = false;
     } else if (A == "--no-inlining") {
       Opts.EnableInlining = false;
+    } else if (A == "--trace-out") {
+      if (++I == argc) {
+        std::fprintf(stderr, "helix-lint: --trace-out needs a file\n");
+        return 2;
+      }
+      TraceOutPath = argv[I];
     } else if (A == "--corpus-dir") {
       if (++I == argc) {
         std::fprintf(stderr, "helix-lint: --corpus-dir needs a directory\n");
@@ -189,9 +200,21 @@ int main(int argc, char **argv) {
   }
   std::sort(Paths.begin(), Paths.end());
 
+  if (!TraceOutPath.empty())
+    obs::TraceRecorder::global().setEnabled(true);
+
   std::vector<FileReport> Reports;
   for (const std::string &P : Paths)
     Reports.push_back(lintFile(P, Opts));
+
+  if (!TraceOutPath.empty()) {
+    std::string TErr;
+    if (obs::TraceRecorder::global().drainToFile(TraceOutPath, &TErr))
+      std::fprintf(stderr, "helix-lint: trace: wrote %s\n",
+                   TraceOutPath.c_str());
+    else
+      std::fprintf(stderr, "helix-lint: trace: %s\n", TErr.c_str());
+  }
 
   bool AnyError = false, AnyFinding = false;
   for (const FileReport &FR : Reports) {

@@ -27,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "serve/ServeClient.h"
 #include "serve/ServeServer.h"
 #include "support/Format.h"
@@ -61,6 +62,8 @@ void usage() {
       "  --cache-bytes N   in-memory stage cache bound (default 256 MiB)\n"
       "  --disk-cache DIR  back the memory cache with this directory\n"
       "  --log FILE        append one line per server event\n"
+      "  --trace-out FILE  write Chrome trace_event JSON of request/run "
+      "spans at exit\n"
       "client mode:\n"
       "  --client          talk to a running daemon instead\n"
       "  --run FILE        submit this .ir module ('-' = stdin)\n"
@@ -345,7 +348,7 @@ int main(int Argc, char **Argv) {
 
   bool ClientMode = false, WantStats = false, WantShutdown = false;
   bool SocketGiven = false;
-  std::string RunFile, PipelineText;
+  std::string RunFile, PipelineText, TraceOutPath;
   ConfigOverrides Overrides;
   uint64_t SelfStress = 0, NumClients = 8;
 
@@ -373,7 +376,7 @@ int main(int Argc, char **Argv) {
       Config.SocketPath = V;
       SocketGiven = true;
     } else if (Arg == "--run" || Arg == "--pipeline" || Arg == "--disk-cache" ||
-               Arg == "--log") {
+               Arg == "--log" || Arg == "--trace-out") {
       const char *V = Next();
       if (!V) {
         usage();
@@ -385,6 +388,8 @@ int main(int Argc, char **Argv) {
         PipelineText = V;
       else if (Arg == "--disk-cache")
         Config.DiskCachePath = V;
+      else if (Arg == "--trace-out")
+        TraceOutPath = V;
       else
         Config.LogPath = V;
     } else if (Arg == "--workers" || Arg == "--queue" || Arg == "--max-instrs" ||
@@ -423,15 +428,31 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (!TraceOutPath.empty())
+    obs::TraceRecorder::global().setEnabled(true);
+  auto WriteTrace = [&]() {
+    if (TraceOutPath.empty())
+      return;
+    std::string TErr;
+    if (obs::TraceRecorder::global().drainToFile(TraceOutPath, &TErr))
+      std::printf("helix-serve: trace: wrote %s\n", TraceOutPath.c_str());
+    else
+      std::fprintf(stderr, "helix-serve: trace: %s\n", TErr.c_str());
+  };
+
+  int Code;
   if (SelfStress) {
     if (!SocketGiven)
       Config.SocketPath.clear(); // pick a pid-unique stress path
     if (NumClients < 1)
       NumClients = 1;
-    return runSelfStress(Config, unsigned(SelfStress), unsigned(NumClients));
-  }
-  if (ClientMode)
-    return runClient(Config.SocketPath, RunFile, PipelineText, Overrides,
+    Code = runSelfStress(Config, unsigned(SelfStress), unsigned(NumClients));
+  } else if (ClientMode) {
+    Code = runClient(Config.SocketPath, RunFile, PipelineText, Overrides,
                      WantStats, WantShutdown);
-  return runDaemon(Config);
+  } else {
+    Code = runDaemon(Config);
+  }
+  WriteTrace();
+  return Code;
 }
