@@ -19,6 +19,7 @@ int main() {
               "cand", "carried%", "sigrem%", "xfer%", "code(KB)");
 
   uint64_t Parallelized = 0, Candidates = 0;
+  uint64_t AliasPairs = 0, Carried = 0, PrunedByRange = 0, Segments = 0;
   std::vector<double> CarriedPcts, SigRemPcts;
   sweepEachBenchmark(
       {PipelineConfig()},
@@ -31,6 +32,12 @@ int main() {
                     CodeKB, R.OutputsMatch ? "" : "OUTPUT-MISMATCH");
         Parallelized += R.Loops.size();
         Candidates += R.NumCandidates;
+        for (const LoopReport &L : R.Loops) {
+          AliasPairs += L.NumDepsTotal;
+          Carried += L.NumDepsCarried;
+          PrunedByRange += L.NumDepsPrunedByRange;
+          Segments += L.NumSegments;
+        }
         if (!R.Loops.empty()) {
           CarriedPcts.push_back(R.LoopCarriedPct);
           SigRemPcts.push_back(R.SignalsRemovedPct);
@@ -38,6 +45,11 @@ int main() {
       },
       [](const WorkloadSpec &, const PipelineContext &) {});
 
+  std::printf("\ndependences: %llu alias pairs, %llu loop-carried, "
+              "%llu pruned by value range, %llu segments\n",
+              (unsigned long long)AliasPairs, (unsigned long long)Carried,
+              (unsigned long long)PrunedByRange,
+              (unsigned long long)Segments);
   std::printf("\npaper ranges: carried 12-54%%, signals removed 80-98%%,\n"
               "              data transfers 0.1-12%%, code 30-100KB\n");
 
@@ -53,6 +65,10 @@ int main() {
     W.add("mean_carried_pct", CarriedSum / double(CarriedPcts.size()), "pct");
   if (!SigRemPcts.empty())
     W.add("mean_sigrem_pct", SigRemSum / double(SigRemPcts.size()), "pct");
+  W.add("dep_alias_pairs", double(AliasPairs), "deps");
+  W.add("dep_loop_carried", double(Carried), "deps");
+  W.add("dep_pruned_by_range", double(PrunedByRange), "deps");
+  W.add("dep_segments", double(Segments), "segments");
   W.write();
   return 0;
 }

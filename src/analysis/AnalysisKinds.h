@@ -10,11 +10,11 @@
 /// Dependency graph (an analysis is invalid whenever one of the analyses
 /// it consumes is):
 ///
-///   CFG ──────┬─> DominatorTree ──> LoopInfo
+///   CFG ──────┬─> DominatorTree ──> LoopInfo ──> ValueRange
 ///             └─> Liveness
 ///   CallGraph ──> PointsTo ──> MemEffects
 ///
-/// The first four are per-function; the last three are module-wide and
+/// The first five are per-function; the last three are module-wide and
 /// additionally read every function's instructions, so a function mutation
 /// invalidates them unless the mutating pass explicitly preserves them.
 ///
@@ -32,6 +32,7 @@ namespace helix {
 class CFGInfo;
 class DominatorTree;
 class LoopInfo;
+class ValueRangeAnalysis;
 class Liveness;
 class CallGraph;
 class PointsToAnalysis;
@@ -40,21 +41,22 @@ class MemEffects;
 /// Every analysis the manager knows how to build, in dependency order
 /// (an analysis only consumes analyses with a smaller kind value).
 enum class AnalysisKind : uint8_t {
-  CFG,       ///< CFGInfo — per function
-  DomTree,   ///< DominatorTree — per function, consumes CFG
-  Loops,     ///< LoopInfo — per function, consumes CFG + DomTree
-  Liveness,  ///< Liveness — per function, consumes CFG
-  CallGraph, ///< CallGraph — module-wide
-  PointsTo,  ///< PointsToAnalysis — module-wide, consumes CallGraph
-  MemEffects ///< MemEffects — module-wide, consumes CallGraph + PointsTo
+  CFG,        ///< CFGInfo — per function
+  DomTree,    ///< DominatorTree — per function, consumes CFG
+  Loops,      ///< LoopInfo — per function, consumes CFG + DomTree
+  ValueRange, ///< ValueRangeAnalysis — per function, consumes CFG+DT+Loops
+  Liveness,   ///< Liveness — per function, consumes CFG
+  CallGraph,  ///< CallGraph — module-wide
+  PointsTo,   ///< PointsToAnalysis — module-wide, consumes CallGraph
+  MemEffects  ///< MemEffects — module-wide, consumes CallGraph + PointsTo
 };
 
-inline constexpr unsigned NumAnalysisKinds = 7;
+inline constexpr unsigned NumAnalysisKinds = 8;
 
 /// Stable short name ("cfg", "dom-tree", ...) for reports and logs.
 const char *analysisKindName(AnalysisKind K);
 
-/// True for the per-function analyses (CFG..Liveness).
+/// True for the per-function analyses (CFG..Liveness, incl. ValueRange).
 inline constexpr bool isFunctionAnalysis(AnalysisKind K) {
   return unsigned(K) < unsigned(AnalysisKind::CallGraph);
 }
@@ -66,6 +68,7 @@ template <typename T> struct AnalysisTraits;
 template <> struct AnalysisTraits<CFGInfo>         { static constexpr AnalysisKind Kind = AnalysisKind::CFG; };
 template <> struct AnalysisTraits<DominatorTree>   { static constexpr AnalysisKind Kind = AnalysisKind::DomTree; };
 template <> struct AnalysisTraits<LoopInfo>        { static constexpr AnalysisKind Kind = AnalysisKind::Loops; };
+template <> struct AnalysisTraits<ValueRangeAnalysis> { static constexpr AnalysisKind Kind = AnalysisKind::ValueRange; };
 template <> struct AnalysisTraits<Liveness>        { static constexpr AnalysisKind Kind = AnalysisKind::Liveness; };
 template <> struct AnalysisTraits<CallGraph>       { static constexpr AnalysisKind Kind = AnalysisKind::CallGraph; };
 template <> struct AnalysisTraits<PointsToAnalysis>{ static constexpr AnalysisKind Kind = AnalysisKind::PointsTo; };

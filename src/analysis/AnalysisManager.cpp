@@ -12,6 +12,8 @@ const char *helix::analysisKindName(AnalysisKind K) {
     return "dom-tree";
   case AnalysisKind::Loops:
     return "loops";
+  case AnalysisKind::ValueRange:
+    return "value-range";
   case AnalysisKind::Liveness:
     return "liveness";
   case AnalysisKind::CallGraph:
@@ -58,6 +60,9 @@ unsigned AnalysisManager::invalidationClosure(PreservedAnalyses PA) {
       /*DomTree*/ 1u << unsigned(AnalysisKind::CFG),
       /*Loops*/ (1u << unsigned(AnalysisKind::CFG)) |
           (1u << unsigned(AnalysisKind::DomTree)),
+      /*ValueRange*/ (1u << unsigned(AnalysisKind::CFG)) |
+          (1u << unsigned(AnalysisKind::DomTree)) |
+          (1u << unsigned(AnalysisKind::Loops)),
       /*Liveness*/ 1u << unsigned(AnalysisKind::CFG),
       /*CallGraph*/ 0u,
       /*PointsTo*/ 1u << unsigned(AnalysisKind::CallGraph),
@@ -86,6 +91,7 @@ void AnalysisManager::dropFunctionKinds(FnEntry &E, unsigned DropMask) {
   DropOne(AnalysisKind::CFG, E.CFG);
   DropOne(AnalysisKind::DomTree, E.DT);
   DropOne(AnalysisKind::Loops, E.LI);
+  DropOne(AnalysisKind::ValueRange, E.VR);
   DropOne(AnalysisKind::Liveness, E.LV);
 }
 

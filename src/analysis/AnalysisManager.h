@@ -32,6 +32,7 @@
 #include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/PointsTo.h"
+#include "analysis/ValueRange.h"
 
 #include <array>
 #include <memory>
@@ -125,8 +126,9 @@ private:
     std::unique_ptr<CFGInfo> CFG;
     std::unique_ptr<DominatorTree> DT;
     std::unique_ptr<LoopInfo> LI;
+    std::unique_ptr<ValueRangeAnalysis> VR;
     std::unique_ptr<Liveness> LV;
-    bool hasAny() const { return CFG || DT || LI || LV; }
+    bool hasAny() const { return CFG || DT || LI || VR || LV; }
   };
 
   static bool isCachedKind(const FnEntry &E, AnalysisKind K) {
@@ -137,6 +139,8 @@ private:
       return E.DT != nullptr;
     case AnalysisKind::Loops:
       return E.LI != nullptr;
+    case AnalysisKind::ValueRange:
+      return E.VR != nullptr;
     case AnalysisKind::Liveness:
       return E.LV != nullptr;
     default:
@@ -235,6 +239,21 @@ template <> inline LoopInfo &AnalysisManager::get<LoopInfo>(Function *F) {
   E.LI = std::make_unique<LoopInfo>(F, CFG, DT);
   noteBuilt(AnalysisKind::Loops);
   return *E.LI;
+}
+
+template <>
+inline ValueRangeAnalysis &AnalysisManager::get<ValueRangeAnalysis>(Function *F) {
+  FnEntry &E = entry(F);
+  if (E.VR) {
+    noteHit(AnalysisKind::ValueRange);
+    return *E.VR;
+  }
+  CFGInfo &CFG = get<CFGInfo>(F);
+  DominatorTree &DT = get<DominatorTree>(F);
+  LoopInfo &LI = get<LoopInfo>(F);
+  E.VR = std::make_unique<ValueRangeAnalysis>(F, CFG, DT, LI);
+  noteBuilt(AnalysisKind::ValueRange);
+  return *E.VR;
 }
 
 template <> inline Liveness &AnalysisManager::get<Liveness>(Function *F) {

@@ -1,6 +1,7 @@
 #include "analysis/DataDependence.h"
 
 #include "analysis/RegUse.h"
+#include "analysis/ValueRange.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -53,18 +54,39 @@ PairClass classifyAffine(const AffineAddr &A, const AffineAddr &B) {
 LoopDependenceAnalysis::LoopDependenceAnalysis(
     Function *F, Loop *L, const CFGInfo &CFG, const DominatorTree &DT,
     const Liveness &LV, const LoopVarAnalysis &Vars,
-    const PointsToAnalysis &PT, const MemEffects &ME) {
+    const PointsToAnalysis &PT, const MemEffects &ME,
+    const ValueRangeAnalysis *VR) {
   (void)DT;
-  collectMemoryDeps(F, L, Vars, PT, ME);
+  collectMemoryDeps(F, L, Vars, PT, ME, VR);
   collectRegisterDeps(F, L, CFG, LV, Vars);
-  for (unsigned I = 0, E = unsigned(DData.size()); I != E; ++I)
+  for (unsigned I = 0, E = unsigned(DData.size()); I != E; ++I) {
     DData[I].Id = I;
+    // Endpoint vectors are deduplicated at construction, preserving
+    // first-appearance order (allEndpoints then never sees duplicates).
+    auto Dedupe = [](std::vector<Instruction *> &V) {
+      std::vector<Instruction *> Seen;
+      Seen.reserve(V.size());
+      std::vector<Instruction *> Out;
+      Out.reserve(V.size());
+      for (Instruction *I2 : V) {
+        auto It = std::lower_bound(Seen.begin(), Seen.end(), I2);
+        if (It != Seen.end() && *It == I2)
+          continue;
+        Seen.insert(It, I2);
+        Out.push_back(I2);
+      }
+      V = std::move(Out);
+    };
+    Dedupe(DData[I].Srcs);
+    Dedupe(DData[I].Dsts);
+  }
 }
 
 void LoopDependenceAnalysis::collectMemoryDeps(Function *F, Loop *L,
                                                const LoopVarAnalysis &Vars,
                                                const PointsToAnalysis &PT,
-                                               const MemEffects &ME) {
+                                               const MemEffects &ME,
+                                               const ValueRangeAnalysis *VR) {
   std::vector<MemAccess> Accesses;
   for (BasicBlock *BB : L->blocks())
     for (Instruction *I : *BB) {
@@ -147,6 +169,23 @@ void LoopDependenceAnalysis::collectMemoryDeps(Function *F, Loop *L,
                       : PairClass::Carried;
         } else {
           Class = classifyAffine(FA, FB);
+        }
+      }
+      // Value-range refinement, only for pairs the ZIV/SIV tests kept:
+      // addresses off the same base whose offset intervals or congruence
+      // classes never meet cannot collide in any iteration pair (the
+      // fixpoint fact at an access covers every execution of it). A
+      // register base is only meaningful across iterations when it is
+      // loop-invariant (same runtime value at both endpoints).
+      if (Class == PairClass::Carried && !A.IsCall && !B.IsCall && VR) {
+        ValueFact FA = VR->factFor(A.I, AddrOperand(A));
+        ValueFact FB = VR->factFor(B.I, AddrOperand(B));
+        bool BaseUsable =
+            FA.sameBase(FB) && (FA.BaseKind != ValueFact::Base::Reg ||
+                                Vars.isInvariant(FA.BaseId));
+        if (BaseUsable && ValueFact::disjointOffsets(FA, FB)) {
+          Class = PairClass::Independent;
+          ++Stats.NumPrunedByRange;
         }
       }
       if (Class == PairClass::Independent) {

@@ -11,7 +11,10 @@
 ///   - dependences on loop-invariant reads and on induction variables
 ///     (locally computable from the iteration number).
 /// Memory dependences are derived from the interprocedural points-to
-/// analysis, refined by strided-access (ZIV/SIV) independence tests.
+/// analysis, refined by strided-access (ZIV/SIV) independence tests and —
+/// when a ValueRangeAnalysis is supplied — by value-range/congruence
+/// disjointness over the address expressions (disjoint offset windows off
+/// the same base, incompatible residue classes).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +29,8 @@
 #include <vector>
 
 namespace helix {
+
+class ValueRangeAnalysis;
 
 enum class DepKind { RAW, WAR, WAW };
 
@@ -44,12 +49,27 @@ struct DataDependence {
   /// Consuming side (reads for RAW, writes for WAW/WAR).
   std::vector<Instruction *> Dsts;
 
-  /// Every instruction that is an endpoint of this dependence.
+  /// Every instruction that is an endpoint of this dependence, in first-
+  /// appearance order (Srcs then Dsts). The sorted scratch set is used for
+  /// membership only — the output order never depends on pointer values,
+  /// because downstream consumers (the inliner's call-site choice) must be
+  /// address-independent.
   std::vector<Instruction *> allEndpoints() const {
-    std::vector<Instruction *> All = Srcs;
+    std::vector<Instruction *> All;
+    All.reserve(Srcs.size() + Dsts.size());
+    std::vector<Instruction *> Seen;
+    Seen.reserve(Srcs.size() + Dsts.size());
+    auto Insert = [&](Instruction *I) {
+      auto It = std::lower_bound(Seen.begin(), Seen.end(), I);
+      if (It != Seen.end() && *It == I)
+        return;
+      Seen.insert(It, I);
+      All.push_back(I);
+    };
+    for (Instruction *I : Srcs)
+      Insert(I);
     for (Instruction *I : Dsts)
-      if (std::find(All.begin(), All.end(), I) == All.end())
-        All.push_back(I);
+      Insert(I);
     return All;
   }
 };
@@ -61,15 +81,20 @@ struct DependenceStats {
   unsigned NumRegCarried = 0;   ///< register RAW dependences kept
   unsigned NumExcludedFalse = 0;    ///< register WAW/WAR discarded
   unsigned NumExcludedInduction = 0;
+  /// Pairs the ZIV/SIV tests kept that value-range facts disproved.
+  unsigned NumPrunedByRange = 0;
 };
 
 /// Computes the dependences of one loop.
 class LoopDependenceAnalysis {
 public:
+  /// \p VR, when non-null, sharpens the memory-pair tests with value-range
+  /// facts; passing null reproduces the points-to + ZIV/SIV-only result.
   LoopDependenceAnalysis(Function *F, Loop *L, const CFGInfo &CFG,
                          const DominatorTree &DT, const Liveness &LV,
                          const LoopVarAnalysis &Vars,
-                         const PointsToAnalysis &PT, const MemEffects &ME);
+                         const PointsToAnalysis &PT, const MemEffects &ME,
+                         const ValueRangeAnalysis *VR = nullptr);
 
   /// The dependences HELIX must synchronize (the paper's D_data).
   const std::vector<DataDependence> &toSynchronize() const { return DData; }
@@ -78,7 +103,8 @@ public:
 
 private:
   void collectMemoryDeps(Function *F, Loop *L, const LoopVarAnalysis &Vars,
-                         const PointsToAnalysis &PT, const MemEffects &ME);
+                         const PointsToAnalysis &PT, const MemEffects &ME,
+                         const ValueRangeAnalysis *VR);
   void collectRegisterDeps(Function *F, Loop *L, const CFGInfo &CFG,
                            const Liveness &LV, const LoopVarAnalysis &Vars);
 

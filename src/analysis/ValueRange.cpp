@@ -1,0 +1,720 @@
+#include "analysis/ValueRange.h"
+
+#include "analysis/LoopVars.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace helix;
+
+namespace {
+
+constexpr int64_t Inf = INT64_MAX;
+constexpr int64_t NegInf = INT64_MIN;
+
+/// Mathematical residue of \p V in [0, M) for M >= 2; handles moduli above
+/// INT64_MAX with unsigned arithmetic.
+uint64_t mathMod(int64_t V, uint64_t M) {
+  if (V >= 0)
+    return uint64_t(V) % M;
+  // -V as uint64 avoids overflow at INT64_MIN.
+  uint64_t Neg = uint64_t(0) - uint64_t(V);
+  uint64_t R = Neg % M;
+  return R == 0 ? 0 : M - R;
+}
+
+/// Largest power-of-two divisor of \p M (M >= 1).
+uint64_t pow2Part(uint64_t M) { return M & (uint64_t(0) - M); }
+
+/// Residues mod 2^64 survive the runtime's wraparound only for power-of-two
+/// moduli, so a fact whose interval no longer bounds the value (an infinite
+/// end) must shed the non-power-of-two part of its congruence.
+void normalizeForWrap(ValueFact &F) {
+  if (F.Bottom || F.Mod == 0)
+    return;
+  if (F.Lo != NegInf && F.Hi != Inf)
+    return;
+  uint64_t M = pow2Part(F.Mod);
+  if (M <= 1) {
+    F.Mod = 1;
+    F.Rem = 0;
+    return;
+  }
+  F.Mod = M;
+  F.Rem = int64_t(mathMod(F.Rem, M)); // < M <= 2^63, fits
+}
+
+/// Clamps a (Mod, Rem) pair into representable form.
+void setCongruence(ValueFact &F, uint64_t Mod, int64_t Rem) {
+  if (Mod == 0) {
+    F.Mod = 0;
+    F.Rem = Rem;
+    return;
+  }
+  if (Mod == 1 || Mod > uint64_t(INT64_MAX)) {
+    F.Mod = 1;
+    F.Rem = 0;
+    return;
+  }
+  F.Mod = Mod;
+  F.Rem = int64_t(mathMod(Rem, Mod));
+}
+
+bool addOverflows(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_add_overflow(A, B, &Out);
+}
+bool subOverflows(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_sub_overflow(A, B, &Out);
+}
+bool mulOverflows(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_mul_overflow(A, B, &Out);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ValueFact lattice operations
+//===----------------------------------------------------------------------===//
+
+ValueFact ValueFact::join(const ValueFact &A, const ValueFact &B) {
+  if (A.Bottom)
+    return B;
+  if (B.Bottom)
+    return A;
+  if (!A.sameBase(B))
+    return top();
+  ValueFact R;
+  R.Bottom = false;
+  R.BaseKind = A.BaseKind;
+  R.BaseId = A.BaseId;
+  R.Lo = std::min(A.Lo, B.Lo);
+  R.Hi = std::max(A.Hi, B.Hi);
+  // gcd congruence join: the residues stay congruent modulo every common
+  // divisor of both moduli and the residue difference.
+  if (A.Mod == 0 && B.Mod == 0 && A.Rem == B.Rem) {
+    R.Mod = 0;
+    R.Rem = A.Rem;
+  } else {
+    uint64_t DiffMag = A.Rem >= B.Rem
+                           ? uint64_t(A.Rem) - uint64_t(B.Rem)
+                           : uint64_t(B.Rem) - uint64_t(A.Rem);
+    uint64_t G = std::gcd(std::gcd(A.Mod, B.Mod), DiffMag);
+    setCongruence(R, G == 0 ? 1 : G, A.Rem);
+  }
+  normalizeForWrap(R);
+  return R;
+}
+
+ValueFact ValueFact::widen(const ValueFact &Old, const ValueFact &New,
+                           int StrideDir) {
+  if (Old.Bottom)
+    return New;
+  if (New.Bottom)
+    return Old;
+  ValueFact J = join(Old, New);
+  if (J == Old)
+    return Old;
+  if (J.BaseKind != Old.BaseKind || J.BaseId != Old.BaseId)
+    return J; // base already demoted; nothing finer to protect
+  // Bounds that moved since the last visit jump to infinity, except in the
+  // direction a known induction stride cannot move.
+  if (J.Lo < Old.Lo && StrideDir <= 0)
+    J.Lo = NegInf;
+  if (J.Hi > Old.Hi && StrideDir >= 0)
+    J.Hi = Inf;
+  normalizeForWrap(J);
+  return J;
+}
+
+ValueFact ValueFact::add(const ValueFact &A, const ValueFact &B) {
+  if (A.Bottom || B.Bottom)
+    return bottom();
+  ValueFact R;
+  R.Bottom = false;
+  // Base combination: at most one side may carry a base.
+  if (A.BaseKind != Base::None && B.BaseKind != Base::None)
+    return top();
+  R.BaseKind = A.BaseKind != Base::None ? A.BaseKind : B.BaseKind;
+  R.BaseId = A.BaseKind != Base::None ? A.BaseId : B.BaseId;
+  // Interval, treating the sentinels as infinities.
+  if (A.Lo == NegInf || B.Lo == NegInf)
+    R.Lo = NegInf;
+  else if (addOverflows(A.Lo, B.Lo, R.Lo))
+    return top();
+  if (A.Hi == Inf || B.Hi == Inf)
+    R.Hi = Inf;
+  else if (addOverflows(A.Hi, B.Hi, R.Hi))
+    return top();
+  // Congruence.
+  if (A.Mod == 0 && B.Mod == 0) {
+    int64_t Sum;
+    if (addOverflows(A.Rem, B.Rem, Sum))
+      return top();
+    R.Mod = 0;
+    R.Rem = Sum;
+  } else {
+    uint64_t G = A.Mod == 0 ? B.Mod : B.Mod == 0 ? A.Mod
+                                                 : std::gcd(A.Mod, B.Mod);
+    int64_t Sum;
+    if (G <= 1 || addOverflows(A.Rem, B.Rem, Sum))
+      setCongruence(R, 1, 0);
+    else
+      setCongruence(R, G, Sum);
+  }
+  normalizeForWrap(R);
+  return R;
+}
+
+ValueFact ValueFact::sub(const ValueFact &A, const ValueFact &B) {
+  if (A.Bottom || B.Bottom)
+    return bottom();
+  ValueFact R;
+  R.Bottom = false;
+  if (B.BaseKind == Base::None) {
+    R.BaseKind = A.BaseKind;
+    R.BaseId = A.BaseId;
+  } else if (A.sameBase(B)) {
+    R.BaseKind = Base::None; // pointer difference: bases cancel
+    R.BaseId = 0;
+  } else {
+    return top();
+  }
+  if (A.Lo == NegInf || B.Hi == Inf)
+    R.Lo = NegInf;
+  else if (subOverflows(A.Lo, B.Hi, R.Lo))
+    return top();
+  if (A.Hi == Inf || B.Lo == NegInf)
+    R.Hi = Inf;
+  else if (subOverflows(A.Hi, B.Lo, R.Hi))
+    return top();
+  if (A.Mod == 0 && B.Mod == 0) {
+    int64_t Diff;
+    if (subOverflows(A.Rem, B.Rem, Diff))
+      return top();
+    R.Mod = 0;
+    R.Rem = Diff;
+  } else {
+    uint64_t G = A.Mod == 0 ? B.Mod : B.Mod == 0 ? A.Mod
+                                                 : std::gcd(A.Mod, B.Mod);
+    int64_t Diff;
+    if (G <= 1 || subOverflows(A.Rem, B.Rem, Diff))
+      setCongruence(R, 1, 0);
+    else
+      setCongruence(R, G, Diff);
+  }
+  normalizeForWrap(R);
+  return R;
+}
+
+ValueFact ValueFact::mul(const ValueFact &A, const ValueFact &B) {
+  if (A.Bottom || B.Bottom)
+    return bottom();
+  if (A.BaseKind != Base::None || B.BaseKind != Base::None)
+    return top(); // scaling a pointer discards the base relationship
+  // Only constant * fact keeps structure; anything else goes to top.
+  const ValueFact *C = A.isConstant() ? &A : B.isConstant() ? &B : nullptr;
+  const ValueFact *X = C == &A ? &B : &A;
+  if (!C)
+    return top();
+  int64_t K = C->Lo;
+  if (K == 0)
+    return constant(0);
+  ValueFact R;
+  R.Bottom = false;
+  int64_t P1, P2;
+  if (X->Lo == NegInf || X->Hi == Inf) {
+    R.Lo = NegInf;
+    R.Hi = Inf;
+  } else if (mulOverflows(K, X->Lo, P1) || mulOverflows(K, X->Hi, P2)) {
+    return top();
+  } else {
+    R.Lo = std::min(P1, P2);
+    R.Hi = std::max(P1, P2);
+  }
+  if (X->Mod == 0) {
+    int64_t Prod;
+    if (mulOverflows(K, X->Rem, Prod))
+      return top();
+    R.Mod = 0;
+    R.Rem = Prod;
+  } else {
+    uint64_t KMag = K >= 0 ? uint64_t(K) : uint64_t(0) - uint64_t(K);
+    uint64_t NewMod;
+    int64_t NewRem;
+    if (__builtin_mul_overflow(KMag, X->Mod, &NewMod) ||
+        mulOverflows(K, X->Rem, NewRem))
+      setCongruence(R, 1, 0);
+    else
+      setCongruence(R, NewMod, NewRem);
+  }
+  normalizeForWrap(R);
+  return R;
+}
+
+bool ValueFact::disjointOffsets(const ValueFact &A, const ValueFact &B) {
+  if (A.Bottom || B.Bottom)
+    return true; // vacuous: one side is never executed
+  if (A.Hi < B.Lo || B.Hi < A.Lo)
+    return true;
+  if (A.Mod == 0 && B.Mod == 0)
+    return A.Rem != B.Rem;
+  uint64_t G = A.Mod == 0 ? B.Mod : B.Mod == 0 ? A.Mod
+                                               : std::gcd(A.Mod, B.Mod);
+  if (G >= 2)
+    return mathMod(A.Rem, G) != mathMod(B.Rem, G);
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// ValueRangeAnalysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Meet for branch refinement: any over-approximation of the intersection
+/// is sound, so intervals intersect and the stronger congruence wins.
+ValueFact meetFacts(const ValueFact &A, const ValueFact &B) {
+  ValueFact R = A;
+  R.Lo = std::max(A.Lo, B.Lo);
+  R.Hi = std::min(A.Hi, B.Hi);
+  if (A.Mod == 1 && B.Mod != 1) {
+    R.Mod = B.Mod;
+    R.Rem = B.Rem;
+  }
+  return R;
+}
+
+bool isIntCmp(Opcode Op) {
+  return Op == Opcode::CmpEQ || Op == Opcode::CmpNE || Op == Opcode::CmpLT ||
+         Op == Opcode::CmpLE || Op == Opcode::CmpGT || Op == Opcode::CmpGE;
+}
+
+} // namespace
+
+ValueRangeAnalysis::ValueRangeAnalysis(Function *F, const CFGInfo &CFG,
+                                       const DominatorTree &DT,
+                                       const LoopInfo &LI)
+    : F(F), CFG(CFG), NumRegs(F->numRegs()) {
+  EntryEnv.resize(F->numBlockIds());
+  HeaderStrideDir.resize(F->numBlockIds());
+
+  // Induction-variable stride directions per header, for directed widening.
+  for (unsigned I = 0, E = LI.numLoops(); I != E; ++I) {
+    Loop *L = LI.loop(I);
+    std::vector<int8_t> &Dir = HeaderStrideDir[L->header()->id()];
+    if (Dir.empty())
+      Dir.assign(NumRegs, 0);
+    LoopVarAnalysis Vars(F, L, DT);
+    for (const InductionVar &IV : Vars.inductionVars())
+      if (IV.Reg < NumRegs && IV.Stride != 0)
+        Dir[IV.Reg] = IV.Stride > 0 ? 1 : -1;
+  }
+
+  const std::vector<BasicBlock *> &RPO = CFG.reversePostOrder();
+  if (RPO.empty())
+    return;
+
+  // Directed widening gets a few sweeps to look for stable bounds; after
+  // FullWidenSweep every moving bound jumps to infinity, which caps the
+  // chain. MaxSweeps is a safety net (fall back to all-top, still sound).
+  constexpr unsigned FullWidenSweep = 6;
+  constexpr unsigned MaxSweeps = 40;
+
+  std::vector<unsigned> Visits(F->numBlockIds(), 0);
+  bool Changed = true;
+  while (Changed && Sweeps < MaxSweeps) {
+    ++Sweeps;
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      Env In;
+      if (BB == RPO.front()) {
+        In.assign(NumRegs, ValueFact::top());
+      } else {
+        In.assign(NumRegs, ValueFact::bottom());
+        for (BasicBlock *P : CFG.predecessors(BB)) {
+          if (!CFG.isReachable(P) || EntryEnv[P->id()].empty())
+            continue; // back edge not yet computed contributes bottom
+          Env Out = EntryEnv[P->id()];
+          for (Instruction *I : *P)
+            applyInstr(Out, I);
+          refineEdge(Out, P, BB);
+          for (unsigned R = 0; R != NumRegs; ++R)
+            In[R] = ValueFact::join(In[R], Out[R]);
+        }
+      }
+      Env &Cur = EntryEnv[BB->id()];
+      const std::vector<int8_t> &Dir = HeaderStrideDir[BB->id()];
+      bool IsHeader = !Dir.empty();
+      if (Cur.empty()) {
+        Cur = std::move(In);
+        Changed = true;
+      } else if (IsHeader && Visits[BB->id()] >= 1) {
+        for (unsigned R = 0; R != NumRegs; ++R) {
+          int SD = Sweeps >= FullWidenSweep ? 0 : int(Dir[R]);
+          ValueFact W = ValueFact::widen(Cur[R], In[R], SD);
+          if (W != Cur[R]) {
+            Cur[R] = W;
+            Changed = true;
+          }
+        }
+      } else {
+        for (unsigned R = 0; R != NumRegs; ++R) {
+          ValueFact J = ValueFact::join(Cur[R], In[R]);
+          if (J != Cur[R]) {
+            Cur[R] = J;
+            Changed = true;
+          }
+        }
+      }
+      ++Visits[BB->id()];
+    }
+  }
+  if (Changed) {
+    // Did not converge within the sweep budget: give up soundly.
+    for (BasicBlock *BB : RPO)
+      EntryEnv[BB->id()].assign(NumRegs, ValueFact::top());
+  }
+}
+
+ValueFact ValueRangeAnalysis::evalOperand(const Env &E,
+                                          const Operand &O) const {
+  switch (O.kind()) {
+  case Operand::Kind::Reg:
+    return O.regId() < E.size() ? E[O.regId()] : ValueFact::top();
+  case Operand::Kind::ImmInt:
+    return ValueFact::constant(O.intValue());
+  case Operand::Kind::ImmFloat:
+    return ValueFact::top();
+  case Operand::Kind::Global:
+    return ValueFact::baseOnly(ValueFact::Base::Global, O.globalIndex());
+  }
+  return ValueFact::top();
+}
+
+void ValueRangeAnalysis::killBaseRefs(Env &E, unsigned Reg) const {
+  for (ValueFact &F2 : E)
+    if (!F2.Bottom && F2.BaseKind == ValueFact::Base::Reg && F2.BaseId == Reg)
+      F2 = ValueFact::top();
+}
+
+void ValueRangeAnalysis::applyInstr(Env &E, const Instruction *I) const {
+  if (!I->hasDest())
+    return;
+  unsigned Dst = I->dest();
+  if (Dst >= E.size())
+    return;
+  ValueFact New = ValueFact::top();
+  auto Op = [&](unsigned Idx) { return evalOperand(E, I->operand(Idx)); };
+  switch (I->opcode()) {
+  case Opcode::Mov:
+    New = Op(0);
+    break;
+  case Opcode::Add:
+    New = ValueFact::add(Op(0), Op(1));
+    break;
+  case Opcode::Sub:
+    New = ValueFact::sub(Op(0), Op(1));
+    break;
+  case Opcode::Mul:
+    New = ValueFact::mul(Op(0), Op(1));
+    break;
+  case Opcode::Shl: {
+    ValueFact B = Op(1);
+    if (B.isConstant() && B.Lo >= 0 && B.Lo < 63)
+      New = ValueFact::mul(Op(0), ValueFact::constant(int64_t(1) << B.Lo));
+    break;
+  }
+  case Opcode::Div: {
+    ValueFact A = Op(0), B = Op(1);
+    if (B.isConstant() && B.Lo > 0 && A.BaseKind == ValueFact::Base::None &&
+        !A.Bottom && A.Lo != NegInf && A.Hi != Inf) {
+      New.Bottom = false;
+      New.Lo = A.Lo / B.Lo; // trunc division is monotone for B.Lo > 0
+      New.Hi = A.Hi / B.Lo;
+      New.Mod = 1;
+      New.Rem = 0;
+      if (New.Lo == New.Hi) {
+        New.Mod = 0;
+        New.Rem = New.Lo;
+      }
+    }
+    break;
+  }
+  case Opcode::Rem: {
+    ValueFact A = Op(0), B = Op(1);
+    if (B.isConstant() && B.Lo > 0 && A.BaseKind == ValueFact::Base::None &&
+        !A.Bottom) {
+      New.Bottom = false;
+      New.Lo = A.Lo >= 0 ? 0 : -(B.Lo - 1);
+      New.Hi = B.Lo - 1;
+      New.Mod = 1;
+      New.Rem = 0;
+      // If the divisor divides the dividend's modulus and the dividend is
+      // non-negative, the remainder is exactly Rem mod divisor.
+      if (A.Lo >= 0 && A.Mod % uint64_t(B.Lo) == 0) {
+        New.Mod = 0;
+        New.Rem = int64_t(mathMod(A.Rem, uint64_t(B.Lo)));
+        New.Lo = New.Hi = New.Rem;
+      }
+    }
+    break;
+  }
+  case Opcode::And: {
+    ValueFact A = Op(0), B = Op(1);
+    const ValueFact *Mask =
+        A.isConstant() && A.Lo >= 0 ? &A : B.isConstant() && B.Lo >= 0 ? &B
+                                                                       : nullptr;
+    if (Mask) {
+      const ValueFact &X = Mask == &A ? B : A;
+      if (X.isConstant()) {
+        New = ValueFact::constant(X.Lo & Mask->Lo);
+      } else {
+        New.Bottom = false;
+        New.Lo = 0;
+        New.Hi = Mask->Lo;
+        New.Mod = 1;
+        New.Rem = 0;
+      }
+    }
+    break;
+  }
+  case Opcode::Or: {
+    ValueFact A = Op(0), B = Op(1);
+    if (A.isConstant() && B.isConstant())
+      New = ValueFact::constant(A.Lo | B.Lo);
+    break;
+  }
+  case Opcode::Xor: {
+    ValueFact A = Op(0), B = Op(1);
+    if (A.isConstant() && B.isConstant())
+      New = ValueFact::constant(A.Lo ^ B.Lo);
+    break;
+  }
+  case Opcode::Shr: {
+    ValueFact A = Op(0), B = Op(1);
+    if (A.isConstant() && B.isConstant() && B.Lo >= 0 && B.Lo < 64)
+      New = ValueFact::constant(int64_t(uint64_t(A.Lo) >> B.Lo));
+    break;
+  }
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE: {
+    ValueFact A = Op(0), B = Op(1);
+    int Decided = -1;
+    if (!A.Bottom && !B.Bottom && A.sameBase(B)) {
+      bool AlwaysLT = A.Hi != Inf && B.Lo != NegInf && A.Hi < B.Lo;
+      bool AlwaysGE = A.Lo >= B.Hi && A.Lo != NegInf && B.Hi != Inf;
+      bool AlwaysLE = A.Hi <= B.Lo && A.Hi != Inf && B.Lo != NegInf;
+      bool AlwaysGT = A.Lo != NegInf && B.Hi != Inf && A.Lo > B.Hi;
+      bool NeverEQ = ValueFact::disjointOffsets(A, B);
+      bool AlwaysEQ = A.isConstant() && B.isConstant() && A.Lo == B.Lo &&
+                      A.BaseKind == ValueFact::Base::None;
+      switch (I->opcode()) {
+      case Opcode::CmpEQ:
+        Decided = AlwaysEQ ? 1 : NeverEQ ? 0 : -1;
+        break;
+      case Opcode::CmpNE:
+        Decided = AlwaysEQ ? 0 : NeverEQ ? 1 : -1;
+        break;
+      case Opcode::CmpLT:
+        Decided = AlwaysLT ? 1 : AlwaysGE ? 0 : -1;
+        break;
+      case Opcode::CmpLE:
+        Decided = AlwaysLE ? 1 : AlwaysGT ? 0 : -1;
+        break;
+      case Opcode::CmpGT:
+        Decided = AlwaysGT ? 1 : AlwaysLE ? 0 : -1;
+        break;
+      case Opcode::CmpGE:
+        Decided = AlwaysGE ? 1 : AlwaysLT ? 0 : -1;
+        break;
+      default:
+        break;
+      }
+    }
+    if (Decided >= 0) {
+      New = ValueFact::constant(Decided);
+    } else {
+      New.Bottom = false;
+      New.Lo = 0;
+      New.Hi = 1;
+      New.Mod = 1;
+      New.Rem = 0;
+    }
+    break;
+  }
+  case Opcode::Load:
+  case Opcode::Call:
+  case Opcode::Alloca:
+  case Opcode::HeapAlloc:
+    // Opaque definition: the result becomes its own symbol, valid until
+    // this register's next definition (the kill rule below).
+    New = ValueFact::baseOnly(ValueFact::Base::Reg, Dst);
+    break;
+  default:
+    break; // floating point, conversions: top
+  }
+  killBaseRefs(E, Dst);
+  E[Dst] = New;
+}
+
+void ValueRangeAnalysis::refineEdge(Env &E, const BasicBlock *Pred,
+                                    const BasicBlock *Succ) const {
+  const Instruction *T = Pred->terminator();
+  if (!T || T->opcode() != Opcode::CondBr || T->target1() == T->target2())
+    return;
+  if (T->numOperands() < 1 || !T->operand(0).isReg())
+    return;
+  unsigned CondReg = T->operand(0).regId();
+  // Reaching definition of the condition inside this block.
+  const Instruction *Cmp = nullptr;
+  unsigned CmpIdx = 0;
+  for (unsigned Idx = Pred->size(); Idx-- > 0;) {
+    const Instruction *I = Pred->instr(Idx);
+    if (I != T && I->hasDest() && I->dest() == CondReg) {
+      Cmp = I;
+      CmpIdx = Idx;
+      break;
+    }
+  }
+  if (!Cmp || !isIntCmp(Cmp->opcode()) || Cmp->numOperands() < 2)
+    return;
+  bool TrueEdge = Succ == T->target1();
+
+  // Normalize to LT/LE/EQ/NE over (X, Y), flipping for the false edge.
+  Opcode Op = Cmp->opcode();
+  Operand X = Cmp->operand(0), Y = Cmp->operand(1);
+  if (!TrueEdge) {
+    switch (Op) {
+    case Opcode::CmpEQ:
+      Op = Opcode::CmpNE;
+      break;
+    case Opcode::CmpNE:
+      Op = Opcode::CmpEQ;
+      break;
+    case Opcode::CmpLT:
+      Op = Opcode::CmpGE;
+      break;
+    case Opcode::CmpLE:
+      Op = Opcode::CmpGT;
+      break;
+    case Opcode::CmpGT:
+      Op = Opcode::CmpLE;
+      break;
+    case Opcode::CmpGE:
+      Op = Opcode::CmpLT;
+      break;
+    default:
+      return;
+    }
+  }
+  if (Op == Opcode::CmpGT) { // X > Y  <=>  Y < X
+    std::swap(X, Y);
+    Op = Opcode::CmpLT;
+  } else if (Op == Opcode::CmpGE) { // X >= Y  <=>  Y <= X
+    std::swap(X, Y);
+    Op = Opcode::CmpLE;
+  }
+
+  // The constraint speaks about the values X and Y held *at the compare*;
+  // a redefinition between the compare and the branch invalidates it.
+  auto RedefinedAfterCmp = [&](const Operand &O) {
+    if (!O.isReg())
+      return false;
+    for (unsigned Idx = CmpIdx + 1; Idx < Pred->size(); ++Idx) {
+      const Instruction *I = Pred->instr(Idx);
+      if (I->hasDest() && I->dest() == O.regId())
+        return true;
+    }
+    return false;
+  };
+  if (RedefinedAfterCmp(X) || RedefinedAfterCmp(Y))
+    return;
+
+  ValueFact FX = evalOperand(E, X);
+  ValueFact FY = evalOperand(E, Y);
+  if (FX.Bottom || FY.Bottom || !FX.sameBase(FY))
+    return;
+
+  auto Refine = [&](const Operand &O, const ValueFact &NewF) {
+    if (O.isReg() && O.regId() < E.size())
+      E[O.regId()] = NewF;
+  };
+
+  switch (Op) {
+  case Opcode::CmpLT: // X < Y
+    if (FY.Hi != Inf && FY.Hi != NegInf) {
+      ValueFact R = FX;
+      R.Hi = std::min(FX.Hi, FY.Hi - 1);
+      Refine(X, R);
+    }
+    if (FX.Lo != NegInf && FX.Lo != Inf) {
+      ValueFact R = FY;
+      R.Lo = std::max(FY.Lo, FX.Lo + 1);
+      Refine(Y, R);
+    }
+    break;
+  case Opcode::CmpLE: // X <= Y
+    if (FY.Hi != Inf) {
+      ValueFact R = FX;
+      R.Hi = std::min(FX.Hi, FY.Hi);
+      Refine(X, R);
+    }
+    if (FX.Lo != NegInf) {
+      ValueFact R = FY;
+      R.Lo = std::max(FY.Lo, FX.Lo);
+      Refine(Y, R);
+    }
+    break;
+  case Opcode::CmpEQ: // X == Y
+    Refine(X, meetFacts(FX, FY));
+    Refine(Y, meetFacts(FY, FX));
+    break;
+  case Opcode::CmpNE: // X != Y: trim matching endpoints
+    if (FY.isConstant()) {
+      ValueFact R = FX;
+      if (R.Lo == FY.Lo && R.Lo != Inf)
+        R.Lo += 1;
+      if (R.Hi == FY.Lo && R.Hi != NegInf)
+        R.Hi -= 1;
+      Refine(X, R);
+    }
+    if (FX.isConstant()) {
+      ValueFact R = FY;
+      if (R.Lo == FX.Lo && R.Lo != Inf)
+        R.Lo += 1;
+      if (R.Hi == FX.Lo && R.Hi != NegInf)
+        R.Hi -= 1;
+      Refine(Y, R);
+    }
+    break;
+  default:
+    break;
+  }
+}
+
+ValueFact ValueRangeAnalysis::factFor(const Instruction *I,
+                                      const Operand &O) const {
+  const BasicBlock *BB = I->parent();
+  assert(BB && BB->parent() == F && "instruction outside analyzed function");
+  if (BB->id() >= EntryEnv.size() || EntryEnv[BB->id()].empty())
+    return ValueFact::top(); // unreachable block: no claims
+  Env E = EntryEnv[BB->id()];
+  for (const Instruction *J : *BB) {
+    if (J == I)
+      break;
+    applyInstr(E, J);
+  }
+  return evalOperand(E, O);
+}
+
+ValueFact ValueRangeAnalysis::factAtEntry(const BasicBlock *BB,
+                                          unsigned Reg) const {
+  if (BB->id() >= EntryEnv.size() || EntryEnv[BB->id()].empty() ||
+      Reg >= EntryEnv[BB->id()].size())
+    return ValueFact::top();
+  return EntryEnv[BB->id()][Reg];
+}

@@ -1,0 +1,173 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value-range / congruence abstract interpretation over the registers of
+/// one function. Each register is mapped, per program point, to a fact
+///
+///     value = Base + d,   d in [Lo, Hi],   d ≡ Rem (mod Mod)
+///
+/// where Base is absent (plain integer), a global's runtime base address,
+/// or the (opaque) value a specific register held at its defining
+/// instruction. The dependence analysis consumes these facts to disprove
+/// aliasing pairs the ZIV/SIV strided tests keep: two addresses off the
+/// same base whose offset intervals are disjoint, or whose congruence
+/// classes never meet, can never collide — in *any* pair of iterations,
+/// because a fixpoint fact at a program point covers every execution of
+/// that point.
+///
+/// The interpretation runs forward over the reverse post order with
+/// interval widening at loop headers. Widening is stride-directed: a
+/// basic induction variable (seeded from LoopVars) only widens toward the
+/// sign of its stride, so `i = 0; i += 2` keeps `i >= 0, i even` without
+/// needing a guard. Branch refinement on conditional edges recovers upper
+/// bounds the widening discarded (`i < 64` guards reconstruct [0,63]).
+/// Congruence facts join by gcd and need no widening (gcd chains are
+/// finite).
+///
+/// Soundness of symbolic bases: a Base of Reg(r) names the value r held
+/// when the fact's defining instruction executed. Any redefinition of r
+/// demotes every fact that references it (the "kill rule"), so two facts
+/// over the same Reg base observed at the same program point always speak
+/// about the same runtime value. Clients that compare facts *across*
+/// program points (the dependence analysis compares two accesses of a
+/// loop) must additionally check the base register is loop-invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_ANALYSIS_VALUERANGE_H
+#define HELIX_ANALYSIS_VALUERANGE_H
+
+#include "analysis/LoopInfo.h"
+#include "ir/CFG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace helix {
+
+/// One register's abstract value at a program point.
+struct ValueFact {
+  enum class Base : uint8_t { None, Reg, Global };
+
+  /// No execution reaches this point with the register defined this way.
+  bool Bottom = true;
+  Base BaseKind = Base::None;
+  unsigned BaseId = 0; ///< register id or global index
+  /// Saturating interval of value - base.
+  int64_t Lo = INT64_MIN;
+  int64_t Hi = INT64_MAX;
+  /// value - base ≡ Rem (mod Mod). Mod == 0: exactly Rem (singleton
+  /// congruence); Mod == 1: no congruence information; Mod >= 2: a real
+  /// residue class with Rem normalized into [0, Mod).
+  uint64_t Mod = 1;
+  int64_t Rem = 0;
+
+  static ValueFact bottom() { return ValueFact(); }
+  static ValueFact top() {
+    ValueFact F;
+    F.Bottom = false;
+    return F;
+  }
+  static ValueFact constant(int64_t C) {
+    ValueFact F;
+    F.Bottom = false;
+    F.Lo = F.Hi = C;
+    F.Mod = 0;
+    F.Rem = C;
+    return F;
+  }
+  /// Base + 0 exactly (global bases, self-symbolic opaque definitions).
+  static ValueFact baseOnly(Base B, unsigned Id) {
+    ValueFact F = constant(0);
+    F.BaseKind = B;
+    F.BaseId = Id;
+    return F;
+  }
+
+  bool isTop() const {
+    return !Bottom && BaseKind == Base::None && Lo == INT64_MIN &&
+           Hi == INT64_MAX && Mod == 1;
+  }
+  bool isConstant() const {
+    return !Bottom && BaseKind == Base::None && Lo == Hi;
+  }
+  bool sameBase(const ValueFact &O) const {
+    return BaseKind == O.BaseKind &&
+           (BaseKind == Base::None || BaseId == O.BaseId);
+  }
+
+  bool operator==(const ValueFact &O) const {
+    if (Bottom != O.Bottom)
+      return false;
+    if (Bottom)
+      return true;
+    return BaseKind == O.BaseKind && BaseId == O.BaseId && Lo == O.Lo &&
+           Hi == O.Hi && Mod == O.Mod && Rem == O.Rem;
+  }
+  bool operator!=(const ValueFact &O) const { return !(*this == O); }
+
+  /// Least upper bound (interval hull, gcd congruence). Joining facts over
+  /// different bases loses everything (top).
+  static ValueFact join(const ValueFact &A, const ValueFact &B);
+  /// Widened join applied at loop headers: interval bounds that still move
+  /// jump to ±inf. \p StrideDir biases the jump: > 0 widens only the upper
+  /// bound, < 0 only the lower (induction-variable seeding), 0 both.
+  static ValueFact widen(const ValueFact &Old, const ValueFact &New,
+                         int StrideDir);
+
+  // Transfer arithmetic (saturating; overflow demotes to top).
+  static ValueFact add(const ValueFact &A, const ValueFact &B);
+  static ValueFact sub(const ValueFact &A, const ValueFact &B);
+  static ValueFact mul(const ValueFact &A, const ValueFact &B);
+
+  /// True when no concrete (base + d) of A can equal one of B *given that
+  /// both facts are relative to the same runtime base value*: disjoint
+  /// offset intervals or incompatible congruence classes. The caller is
+  /// responsible for base identity (see file comment).
+  static bool disjointOffsets(const ValueFact &A, const ValueFact &B);
+};
+
+/// Function-scoped value-range analysis: block-entry environments for every
+/// reachable block, with per-use queries replaying the block prefix.
+class ValueRangeAnalysis {
+public:
+  ValueRangeAnalysis(Function *F, const CFGInfo &CFG, const DominatorTree &DT,
+                     const LoopInfo &LI);
+
+  Function *function() const { return F; }
+
+  /// The abstract value operand \p O carries into instruction \p I (facts
+  /// are observed immediately before \p I executes). \p I must belong to a
+  /// reachable block of the analyzed function.
+  ValueFact factFor(const Instruction *I, const Operand &O) const;
+
+  /// Block-entry fact for a register (mostly for tests).
+  ValueFact factAtEntry(const BasicBlock *BB, unsigned Reg) const;
+
+  /// Number of fixpoint sweeps the construction took (determinism probes).
+  unsigned sweepCount() const { return Sweeps; }
+
+private:
+  using Env = std::vector<ValueFact>;
+
+  ValueFact evalOperand(const Env &E, const Operand &O) const;
+  void applyInstr(Env &E, const Instruction *I) const;
+  void killBaseRefs(Env &E, unsigned Reg) const;
+  /// Refines \p E along the CFG edge Pred -> Succ using Pred's terminator.
+  void refineEdge(Env &E, const BasicBlock *Pred, const BasicBlock *Succ) const;
+
+  Function *F;
+  const CFGInfo &CFG;
+  unsigned NumRegs;
+  /// Block-entry environments indexed by block id (empty = unreachable).
+  std::vector<Env> EntryEnv;
+  /// Stride direction per register for header widening: +1 / -1 for basic
+  /// induction variables of the loop headed there, 0 otherwise. Indexed
+  /// [block id][reg].
+  std::vector<std::vector<int8_t>> HeaderStrideDir;
+  unsigned Sweeps = 0;
+};
+
+} // namespace helix
+
+#endif // HELIX_ANALYSIS_VALUERANGE_H

@@ -1,0 +1,256 @@
+#include "check/DepAudit.h"
+
+#include "ir/Module.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace helix;
+
+DepWitnessObserver::DepWitnessObserver(
+    const std::vector<const ParallelLoopInfo *> &PLIs) {
+  for (const ParallelLoopInfo *PLI : PLIs) {
+    LoopWitnesses LW;
+    LW.PLI = PLI;
+    Loops.push_back(std::move(LW));
+  }
+}
+
+void DepWitnessObserver::endInvocation() {
+  Active = -1;
+  CurCall = nullptr;
+  LastWrite.clear();
+  LastRead.clear();
+}
+
+void DepWitnessObserver::recordAccess(const Instruction *Endpoint,
+                                      uint64_t Addr, bool IsWrite) {
+  // Boundary-variable slots carry *register* dependences (ViaMemory =
+  // false), synchronized through their own segments — not D_data ground
+  // truth.
+  if (StorageBase && Addr >= StorageBase && Addr < StorageEnd)
+    return;
+  LoopWitnesses &LW = Loops[Active];
+  ++LW.AccessesRecorded;
+
+  auto Witness = [&](const Access &Prev, DepKind Kind) {
+    if (Prev.Iter == CurIter)
+      return; // intra-iteration: no synchronization required
+    if (!SeenPairs.insert({Prev.I, Endpoint, Kind}).second)
+      return;
+    DepWitness W;
+    W.Src = Prev.I;
+    W.Dst = Endpoint;
+    W.Kind = Kind;
+    W.Addr = Addr;
+    W.SrcIter = Prev.Iter;
+    W.DstIter = CurIter;
+    LW.Witnesses.push_back(W);
+  };
+
+  if (IsWrite) {
+    auto WIt = LastWrite.find(Addr);
+    if (WIt != LastWrite.end())
+      Witness(WIt->second, DepKind::WAW);
+    auto RIt = LastRead.find(Addr);
+    if (RIt != LastRead.end())
+      Witness(RIt->second, DepKind::WAR);
+    LastWrite[Addr] = {CurIter, Endpoint};
+  } else {
+    auto WIt = LastWrite.find(Addr);
+    if (WIt != LastWrite.end())
+      Witness(WIt->second, DepKind::RAW);
+    LastRead[Addr] = {CurIter, Endpoint};
+  }
+}
+
+void DepWitnessObserver::onInstruction(const Instruction *I, unsigned Cycles,
+                                       ExecState &State) {
+  (void)Cycles;
+  if (Active < 0)
+    return;
+  const ParallelLoopInfo *PLI = Loops[Active].PLI;
+  unsigned Depth = State.callDepth();
+
+  if (Depth == ActiveDepth) {
+    if (State.currentFunction() != PLI->F)
+      return;
+    CurCall = nullptr; // any pending loop-level call has returned
+    switch (I->opcode()) {
+    case Opcode::Ret:
+      // The loop's frame returns from inside the loop (no exit edge will
+      // fire in this frame). Reported before transferring, so close now.
+      endInvocation();
+      return;
+    case Opcode::Load: {
+      // Non-control instructions report after executing: a load that
+      // clobbers its own address register loses the address.
+      const Operand &AddrOp = I->operand(0);
+      if (I->hasDest() && AddrOp.isReg() && AddrOp.regId() == I->dest()) {
+        ++Loops[Active].AccessesSkipped;
+        return;
+      }
+      recordAccess(I, uint64_t(State.operandValue(AddrOp).asInt()), false);
+      return;
+    }
+    case Opcode::Store:
+      recordAccess(I, uint64_t(State.operandValue(I->operand(1)).asInt()),
+                   true);
+      return;
+    default:
+      if (I->isCall())
+        CurCall = I; // reported before transferring: deeper events follow
+      return;
+    }
+  }
+
+  // Deeper frame: attribute to the loop-level call being executed. Callee
+  // stack addresses are excluded — those alloca regions are freed on
+  // return and reused, so equal addresses across iterations are usually
+  // different (dead) objects.
+  if (Depth > ActiveDepth && CurCall) {
+    uint64_t Addr;
+    bool IsWrite;
+    if (I->opcode() == Opcode::Load) {
+      const Operand &AddrOp = I->operand(0);
+      if (I->hasDest() && AddrOp.isReg() && AddrOp.regId() == I->dest()) {
+        ++Loops[Active].AccessesSkipped;
+        return;
+      }
+      Addr = uint64_t(State.operandValue(AddrOp).asInt());
+      IsWrite = false;
+    } else if (I->opcode() == Opcode::Store) {
+      Addr = uint64_t(State.operandValue(I->operand(1)).asInt());
+      IsWrite = true;
+    } else {
+      return;
+    }
+    if (Addr >= ExecStackBase) {
+      ++Loops[Active].AccessesSkipped;
+      return;
+    }
+    recordAccess(CurCall, Addr, IsWrite);
+  }
+}
+
+void DepWitnessObserver::onEdge(const BasicBlock *From, const BasicBlock *To,
+                                ExecState &State) {
+  if (Active >= 0) {
+    const ParallelLoopInfo *PLI = Loops[Active].PLI;
+    if (State.callDepth() != ActiveDepth ||
+        State.currentFunction() != PLI->F)
+      return;
+    CurCall = nullptr;
+    if (From == PLI->Latch && To == PLI->Header) {
+      ++CurIter;
+      return;
+    }
+    if (PLI->contains(From) && !PLI->contains(To))
+      endInvocation();
+    return;
+  }
+
+  // No active invocation: does this edge enter a parallelized loop?
+  for (unsigned K = 0, E = unsigned(Loops.size()); K != E; ++K) {
+    const ParallelLoopInfo *PLI = Loops[K].PLI;
+    if (State.currentFunction() != PLI->F)
+      continue;
+    if (To != PLI->Header || PLI->contains(From))
+      continue;
+    Active = int(K);
+    ActiveDepth = State.callDepth();
+    CurIter = 0;
+    CurCall = nullptr;
+    LastWrite.clear();
+    LastRead.clear();
+    ++Loops[K].Invocations;
+    if (PLI->StorageGlobal != ~0u) {
+      StorageBase = State.globalBase(PLI->StorageGlobal);
+      StorageEnd = StorageBase +
+                   PLI->F->parent()->global(PLI->StorageGlobal).Size;
+    } else {
+      StorageBase = StorageEnd = 0;
+    }
+    return;
+  }
+}
+
+namespace {
+
+const char *depKindName(DepKind K) {
+  switch (K) {
+  case DepKind::RAW:
+    return "RAW";
+  case DepKind::WAR:
+    return "WAR";
+  case DepKind::WAW:
+    return "WAW";
+  }
+  return "?";
+}
+
+/// "opcode@block#idx" — stable across runs (block names and instruction
+/// positions survive cloning; addresses do not participate).
+std::string locate(const Instruction *I) {
+  const BasicBlock *BB = I->parent();
+  return formatStr("%s@%s#%u", opcodeName(I->opcode()), BB->name().c_str(),
+                   BB->indexOf(I));
+}
+
+bool containsI(const std::vector<Instruction *> &V, const Instruction *I) {
+  return std::find(V.begin(), V.end(), I) != V.end();
+}
+
+} // namespace
+
+DepAuditResult helix::auditDependences(const DepWitnessObserver &Obs) {
+  DepAuditResult R;
+  for (const LoopWitnesses &LW : Obs.witnesses()) {
+    if (LW.Invocations == 0)
+      continue; // never ran: nothing witnessed, nothing judgeable
+    const ParallelLoopInfo *PLI = LW.PLI;
+    ++R.LoopsAudited;
+    R.InvocationsSeen += LW.Invocations;
+
+    std::vector<const DataDependence *> MemDeps;
+    for (const DataDependence &D : PLI->Deps)
+      if (D.ViaMemory)
+        MemDeps.push_back(&D);
+    R.StaticMemDeps += unsigned(MemDeps.size());
+    std::vector<bool> Hit(MemDeps.size(), false);
+
+    for (const DepWitness &W : LW.Witnesses) {
+      ++R.WitnessedDeps;
+      // Covered iff some synchronized memory dependence has the witnessed
+      // endpoints — in either orientation: the static pair loop emits each
+      // unordered pair once, while the runtime orientation depends on
+      // which endpoint ran in the earlier iteration.
+      bool Covered = false;
+      for (unsigned K = 0, E = unsigned(MemDeps.size()); K != E; ++K) {
+        const DataDependence &D = *MemDeps[K];
+        if ((containsI(D.Srcs, W.Src) && containsI(D.Dsts, W.Dst)) ||
+            (containsI(D.Srcs, W.Dst) && containsI(D.Dsts, W.Src))) {
+          Covered = true;
+          Hit[K] = true; // keep scanning: credit every covering dep
+        }
+      }
+      if (Covered) {
+        ++R.CoveredDeps;
+      } else {
+        ++R.UncoveredDeps;
+        R.Diags.push_back(formatStr(
+            "dep-unsound @%s: witnessed %s %s (iter %llu) -> %s (iter "
+            "%llu) at addr %llu not covered by any synchronized memory "
+            "dependence",
+            PLI->F->name().c_str(), depKindName(W.Kind),
+            locate(W.Src).c_str(), (unsigned long long)W.SrcIter,
+            locate(W.Dst).c_str(), (unsigned long long)W.DstIter,
+            (unsigned long long)W.Addr));
+      }
+    }
+    for (bool H : Hit)
+      if (!H)
+        ++R.StaticUnwitnessed;
+  }
+  return R;
+}

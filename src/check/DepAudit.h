@@ -1,0 +1,147 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic-witness soundness audit for the HELIX dependence graph. The
+/// static DDG (analysis/DataDependence + analysis/ValueRange) *prunes*
+/// pairs it proves independent; every pruning decision is a soundness
+/// bet. This audit collects the ground truth on the side: while the
+/// transformed module runs its sequential leg, a DepWitnessObserver
+/// records the cross-iteration memory dependences that *actually
+/// happened* (last-writer / last-reader tables keyed on address), and
+/// auditDependences then asserts that every witnessed loop-carried
+/// dependence is covered by some ViaMemory dependence the transform
+/// synchronized. An uncovered witness is a DDG soundness bug — the
+/// parallel execution could race on that address pair.
+///
+/// The converse direction is reported as precision, not error: static
+/// memory dependences never witnessed at runtime are the cost of
+/// conservatism (they bought a sequential segment a sharper analysis
+/// could have avoided).
+///
+/// Scope and exclusions (all make the audit *weaker*, never unsound —
+/// skipping an access can only lose witnesses, not invent them):
+///   - Only the outermost active parallelized loop is audited at any
+///     moment, mirroring TraceCollector (HELIX Step 9 runs one loop in
+///     parallel at a time; dynamically nested invocations execute
+///     sequentially inside an iteration).
+///   - Boundary-variable slots (the loop's StorageGlobal) are excluded:
+///     those loads/stores materialize *register* dependences the
+///     transform synchronizes separately (ViaMemory = false).
+///   - Stack addresses touched by frames deeper than the loop's are
+///     excluded: callee alloca regions are freed on return and reused by
+///     the next call, so equal addresses across iterations are usually
+///     different (dead) objects — and iteration threads have private
+///     stacks in the threaded runtime anyway. Loop-frame stack accesses
+///     (live across iterations by construction) are kept.
+///   - Accesses inside callee frames are attributed to the loop-level
+///     Call instruction currently executing — the same endpoint the
+///     static analysis uses for callee effects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HELIX_CHECK_DEPAUDIT_H
+#define HELIX_CHECK_DEPAUDIT_H
+
+#include "exec/ExecEngine.h"
+#include "helix/ParallelLoopInfo.h"
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+namespace helix {
+
+/// One witnessed cross-iteration memory dependence: \p Src executed in an
+/// earlier iteration than \p Dst and both touched \p Addr (with at least
+/// one writing). Deduplicated per (Src, Dst, Kind); the recorded
+/// address/iterations are those of the first witness.
+struct DepWitness {
+  const Instruction *Src = nullptr;
+  const Instruction *Dst = nullptr;
+  DepKind Kind = DepKind::RAW; ///< RAW: Src wrote, Dst read. WAR: Src
+                               ///< read, Dst wrote. WAW: both wrote.
+  uint64_t Addr = 0;
+  uint64_t SrcIter = 0;
+  uint64_t DstIter = 0;
+};
+
+/// Everything witnessed for one parallelized loop across the run.
+struct LoopWitnesses {
+  const ParallelLoopInfo *PLI = nullptr;
+  /// First-occurrence order — deterministic because the sequential leg is.
+  std::vector<DepWitness> Witnesses;
+  uint64_t Invocations = 0;
+  uint64_t AccessesRecorded = 0;
+  /// Accesses the audit declined to track (deeper-frame stack addresses,
+  /// loads whose destination clobbered their own address register).
+  uint64_t AccessesSkipped = 0;
+};
+
+/// ExecObserver recording actual cross-iteration memory dependences of a
+/// set of parallelized loops during one sequential run. Attach to the
+/// transformed-sequential leg (chain with the TraceCollector through
+/// FanoutObserver — the interpreter holds a single observer slot).
+class DepWitnessObserver : public ExecObserver {
+public:
+  explicit DepWitnessObserver(
+      const std::vector<const ParallelLoopInfo *> &Loops);
+
+  void onInstruction(const Instruction *I, unsigned Cycles,
+                     ExecState &State) override;
+  void onEdge(const BasicBlock *From, const BasicBlock *To,
+              ExecState &State) override;
+
+  const std::vector<LoopWitnesses> &witnesses() const { return Loops; }
+
+private:
+  void recordAccess(const Instruction *Endpoint, uint64_t Addr, bool IsWrite);
+  void endInvocation();
+
+  std::vector<LoopWitnesses> Loops;
+
+  // Active invocation state (mirrors TraceCollector's state machine).
+  int Active = -1; ///< index into Loops, or -1
+  unsigned ActiveDepth = 0;
+  uint64_t CurIter = 0;
+  /// Loop-level Call currently executing; deeper-frame accesses attribute
+  /// here. Cleared by the next loop-level instruction or edge.
+  const Instruction *CurCall = nullptr;
+  uint64_t StorageBase = 0, StorageEnd = 0;
+
+  struct Access {
+    uint64_t Iter = 0;
+    const Instruction *I = nullptr;
+  };
+  /// Per-address last access tables of the active invocation.
+  std::unordered_map<uint64_t, Access> LastWrite, LastRead;
+  /// Membership-only dedupe of witnessed (Src, Dst, Kind) triples; never
+  /// iterated, so pointer keys cannot perturb output order.
+  std::set<std::tuple<const Instruction *, const Instruction *, DepKind>>
+      SeenPairs;
+};
+
+/// Verdict of one audit pass over the witnesses of a run.
+struct DepAuditResult {
+  unsigned LoopsAudited = 0; ///< loops with at least one invocation
+  uint64_t InvocationsSeen = 0;
+  unsigned WitnessedDeps = 0; ///< distinct witnessed endpoint pairs
+  unsigned CoveredDeps = 0;   ///< witnessed and synchronized — sound
+  unsigned UncoveredDeps = 0; ///< witnessed but NOT in D_data — unsound
+  unsigned StaticMemDeps = 0; ///< ViaMemory deps of the audited loops
+  /// Static memory deps no witness ever hit: the precision gap (each is a
+  /// sequential segment a sharper DDG could have avoided).
+  unsigned StaticUnwitnessed = 0;
+  /// Rendered uncovered witnesses, in witness order.
+  std::vector<std::string> Diags;
+
+  bool sound() const { return UncoveredDeps == 0; }
+};
+
+/// Audits every loop's witnesses against its synchronized dependence set.
+DepAuditResult auditDependences(const DepWitnessObserver &Obs);
+
+} // namespace helix
+
+#endif // HELIX_CHECK_DEPAUDIT_H

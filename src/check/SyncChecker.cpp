@@ -379,7 +379,11 @@ SyncCheckResult helix::checkLoopSync(AnalysisManager &AM,
   LoopVarAnalysis Vars(F, L, DT);
   const PointsToAnalysis &PT = AM.get<PointsToAnalysis>();
   const MemEffects &ME = AM.get<MemEffects>();
-  LoopDependenceAnalysis DDA(F, L, CFG, DT, LV, Vars, PT, ME);
+  // The re-derived set must prune exactly like the transform's Step 2 did
+  // (value-range refinement included), or pairs the transform legitimately
+  // disproved would surface here as missing coverage.
+  const ValueRangeAnalysis &VR = AM.get<ValueRangeAnalysis>(F);
+  LoopDependenceAnalysis DDA(F, L, CFG, DT, LV, Vars, PT, ME, &VR);
   const std::vector<DataDependence> &Deps = DDA.toSynchronize();
   R.DepsChecked = unsigned(Deps.size());
 

@@ -93,6 +93,29 @@ public:
   }
 };
 
+/// Forwards every event to two observers, in order. Engines hold a single
+/// observer slot; legs that need both tracing and dependence-witness
+/// collection chain through this.
+class FanoutObserver : public ExecObserver {
+public:
+  FanoutObserver(ExecObserver &First, ExecObserver &Second)
+      : A(First), B(Second) {}
+  void onInstruction(const Instruction *I, unsigned Cycles,
+                     ExecState &State) override {
+    A.onInstruction(I, Cycles, State);
+    B.onInstruction(I, Cycles, State);
+  }
+  void onEdge(const BasicBlock *From, const BasicBlock *To,
+              ExecState &State) override {
+    A.onEdge(From, To, State);
+    B.onEdge(From, To, State);
+  }
+
+private:
+  ExecObserver &A;
+  ExecObserver &B;
+};
+
 //===----------------------------------------------------------------------===//
 // Execution context and memory models
 //===----------------------------------------------------------------------===//

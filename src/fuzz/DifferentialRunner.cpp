@@ -1,6 +1,7 @@
 #include "fuzz/DifferentialRunner.h"
 
 #include "analysis/LoopInfo.h"
+#include "check/DepAudit.h"
 #include "check/SyncChecker.h"
 #include "exec/ExecLimits.h"
 #include "helix/HelixTransform.h"
@@ -218,18 +219,42 @@ DiffOutcome helix::runDifferential(const Module &M, const DiffConfig &C) {
   uint64_t LegBudget = ExecLimits::hangBudget(C.MaxInstructions);
 
   // --- Leg 2: transformed module, sequential semantics (Step 9), with
-  // --- traces for the simulator sanity check. ----------------------------
+  // --- traces for the simulator sanity check and dependence witnesses
+  // --- for the soundness audit. ------------------------------------------
   std::vector<const ParallelLoopInfo *> PLIs;
   for (ParallelLoopInfo &L : Loops)
     PLIs.push_back(&L);
   TraceCollector TC(PLIs);
+  DepWitnessObserver DW(PLIs);
+  FanoutObserver Both(TC, DW);
   Interpreter TI(*TM);
   TI.setMaxInstructions(LegBudget);
-  TI.setObserver(&TC);
+  TI.setObserver(C.AuditDeps ? static_cast<ExecObserver *>(&Both) : &TC);
   ExecResult TRun = TI.run();
   if (compareLeg("transformed-sequential", Seq, TRun, Out)) {
     Out.DivergentLeg = DiffOutcome::Leg::TransformedSeq;
     return Out;
+  }
+
+  // --- Dependence-soundness audit, before any threaded leg: a witnessed
+  // --- loop-carried dependence the transform never synchronized is a DDG
+  // --- soundness bug even when a lucky schedule hides it dynamically. ----
+  if (C.AuditDeps) {
+    DepAuditResult AR = auditDependences(DW);
+    Out.DepLoopsAudited = AR.LoopsAudited;
+    Out.DepWitnessed = AR.WitnessedDeps;
+    Out.DepCovered = AR.CoveredDeps;
+    Out.DepUncovered = AR.UncoveredDeps;
+    Out.DepStaticMemDeps = AR.StaticMemDeps;
+    Out.DepStaticUnwitnessed = AR.StaticUnwitnessed;
+    Out.DepDiags = std::move(AR.Diags);
+    if (AR.UncoveredDeps > 0) {
+      Out.Divergence = true;
+      Out.DivergentLeg = DiffOutcome::Leg::DepAudit;
+      Out.DivergentKind = DiffOutcome::Kind::DepUnsound;
+      Out.Detail = Out.DepDiags.front();
+      return Out;
+    }
   }
 
   // --- Leg 3: true concurrency across the configured thread counts. -----

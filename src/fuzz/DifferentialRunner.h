@@ -65,6 +65,12 @@ struct DiffConfig {
   unsigned SimCores = 6;
   /// Transform @main's own loops too (Step-9 nesting through calls).
   bool TransformMainLoops = true;
+  /// Audit the static dependence graph against the cross-iteration memory
+  /// dependences the transformed-sequential leg actually exhibits
+  /// (check/DepAudit). An uncovered witness is a DEP-UNSOUND divergence —
+  /// reported before any threaded leg runs, since a racing schedule may
+  /// mask it dynamically.
+  bool AuditDeps = true;
   HelixOptions Helix;
   BugInjection Inject = BugInjection::None;
 };
@@ -75,11 +81,11 @@ struct DiffOutcome {
   bool Divergence = false;
   /// Which leg diverged. Shrinking uses this to rerun only the legs that
   /// matter (a sequential-leg divergence needs no threaded runs).
-  enum class Leg { None, TransformedSeq, Threaded, Sim };
+  enum class Leg { None, TransformedSeq, DepAudit, Threaded, Sim };
   Leg DivergentLeg = Leg::None;
   /// How it diverged. Shrinking preserves the kind, so a checksum
   /// mismatch cannot degrade into, say, an unrelated endless loop.
-  enum class Kind { None, Checksum, Trap, Hang, SimBlowup };
+  enum class Kind { None, Checksum, Trap, Hang, SimBlowup, DepUnsound };
   Kind DivergentKind = Kind::None;
   /// Human-readable description of the first divergence (empty if clean).
   std::string Detail;
@@ -99,6 +105,18 @@ struct DiffOutcome {
   unsigned StaticFindings = 0;
   unsigned StaticLoopsChecked = 0;
   std::vector<std::string> StaticDiags; ///< rendered findings, in order
+
+  /// Dependence-soundness audit of the transformed-sequential leg
+  /// (check/DepAudit): witnessed cross-iteration memory dependences
+  /// checked against the synchronized D_data. Uncovered > 0 is a
+  /// DEP-UNSOUND divergence; StaticUnwitnessed measures precision only.
+  unsigned DepLoopsAudited = 0;
+  unsigned DepWitnessed = 0;
+  unsigned DepCovered = 0;
+  unsigned DepUncovered = 0;
+  unsigned DepStaticMemDeps = 0;
+  unsigned DepStaticUnwitnessed = 0;
+  std::vector<std::string> DepDiags; ///< rendered uncovered witnesses
 
   bool SeqOk = false;
   int64_t SeqChecksum = 0;

@@ -27,6 +27,16 @@ Json helix::fuzzSummaryToJson(const FuzzSummary &S) {
   St.set("injected_flagged", u64(S.InjectedStaticFlagged));
   O.set("static_check", std::move(St));
 
+  Json Dep = Json::object();
+  Dep.set("loops_audited", u64(S.DepLoopsAudited));
+  Dep.set("witnessed", u64(S.DepWitnessed));
+  Dep.set("covered", u64(S.DepCovered));
+  Dep.set("uncovered", u64(S.DepUncovered));
+  Dep.set("static_mem_deps", u64(S.DepStaticMemDeps));
+  Dep.set("static_unwitnessed", u64(S.DepStaticUnwitnessed));
+  Dep.set("unsound_cases", u64(S.DepUnsoundCases));
+  O.set("dep_audit", std::move(Dep));
+
   Json Timings = Json::array();
   for (const LoopPassTiming &T : S.PassTimings) {
     Json E = Json::object();
@@ -67,6 +77,7 @@ Json helix::fuzzSummaryToJson(const FuzzSummary &S) {
     E.set("variant", u64(F.Variant));
     E.set("kind", Json::str(F.Inconclusive  ? "inconclusive"
                             : F.StaticAlarm ? "static-alarm"
+                            : F.DepUnsound  ? "dep-unsound"
                                             : "divergence"));
     E.set("detail", Json::str(F.Detail));
     if (!F.ReproPath.empty())

@@ -216,6 +216,15 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
         ++Summary.InjectedStaticFlagged;
     }
 
+    Summary.DepLoopsAudited += R.Outcome.DepLoopsAudited;
+    Summary.DepWitnessed += R.Outcome.DepWitnessed;
+    Summary.DepCovered += R.Outcome.DepCovered;
+    Summary.DepUncovered += R.Outcome.DepUncovered;
+    Summary.DepStaticMemDeps += R.Outcome.DepStaticMemDeps;
+    Summary.DepStaticUnwitnessed += R.Outcome.DepStaticUnwitnessed;
+    if (R.Outcome.DivergentKind == DiffOutcome::Kind::DepUnsound)
+      ++Summary.DepUnsoundCases;
+
     bool StaticAlarm = Options.Diff.Inject == BugInjection::None &&
                        R.Outcome.StaticFindings != 0 &&
                        !R.Outcome.Divergence && !R.Outcome.Inconclusive;
@@ -229,6 +238,8 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
     F.Variant = VariantOf[Index];
     F.Inconclusive = R.Outcome.Inconclusive;
     F.StaticAlarm = StaticAlarm;
+    F.DepUnsound =
+        R.Outcome.DivergentKind == DiffOutcome::Kind::DepUnsound;
     F.Detail = R.Outcome.Detail;
     if (StaticAlarm) {
       F.Detail = formatStr("static sync check: %s",
@@ -255,7 +266,10 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
     if (!Options.CorpusDir.empty()) {
       std::string Base = formatStr(
           "%s-%04u-%016llx",
-          R.Outcome.Divergence ? "div" : F.StaticAlarm ? "static" : "inc",
+          F.DepUnsound        ? "dep"
+          : R.Outcome.Divergence ? "div"
+          : F.StaticAlarm        ? "static"
+                                 : "inc",
           Index, (unsigned long long)F.CaseSeed);
       writeRepro(Options.CorpusDir, Base + ".ir", F.CaseSeed, F.Detail,
                  F.ReproText, F.ReproPath);
@@ -269,5 +283,8 @@ FuzzSummary helix::runFuzzCampaign(const FuzzOptions &Options) {
   MR.counter("fuzz.divergent").add(Summary.Divergent);
   MR.counter("fuzz.inconclusive").add(Summary.Inconclusive);
   MR.counter("fuzz.static_alarms").add(Summary.StaticAlarms);
+  MR.counter("fuzz.dep_unsound").add(Summary.DepUnsoundCases);
+  MR.counter("fuzz.dep_witnessed").add(Summary.DepWitnessed);
+  MR.counter("fuzz.dep_uncovered").add(Summary.DepUncovered);
   return Summary;
 }

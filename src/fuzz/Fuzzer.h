@@ -86,6 +86,10 @@ struct FuzzFailure {
   /// oracle's schedules missed or a checker false positive; both demand a
   /// look, so the case fails the campaign.
   bool StaticAlarm = false;
+  /// The divergence is a dependence-soundness violation: the transformed
+  /// sequential leg witnessed a loop-carried memory dependence the static
+  /// DDG never synchronized (DiffOutcome::Kind::DepUnsound).
+  bool DepUnsound = false;
   std::string Detail;
   std::string ReproText;        ///< original failing module
   std::string ShrunkText;       ///< reduced module ("" when not shrunk)
@@ -114,6 +118,17 @@ struct FuzzSummary {
                                    ///< campaign (reported as failures)
   unsigned InjectedCases = 0;      ///< cases where the injection applied
   unsigned InjectedStaticFlagged = 0; ///< of those, flagged statically
+
+  /// Dependence-soundness audit (check/DepAudit), aggregated over every
+  /// case's transformed-sequential leg. DepUnsoundCases are counted in
+  /// Divergent too — this splits out the DDG-soundness class.
+  uint64_t DepLoopsAudited = 0;
+  uint64_t DepWitnessed = 0;        ///< witnessed cross-iteration deps
+  uint64_t DepCovered = 0;          ///< of those, synchronized (sound)
+  uint64_t DepUncovered = 0;        ///< of those, missed by D_data
+  uint64_t DepStaticMemDeps = 0;    ///< static memory deps of audited loops
+  uint64_t DepStaticUnwitnessed = 0; ///< never witnessed (precision gap)
+  unsigned DepUnsoundCases = 0;     ///< cases failing with DEP-UNSOUND
 
   std::vector<FuzzFailure> Failures;
   /// Transform pass timing aggregated over every case.

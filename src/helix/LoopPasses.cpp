@@ -23,14 +23,17 @@ namespace {
 /// prologues themselves execute sequentially, ordered by the IterStart
 /// control signal, so only data forwarding (Step 7) is needed for them.
 std::vector<DataDependence> computeDeps(AnalysisManager &AM, Function *F,
-                                        Loop *L, DependenceStats &StatsOut) {
+                                        Loop *L, DependenceStats &StatsOut,
+                                        bool UseRanges) {
   const CFGInfo &CFG = AM.get<CFGInfo>(F);
   const DominatorTree &DT = AM.get<DominatorTree>(F);
   const Liveness &LV = AM.get<Liveness>(F);
+  const ValueRangeAnalysis *VR =
+      UseRanges ? &AM.get<ValueRangeAnalysis>(F) : nullptr;
   LoopVarAnalysis Vars(F, L, DT);
   LoopDependenceAnalysis DDA(F, L, CFG, DT, LV, Vars,
                              AM.get<PointsToAnalysis>(),
-                             AM.get<MemEffects>());
+                             AM.get<MemEffects>(), VR);
   StatsOut = DDA.stats();
   return DDA.toSynchronize();
 }
@@ -117,7 +120,7 @@ class DependencePass : public LoopPass {
 public:
   const char *name() const override { return "dependence"; }
   PassResult run(AnalysisManager &AM, LoopPassState &S) override {
-    S.Deps = computeDeps(AM, S.F, S.L, S.Stats);
+    S.Deps = computeDeps(AM, S.F, S.L, S.Stats, S.Opts.EnableRangeRefinement);
     return preservingAll();
   }
 };
@@ -166,7 +169,7 @@ public:
       S.NL = normalizeLoop(AM, S.F, S.Header);
       assert(S.NL.Valid && "inlining destroyed the loop");
       S.L = findLoop(AM.get<LoopInfo>(S.F), S.Header);
-      S.Deps = computeDeps(AM, S.F, S.L, S.Stats);
+      S.Deps = computeDeps(AM, S.F, S.L, S.Stats, S.Opts.EnableRangeRefinement);
     }
     return preservingAll();
   }
@@ -183,6 +186,7 @@ public:
                          S.Stats.NumExcludedFalse +
                          S.Stats.NumExcludedInduction;
     S.PLI.NumDepsCarried = unsigned(S.Deps.size());
+    S.PLI.NumDepsPrunedByRange = S.Stats.NumPrunedByRange;
     S.PLI.Deps = S.Deps;
     S.PLI.IVs = collectIVs(AM, S.F, S.L);
     S.PLI.SelfStartingPrologue =
@@ -222,7 +226,12 @@ public:
     if (!S.Opts.EnableScheduling)
       return preservingAll();
     compactSegments(S.NL, S.Deps);
-    return preserving(PreservedAnalyses::all().abandon<Liveness>());
+    // Position-sensitive analyses go: liveness point queries, and the
+    // value-range facts (factFor replays a block prefix whose instruction
+    // order just changed).
+    return preserving(PreservedAnalyses::all()
+                          .abandon<Liveness>()
+                          .abandon<ValueRangeAnalysis>());
   }
 };
 
@@ -239,7 +248,9 @@ public:
     S.SO = optimizeSignals(S.F, S.NL, S.Deps, S.WS, S.Opts.EnableSignalOpt);
     S.PLI.NumWaitsKept = S.SO.NumWaitsKept;
     S.PLI.NumSignalsKept = S.SO.NumSignalsKept;
-    return preserving(PreservedAnalyses::all().abandon<Liveness>());
+    return preserving(PreservedAnalyses::all()
+                          .abandon<Liveness>()
+                          .abandon<ValueRangeAnalysis>());
   }
 };
 
@@ -270,7 +281,9 @@ public:
     unsigned Delta = unsigned(S.Opts.Machine.UnprefetchedSignalCycles -
                               S.Opts.Machine.PrefetchedSignalCycles);
     balanceSegmentSpacing(S.NL, S.Deps, Delta);
-    return preserving(PreservedAnalyses::all().abandon<Liveness>());
+    return preserving(PreservedAnalyses::all()
+                          .abandon<Liveness>()
+                          .abandon<ValueRangeAnalysis>());
   }
 };
 

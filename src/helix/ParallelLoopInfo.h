@@ -79,6 +79,9 @@ struct ParallelLoopInfo {
   unsigned NumSignalsKept = 0;     ///< after Step 6
   unsigned NumDepsTotal = 0;       ///< aliasing pairs (any distance)
   unsigned NumDepsCarried = 0;     ///< loop-carried subset
+  /// Pairs ZIV/SIV kept that value-range facts disproved (Step 2
+  /// sharpening; each avoided pair is a sequential segment not emitted).
+  unsigned NumDepsPrunedByRange = 0;
   unsigned CodeSizeInstrs = 0;     ///< static size of the loop
   unsigned InlinedCalls = 0;
 

@@ -30,6 +30,9 @@ struct LoopReport {
   SimStats Sim;
   // Static transform statistics (from ParallelLoopInfo).
   unsigned NumDepsTotal = 0, NumDepsCarried = 0;
+  /// Pairs ZIV/SIV kept that value-range facts disproved (Step 2
+  /// sharpening) — dependence precision the range analysis bought.
+  unsigned NumDepsPrunedByRange = 0;
   unsigned SignalsInserted = 0, SignalsKept = 0;
   unsigned WaitsInserted = 0, WaitsKept = 0;
   unsigned CodeSizeInstrs = 0;
@@ -98,6 +101,21 @@ struct PipelineReport {
     unsigned Integrity = 0; ///< body-mutated, iv-stride-mismatch
   };
   SyncCheckStats SyncCheck;
+
+  /// The validate stage's dependence-soundness audit (check/DepAudit):
+  /// cross-iteration memory dependences witnessed while the transformed
+  /// program ran its sequential validation leg, checked against the
+  /// synchronized static dependence set. Uncovered witnesses fail the
+  /// stage — a pruned-but-real dependence must never reach simulation.
+  struct DepAuditStats {
+    unsigned LoopsAudited = 0;
+    unsigned Witnessed = 0;
+    unsigned Covered = 0;
+    unsigned Uncovered = 0;
+    unsigned StaticMemDeps = 0;
+    unsigned StaticUnwitnessed = 0; ///< precision gap, not an error
+  };
+  DepAuditStats DepAudit;
 
   /// Per-run delta of the process-wide metrics registry
   /// (obs::MetricsRegistry::global()) across Pipeline::run: every counter

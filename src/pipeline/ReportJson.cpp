@@ -48,6 +48,7 @@ Json loopToJson(const LoopReport &L) {
   O.set("sim", simStatsToJson(L.Sim));
   O.set("deps_total", u64(L.NumDepsTotal));
   O.set("deps_carried", u64(L.NumDepsCarried));
+  O.set("deps_pruned_by_range", u64(L.NumDepsPrunedByRange));
   O.set("signals_inserted", u64(L.SignalsInserted));
   O.set("signals_kept", u64(L.SignalsKept));
   O.set("waits_inserted", u64(L.WaitsInserted));
@@ -192,6 +193,8 @@ bool loopFromJson(const Json &V, LoopReport &L, std::string *Err) {
       return false;
   return readUnsigned(V, "deps_total", L.NumDepsTotal, Err) &&
          readUnsigned(V, "deps_carried", L.NumDepsCarried, Err) &&
+         readUnsigned(V, "deps_pruned_by_range", L.NumDepsPrunedByRange,
+                      Err) &&
          readUnsigned(V, "signals_inserted", L.SignalsInserted, Err) &&
          readUnsigned(V, "signals_kept", L.SignalsKept, Err) &&
          readUnsigned(V, "waits_inserted", L.WaitsInserted, Err) &&
@@ -280,6 +283,15 @@ Json helix::reportToJson(const PipelineReport &R) {
   SC.set("integrity", u64(R.SyncCheck.Integrity));
   O.set("sync_check", std::move(SC));
 
+  Json DA = Json::object();
+  DA.set("loops_audited", u64(R.DepAudit.LoopsAudited));
+  DA.set("witnessed", u64(R.DepAudit.Witnessed));
+  DA.set("covered", u64(R.DepAudit.Covered));
+  DA.set("uncovered", u64(R.DepAudit.Uncovered));
+  DA.set("static_mem_deps", u64(R.DepAudit.StaticMemDeps));
+  DA.set("static_unwitnessed", u64(R.DepAudit.StaticUnwitnessed));
+  O.set("dep_audit", std::move(DA));
+
   // Per-run metrics-registry delta: only emitted when the run carried any,
   // so pre-telemetry consumers see byte-identical messages for reports
   // built from JSON (which have no registry attached).
@@ -359,6 +371,20 @@ bool helix::reportFromJson(const Json &V, PipelineReport &R,
         !readUnsigned(*SC, "deadlock", R.SyncCheck.Deadlock, Err) ||
         !readUnsigned(*SC, "hygiene", R.SyncCheck.Hygiene, Err) ||
         !readUnsigned(*SC, "integrity", R.SyncCheck.Integrity, Err))
+      return false;
+  }
+
+  if (const Json *DA = V.find("dep_audit")) {
+    if (!DA->isObject())
+      return fail(Err, "dep_audit: expected object");
+    if (!readUnsigned(*DA, "loops_audited", R.DepAudit.LoopsAudited, Err) ||
+        !readUnsigned(*DA, "witnessed", R.DepAudit.Witnessed, Err) ||
+        !readUnsigned(*DA, "covered", R.DepAudit.Covered, Err) ||
+        !readUnsigned(*DA, "uncovered", R.DepAudit.Uncovered, Err) ||
+        !readUnsigned(*DA, "static_mem_deps", R.DepAudit.StaticMemDeps,
+                      Err) ||
+        !readUnsigned(*DA, "static_unwitnessed",
+                      R.DepAudit.StaticUnwitnessed, Err))
       return false;
   }
 

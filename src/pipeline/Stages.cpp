@@ -1,5 +1,6 @@
 #include "pipeline/Stages.h"
 
+#include "check/DepAudit.h"
 #include "check/SyncChecker.h"
 #include "helix/HelixTransform.h"
 #include "helix/LoopSelection.h"
@@ -33,9 +34,10 @@ std::string machineKey(const MachineModel &M) {
 
 std::string transformKey(const HelixOptions &O) {
   char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "i%d,s%d,o%d,h%d,b%d;", int(O.EnableInlining),
-                int(O.EnableScheduling), int(O.EnableSignalOpt),
-                int(O.EnableHelperThreads), int(O.EnableBalancing));
+  std::snprintf(Buf, sizeof(Buf), "i%d,s%d,o%d,h%d,b%d,r%d;",
+                int(O.EnableInlining), int(O.EnableScheduling),
+                int(O.EnableSignalOpt), int(O.EnableHelperThreads),
+                int(O.EnableBalancing), int(O.EnableRangeRefinement));
   return Buf + machineKey(O.Machine);
 }
 
@@ -468,14 +470,15 @@ bool CandidateStage::deserializeResult(PipelineContext &Ctx,
 
 std::string ModelProfilingStage::cacheKey(const PipelineConfig &Config) const {
   // A forced nesting level skips model profiling entirely, so all forced
-  // configurations share one key. The leading "p2" is a code-version
+  // configurations share one key. The leading "p3" is a code-version
   // token (results persist to disk): bump it when the model-input
   // extraction, the transform, the interpreter cost model, or the payload
-  // layout changes (p1 -> p2: analysis counters joined the payload).
+  // layout changes (p1 -> p2: analysis counters joined the payload;
+  // p2 -> p3: value-range dependence refinement changed the transform).
   if (Config.Selection.ForceNestingLevel >= 1)
-    return "p2;forced";
+    return "p3;forced";
   char Buf[48];
-  std::snprintf(Buf, sizeof(Buf), "p2;n%u,m%llu;", Config.NumCores,
+  std::snprintf(Buf, sizeof(Buf), "p3;n%u,m%llu;", Config.NumCores,
                 (unsigned long long)Config.MaxInterpInstructions);
   return Buf + transformKey(Config.Helix);
 }
@@ -743,9 +746,11 @@ bool TransformStage::run(PipelineContext &Ctx) {
 
 std::string CheckStage::cacheKey(const PipelineConfig &Config) const {
   // The checker verifies the transform's output, so its key covers the
-  // same configuration slice. "k1" is the checker code-version token:
-  // bump it when the diagnostics or the dataflows change semantically.
-  return transformKey(Config.Helix) + ";k1";
+  // same configuration slice. "k2" is the checker code-version token:
+  // bump it when the diagnostics or the dataflows change semantically
+  // (k1 -> k2: the checker's re-derived dependence set gained value-range
+  // refinement to stay equivalent to the transform's).
+  return transformKey(Config.Helix) + ";k2";
 }
 
 void CheckStage::resetReport(PipelineReport &Report) const {
@@ -810,14 +815,17 @@ bool CheckStage::run(PipelineContext &Ctx) {
 //===----------------------------------------------------------------------===//
 
 std::string ValidateStage::cacheKey(const PipelineConfig &Config) const {
+  // "a1" is the stage code-version token (a0 -> a1: the dependence-
+  // soundness audit joined the validation run and can now fail it).
   char Buf[48];
-  std::snprintf(Buf, sizeof(Buf), "m%llu",
+  std::snprintf(Buf, sizeof(Buf), "a1;m%llu",
                 (unsigned long long)Config.MaxInterpInstructions);
   return Buf;
 }
 
 void ValidateStage::resetReport(PipelineReport &Report) const {
   Report.OutputsMatch = false;
+  Report.DepAudit = {};
 }
 
 bool ValidateStage::run(PipelineContext &Ctx) {
@@ -827,9 +835,11 @@ bool ValidateStage::run(PipelineContext &Ctx) {
     PLIs.push_back(&PLI);
   }
   Ctx.Traces = std::make_unique<TraceCollector>(PLIs);
+  DepWitnessObserver DW(PLIs);
+  FanoutObserver Both(*Ctx.Traces, DW);
   Interpreter Interp(*Ctx.Transformed);
   Interp.setMaxInstructions(Ctx.config().MaxInterpInstructions);
-  Interp.setObserver(Ctx.Traces.get());
+  Interp.setObserver(&Both);
   Ctx.ParRun = Interp.run("main");
   Ctx.noteInterpreted(Ctx.ParRun.Instructions);
   if (!Ctx.ParRun.Ok) {
@@ -838,6 +848,33 @@ bool ValidateStage::run(PipelineContext &Ctx) {
   }
   Ctx.Report.OutputsMatch =
       Ctx.ParRun.ReturnValue == Ctx.SeqRun.ReturnValue;
+
+  // Dependence-soundness audit over the validation run's witnesses: a
+  // loop-carried memory dependence the transform never synchronized must
+  // stop the pipeline here, before the simulator scores a schedule that
+  // would race on it.
+  DepAuditResult AR = auditDependences(DW);
+  PipelineReport::DepAuditStats &DA = Ctx.Report.DepAudit;
+  DA.LoopsAudited = AR.LoopsAudited;
+  DA.Witnessed = AR.WitnessedDeps;
+  DA.Covered = AR.CoveredDeps;
+  DA.Uncovered = AR.UncoveredDeps;
+  DA.StaticMemDeps = AR.StaticMemDeps;
+  DA.StaticUnwitnessed = AR.StaticUnwitnessed;
+  obs::MetricsRegistry &MR = obs::MetricsRegistry::global();
+  MR.counter("depaudit.loops").add(DA.LoopsAudited);
+  MR.counter("depaudit.witnessed").add(DA.Witnessed);
+  MR.counter("depaudit.uncovered").add(DA.Uncovered);
+  if (DA.Uncovered) {
+    Ctx.Report.Error = "dep audit: " + AR.Diags.front();
+    if (AR.Diags.size() > 1) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), " (+%u more)",
+                    unsigned(AR.Diags.size() - 1));
+      Ctx.Report.Error += Buf;
+    }
+    return false;
+  }
   return true;
 }
 
@@ -909,6 +946,7 @@ bool SimulateStage::run(PipelineContext &Ctx) {
     LR.Sim = PerLoop[K];
     LR.NumDepsTotal = PLI.NumDepsTotal;
     LR.NumDepsCarried = PLI.NumDepsCarried;
+    LR.NumDepsPrunedByRange = PLI.NumDepsPrunedByRange;
     LR.SignalsInserted = PLI.NumSignalsInserted;
     LR.SignalsKept = PLI.NumSignalsKept;
     LR.WaitsInserted = PLI.NumWaitsInserted;

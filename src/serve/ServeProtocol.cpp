@@ -116,6 +116,11 @@ Json helix::statsToJson(const ServeStats &S) {
   Sync.set("loops_checked", u64(S.SyncLoopsChecked));
   Sync.set("findings", u64(S.SyncFindings));
   V.set("sync_check", std::move(Sync));
+  Json Dep = Json::object();
+  Dep.set("loops_audited", u64(S.DepLoopsAudited));
+  Dep.set("witnessed", u64(S.DepWitnessed));
+  Dep.set("uncovered", u64(S.DepUncovered));
+  V.set("dep_audit", std::move(Dep));
   Json Stages = Json::array();
   for (const ServeStats::StageAgg &A : S.Stages) {
     Json O = Json::object();
@@ -295,6 +300,14 @@ bool helix::statsFromJson(const Json &V, ServeStats &S, std::string *Err) {
       return fail(Err, "stats.sync_check: expected object");
     if (!ReadU64(*SC, "loops_checked", S.SyncLoopsChecked) ||
         !ReadU64(*SC, "findings", S.SyncFindings))
+      return false;
+  }
+  if (const Json *DA = V.find("dep_audit")) {
+    if (!DA->isObject())
+      return fail(Err, "stats.dep_audit: expected object");
+    if (!ReadU64(*DA, "loops_audited", S.DepLoopsAudited) ||
+        !ReadU64(*DA, "witnessed", S.DepWitnessed) ||
+        !ReadU64(*DA, "uncovered", S.DepUncovered))
       return false;
   }
   if (const Json *Stages = V.find("stages")) {

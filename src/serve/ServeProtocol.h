@@ -95,6 +95,11 @@ struct ServeStats {
   /// fails the run before anything executes).
   uint64_t SyncLoopsChecked = 0, SyncFindings = 0;
 
+  /// Dependence-soundness audit aggregate (validate stage): witnessed
+  /// cross-iteration memory dependences vs. ones the static DDG missed
+  /// (an uncovered witness fails the run at the validate stage).
+  uint64_t DepLoopsAudited = 0, DepWitnessed = 0, DepUncovered = 0;
+
   /// Per-stage execution aggregate across every served run.
   struct StageAgg {
     std::string Name;

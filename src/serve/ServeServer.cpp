@@ -357,6 +357,9 @@ void ServeServer::recordRunOutcome(const ServeResponse &Resp) {
   if (Resp.HasReport) {
     Stats.SyncLoopsChecked += Resp.Report.SyncCheck.LoopsChecked;
     Stats.SyncFindings += Resp.Report.SyncCheck.Findings;
+    Stats.DepLoopsAudited += Resp.Report.DepAudit.LoopsAudited;
+    Stats.DepWitnessed += Resp.Report.DepAudit.Witnessed;
+    Stats.DepUncovered += Resp.Report.DepAudit.Uncovered;
   }
   for (const StageSummary &S : Resp.Stages) {
     auto It = std::find_if(

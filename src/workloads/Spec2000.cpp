@@ -38,7 +38,7 @@ std::vector<WorkloadSpec> makeSuite() {
   // 164.gzip: compression — array sweeps, hash-table updates, conditional
   // match loops.
   Add("gzip", 164, 3,
-      {{2, false, {{KI::DoAll, 300, 130}, {KI::Histogram, 240, 130}}},
+      {{2, false, {{KI::DoAll, 300, 130}, {KI::WindowSlide, 280, 130}, {KI::Histogram, 240, 130}}},
        {2, false, {{KI::Branchy, 280, 120}, {KI::TwoAccum, 150, 700}, {KI::Histogram, 1200, 10}}}});
 
   // 175.vpr: placement & routing — regular cost sweeps plus irregular
@@ -100,7 +100,7 @@ std::vector<WorkloadSpec> makeSuite() {
   // 256.bzip2: block compression — sorting-like carried dependences and
   // counting tables.
   Add("bzip2", 256, 3,
-      {{2, false, {{KI::Stencil, 280, 140}, {KI::Histogram, 250, 100}}},
+      {{2, false, {{KI::Stencil, 280, 140}, {KI::WindowSlide, 260, 120}, {KI::Histogram, 250, 100}}},
        {2, false, {{KI::Reduction, 130, 650}, {KI::DoAll, 200, 110}, {KI::Histogram, 1100, 10}}}});
 
   // 300.twolf: place & route — branchy cost evaluation over grids.

@@ -95,6 +95,8 @@ public:
       return buildNested2D();
     case KernelIdiom::TwoAccum:
       return buildTwoAccum();
+    case KernelIdiom::WindowSlide:
+      return buildWindowSlide();
     }
     HELIX_UNREACHABLE("unknown kernel idiom");
   }
@@ -274,6 +276,30 @@ private:
     finishCountedLoop(L);
     B.setInsertPoint(L.Exit);
     unsigned Addr = B.add(Op::global(A), Op::immInt(int64_t(Spec.N)));
+    unsigned Sum = B.load(Op::reg(Addr));
+    B.ret(Op::reg(Sum));
+    return L.F;
+  }
+
+  Function *buildWindowSlide() {
+    // gzip's fill_window: the upper half of a 2N sliding window is
+    // processed into the lower half. The SIV distance test keeps the
+    // distance-N pair as loop-carried; only the value-range facts
+    // (i in [0, N) vs i + N in [N, 2N)) prove the halves disjoint and
+    // the loop DOALL.
+    unsigned W = newArray("W", 2 * uint64_t(Spec.N));
+    CountedLoop L = startCountedLoop(Spec.N);
+    IRBuilder &B = L.B;
+    unsigned LoAddr = B.add(Op::global(W), Op::reg(L.I));
+    unsigned HiIdx = B.add(Op::reg(L.I), Op::immInt(int64_t(Spec.N)));
+    unsigned HiAddr = B.add(Op::global(W), Op::reg(HiIdx));
+    unsigned V = B.load(Op::reg(HiAddr));
+    unsigned T = emitAluChain(B, V, Spec.Work, Salt);
+    unsigned T2 = B.binary(Opcode::Xor, Op::reg(T), Op::reg(0));
+    B.store(Op::reg(T2), Op::reg(LoAddr));
+    finishCountedLoop(L);
+    B.setInsertPoint(L.Exit);
+    unsigned Addr = B.add(Op::global(W), Op::immInt(int64_t(Spec.N) - 1));
     unsigned Sum = B.load(Op::reg(Addr));
     B.ret(Op::reg(Sum));
     return L.F;
@@ -488,6 +514,8 @@ const char *idiomTag(KernelIdiom K) {
     return "nest2d";
   case KernelIdiom::TwoAccum:
     return "twoacc";
+  case KernelIdiom::WindowSlide:
+    return "slide";
   }
   return "k";
 }

@@ -37,6 +37,9 @@ enum class KernelIdiom {
   Nested2D,     ///< row loop over a provably-parallel column loop
   TwoAccum,     ///< two independent carried accumulators: two distinct
                 ///< sequential segments that HELIX overlaps (Figure 1)
+  WindowSlide,  ///< w[i] = f(w[i+N]) over a 2N window (gzip fill_window):
+                ///< SIV keeps the distance-N pair as carried, value-range
+                ///< facts prove the halves disjoint — actually DOALL
 };
 
 struct KernelSpec {

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AnalysisManager.h"
+#include "analysis/ValueRange.h"
 #include "fuzz/ProgramGenerator.h"
 #include "helix/HelixTransform.h"
 #include "ir/Clone.h"
@@ -168,6 +169,35 @@ TEST(AnalysisManager, InvalidationCascadesAlongDependencies) {
   EXPECT_FALSE(AM.isCached<MemEffects>());
   // ...while K0's function analyses were preserved.
   EXPECT_TRUE(AM.isCached<LoopInfo>(K0));
+}
+
+TEST(AnalysisManager, ValueRangeCascadesWithCFGButSurvivesLiveness) {
+  auto M = parse(TwoKernels);
+  AnalysisManager AM(*M);
+  Function *K0 = M->findFunction("k0");
+  Function *K1 = M->findFunction("k1");
+  AM.get<ValueRangeAnalysis>(K0);
+  AM.get<ValueRangeAnalysis>(K1);
+  AM.get<Liveness>(K0);
+
+  // ValueRange consumes CFG + DomTree + LoopInfo: abandoning the CFG must
+  // cascade all the way down to it — a stale range fact on a rewritten
+  // CFG would silently disprove real dependences.
+  AM.invalidate(K0, PreservedAnalyses::all().abandon<CFGInfo>());
+  EXPECT_FALSE(AM.isCached<ValueRangeAnalysis>(K0));
+  EXPECT_TRUE(AM.isCached<ValueRangeAnalysis>(K1)); // function-scoped
+
+  // Abandoning LoopInfo alone also drops ValueRange (widening seeds and
+  // header identification come from it)...
+  AM.get<ValueRangeAnalysis>(K0);
+  AM.invalidate(K0, PreservedAnalyses::all().abandon<LoopInfo>());
+  EXPECT_FALSE(AM.isCached<ValueRangeAnalysis>(K0));
+
+  // ...while Liveness is not an input: ValueRange survives its loss.
+  AM.get<ValueRangeAnalysis>(K0);
+  AM.invalidate(K0, PreservedAnalyses::all().abandon<Liveness>());
+  EXPECT_TRUE(AM.isCached<ValueRangeAnalysis>(K0));
+  EXPECT_FALSE(AM.isCached<Liveness>(K0));
 }
 
 TEST(AnalysisManager, DefaultInvalidateDropsFunctionAndModule) {

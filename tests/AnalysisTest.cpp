@@ -10,6 +10,7 @@
 #include "analysis/DataDependence.h"
 #include "analysis/LoopNestGraph.h"
 #include "analysis/LoopVars.h"
+#include "analysis/ValueRange.h"
 #include "ir/IRParser.h"
 
 #include <gtest/gtest.h>
@@ -304,6 +305,105 @@ exit:
   for (const DataDependence &D : DDA.toSynchronize())
     FoundMem |= D.ViaMemory;
   EXPECT_TRUE(FoundMem);
+}
+
+TEST(Dependence, ValueRangePrunesDisjointHalves) {
+  // a[i] vs a[i + 64] with i in [0, 63]: the SIV distance test keeps the
+  // constant-distance pair as carried, but the offset intervals [0,63] and
+  // [64,127] can never meet — value-range facts prove independence.
+  const char *Halves = R"(
+global @a 128
+
+func @main(0) {
+entry:
+  r0 = mov 0
+  br hdr
+hdr:
+  r1 = cmplt r0, 64
+  condbr r1, body, exit
+body:
+  r2 = add @a, r0
+  r3 = load r2
+  r4 = add r0, 64
+  r5 = add @a, r4
+  store r3, r5
+  r0 = add r0, 1
+  br hdr
+exit:
+  ret 0
+}
+)";
+  auto M = parse(Halves);
+  AnalysisManager AM(*M);
+  Function *F = M->findFunction("main");
+  Loop *L = AM.get<LoopInfo>(F).loop(0);
+  LoopVarAnalysis Vars(F, L, AM.get<DominatorTree>(F));
+
+  // Baseline (no value-range facts): the pair survives as a carried
+  // memory dependence.
+  LoopDependenceAnalysis Base(F, L, AM.get<CFGInfo>(F),
+                              AM.get<DominatorTree>(F), AM.get<Liveness>(F),
+                              Vars, AM.get<PointsToAnalysis>(),
+                              AM.get<MemEffects>());
+  bool BaseMem = false;
+  for (const DataDependence &D : Base.toSynchronize())
+    BaseMem |= D.ViaMemory;
+  EXPECT_TRUE(BaseMem);
+  EXPECT_EQ(Base.stats().NumPrunedByRange, 0u);
+
+  // With the range analysis the pair is disproved and drops out.
+  LoopDependenceAnalysis Sharp(F, L, AM.get<CFGInfo>(F),
+                               AM.get<DominatorTree>(F), AM.get<Liveness>(F),
+                               Vars, AM.get<PointsToAnalysis>(),
+                               AM.get<MemEffects>(),
+                               &AM.get<ValueRangeAnalysis>(F));
+  bool SharpMem = false;
+  for (const DataDependence &D : Sharp.toSynchronize())
+    SharpMem |= D.ViaMemory;
+  EXPECT_FALSE(SharpMem);
+  EXPECT_GE(Sharp.stats().NumPrunedByRange, 1u);
+  EXPECT_LT(Sharp.stats().NumLoopCarried, Base.stats().NumLoopCarried);
+}
+
+TEST(Dependence, RangePruningLeavesRealDepsAlone) {
+  // The stencil's a[i] -> a[i+1] distance-1 dependence is real; range
+  // facts must keep it (overlapping intervals, same congruence class).
+  auto M = parse(R"(
+global @a 65
+
+func @main(0) {
+entry:
+  r0 = mov 0
+  br hdr
+hdr:
+  r1 = cmplt r0, 64
+  condbr r1, body, exit
+body:
+  r2 = add @a, r0
+  r3 = load r2
+  r4 = add r0, 1
+  r5 = add @a, r4
+  store r3, r5
+  r0 = add r0, 1
+  br hdr
+exit:
+  ret 0
+}
+)");
+  AnalysisManager AM(*M);
+  Function *F = M->findFunction("main");
+  Loop *L = AM.get<LoopInfo>(F).loop(0);
+  LoopVarAnalysis Vars(F, L, AM.get<DominatorTree>(F));
+  LoopDependenceAnalysis DDA(F, L, AM.get<CFGInfo>(F),
+                             AM.get<DominatorTree>(F), AM.get<Liveness>(F),
+                             Vars, AM.get<PointsToAnalysis>(),
+                             AM.get<MemEffects>(),
+                             &AM.get<ValueRangeAnalysis>(F));
+  bool FoundMem = false;
+  for (const DataDependence &D : DDA.toSynchronize())
+    FoundMem |= D.ViaMemory;
+  EXPECT_TRUE(FoundMem);
+  EXPECT_EQ(DDA.stats().NumPrunedByRange, 0u);
 }
 
 TEST(Dependence, AccumulatorIsRegisterCarried) {

@@ -70,7 +70,13 @@ void usage() {
       "                    with --inject-bug: exit 0 iff the static sync\n"
       "                    checker flagged every case the injection hit\n"
       "                    (the injected divergences themselves are\n"
-      "                    expected and do not fail the run)\n");
+      "                    expected and do not fail the run)\n"
+      "  --require-dep-sound\n"
+      "                    CI soundness gate: fail unless the dependence\n"
+      "                    audit actually ran (>= 1 loop audited) and every\n"
+      "                    witnessed loop-carried memory dependence was\n"
+      "                    covered by the static D_data\n"
+      "  --no-dep-audit    skip the dependence-soundness audit leg\n");
 }
 
 bool parseUnsigned(const char *S, uint64_t &Out) {
@@ -113,9 +119,11 @@ int replayFiles(const std::vector<std::string> &Files, const DiffConfig &C) {
     }
     DiffOutcome O = runDifferential(*P.M, C);
     mergeAnalysisCounters(Counters, O.AnalysisCounters);
-    const char *Verdict = O.Divergence      ? "DIVERGENCE"
-                          : O.Inconclusive  ? "INCONCLUSIVE"
-                                            : "clean";
+    const char *Verdict =
+        O.DivergentKind == DiffOutcome::Kind::DepUnsound ? "DEP-UNSOUND"
+        : O.Divergence                                   ? "DIVERGENCE"
+        : O.Inconclusive                                 ? "INCONCLUSIVE"
+                                                         : "clean";
     std::printf("%s: %s (%u/%u loops transformed, seq checksum %lld)%s%s\n",
                 Path.c_str(), Verdict, O.LoopsTransformed, O.LoopsAttempted,
                 (long long)O.SeqChecksum, O.Detail.empty() ? "" : ": ",
@@ -132,6 +140,17 @@ int replayFiles(const std::vector<std::string> &Files, const DiffConfig &C) {
       std::printf("  static: clean (%u loop(s) checked)\n",
                   O.StaticLoopsChecked);
     }
+    // The dependence-audit verdict of the transformed-sequential leg: the
+    // witnessed ground truth next to the static dependence set.
+    if (O.DepLoopsAudited) {
+      std::printf("  dep audit: %s (%u loop(s), %u witnessed, %u covered, "
+                  "%u uncovered, %u static unwitnessed)\n",
+                  O.DepUncovered ? "UNSOUND" : "sound", O.DepLoopsAudited,
+                  O.DepWitnessed, O.DepCovered, O.DepUncovered,
+                  O.DepStaticUnwitnessed);
+      for (const std::string &D : O.DepDiags)
+        std::printf("    %s\n", D.c_str());
+    }
     Divergent += O.Divergence;
     Inconclusive += O.Inconclusive;
   }
@@ -147,6 +166,7 @@ int main(int argc, char **argv) {
   FuzzOptions Opt;
   std::vector<std::string> ReplayFilesList;
   bool RequireStaticCatch = false;
+  bool RequireDepSound = false;
   std::string JsonPath, TraceOutPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -240,6 +260,10 @@ int main(int argc, char **argv) {
       TraceOutPath = NeedValue();
     } else if (Arg == "--require-static-catch") {
       RequireStaticCatch = true;
+    } else if (Arg == "--require-dep-sound") {
+      RequireDepSound = true;
+    } else if (Arg == "--no-dep-audit") {
+      Opt.Diff.AuditDeps = false;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -323,6 +347,16 @@ int main(int argc, char **argv) {
               (unsigned long long)S.StaticLoopsChecked,
               (unsigned long long)S.StaticFindings, S.StaticFlagged,
               S.StaticConfirmed, S.StaticOnly);
+  if (Opt.Diff.AuditDeps)
+    std::printf("dep audit: %llu loops audited, %llu deps witnessed "
+                "(%llu covered, %llu uncovered); %llu static mem deps, "
+                "%llu never witnessed\n",
+                (unsigned long long)S.DepLoopsAudited,
+                (unsigned long long)S.DepWitnessed,
+                (unsigned long long)S.DepCovered,
+                (unsigned long long)S.DepUncovered,
+                (unsigned long long)S.DepStaticMemDeps,
+                (unsigned long long)S.DepStaticUnwitnessed);
   if (Opt.Diff.Inject != BugInjection::None)
     std::printf("injection: applied in %u case(s), %u flagged statically\n",
                 S.InjectedCases, S.InjectedStaticFlagged);
@@ -350,6 +384,7 @@ int main(int argc, char **argv) {
                 "--case-seed 0x%llx%s): %s\n",
                 F.Inconclusive    ? "INCONCLUSIVE"
                 : F.StaticAlarm   ? "STATIC-ALARM"
+                : F.DepUnsound    ? "DEP-UNSOUND"
                                   : "DIVERGENCE",
                 F.CaseIndex,
                 (unsigned long long)F.CaseSeed,
@@ -381,6 +416,26 @@ int main(int argc, char **argv) {
     std::printf("static catch: OK (%u/%u injected cases flagged)\n",
                 S.InjectedStaticFlagged, S.InjectedCases);
     return 0;
+  }
+  if (RequireDepSound) {
+    // CI soundness gate: an audit that never ran (audit disabled, or no
+    // loop ever transformed *and invoked*) proves nothing — fail loudly
+    // instead of certifying vacuous soundness.
+    if (!Opt.Diff.AuditDeps) {
+      std::fprintf(stderr, "helix-fuzz: --require-dep-sound conflicts with "
+                           "--no-dep-audit\n");
+      return 2;
+    }
+    if (S.DepUncovered || S.DepLoopsAudited == 0) {
+      std::printf("dep soundness: FAILED (%llu loops audited, %llu "
+                  "uncovered witnesses)\n",
+                  (unsigned long long)S.DepLoopsAudited,
+                  (unsigned long long)S.DepUncovered);
+      return 1;
+    }
+    std::printf("dep soundness: OK (%llu loops audited, every witnessed "
+                "dependence covered)\n",
+                (unsigned long long)S.DepLoopsAudited);
   }
   if (S.Divergent || S.StaticAlarms)
     return 1;

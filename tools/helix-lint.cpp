@@ -14,9 +14,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/LoopInfo.h"
+#include "check/DepAudit.h"
 #include "check/SyncChecker.h"
 #include "helix/HelixTransform.h"
 #include "ir/IRParser.h"
+#include "sim/Interpreter.h"
 #include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Json.h"
@@ -44,6 +46,11 @@ void usage() {
       "loop-carried dependences, deadlock-freedom, and sync hygiene.\n"
       "\n"
       "  --corpus-dir DIR   lint every .ir file under DIR (recursive)\n"
+      "  --deps             per-loop dependence summary (alias pairs,\n"
+      "                     loop-carried, pruned-by-range, segments) plus a\n"
+      "                     dynamic dependence-audit verdict: the module\n"
+      "                     runs once sequentially and every witnessed\n"
+      "                     loop-carried dependence must be synchronized\n"
       "  --json             machine-readable report on stdout\n"
       "  --trace-out FILE   write Chrome trace_event JSON of per-file and\n"
       "                     per-pass spans at exit\n"
@@ -59,9 +66,23 @@ struct FileReport {
   unsigned LoopsAttempted = 0;
   unsigned LoopsTransformed = 0;
   SyncCheckResult Check;
+
+  /// --deps mode: one Table-1-style row per transformed loop.
+  struct DepRow {
+    std::string Func, Header;
+    unsigned AliasPairs = 0;     ///< aliasing pairs, any distance
+    unsigned Carried = 0;        ///< loop-carried subset synchronized
+    unsigned PrunedByRange = 0;  ///< disproved by value-range facts
+    unsigned Segments = 0;       ///< sequential segments emitted
+  };
+  std::vector<DepRow> DepRows;
+  /// --deps mode: dynamic audit of the rows above (check/DepAudit).
+  bool Audited = false;
+  DepAuditResult Audit;
 };
 
-FileReport lintFile(const std::string &Path, const HelixOptions &Opts) {
+FileReport lintFile(const std::string &Path, const HelixOptions &Opts,
+                    bool DepsMode) {
   obs::TraceSpan FileSpan("lint:" + Path, "lint");
   FileReport FR;
   FR.Path = Path;
@@ -96,6 +117,32 @@ FileReport lintFile(const std::string &Path, const HelixOptions &Opts) {
   for (ParallelLoopInfo &L : Loops)
     PLIs.push_back(&L);
   FR.Check = checkModuleSync(AM, PLIs);
+
+  if (DepsMode) {
+    for (const ParallelLoopInfo &PLI : Loops) {
+      FileReport::DepRow Row;
+      Row.Func = PLI.F->name();
+      Row.Header = PLI.Header->name();
+      Row.AliasPairs = PLI.NumDepsTotal;
+      Row.Carried = PLI.NumDepsCarried;
+      Row.PrunedByRange = PLI.NumDepsPrunedByRange;
+      Row.Segments = unsigned(PLI.Segments.size());
+      FR.DepRows.push_back(std::move(Row));
+    }
+    // Dynamic verdict: run the transformed module once (Step 9 sequential
+    // semantics) and audit the witnessed cross-iteration dependences
+    // against the rows above.
+    if (!Loops.empty() && M.findFunction("main")) {
+      DepWitnessObserver DW(PLIs);
+      Interpreter Interp(M);
+      Interp.setObserver(&DW);
+      ExecResult R = Interp.run();
+      if (R.Ok) {
+        FR.Audited = true;
+        FR.Audit = auditDependences(DW);
+      }
+    }
+  }
   return FR;
 }
 
@@ -116,6 +163,34 @@ Json reportToJson(const std::vector<FileReport> &Reports) {
     F.set("loops_checked", Json::integer(FR.Check.LoopsChecked));
     F.set("deps_checked", Json::integer(FR.Check.DepsChecked));
     F.set("endpoints_checked", Json::integer(FR.Check.EndpointsChecked));
+    if (!FR.DepRows.empty()) {
+      Json Rows = Json::array();
+      for (const FileReport::DepRow &Row : FR.DepRows) {
+        Json R = Json::object();
+        R.set("function", Json::str(Row.Func));
+        R.set("header", Json::str(Row.Header));
+        R.set("alias_pairs", Json::integer(Row.AliasPairs));
+        R.set("loop_carried", Json::integer(Row.Carried));
+        R.set("pruned_by_range", Json::integer(Row.PrunedByRange));
+        R.set("segments", Json::integer(Row.Segments));
+        Rows.push(std::move(R));
+      }
+      F.set("deps", std::move(Rows));
+    }
+    if (FR.Audited) {
+      Json A = Json::object();
+      A.set("loops_audited", Json::integer(FR.Audit.LoopsAudited));
+      A.set("witnessed", Json::integer(FR.Audit.WitnessedDeps));
+      A.set("covered", Json::integer(FR.Audit.CoveredDeps));
+      A.set("uncovered", Json::integer(FR.Audit.UncoveredDeps));
+      A.set("static_unwitnessed",
+            Json::integer(FR.Audit.StaticUnwitnessed));
+      Json Diags = Json::array();
+      for (const std::string &D : FR.Audit.Diags)
+        Diags.push(Json::str(D));
+      A.set("diags", std::move(Diags));
+      F.set("dep_audit", std::move(A));
+    }
     Json Findings = Json::array();
     for (const SyncDiag &D : FR.Check.Diags) {
       Json J = Json::object();
@@ -145,6 +220,7 @@ Json reportToJson(const std::vector<FileReport> &Reports) {
 int main(int argc, char **argv) {
   std::vector<std::string> Paths;
   bool JsonOut = false;
+  bool DepsMode = false;
   std::string TraceOutPath;
   HelixOptions Opts;
 
@@ -156,6 +232,8 @@ int main(int argc, char **argv) {
     }
     if (A == "--json") {
       JsonOut = true;
+    } else if (A == "--deps") {
+      DepsMode = true;
     } else if (A == "--no-signal-opt") {
       Opts.EnableSignalOpt = false;
     } else if (A == "--no-scheduling") {
@@ -205,7 +283,7 @@ int main(int argc, char **argv) {
 
   std::vector<FileReport> Reports;
   for (const std::string &P : Paths)
-    Reports.push_back(lintFile(P, Opts));
+    Reports.push_back(lintFile(P, Opts, DepsMode));
 
   if (!TraceOutPath.empty()) {
     std::string TErr;
@@ -220,6 +298,7 @@ int main(int argc, char **argv) {
   for (const FileReport &FR : Reports) {
     AnyError |= !FR.Error.empty();
     AnyFinding |= !FR.Check.Diags.empty();
+    AnyFinding |= FR.Audited && !FR.Audit.sound();
   }
 
   if (JsonOut) {
@@ -241,6 +320,21 @@ int main(int argc, char **argv) {
                   FR.Check.EndpointsChecked);
       for (const SyncDiag &D : FR.Check.Diags)
         std::printf("  %s\n", D.str().c_str());
+      for (const FileReport::DepRow &Row : FR.DepRows)
+        std::printf("  deps @%s/%s: %u alias pair(s), %u loop-carried, "
+                    "%u pruned by range, %u segment(s)\n",
+                    Row.Func.c_str(), Row.Header.c_str(), Row.AliasPairs,
+                    Row.Carried, Row.PrunedByRange, Row.Segments);
+      if (FR.Audited) {
+        std::printf("  dep audit: %s (%u loop(s), %u witnessed, %u "
+                    "covered, %u uncovered, %u static unwitnessed)\n",
+                    FR.Audit.sound() ? "sound" : "UNSOUND",
+                    FR.Audit.LoopsAudited, FR.Audit.WitnessedDeps,
+                    FR.Audit.CoveredDeps, FR.Audit.UncoveredDeps,
+                    FR.Audit.StaticUnwitnessed);
+        for (const std::string &D : FR.Audit.Diags)
+          std::printf("    %s\n", D.c_str());
+      }
     }
   }
   if (AnyError)

@@ -42,6 +42,12 @@ POLICY = [
     (r"fig12_latency_misestimate", r".*", "higher", "warn", 10),
     (r"fig13_nesting_levels", r".*", "higher", "warn", 25),
     (r"table1_loop_characteristics", r"loops_.*|loop_.*", "higher", "hard", 5),
+    # Dependence precision (deterministic static counts): carried deps and
+    # sequential segments must only shrink, range-pruned pairs must only
+    # grow — a silent precision regression fails the gate.
+    (r"table1_loop_characteristics", r"dep_loop_carried|dep_segments|dep_alias_pairs",
+     "lower", "hard", 5),
+    (r"table1_loop_characteristics", r"dep_pruned_by_range", "higher", "hard", 5),
     (r"table1_loop_characteristics", r".*", "higher", "warn", 15),
     (r"doacross_baseline", r"geomean_helix", "higher", "hard", 5),
     (r"doacross_baseline", r".*", "higher", "warn", 15),
