@@ -1,5 +1,6 @@
 #include "exec/ExecProgram.h"
 
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "sim/CostModel.h"
 #include "support/Compiler.h"
@@ -9,7 +10,7 @@
 using namespace helix;
 
 //===----------------------------------------------------------------------===//
-// Decode
+// Body decode
 //===----------------------------------------------------------------------===//
 
 namespace {
@@ -36,10 +37,82 @@ private:
   std::map<std::pair<bool, uint64_t>, uint32_t> Index;
 };
 
+bool isAnyCmp(Opcode Op) {
+  return Op >= Opcode::CmpEQ && Op <= Opcode::FCmpGE;
+}
+bool isSyncOpcode(Opcode Op) {
+  return Op == Opcode::Wait || Op == Opcode::SignalOp ||
+         Op == Opcode::IterStart;
+}
+
+/// True when operand \p R names register \p Reg (not a pool constant).
+bool isReg(OperandRef R, uint32_t Reg) {
+  return !(R & ConstOperandBit) && R == Reg;
+}
+
+/// Peephole superinstruction fusion over one block's PC range
+/// [Begin, End). Layout preserving: the head instruction's dispatch key
+/// becomes a fused XOpcode and the tail at PC+1 stays fully intact (the
+/// fused handler reads it), so PCs, block boundaries and branch targets
+/// are unchanged. Pairs are disjoint; a pair tail is mid-block and thus
+/// never a branch target. \returns the number of pairs fused.
+uint64_t fuseBlock(DecodedInst *Code, uint32_t Begin, uint32_t End) {
+  uint64_t Fused = 0;
+  for (uint32_t PC = Begin; PC + 1 < End; ++PC) {
+    DecodedInst &A = Code[PC];
+    const DecodedInst &B = Code[PC + 1];
+
+    // cmp + condbr on the comparison result. The fused handler still
+    // writes the cmp's destination (it may be live across the branch).
+    if (isAnyCmp(A.Op) && B.Op == Opcode::CondBr && isReg(B.Ops[0], A.Dest)) {
+      unsigned Rel = unsigned(A.Op) - unsigned(Opcode::CmpEQ);
+      A.X = XOpcode(unsigned(XOpcode::CmpEQBr) + Rel);
+      ++Fused;
+      ++PC; // pairs are disjoint
+      continue;
+    }
+    // add + load/store through the freshly computed address.
+    if (A.Op == Opcode::Add && B.Op == Opcode::Load &&
+        isReg(B.Ops[0], A.Dest)) {
+      A.X = XOpcode::AddLoad;
+      ++Fused;
+      ++PC;
+      continue;
+    }
+    if (A.Op == Opcode::Add && B.Op == Opcode::Store &&
+        isReg(B.Ops[1], A.Dest)) {
+      A.X = XOpcode::AddStore;
+      ++Fused;
+      ++PC;
+      continue;
+    }
+    // Adjacent synchronization operations (Signal/Wait sequences emitted
+    // back to back by the parallelizer).
+    if (isSyncOpcode(A.Op) && isSyncOpcode(B.Op)) {
+      A.X = XOpcode::SyncPair;
+      ++Fused;
+      ++PC;
+      continue;
+    }
+    // Generic trap-free integer ALU pair: any adjacency qualifies (the
+    // fused handler writes the head's destination before reading the
+    // tail's operands, exactly like two sequential dispatches), so the
+    // dominant short ALU chains of loop bodies pair off greedily.
+    if (aluPairIndex(A.Op) >= 0 && aluPairIndex(B.Op) >= 0) {
+      A.X = aluPairKey(A.Op, B.Op);
+      ++Fused;
+      ++PC;
+      continue;
+    }
+  }
+  return Fused;
+}
+
 } // namespace
 
-ExecProgram::ExecProgram(const Module &M) : M(&M) {
-  Fingerprint = fingerprintModule(M);
+ExecCodeBody::ExecCodeBody(const Module &M, DecodeOptions Options)
+    : Opts(Options) {
+  Fingerprint = ExecProgram::fingerprintModule(M);
 
   // Memory layout: identical for every engine — address 0 reserved,
   // globals from 1, heap after the globals.
@@ -53,6 +126,7 @@ ExecProgram::ExecProgram(const Module &M) : M(&M) {
   // Function index first, so calls bind directly even when the callee
   // appears later in the module.
   Functions.resize(M.numFunctions());
+  std::unordered_map<const Function *, uint32_t> FunctionIndex;
   for (unsigned I = 0, E = M.numFunctions(); I != E; ++I)
     FunctionIndex[M.function(I)] = I;
 
@@ -73,8 +147,7 @@ ExecProgram::ExecProgram(const Module &M) : M(&M) {
 
   for (unsigned FI = 0, FE = M.numFunctions(); FI != FE; ++FI) {
     const Function *F = M.function(FI);
-    DecodedFunction &DF = Functions[FI];
-    DF.Src = F;
+    DecodedFunctionBody &DF = Functions[FI];
     DF.NumRegs = F->numRegs();
     DF.NumParams = F->numParams();
 
@@ -89,7 +162,6 @@ ExecProgram::ExecProgram(const Module &M) : M(&M) {
       PC += BB->size();
     }
     DF.Code.reserve(PC);
-    DF.BlockOf.reserve(PC);
 
     // Pass 2: the instructions themselves.
     for (unsigned BI = 0, BE = F->numBlocks(); BI != BE; ++BI) {
@@ -97,10 +169,10 @@ ExecProgram::ExecProgram(const Module &M) : M(&M) {
       for (const Instruction *I : *BB) {
         DecodedInst D;
         D.Op = I->opcode();
+        D.X = plainKey(D.Op);
         D.Cycles = uint16_t(opcodeCycles(D.Op));
         D.Dest = I->hasDest() ? I->dest() : ~0u;
         D.Imm = I->imm();
-        D.Src = I;
         D.NumOperands = uint8_t(I->numOperands());
         for (unsigned K = 0, E = I->numOperands(); K != E; ++K) {
           OperandRef R = Bind(I->operand(K));
@@ -121,9 +193,79 @@ ExecProgram::ExecProgram(const Module &M) : M(&M) {
           D.Callee = FunctionIndex.at(I->callee());
         }
         DF.Code.push_back(D);
-        DF.BlockOf.push_back(BB);
       }
     }
+
+    // Pass 3: superinstruction fusion, block by block (a pair never
+    // crosses a block boundary, so a pair tail is never a branch target).
+    if (Opts.Fuse) {
+      uint32_t Begin = 0;
+      for (unsigned BI = 0, BE = F->numBlocks(); BI != BE; ++BI) {
+        uint32_t End = Begin + uint32_t(F->block(BI)->size());
+        FusedPairs += fuseBlock(DF.Code.data(), Begin, End);
+        Begin = End;
+      }
+    }
+
+    // Pass 4: cycle prefix sums over the flat code array. Fusion rewrites
+    // dispatch keys only, never per-instruction cycle costs, so one table
+    // serves both decode variants. The engine charges a straight-line
+    // segment [A, B) in a single subtraction at the segment's end instead
+    // of accumulating per instruction in the dispatch loop.
+    DF.CyclePrefix.resize(DF.Code.size() + 1);
+    uint64_t Sum = 0;
+    for (size_t K = 0, E = DF.Code.size(); K != E; ++K) {
+      DF.CyclePrefix[K] = Sum;
+      Sum += DF.Code[K].Cycles;
+    }
+    DF.CyclePrefix[DF.Code.size()] = Sum;
+  }
+
+  obs::MetricsRegistry::global()
+      .counter("exec.decode.fused_pairs")
+      .add(FusedPairs);
+}
+
+//===----------------------------------------------------------------------===//
+// Program instances
+//===----------------------------------------------------------------------===//
+
+ExecProgram::ExecProgram(const Module &M, DecodeOptions Opts)
+    : M(&M), Body(std::make_shared<const ExecCodeBody>(M, Opts)) {
+  bindInstanceTables();
+}
+
+ExecProgram::ExecProgram(const Module &M,
+                         std::shared_ptr<const ExecCodeBody> SharedBody)
+    : M(&M), Body(std::move(SharedBody)) {
+  assert(Body->Fingerprint == fingerprintModule(M) &&
+         "body does not match the module's structural fingerprint");
+  bindInstanceTables();
+}
+
+void ExecProgram::bindInstanceTables() {
+  Functions.resize(M->numFunctions());
+  for (unsigned FI = 0, FE = M->numFunctions(); FI != FE; ++FI) {
+    const Function *F = M->function(FI);
+    FunctionIndex[F] = FI;
+    DecodedFunction &DF = Functions[FI];
+    DF.Src = F;
+    DF.Body = &Body->Functions[FI];
+    DF.NumRegs = DF.Body->NumRegs;
+    DF.NumParams = DF.Body->NumParams;
+    DF.BlockOf.reserve(DF.Body->Code.size());
+    DF.SrcOf.reserve(DF.Body->Code.size());
+    // Same block-layout walk as the body decode, so PC i names the same
+    // instruction in both tables.
+    for (unsigned BI = 0, BE = F->numBlocks(); BI != BE; ++BI) {
+      const BasicBlock *BB = F->block(BI);
+      for (const Instruction *I : *BB) {
+        DF.BlockOf.push_back(BB);
+        DF.SrcOf.push_back(I);
+      }
+    }
+    assert(DF.BlockOf.size() == DF.Body->Code.size() &&
+           "instance tables out of step with the decoded body");
   }
 }
 
@@ -139,11 +281,11 @@ ExecProgram::findFunction(const std::string &Name) const {
 }
 
 void ExecProgram::initGlobals(std::vector<Value> &Low) const {
-  assert(Low.size() >= GlobalEnd && "arena smaller than the global segment");
+  assert(Low.size() >= globalEnd() && "arena smaller than the global segment");
   for (unsigned I = 0, E = M->numGlobals(); I != E; ++I) {
     const GlobalVariable &G = M->global(I);
     for (size_t K = 0; K != G.Init.size(); ++K)
-      Low[GlobalBase[I] + K] = Value::ofInt(G.Init[K]);
+      Low[Body->GlobalBase[I] + K] = Value::ofInt(G.Init[K]);
   }
 }
 
@@ -243,38 +385,73 @@ DecodeCache &DecodeCache::global() {
   return Cache;
 }
 
-std::shared_ptr<const ExecProgram> DecodeCache::get(const Module &M) {
+std::shared_ptr<const ExecProgram> DecodeCache::get(const Module &M,
+                                                    DecodeOptions Opts) {
   uint64_t FP = ExecProgram::fingerprintModule(M);
+  const unsigned V = Opts.Fuse ? 1 : 0;
+  std::shared_ptr<const ExecCodeBody> Body;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Entries.find(&M);
-    if (It != Entries.end() && It->second.Uid == M.uid() &&
+    auto It = Entries[V].find(&M);
+    if (It != Entries[V].end() && It->second.Uid == M.uid() &&
         It->second.Fingerprint == FP) {
       ++Hits;
       return It->second.Prog;
     }
+    auto BIt = Bodies[V].find(FP);
+    if (BIt != Bodies[V].end())
+      Body = BIt->second;
   }
-  // Decode outside the lock: concurrent fuzz workers decode distinct
+
+  // Decode/bind outside the lock: concurrent fuzz workers decode distinct
   // modules in parallel; a racing duplicate decode of the same module is
-  // harmless (last writer wins).
+  // harmless (last writer wins). The span covers both miss flavours — a
+  // full body decode and an instance rebind around a shared body.
   obs::TraceSpan DecodeSpan("decode", "exec");
-  auto Prog = std::make_shared<const ExecProgram>(M);
+  bool BuiltBody = false;
+  if (!Body) {
+    Body = std::make_shared<const ExecCodeBody>(M, Opts);
+    BuiltBody = true;
+  }
+  auto Prog = std::make_shared<const ExecProgram>(M, Body);
+
   std::lock_guard<std::mutex> Lock(Mutex);
-  ++Decodes;
-  if (Entries.size() >= MaxEntries && !Entries.count(&M)) {
-    Entries.erase(Entries.begin()); // arbitrary victim; users hold shared_ptrs
+  if (BuiltBody) {
+    ++Decodes;
+    if (Bodies[V].size() >= MaxEntries && !Bodies[V].count(FP)) {
+      Bodies[V].erase(Bodies[V].begin()); // arbitrary victim
+      ++Evictions;
+    }
+    Bodies[V][FP] = Body;
+  } else {
+    ++BodyHits;
+  }
+  if (Entries[V].size() >= MaxEntries && !Entries[V].count(&M)) {
+    Entries[V].erase(Entries[V].begin()); // users hold shared_ptrs
     ++Evictions;
   }
-  Entries[&M] = {M.uid(), FP, Prog};
+  Entries[V][&M] = {M.uid(), FP, Prog};
   return Prog;
 }
 
 void DecodeCache::invalidate(const Module &M) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Entries.erase(&M);
+  for (unsigned V = 0; V != 2; ++V) {
+    auto It = Entries[V].find(&M);
+    if (It == Entries[V].end())
+      continue;
+    // Drop the body decoded from this module too: invalidate means the
+    // module mutated, and a later get() must re-decode rather than rebind
+    // the stale shape. Other modules sharing the shape simply re-decode.
+    Bodies[V].erase(It->second.Fingerprint);
+    Entries[V].erase(It);
+  }
 }
 
 void DecodeCache::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Entries.clear();
+  for (auto &Map : Entries)
+    Map.clear();
+  for (auto &Map : Bodies)
+    Map.clear();
 }

@@ -61,11 +61,13 @@ PipelineReport Pipeline::run(PipelineContext &Ctx) const {
     Ctx.Report.Decode.Decodes = Now.Decodes - DecodeStart.Decodes;
     Ctx.Report.Decode.Hits = Now.Hits - DecodeStart.Hits;
     Ctx.Report.Decode.Evictions = Now.Evictions - DecodeStart.Evictions;
+    Ctx.Report.Decode.BodyHits = Now.BodyHits - DecodeStart.BodyHits;
     // Publish the delta into the registry first so the report's registry
     // snapshot includes the decode numbers it sits next to.
     MR.counter("exec.decode.decodes").add(Ctx.Report.Decode.Decodes);
     MR.counter("exec.decode.hits").add(Ctx.Report.Decode.Hits);
     MR.counter("exec.decode.evictions").add(Ctx.Report.Decode.Evictions);
+    MR.counter("exec.decode.body_hits").add(Ctx.Report.Decode.BodyHits);
     Ctx.Report.Metrics = MR.snapshot().deltaFrom(MetricsStart).Samples;
   };
 

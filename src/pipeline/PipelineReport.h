@@ -82,6 +82,9 @@ struct PipelineReport {
     uint64_t Decodes = 0;
     uint64_t Hits = 0;
     uint64_t Evictions = 0;
+    /// Instance tables rebuilt around a content-addressed shared body (a
+    /// structurally identical module was decoded before).
+    uint64_t BodyHits = 0;
   };
   DecodeCacheStats Decode;
 

@@ -269,6 +269,7 @@ Json helix::reportToJson(const PipelineReport &R) {
   D.set("decodes", u64(R.Decode.Decodes));
   D.set("hits", u64(R.Decode.Hits));
   D.set("evictions", u64(R.Decode.Evictions));
+  D.set("body_hits", u64(R.Decode.BodyHits));
   O.set("decode_cache", std::move(D));
 
   Json SC = Json::object();
@@ -354,6 +355,9 @@ bool helix::reportFromJson(const Json &V, PipelineReport &R,
     if (!readU64(*D, "decodes", R.Decode.Decodes, Err) ||
         !readU64(*D, "hits", R.Decode.Hits, Err) ||
         !readU64(*D, "evictions", R.Decode.Evictions, Err))
+      return false;
+    if (D->find("body_hits") &&
+        !readU64(*D, "body_hits", R.Decode.BodyHits, Err))
       return false;
   }
 

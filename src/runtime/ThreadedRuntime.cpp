@@ -70,9 +70,9 @@ struct WorkerHooks : DefaultExecHooks {
     return true;
   }
 
-  bool sync(const DecodedInst &I) {
+  bool sync(const DecodedInst &I, const Instruction *Src) {
     // Only meaningful in the base frame for sync ops this loop owns.
-    if (Ctx.Frames.size() != 1 || !Inv.OwnedSync.count(I.Src))
+    if (Ctx.Frames.size() != 1 || !Inv.OwnedSync.count(Src))
       return true;
     switch (I.Op) {
     case Opcode::Wait: {
@@ -154,6 +154,12 @@ void workerMain(const ExecProgram &Prog, SharedExecMemory &Mem,
   assert(DF && "parallel loop in an undecoded function");
   uint32_t HeaderPC = DF->startOf(PLI->Header);
 
+  // One context per worker, reset per iteration: the register stack and
+  // alloca arena keep their capacity across iterations, so steady-state
+  // iterations allocate nothing.
+  ExecContext Ctx;
+  Ctx.MaxSteps = MaxSteps;
+
   for (uint64_t Iter = Worker;; Iter += NumThreads) {
     // Control chain: iteration Iter may start once its predecessor passed
     // IterStart (or finished). The exiting iteration never sets its flag,
@@ -169,14 +175,23 @@ void workerMain(const ExecProgram &Prog, SharedExecMemory &Mem,
       }
     }
 
-    ExecContext Ctx;
-    Ctx.MaxSteps = MaxSteps;
+    Ctx.Frames.clear();
+    Ctx.RegTop = 0;
+    Ctx.Stack.clear();
+    Ctx.StackPtr = 0;
+    Ctx.Error.clear();
+    Ctx.BudgetExhausted = false;
+    Ctx.Steps = 0;
+    Ctx.Cycles = 0;
+    Ctx.StepsFused = 0;
     ExecContext::Frame &Fr = Ctx.pushFrame(*DF);
     Fr.PC = HeaderPC;
-    Fr.Regs = Snapshot;
+    assert(Snapshot.size() == DF->NumRegs && "snapshot/frame width mismatch");
+    Value *Regs = Ctx.frameRegs(Fr);
+    std::copy(Snapshot.begin(), Snapshot.end(), Regs);
     // Materialize induction variables: Reg = snapshot + Iter * stride.
     for (const MaterializedIV &IV : PLI->IVs)
-      Fr.Regs[IV.Reg] =
+      Regs[IV.Reg] =
           Value::ofInt(Snapshot[IV.Reg].asInt() + int64_t(Iter) * IV.Stride);
 
     WorkerHooks Hooks(Ctx, Inv, Iter);
@@ -197,7 +212,8 @@ void workerMain(const ExecProgram &Prog, SharedExecMemory &Mem,
     if (Hooks.TookExit) {
       // First (and only) exit: Step 9's exit bookkeeping.
       Inv.ExitBlock = Hooks.ExitTo;
-      Inv.ExitRegs = Ctx.Frames[0].Regs;
+      const Value *BaseRegs = Ctx.frameRegs(Ctx.Frames[0]);
+      Inv.ExitRegs.assign(BaseRegs, BaseRegs + Ctx.Frames[0].F->NumRegs);
       Inv.ExitIter.store(int64_t(Iter), std::memory_order_release);
       return;
     }
@@ -259,7 +275,9 @@ ExecResult helix::runThreaded(
     }
     Inv.OwnedSync.insert(Entered->IterStarts.begin(),
                          Entered->IterStarts.end());
-    std::vector<Value> Snapshot = Ctx.Frames.back().Regs;
+    const ExecContext::Frame &Base = Ctx.Frames.back();
+    std::vector<Value> Snapshot(Ctx.frameRegs(Base),
+                                Ctx.frameRegs(Base) + Base.F->NumRegs);
 
     {
       std::vector<std::thread> Workers;
@@ -282,7 +300,8 @@ ExecResult helix::runThreaded(
     // Continue after the loop with the exiting iteration's registers
     // (boundary values are re-loaded from storage by the exit-edge blocks).
     ExecContext::Frame &Fr = Ctx.Frames.back();
-    Fr.Regs = Inv.ExitRegs;
+    assert(Inv.ExitRegs.size() == Fr.F->NumRegs && "exit-regs width mismatch");
+    std::copy(Inv.ExitRegs.begin(), Inv.ExitRegs.end(), Ctx.frameRegs(Fr));
     Fr.PC = Fr.F->startOf(Inv.ExitBlock);
   }
 

@@ -111,6 +111,7 @@ Json helix::statsToJson(const ServeStats &S) {
   Decode.set("decodes", u64(S.DecodeDecodes));
   Decode.set("hits", u64(S.DecodeHits));
   Decode.set("evictions", u64(S.DecodeEvictions));
+  Decode.set("body_hits", u64(S.DecodeBodyHits));
   V.set("decode_cache", std::move(Decode));
   Json Sync = Json::object();
   Sync.set("loops_checked", u64(S.SyncLoopsChecked));
@@ -293,6 +294,8 @@ bool helix::statsFromJson(const Json &V, ServeStats &S, std::string *Err) {
     if (!ReadU64(*D, "decodes", S.DecodeDecodes) ||
         !ReadU64(*D, "hits", S.DecodeHits) ||
         !ReadU64(*D, "evictions", S.DecodeEvictions))
+      return false;
+    if (D->find("body_hits") && !ReadU64(*D, "body_hits", S.DecodeBodyHits))
       return false;
   }
   if (const Json *SC = V.find("sync_check")) {

@@ -88,7 +88,8 @@ struct ServeStats {
   uint64_t CacheHits = 0, CacheMisses = 0, CacheStores = 0,
            CacheEvictions = 0;
   /// Decode-once engine cache (process lifetime, shared with everything).
-  uint64_t DecodeDecodes = 0, DecodeHits = 0, DecodeEvictions = 0;
+  uint64_t DecodeDecodes = 0, DecodeHits = 0, DecodeEvictions = 0,
+           DecodeBodyHits = 0;
 
   /// Static sync-check aggregate over every run whose report carried the
   /// check stage's counters: loops proven clean vs. findings (a finding

@@ -392,6 +392,7 @@ void ServeServer::fillStats(ServeStats &Out) const {
   Out.DecodeDecodes = D.Decodes;
   Out.DecodeHits = D.Hits;
   Out.DecodeEvictions = D.Evictions;
+  Out.DecodeBodyHits = D.BodyHits;
   Out.Metrics = obs::MetricsRegistry::global().snapshot().Samples;
 }
 

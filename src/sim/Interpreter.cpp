@@ -5,7 +5,15 @@
 using namespace helix;
 
 Interpreter::Interpreter(Module &M)
-    : Prog(DecodeCache::global().get(M)), Mem(*Prog) {}
+    : M(&M), Prog(DecodeCache::global().get(M)), Mem(*Prog) {}
+
+const ExecProgram &Interpreter::activeProgram() {
+  if (!Obs)
+    return *Prog;
+  if (!UnfusedProg)
+    UnfusedProg = DecodeCache::global().get(*M, DecodeOptions{false});
+  return *UnfusedProg;
+}
 
 const Function *Interpreter::currentFunction() const {
   return Ctx.Frames.empty() ? nullptr : Ctx.Frames.back().F->Src;
@@ -14,10 +22,11 @@ const Function *Interpreter::currentFunction() const {
 Value Interpreter::operandValue(const Operand &O) const {
   assert(!Ctx.Frames.empty() && "no active frame");
   switch (O.kind()) {
-  case Operand::Kind::Reg:
-    assert(O.regId() < Ctx.Frames.back().Regs.size() &&
-           "register out of range");
-    return Ctx.Frames.back().Regs[O.regId()];
+  case Operand::Kind::Reg: {
+    const ExecContext::Frame &Fr = Ctx.Frames.back();
+    assert(O.regId() < Fr.F->NumRegs && "register out of range");
+    return Ctx.frameRegs(Fr)[O.regId()];
+  }
   case Operand::Kind::ImmInt:
     return Value::ofInt(O.intValue());
   case Operand::Kind::ImmFloat:
@@ -30,8 +39,9 @@ Value Interpreter::operandValue(const Operand &O) const {
 
 Value Interpreter::regValue(unsigned Reg) const {
   assert(!Ctx.Frames.empty() && "no active frame");
-  assert(Reg < Ctx.Frames.back().Regs.size() && "register out of range");
-  return Ctx.Frames.back().Regs[Reg];
+  const ExecContext::Frame &Fr = Ctx.Frames.back();
+  assert(Reg < Fr.F->NumRegs && "register out of range");
+  return Ctx.frameRegs(Fr)[Reg];
 }
 
 Value Interpreter::loadSlot(uint64_t Addr) const {
@@ -56,7 +66,8 @@ void Interpreter::storeSlot(uint64_t Addr, Value V) {
 ExecResult Interpreter::run(const std::string &Name,
                             const std::vector<Value> &Args) {
   ExecResult R;
-  const DecodedFunction *DF = Prog->findFunction(Name);
+  const ExecProgram &P = activeProgram();
+  const DecodedFunction *DF = P.findFunction(Name);
   if (!DF) {
     R.Error = "no function @" + Name;
     return R;
@@ -67,21 +78,24 @@ ExecResult Interpreter::run(const std::string &Name,
   }
 
   Ctx.Frames.clear();
+  Ctx.RegTop = 0;
   Ctx.Steps = 0;
   Ctx.Cycles = 0;
+  Ctx.StepsFused = 0;
   Ctx.Error.clear();
   Ctx.BudgetExhausted = false;
   Ctx.MaxSteps = MaxInstructions;
   ExecContext::Frame &Fr = Ctx.pushFrame(*DF);
+  Value *Regs = Ctx.frameRegs(Fr);
   for (size_t K = 0; K != Args.size(); ++K)
-    Fr.Regs[K] = Args[K];
+    Regs[K] = Args[K];
 
   ExecStop Stop;
   if (Obs) {
     ObserverExecHooks Hooks(*Obs, *this);
-    Stop = runEngine(*Prog, Mem, Ctx, Hooks);
+    Stop = runEngine(P, Mem, Ctx, Hooks);
   } else {
-    Stop = runEngine(*Prog, Mem, Ctx, DefaultExecHooks());
+    Stop = runEngine(P, Mem, Ctx, DefaultExecHooks());
   }
 
   R.Cycles = Ctx.Cycles;

@@ -33,4 +33,35 @@ namespace helix {
 #define HELIX_UNREACHABLE(MSG)                                                 \
   ::helix::unreachableInternal(MSG, __FILE__, __LINE__)
 
+/// Branch-probability hints for hot loops; no-ops off GCC/Clang.
+#if defined(__GNUC__) || defined(__clang__)
+#define HELIX_LIKELY(X) __builtin_expect(!!(X), 1)
+#define HELIX_UNLIKELY(X) __builtin_expect(!!(X), 0)
+#else
+#define HELIX_LIKELY(X) (X)
+#define HELIX_UNLIKELY(X) (X)
+#endif
+
+/// Keeps a rarely-taken exit path (trap/stop handling, error formatting)
+/// out of line and out of the caller's register-allocation problem — on a
+/// hot interpreter loop the inlined cold code otherwise forces spills of
+/// loop-carried state. Applies to lambdas after the parameter list.
+#if defined(__GNUC__) || defined(__clang__)
+#define HELIX_NOINLINE_COLD __attribute__((noinline, cold))
+#else
+#define HELIX_NOINLINE_COLD
+#endif
+
+/// Tells the optimizer a point is unreachable WITHOUT the diagnostic
+/// machinery of HELIX_UNREACHABLE — e.g. the default arm of a fully-covered
+/// hot switch, where it deletes the jump-table bounds check. Pair with an
+/// assert so debug builds still catch violations.
+#if defined(__GNUC__) || defined(__clang__)
+#define HELIX_UNREACHABLE_HINT() __builtin_unreachable()
+#elif defined(_MSC_VER)
+#define HELIX_UNREACHABLE_HINT() __assume(0)
+#else
+#define HELIX_UNREACHABLE_HINT() ::std::abort()
+#endif
+
 #endif // HELIX_SUPPORT_COMPILER_H

@@ -173,6 +173,7 @@ TEST(ServeProtocol, StatsResponseRoundTrip) {
   Resp.Stats.DecodeDecodes = 12;
   Resp.Stats.DecodeHits = 60;
   Resp.Stats.DecodeEvictions = 1;
+  Resp.Stats.DecodeBodyHits = 4;
   Resp.Stats.Stages.push_back({"profile", 4, 86, 12.5});
 
   ServeResponse Back;
@@ -186,6 +187,7 @@ TEST(ServeProtocol, StatsResponseRoundTrip) {
   EXPECT_EQ(Back.Stats.CacheHits, 33u);
   EXPECT_EQ(Back.Stats.DecodeDecodes, 12u);
   EXPECT_EQ(Back.Stats.DecodeEvictions, 1u);
+  EXPECT_EQ(Back.Stats.DecodeBodyHits, 4u);
   ASSERT_EQ(Back.Stats.Stages.size(), 1u);
   EXPECT_EQ(Back.Stats.Stages[0].Name, "profile");
   EXPECT_EQ(Back.Stats.Stages[0].Executions, 4u);
@@ -262,7 +264,7 @@ TEST(ServeProtocol, ReportJsonRoundTripsEveryField) {
   R.TransformPassTimings.push_back({"dependence", 4.25, 3});
   R.TransformAnalysisCounters.push_back({"loops", 2, 10, 1});
   R.ModelProfileAnalysisCounters.push_back({"ddg", 5, 2, 0});
-  R.Decode = {3, 8, 1};
+  R.Decode = {3, 8, 1, 2};
   R.PctParallel = 60.5;
   R.PctSeqData = 10.25;
   R.PctSeqControl = 4.75;
@@ -311,6 +313,7 @@ TEST(ServeProtocol, ReportJsonRoundTripsEveryField) {
   EXPECT_EQ(Back.Decode.Decodes, 3u);
   EXPECT_EQ(Back.Decode.Hits, 8u);
   EXPECT_EQ(Back.Decode.Evictions, 1u);
+  EXPECT_EQ(Back.Decode.BodyHits, 2u);
   EXPECT_DOUBLE_EQ(Back.PctParallel, 60.5);
   EXPECT_DOUBLE_EQ(Back.LoopCarriedPct, 11.1);
   EXPECT_EQ(Back.MaxCodeInstrs, 1234u);
@@ -385,7 +388,10 @@ TEST(ServeServer, WarmRepeatSkipsEveryTrainingRun) {
   for (const StageSummary &S : Cold.Stages)
     ColdInstrs += S.InterpretedInstructions;
   EXPECT_GT(ColdInstrs, 0u) << "cold run must actually train";
-  EXPECT_GT(Cold.Report.Decode.Decodes, 0u);
+  // Decode work happened: a full body decode, or — when an earlier test in
+  // this process already decoded a structurally identical module — an
+  // instance rebind around the content-addressed shared body.
+  EXPECT_GT(Cold.Report.Decode.Decodes + Cold.Report.Decode.BodyHits, 0u);
 
   ServeResponse Warm;
   ASSERT_TRUE(Client.run(Module, "select", smallOverrides(), Warm, &Err))
@@ -399,6 +405,8 @@ TEST(ServeServer, WarmRepeatSkipsEveryTrainingRun) {
   EXPECT_EQ(WarmInstrs, 0u) << "warm repeat ran a training interpreter";
   EXPECT_EQ(Warm.Report.Decode.Decodes, 0u)
       << "warm repeat decoded the module";
+  EXPECT_EQ(Warm.Report.Decode.BodyHits, 0u)
+      << "warm repeat rebuilt decode instance tables";
 
   // The server-side cache counters saw the repeat.
   ServeStats Stats;

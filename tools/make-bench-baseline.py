@@ -60,6 +60,10 @@ POLICY = [
     (r"pass_performance", r"BM_AnalysisPreservation_0_dom_built",
      "lower", "hard", 10),
     (r"pass_performance", r".*_instrs$", "higher", "hard", 5),
+    # Superinstruction fusion is deterministic: the number of fused pairs
+    # in the suite decode only changes when the decoder (or the workload
+    # generator) changes — gate it hard and tight.
+    (r"pass_performance", r".*_fused_pairs$", "higher", "hard", 5),
     (r"pass_performance", r"BM_ExecEngineVsTreeWalk_1_items_per_second",
      "higher", "hard", 60),
     (r"pass_performance", r".*_items_per_second", "higher", "warn", 60),
